@@ -1,0 +1,90 @@
+//! Benchmarks one complete self-tuning dynP step (plan per policy →
+//! score → decide) against a single static replan, at several queue
+//! depths: the cost of policy switching itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_bench::bench_model;
+use dynp_core::{DeciderKind, DynPConfig, SelfTuningScheduler};
+use dynp_des::SimTime;
+use dynp_rms::{Policy, ReplanReason, RmsState, Scheduler, StaticScheduler};
+
+fn state_with_queue(depth: usize) -> RmsState {
+    let jobs = bench_model().generate(depth, 11).into_jobs();
+    let mut state = RmsState::new(100);
+    for job in jobs {
+        state.submit(job);
+    }
+    state
+}
+
+fn bench_decider_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replan_step");
+    for &depth in &[16usize, 128, 512] {
+        let state = state_with_queue(depth);
+        let now = SimTime::from_secs(1_000_000);
+
+        group.bench_with_input(BenchmarkId::new("static_sjf", depth), &depth, |b, _| {
+            let mut s = StaticScheduler::new(Policy::Sjf);
+            b.iter(|| black_box(s.replan(&state, now, ReplanReason::Submission)))
+        });
+        group.bench_with_input(BenchmarkId::new("dynp_advanced", depth), &depth, |b, _| {
+            let mut s = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+            b.iter(|| black_box(s.replan(&state, now, ReplanReason::Submission)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dynp_sjf_preferred", depth),
+            &depth,
+            |b, _| {
+                let mut s = SelfTuningScheduler::new(DynPConfig::paper(
+                    DeciderKind::Preferred {
+                        policy: Policy::Sjf,
+                        threshold: 0.0,
+                    },
+                ));
+                b.iter(|| black_box(s.replan(&state, now, ReplanReason::Submission)))
+            },
+        );
+    }
+    group.finish();
+
+    // The pure decision functions (no planning) — nanosecond territory.
+    let mut group = c.benchmark_group("decide_only");
+    let scores = vec![
+        (Policy::Fcfs, 3.5),
+        (Policy::Sjf, 2.71),
+        (Policy::Ljf, 2.71),
+    ];
+    group.bench_function("simple", |b| {
+        b.iter(|| {
+            black_box(dynp_core::simple_decide(
+                black_box(&scores),
+                Policy::Ljf,
+                1e-9,
+            ))
+        })
+    });
+    group.bench_function("advanced", |b| {
+        b.iter(|| {
+            black_box(dynp_core::advanced_decide(
+                black_box(&scores),
+                Policy::Ljf,
+                1e-9,
+            ))
+        })
+    });
+    group.bench_function("preferred", |b| {
+        b.iter(|| {
+            black_box(dynp_core::preferred_decide(
+                black_box(&scores),
+                Policy::Ljf,
+                Policy::Sjf,
+                0.0,
+                1e-9,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decider_step);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! End-to-end simulation benchmarks: whole job sets through the event
+//! loop, for the static baseline and the self-tuning dynP scheduler —
+//! per-table cost estimates for the experiment binaries.
+//!
+//! One bench per paper artifact family:
+//! * `table4_cell` — one static-policy run (Figures 1–2 / Table 4 cell),
+//! * `table5_cell` — one dynP run (Figures 3–4 / Table 5 cell),
+//! * `table1` — the full decision-table analysis (exact, no simulation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_bench::bench_workload;
+use dynp_core::DeciderKind;
+use dynp_rms::Policy;
+use dynp_sim::{simulate, SchedulerSpec};
+use dynp_workload::transform;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let base = bench_workload(600);
+    let set = transform::shrink(&base, 0.8);
+
+    let mut group = c.benchmark_group("simulate_600_jobs");
+    group.sample_size(10);
+    for policy in [Policy::Fcfs, Policy::Sjf, Policy::Ljf] {
+        group.bench_with_input(
+            BenchmarkId::new("table4_cell", policy.name()),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let mut s = SchedulerSpec::Static(p).build();
+                    black_box(simulate(black_box(&set), s.as_mut()))
+                })
+            },
+        );
+    }
+    for (label, decider) in [
+        ("advanced", DeciderKind::Advanced),
+        (
+            "sjf_preferred",
+            DeciderKind::Preferred {
+                policy: Policy::Sjf,
+                threshold: 0.0,
+            },
+        ),
+        ("simple", DeciderKind::Simple),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("table5_cell", label),
+            &decider,
+            |b, &d| {
+                b.iter(|| {
+                    let mut s = SchedulerSpec::dynp(d).build();
+                    black_box(simulate(black_box(&set), s.as_mut()))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("table1_analysis", |b| {
+        b.iter(|| black_box(dynp_core::table1::render_table1()))
+    });
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

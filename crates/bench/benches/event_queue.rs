@@ -1,0 +1,59 @@
+//! Benchmarks the two pending-event-set backends of `dynp-des`: the
+//! binary heap default and the calendar queue, under a hold-model
+//! workload (the classic event-queue benchmark: steady-state push/pop).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_des::{BinaryHeapQueue, CalendarQueue, EventQueue, SimTime};
+
+/// One "hold" operation: pop the earliest event and push a replacement a
+/// pseudo-random offset in the future.
+fn hold<Q: EventQueue<u64>>(queue: &mut Q, n_ops: usize) {
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    for _ in 0..n_ops {
+        let (t, e) = queue.pop().expect("queue never drains in hold model");
+        // xorshift offset in [1, 65536] ms
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let offset = (state & 0xFFFF) + 1;
+        queue.push(SimTime::from_millis(t.as_millis() + offset), e);
+    }
+}
+
+fn prefill<Q: EventQueue<u64>>(queue: &mut Q, population: usize) {
+    let mut state = 0x0BAD_F00Du64;
+    for i in 0..population {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        queue.push(SimTime::from_millis(state & 0xFFFFF), i as u64);
+    }
+}
+
+fn bench_event_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_hold");
+    for &population in &[64usize, 1_024, 16_384] {
+        group.bench_with_input(
+            BenchmarkId::new("binary_heap", population),
+            &population,
+            |b, &n| {
+                let mut q = BinaryHeapQueue::new();
+                prefill(&mut q, n);
+                b.iter(|| hold(black_box(&mut q), 256));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("calendar", population),
+            &population,
+            |b, &n| {
+                let mut q = CalendarQueue::new();
+                prefill(&mut q, n);
+                b.iter(|| hold(black_box(&mut q), 256));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queues);
+criterion_main!(benches);

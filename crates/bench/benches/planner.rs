@@ -1,0 +1,62 @@
+//! Benchmarks full-schedule construction: how planning cost scales with
+//! the waiting-queue depth — the quantity that dominates dynP's overhead
+//! (three plans per scheduling event).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_bench::bench_model;
+use dynp_des::SimTime;
+use dynp_rms::{Planner, Policy};
+use dynp_workload::Job;
+
+fn queue_of(depth: usize) -> Vec<Job> {
+    // Draw realistic jobs from the KTH model (small machine → deep
+    // queues in the real experiments).
+    bench_model().generate(depth, 7).into_jobs()
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_plan");
+    for &depth in &[8usize, 64, 256, 1_024] {
+        let queue = queue_of(depth);
+        for policy in [Policy::Fcfs, Policy::Sjf, Policy::Ljf] {
+            let mut sorted = queue.clone();
+            policy.sort_queue(&mut sorted);
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), depth),
+                &depth,
+                |b, _| {
+                    let mut planner = Planner::new();
+                    b.iter(|| {
+                        black_box(planner.plan(
+                            100,
+                            SimTime::ZERO,
+                            &[],
+                            black_box(&sorted),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // The queue sort itself, separated out.
+    let mut group = c.benchmark_group("policy_sort");
+    let queue = queue_of(1_024);
+    for policy in Policy::ALL {
+        group.bench_function(policy.name(), |b| {
+            b.iter_batched(
+                || queue.clone(),
+                |mut q| {
+                    policy.sort_queue(&mut q);
+                    black_box(q)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks the free-capacity profile of `dynp-rms`: earliest-fit
+//! search and allocation at different reservation densities — the inner
+//! loop of every planning step.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_des::{SimDuration, SimTime};
+use dynp_rms::Profile;
+
+/// Builds a profile with `n` staggered reservations (width 3 of 32).
+fn crowded_profile(n: usize) -> Profile {
+    let mut p = Profile::new(32, SimTime::ZERO);
+    for i in 0..n {
+        let start = SimTime::from_secs((i as u64) * 50);
+        p.allocate(start, SimDuration::from_secs(400), 3);
+    }
+    p
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile");
+    for &n in &[16usize, 128, 1_024] {
+        let p = crowded_profile(n);
+        group.bench_with_input(BenchmarkId::new("earliest_fit", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(p.earliest_fit(
+                    black_box(SimTime::ZERO),
+                    SimDuration::from_secs(300),
+                    black_box(30),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("allocate_earliest", n), &n, |b, _| {
+            b.iter_batched(
+                || p.clone(),
+                |mut p| {
+                    black_box(p.allocate_earliest(
+                        SimTime::ZERO,
+                        SimDuration::from_secs(300),
+                        30,
+                    ))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("reset_reuse", |b| {
+        let mut p = crowded_profile(256);
+        b.iter(|| {
+            p.reset(32, SimTime::ZERO);
+            p.allocate(SimTime::ZERO, SimDuration::from_secs(10), 32);
+            black_box(p.free_at(SimTime::from_secs(5)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile);
+criterion_main!(benches);

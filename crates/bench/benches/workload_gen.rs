@@ -1,0 +1,55 @@
+//! Benchmarks synthetic workload generation and the shrinking-factor
+//! transform — the setup cost of every experiment run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_workload::{traces, transform};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    for model in traces::standard_models() {
+        group.bench_with_input(
+            BenchmarkId::new("jobs_2000", &model.name),
+            &model,
+            |b, m| b.iter(|| black_box(m.generate(2_000, black_box(42)))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("transform");
+    let set = traces::ctc().generate(10_000, 42);
+    group.bench_function("shrink_10k", |b| {
+        b.iter(|| black_box(transform::shrink(black_box(&set), 0.7)))
+    });
+    group.bench_function("stats_10k", |b| {
+        b.iter(|| black_box(dynp_workload::TraceStats::measure(black_box(&set))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("swf");
+    let set = traces::sdsc().generate(5_000, 9);
+    group.bench_function("write_5k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(512 * 1024);
+            dynp_workload::swf::write_swf(black_box(&set), &mut buf).unwrap();
+            black_box(buf)
+        })
+    });
+    let mut swf_bytes = Vec::new();
+    dynp_workload::swf::write_swf(&set, &mut swf_bytes).unwrap();
+    group.bench_function("read_5k", |b| {
+        b.iter(|| {
+            black_box(
+                dynp_workload::swf::read_swf(
+                    std::io::BufReader::new(black_box(swf_bytes.as_slice())),
+                    "bench",
+                    128,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

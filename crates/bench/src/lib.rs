@@ -1,0 +1,30 @@
+//! # dynp-bench — benchmark support
+//!
+//! The Criterion benchmarks live in `benches/`; this library only hosts
+//! small shared fixtures so every bench file measures the same inputs.
+
+use dynp_workload::{JobSet, TraceModel};
+
+/// A deterministic mid-size CTC workload used by several benches.
+pub fn bench_workload(jobs: usize) -> JobSet {
+    dynp_workload::traces::ctc().generate(jobs, 0xBEEF)
+}
+
+/// A deterministic KTH model (small machine → deeper queues) for
+/// planner-scaling benches.
+pub fn bench_model() -> TraceModel {
+    dynp_workload::traces::kth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = bench_workload(100);
+        let b = bench_workload(100);
+        assert_eq!(a.jobs(), b.jobs());
+        assert_eq!(bench_model().name, "KTH");
+    }
+}

@@ -1,0 +1,392 @@
+//! The decider mechanisms: simple, advanced, and the paper's new
+//! preferred decider.
+//!
+//! A decider receives one score per candidate policy (lower = better; see
+//! [`dynp_metrics::Objective`]) plus the currently active ("old") policy,
+//! and returns the policy to use next.
+//!
+//! Conventions shared by all deciders:
+//! * scores arrive in the canonical candidate order (FCFS, SJF, LJF for
+//!   the paper's setup) — ties that must break *somewhere* break towards
+//!   the earlier candidate, which reproduces the FCFS/SJF preferences in
+//!   the paper's Table 1;
+//! * score equality is ε-tolerant ([`crate::compare`]).
+
+use crate::compare::{approx_le, approx_lt};
+use dynp_rms::Policy;
+use serde::{Deserialize, Serialize};
+
+/// Index of the minimum score (first of the argmin set under ε).
+fn argmin(scores: &[(Policy, f64)], eps: f64) -> usize {
+    debug_assert!(!scores.is_empty());
+    let mut best = scores[0].1;
+    for &(_, v) in &scores[1..] {
+        if v < best {
+            best = v;
+        }
+    }
+    scores
+        .iter()
+        .position(|&(_, v)| approx_le(v, best, eps))
+        .expect("argmin set cannot be empty")
+}
+
+fn score_of(scores: &[(Policy, f64)], p: Policy) -> Option<f64> {
+    scores.iter().find(|&&(q, _)| q == p).map(|&(_, v)| v)
+}
+
+fn min_score(scores: &[(Policy, f64)]) -> f64 {
+    scores.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min)
+}
+
+/// The **simple decider** of the earlier dynP work: pure argmin with
+/// candidate-order tie-break, ignoring the old policy. Equivalent to the
+/// paper's three if-then-else constructs
+/// (`FCFS if vF ≤ vS ∧ vF ≤ vL, else SJF if vS ≤ vL, else LJF`) —
+/// and therefore wrong in the four tie cases of Table 1.
+pub fn simple_decide(scores: &[(Policy, f64)], _old: Policy, eps: f64) -> Policy {
+    scores[argmin(scores, eps)].0
+}
+
+/// The **advanced decider**: the "correct decision" column of Table 1.
+/// Stays with the old policy whenever it ties for best; otherwise picks
+/// the best policy (candidate-order tie-break among equals).
+pub fn advanced_decide(scores: &[(Policy, f64)], old: Policy, eps: f64) -> Policy {
+    let best = min_score(scores);
+    if let Some(v_old) = score_of(scores, old) {
+        if approx_le(v_old, best, eps) {
+            return old;
+        }
+    }
+    scores[argmin(scores, eps)].0
+}
+
+/// The **preferred decider** — the paper's contribution. "The new
+/// preferred decider stays with its preferred policy, unless any other
+/// policy is clearly better. Whenever any of the other, non-preferred
+/// policies are currently used, the preferred policy has to achieve only
+/// an equal performance and the preferred decider switches back."
+///
+/// `threshold` quantifies "clearly better" as a relative margin: while
+/// the preferred policy is active, another policy only wins if its score
+/// undercuts the preferred score by more than `threshold` (relative).
+/// The paper does not quantify the margin; `threshold = 0` makes
+/// "clearly better" mean "strictly better", which is the setting used for
+/// the headline experiments (an ablation sweeps it).
+pub fn preferred_decide(
+    scores: &[(Policy, f64)],
+    old: Policy,
+    preferred: Policy,
+    threshold: f64,
+    eps: f64,
+) -> Policy {
+    let best = min_score(scores);
+    let v_pref = match score_of(scores, preferred) {
+        Some(v) => v,
+        // Preferred policy not among the candidates: degenerate to the
+        // advanced decider.
+        None => return advanced_decide(scores, old, eps),
+    };
+
+    // Preferred ties for best → use it (covers both "stay" and "switch
+    // back on equal performance").
+    if approx_le(v_pref, best, eps) {
+        return preferred;
+    }
+
+    if old == preferred {
+        // Leave the preferred policy only for a CLEARLY better one.
+        let margin = v_pref - v_pref.abs() * threshold;
+        if approx_lt(best, margin, eps) {
+            return advanced_decide(scores, old, eps);
+        }
+        preferred
+    } else {
+        // A non-preferred policy is active. Switching back needs only
+        // equal performance *against the active policy*.
+        if let Some(v_old) = score_of(scores, old) {
+            if approx_le(v_pref, v_old, eps) {
+                return preferred;
+            }
+        }
+        advanced_decide(scores, old, eps)
+    }
+}
+
+/// A decider selection, carried by experiment configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DeciderKind {
+    /// The prior-work simple decider.
+    Simple,
+    /// The fair advanced decider.
+    Advanced,
+    /// The unfair preferred decider with its preferred policy and
+    /// "clearly better" threshold.
+    Preferred {
+        /// The policy the decider is unfair towards.
+        policy: Policy,
+        /// Relative margin another policy must beat the preferred one by
+        /// while it is active (0 = strictly better).
+        threshold: f64,
+    },
+}
+
+impl DeciderKind {
+    /// Applies the decider.
+    pub fn decide(self, scores: &[(Policy, f64)], old: Policy, eps: f64) -> Policy {
+        match self {
+            DeciderKind::Simple => simple_decide(scores, old, eps),
+            DeciderKind::Advanced => advanced_decide(scores, old, eps),
+            DeciderKind::Preferred { policy, threshold } => {
+                preferred_decide(scores, old, policy, threshold, eps)
+            }
+        }
+    }
+
+    /// Display name, e.g. `"advanced"` or `"SJF-preferred"`.
+    pub fn name(self) -> String {
+        match self {
+            DeciderKind::Simple => "simple".to_string(),
+            DeciderKind::Advanced => "advanced".to_string(),
+            DeciderKind::Preferred { policy, threshold } => {
+                if threshold == 0.0 {
+                    format!("{}-preferred", policy.name())
+                } else {
+                    format!("{}-preferred(th={threshold})", policy.name())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::EPSILON;
+    use Policy::{Fcfs, Ljf, Sjf};
+
+    fn scores(f: f64, s: f64, l: f64) -> Vec<(Policy, f64)> {
+        vec![(Fcfs, f), (Sjf, s), (Ljf, l)]
+    }
+
+    #[test]
+    fn simple_picks_strict_minimum() {
+        assert_eq!(simple_decide(&scores(3.0, 1.0, 2.0), Fcfs, EPSILON), Sjf);
+        assert_eq!(simple_decide(&scores(1.0, 3.0, 2.0), Ljf, EPSILON), Fcfs);
+        assert_eq!(simple_decide(&scores(3.0, 2.0, 1.0), Sjf, EPSILON), Ljf);
+    }
+
+    #[test]
+    fn simple_breaks_ties_towards_fcfs_then_sjf() {
+        // All equal → FCFS regardless of old (the Table 1 case-1 flaw).
+        assert_eq!(simple_decide(&scores(2.0, 2.0, 2.0), Ljf, EPSILON), Fcfs);
+        // SJF = LJF < FCFS → SJF.
+        assert_eq!(simple_decide(&scores(3.0, 2.0, 2.0), Ljf, EPSILON), Sjf);
+    }
+
+    #[test]
+    fn advanced_stays_with_old_on_ties() {
+        assert_eq!(advanced_decide(&scores(2.0, 2.0, 2.0), Ljf, EPSILON), Ljf);
+        assert_eq!(advanced_decide(&scores(2.0, 2.0, 3.0), Sjf, EPSILON), Sjf);
+        // Old not in the argmin → best wins.
+        assert_eq!(advanced_decide(&scores(2.0, 1.0, 3.0), Fcfs, EPSILON), Sjf);
+    }
+
+    #[test]
+    fn preferred_stays_unless_clearly_better() {
+        // Preferred SJF active and tied with FCFS → stay on SJF (the
+        // simple/advanced deciders would both leave for FCFS here only if
+        // FCFS were better; with a tie advanced also stays — the
+        // difference shows when SJF is slightly WORSE).
+        assert_eq!(
+            preferred_decide(&scores(2.0, 2.0, 3.0), Sjf, Sjf, 0.0, EPSILON),
+            Sjf
+        );
+        // FCFS strictly better → with threshold 0 that is "clearly
+        // better": leave.
+        assert_eq!(
+            preferred_decide(&scores(1.9, 2.0, 3.0), Sjf, Sjf, 0.0, EPSILON),
+            Fcfs
+        );
+        // With a 10% threshold a 5% advantage is not clear enough.
+        assert_eq!(
+            preferred_decide(&scores(1.9, 2.0, 3.0), Sjf, Sjf, 0.10, EPSILON),
+            Sjf
+        );
+        // A 20% advantage is.
+        assert_eq!(
+            preferred_decide(&scores(1.6, 2.0, 3.0), Sjf, Sjf, 0.10, EPSILON),
+            Fcfs
+        );
+    }
+
+    #[test]
+    fn preferred_switches_back_on_equal_performance() {
+        // FCFS active; SJF merely EQUAL to FCFS → switch back to SJF.
+        assert_eq!(
+            preferred_decide(&scores(2.0, 2.0, 3.0), Fcfs, Sjf, 0.0, EPSILON),
+            Sjf
+        );
+        // SJF even slightly worse than the active FCFS → no switch;
+        // advanced semantics keep FCFS (it is the argmin).
+        assert_eq!(
+            preferred_decide(&scores(2.0, 2.1, 3.0), Fcfs, Sjf, 0.0, EPSILON),
+            Fcfs
+        );
+        // SJF worse than active FCFS but LJF best → go to LJF.
+        assert_eq!(
+            preferred_decide(&scores(2.0, 2.5, 1.0), Fcfs, Sjf, 0.0, EPSILON),
+            Ljf
+        );
+        // SJF beats the ACTIVE policy but a third policy is even better:
+        // the paper's rule only requires parity with the active policy,
+        // so the preferred policy wins.
+        assert_eq!(
+            preferred_decide(&scores(2.5, 2.0, 1.8), Fcfs, Sjf, 0.0, EPSILON),
+            Sjf
+        );
+    }
+
+    #[test]
+    fn preferred_is_argmin_when_it_ties_the_best() {
+        assert_eq!(
+            preferred_decide(&scores(2.0, 2.0, 2.0), Ljf, Sjf, 0.0, EPSILON),
+            Sjf
+        );
+    }
+
+    #[test]
+    fn preferred_without_candidate_falls_back_to_advanced() {
+        let two = vec![(Fcfs, 2.0), (Ljf, 1.0)];
+        assert_eq!(preferred_decide(&two, Fcfs, Sjf, 0.0, EPSILON), Ljf);
+    }
+
+    #[test]
+    fn kinds_dispatch_and_name() {
+        let s = scores(2.0, 2.0, 2.0);
+        assert_eq!(DeciderKind::Simple.decide(&s, Ljf, EPSILON), Fcfs);
+        assert_eq!(DeciderKind::Advanced.decide(&s, Ljf, EPSILON), Ljf);
+        let pref = DeciderKind::Preferred {
+            policy: Sjf,
+            threshold: 0.0,
+        };
+        assert_eq!(pref.decide(&s, Ljf, EPSILON), Sjf);
+        assert_eq!(pref.name(), "SJF-preferred");
+        assert_eq!(DeciderKind::Advanced.name(), "advanced");
+        assert_eq!(
+            DeciderKind::Preferred {
+                policy: Fcfs,
+                threshold: 0.05
+            }
+            .name(),
+            "FCFS-preferred(th=0.05)"
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use crate::compare::EPSILON;
+        use proptest::prelude::*;
+
+        fn score_of(scores: &[(Policy, f64)], p: Policy) -> f64 {
+            scores.iter().find(|&&(q, _)| q == p).unwrap().1
+        }
+
+        fn arb_scores() -> impl Strategy<Value = Vec<(Policy, f64)>> {
+            // Draw from a small grid so exact ties happen often — the
+            // tie cases are where the deciders differ.
+            let v = prop_oneof![Just(1.0f64), Just(2.0), Just(3.0), 0.5f64..5.0];
+            (v.clone(), v.clone(), v).prop_map(|(f, s, l)| {
+                vec![(Fcfs, f), (Sjf, s), (Ljf, l)]
+            })
+        }
+
+        fn arb_old() -> impl Strategy<Value = Policy> {
+            prop_oneof![Just(Fcfs), Just(Sjf), Just(Ljf)]
+        }
+
+        proptest! {
+            /// No decider ever installs a policy scored worse than the
+            /// incumbent: dynP can only keep or improve the planned
+            /// metric at each step.
+            #[test]
+            fn never_worse_than_the_incumbent(
+                scores in arb_scores(),
+                old in arb_old(),
+                threshold in 0.0f64..0.5,
+            ) {
+                let v_old = score_of(&scores, old);
+                for (label, chosen) in [
+                    ("simple", simple_decide(&scores, old, EPSILON)),
+                    ("advanced", advanced_decide(&scores, old, EPSILON)),
+                    (
+                        "preferred",
+                        preferred_decide(&scores, old, Sjf, threshold, EPSILON),
+                    ),
+                ] {
+                    let v_new = score_of(&scores, chosen);
+                    prop_assert!(
+                        v_new <= v_old + 1e-9,
+                        "{label} switched {old}→{chosen}: {v_old} → {v_new}"
+                    );
+                }
+            }
+
+            /// Simple and advanced always return an argmin policy; they
+            /// only differ in WHICH argmin member they pick.
+            #[test]
+            fn simple_and_advanced_return_argmin(
+                scores in arb_scores(),
+                old in arb_old(),
+            ) {
+                let best = scores.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+                for chosen in [
+                    simple_decide(&scores, old, EPSILON),
+                    advanced_decide(&scores, old, EPSILON),
+                ] {
+                    prop_assert!(score_of(&scores, chosen) <= best + 1e-9);
+                }
+            }
+
+            /// The preferred decider with the preferred policy in the
+            /// argmin set always returns it, whatever was active.
+            #[test]
+            fn preferred_takes_ties(
+                scores in arb_scores(),
+                old in arb_old(),
+            ) {
+                let best = scores.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+                let chosen = preferred_decide(&scores, old, Sjf, 0.0, EPSILON);
+                if (score_of(&scores, Sjf) - best).abs() < 1e-12 {
+                    prop_assert_eq!(chosen, Sjf);
+                }
+            }
+
+            /// Deciders are deterministic and total over their inputs.
+            #[test]
+            fn decisions_are_deterministic(
+                scores in arb_scores(),
+                old in arb_old(),
+            ) {
+                for kind in [
+                    DeciderKind::Simple,
+                    DeciderKind::Advanced,
+                    DeciderKind::Preferred { policy: Sjf, threshold: 0.1 },
+                ] {
+                    let a = kind.decide(&scores, old, EPSILON);
+                    let b = kind.decide(&scores, old, EPSILON);
+                    prop_assert_eq!(a, b);
+                    prop_assert!(scores.iter().any(|&(p, _)| p == a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_ties_are_respected() {
+        // Scores differing by round-off count as equal: advanced stays.
+        let s = vec![(Fcfs, 0.1 + 0.2), (Sjf, 0.3), (Ljf, 0.5)];
+        assert_eq!(advanced_decide(&s, Sjf, EPSILON), Sjf);
+        assert_eq!(simple_decide(&s, Sjf, EPSILON), Fcfs);
+    }
+}

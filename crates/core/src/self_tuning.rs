@@ -1,0 +1,316 @@
+//! The self-tuning dynP scheduler: plan per policy → score → decide.
+
+use crate::compare::EPSILON;
+use crate::decider::DeciderKind;
+use dynp_des::SimTime;
+use dynp_metrics::Objective;
+use dynp_rms::{Planner, Policy, ReplanReason, RmsState, Schedule, Scheduler};
+use dynp_workload::Job;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which events trigger a self-tuning step. "An option for the
+/// self-tuning dynP scheduler is to do the self-tuning dynP step only
+/// e.g. when new jobs are submitted" — the paper names the option but
+/// studies the all-events variant; both are implemented (ablation A3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecideOn {
+    /// Decide at every scheduling event (paper default).
+    AllEvents,
+    /// Decide only when jobs are submitted; completions replan with the
+    /// active policy without reconsidering it.
+    SubmissionsOnly,
+}
+
+/// Configuration of a self-tuning dynP scheduler.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DynPConfig {
+    /// Candidate policies in canonical order (ties break towards earlier
+    /// entries). Defaults to the paper's FCFS, SJF, LJF.
+    pub policies: Vec<Policy>,
+    /// The decider mechanism.
+    pub decider: DeciderKind,
+    /// The metric planned schedules are scored with.
+    pub objective: Objective,
+    /// Policy active before the first decision.
+    pub initial_policy: Policy,
+    /// Relative tolerance for score equality.
+    pub epsilon: f64,
+    /// Which events trigger a decision.
+    pub decide_on: DecideOn,
+}
+
+impl DynPConfig {
+    /// The paper's configuration with the given decider: FCFS/SJF/LJF
+    /// candidates, SLDwA objective, FCFS initial policy, decisions at
+    /// every event.
+    pub fn paper(decider: DeciderKind) -> Self {
+        DynPConfig {
+            policies: Policy::BASIC.to_vec(),
+            decider,
+            objective: Objective::SlowdownWeightedByArea,
+            initial_policy: Policy::Fcfs,
+            epsilon: EPSILON,
+            decide_on: DecideOn::AllEvents,
+        }
+    }
+}
+
+/// Bookkeeping of the decisions a dynP run made.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SwitchStats {
+    /// Number of self-tuning steps (decisions) taken.
+    pub decisions: u64,
+    /// Number of decisions that changed the active policy.
+    pub switches: u64,
+    /// Decisions won per policy name.
+    pub chosen: BTreeMap<String, u64>,
+    /// The switch log: (time, new policy name), recorded only on change.
+    pub log: Vec<(SimTime, String)>,
+}
+
+impl SwitchStats {
+    /// Fraction of decisions the given policy won.
+    pub fn share(&self, policy: Policy) -> f64 {
+        if self.decisions == 0 {
+            return 0.0;
+        }
+        *self.chosen.get(policy.name()).unwrap_or(&0) as f64 / self.decisions as f64
+    }
+}
+
+/// The self-tuning dynP scheduler.
+///
+/// Implements [`Scheduler`], so the simulation driver treats it exactly
+/// like a static policy: at every event it returns a full schedule — it
+/// merely chooses anew, each time, *which policy's* schedule that is.
+pub struct SelfTuningScheduler {
+    config: DynPConfig,
+    active: Policy,
+    planner: Planner,
+    queue_buf: Vec<Job>,
+    /// Per-policy plan of the current step; reused across steps.
+    plans: Vec<(Policy, Schedule, f64)>,
+    /// Decision bookkeeping.
+    pub stats: SwitchStats,
+}
+
+impl SelfTuningScheduler {
+    /// Creates a scheduler from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the candidate list is empty or the initial policy is not
+    /// a candidate.
+    pub fn new(config: DynPConfig) -> Self {
+        assert!(!config.policies.is_empty(), "dynP needs candidate policies");
+        assert!(
+            config.policies.contains(&config.initial_policy),
+            "initial policy must be a candidate"
+        );
+        SelfTuningScheduler {
+            active: config.initial_policy,
+            planner: Planner::new(),
+            queue_buf: Vec::new(),
+            plans: Vec::new(),
+            config,
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &DynPConfig {
+        &self.config
+    }
+
+    /// Plans the waiting queue under one policy.
+    fn plan_policy(&mut self, policy: Policy, state: &RmsState, now: SimTime) -> Schedule {
+        self.queue_buf.clear();
+        self.queue_buf.extend_from_slice(state.waiting());
+        policy.sort_queue(&mut self.queue_buf);
+        self.planner
+            .plan(state.machine_size(), now, state.running(), &self.queue_buf)
+    }
+
+    /// One self-tuning dynP step: full schedule per policy, score each,
+    /// decide, install.
+    fn self_tuning_step(&mut self, state: &RmsState, now: SimTime) -> Schedule {
+        self.plans.clear();
+        let policies = self.config.policies.clone();
+        for policy in policies {
+            let schedule = self.plan_policy(policy, state, now);
+            let score = self.config.objective.evaluate(&schedule, now);
+            self.plans.push((policy, schedule, score));
+        }
+        let scores: Vec<(Policy, f64)> =
+            self.plans.iter().map(|&(p, _, v)| (p, v)).collect();
+        let next = self
+            .config
+            .decider
+            .decide(&scores, self.active, self.config.epsilon);
+
+        self.stats.decisions += 1;
+        *self.stats.chosen.entry(next.name().to_string()).or_insert(0) += 1;
+        if next != self.active {
+            self.stats.switches += 1;
+            self.stats.log.push((now, next.name().to_string()));
+            self.active = next;
+        }
+
+        let idx = self
+            .plans
+            .iter()
+            .position(|&(p, _, _)| p == next)
+            .expect("decider returned a non-candidate policy");
+        std::mem::take(&mut self.plans[idx].1)
+    }
+}
+
+impl Scheduler for SelfTuningScheduler {
+    fn replan(&mut self, state: &RmsState, now: SimTime, reason: ReplanReason) -> Schedule {
+        match (self.config.decide_on, reason) {
+            (DecideOn::SubmissionsOnly, ReplanReason::Completion) => {
+                self.plan_policy(self.active, state, now)
+            }
+            _ => self.self_tuning_step(state, now),
+        }
+    }
+
+    fn active_policy(&self) -> Policy {
+        self.active
+    }
+
+    fn name(&self) -> String {
+        format!("dynP[{}]", self.config.decider.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_des::SimDuration;
+    use dynp_workload::JobId;
+
+    fn j(id: u32, submit_s: u64, width: u32, est_s: u64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(submit_s),
+            width,
+            SimDuration::from_secs(est_s),
+            SimDuration::from_secs(est_s),
+        )
+    }
+
+    fn dynp(decider: DeciderKind) -> SelfTuningScheduler {
+        SelfTuningScheduler::new(DynPConfig::paper(decider))
+    }
+
+    #[test]
+    fn empty_queue_keeps_the_active_policy() {
+        let state = RmsState::new(4);
+        let mut s = dynp(DeciderKind::Advanced);
+        let schedule = s.replan(&state, SimTime::ZERO, ReplanReason::Submission);
+        assert!(schedule.is_empty());
+        assert_eq!(s.active_policy(), Policy::Fcfs);
+        assert_eq!(s.stats.decisions, 1);
+        assert_eq!(s.stats.switches, 0);
+    }
+
+    #[test]
+    fn switches_to_sjf_when_short_jobs_benefit() {
+        // Machine 2. A long wide job and a short narrow job contend:
+        // SJF's plan scores better than FCFS's.
+        let mut state = RmsState::new(2);
+        state.submit(j(0, 0, 2, 10_000)); // long, submitted first
+        state.submit(j(1, 1, 2, 10)); // short
+        let mut s = dynp(DeciderKind::Advanced);
+        let schedule = s.replan(&state, SimTime::from_secs(1), ReplanReason::Submission);
+        assert_eq!(s.active_policy(), Policy::Sjf);
+        assert_eq!(s.stats.switches, 1);
+        // The installed schedule is SJF's: the short job starts first.
+        assert_eq!(schedule.entries[0].job.id, JobId(1));
+    }
+
+    #[test]
+    fn single_candidate_dynp_equals_static_policy() {
+        let mut config = DynPConfig::paper(DeciderKind::Advanced);
+        config.policies = vec![Policy::Ljf];
+        config.initial_policy = Policy::Ljf;
+        let mut dynp1 = SelfTuningScheduler::new(config);
+        let mut stat = dynp_rms::StaticScheduler::new(Policy::Ljf);
+
+        let mut state = RmsState::new(4);
+        for i in 0..6 {
+            state.submit(j(i, i as u64, (i % 3) + 1, 100 * (i as u64 + 1)));
+        }
+        let now = SimTime::from_secs(10);
+        let a = dynp1.replan(&state, now, ReplanReason::Submission);
+        let b = stat.replan(&state, now, ReplanReason::Submission);
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(dynp1.active_policy(), Policy::Ljf);
+    }
+
+    #[test]
+    fn submissions_only_skips_decisions_on_completions() {
+        let mut state = RmsState::new(2);
+        state.submit(j(0, 0, 2, 10_000));
+        state.submit(j(1, 1, 2, 10));
+        let mut config = DynPConfig::paper(DeciderKind::Advanced);
+        config.decide_on = DecideOn::SubmissionsOnly;
+        let mut s = SelfTuningScheduler::new(config);
+        let _ = s.replan(&state, SimTime::from_secs(1), ReplanReason::Completion);
+        // No decision happened: still on the initial FCFS policy.
+        assert_eq!(s.stats.decisions, 0);
+        assert_eq!(s.active_policy(), Policy::Fcfs);
+        let _ = s.replan(&state, SimTime::from_secs(1), ReplanReason::Submission);
+        assert_eq!(s.stats.decisions, 1);
+        assert_eq!(s.active_policy(), Policy::Sjf);
+    }
+
+    #[test]
+    fn preferred_decider_reports_its_name() {
+        let s = dynp(DeciderKind::Preferred {
+            policy: Policy::Sjf,
+            threshold: 0.0,
+        });
+        assert_eq!(s.name(), "dynP[SJF-preferred]");
+    }
+
+    #[test]
+    fn stats_track_chosen_policies() {
+        let mut state = RmsState::new(2);
+        state.submit(j(0, 0, 2, 10_000));
+        state.submit(j(1, 1, 2, 10));
+        let mut s = dynp(DeciderKind::Advanced);
+        let now = SimTime::from_secs(1);
+        let _ = s.replan(&state, now, ReplanReason::Submission);
+        let _ = s.replan(&state, now, ReplanReason::Completion);
+        assert_eq!(s.stats.decisions, 2);
+        assert!(s.stats.share(Policy::Sjf) > 0.99);
+        assert_eq!(s.stats.log.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a candidate")]
+    fn initial_policy_must_be_candidate() {
+        let mut config = DynPConfig::paper(DeciderKind::Simple);
+        config.policies = vec![Policy::Sjf];
+        let _ = SelfTuningScheduler::new(config);
+    }
+
+    #[test]
+    fn installed_schedule_matches_decided_policy_plan() {
+        // The schedule dynP returns must be exactly the plan of the
+        // policy it decided for (not a stale or mixed plan).
+        let mut state = RmsState::new(2);
+        state.submit(j(0, 0, 2, 500));
+        state.submit(j(1, 1, 2, 100));
+        state.submit(j(2, 2, 2, 300));
+        let mut s = dynp(DeciderKind::Advanced);
+        let now = SimTime::from_secs(2);
+        let got = s.replan(&state, now, ReplanReason::Submission);
+        let decided = s.active_policy();
+        let mut reference = dynp_rms::StaticScheduler::new(decided);
+        let want = reference.replan(&state, now, ReplanReason::Submission);
+        assert_eq!(got.entries, want.entries);
+    }
+}

@@ -1,0 +1,204 @@
+//! The event loop: a clock plus a pending event set.
+
+use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation engine.
+///
+/// The engine owns the simulation clock and the pending event set. Events
+/// are any user type `E`; handlers receive `&mut Engine` so they can
+/// schedule follow-up events. The clock only moves forward, jumping
+/// directly to the timestamp of each dequeued event.
+///
+/// The queue backend defaults to [`BinaryHeapQueue`] but any
+/// [`EventQueue`] works (see [`CalendarQueue`](crate::CalendarQueue)).
+pub struct Engine<E, Q: EventQueue<E> = BinaryHeapQueue<E>> {
+    queue: Q,
+    now: SimTime,
+    processed: u64,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E> Engine<E, BinaryHeapQueue<E>> {
+    /// Creates an engine with the default binary-heap queue, clock at zero.
+    pub fn new() -> Self {
+        Engine::with_queue(BinaryHeapQueue::new())
+    }
+}
+
+impl<E> Default for Engine<E, BinaryHeapQueue<E>> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E, Q: EventQueue<E>> Engine<E, Q> {
+    /// Creates an engine over a caller-supplied queue backend.
+    pub fn with_queue(queue: Q) -> Self {
+        Engine {
+            queue,
+            now: SimTime::ZERO,
+            processed: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past — a scheduling bug, not a runtime
+    /// condition.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time:?} < now {:?}",
+            self.now
+        );
+        self.queue.push(time, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        let t = self.now + delay;
+        self.queue.push(t, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    /// Returns `None` when the simulation has run dry.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue returned a past event");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+
+    /// Runs until the queue is empty, invoking `handler` for every event.
+    /// The handler may schedule further events.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, E)) {
+        while let Some((_, e)) = self.step() {
+            handler(self, e);
+        }
+    }
+
+    /// Runs until the queue is empty or the clock passes `horizon`
+    /// (exclusive). Events at or beyond the horizon stay in the queue and
+    /// the clock is left at the last processed event.
+    pub fn run_until(&mut self, horizon: SimTime, mut handler: impl FnMut(&mut Self, E)) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let (_, e) = self.step().expect("peek said non-empty");
+            handler(self, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::CalendarQueue;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    #[test]
+    fn clock_advances_to_event_times() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(10), Ev::Ping(1));
+        eng.schedule_at(SimTime::from_secs(3), Ev::Ping(0));
+        let mut times = Vec::new();
+        eng.run(|e, _| times.push(e.now().as_millis()));
+        assert_eq!(times, vec![3_000, 10_000]);
+        assert_eq!(eng.processed(), 2);
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_ups() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Ping(3));
+        let mut log = Vec::new();
+        eng.run(|e, ev| match ev {
+            Ev::Ping(n) => {
+                log.push(format!("ping{n}@{}", e.now().as_millis()));
+                if n > 0 {
+                    e.schedule_in(SimDuration::from_secs(2), Ev::Ping(n - 1));
+                }
+                e.schedule_in(SimDuration::from_secs(1), Ev::Pong(n));
+            }
+            Ev::Pong(n) => log.push(format!("pong{n}@{}", e.now().as_millis())),
+        });
+        assert_eq!(
+            log,
+            vec![
+                "ping3@1000", "pong3@2000", "ping2@3000", "pong2@4000",
+                "ping1@5000", "pong1@6000", "ping0@7000", "pong0@8000",
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(5), Ev::Ping(0));
+        eng.run(|e, _| {
+            e.schedule_at(SimTime::from_secs(1), Ev::Ping(9));
+        });
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_pending() {
+        let mut eng: Engine<Ev> = Engine::new();
+        for s in [1u64, 2, 3, 4, 5] {
+            eng.schedule_at(SimTime::from_secs(s), Ev::Ping(s as u32));
+        }
+        let mut count = 0;
+        eng.run_until(SimTime::from_secs(3), |_, _| count += 1);
+        assert_eq!(count, 2); // events at 1s and 2s; 3s is exclusive
+        assert_eq!(eng.pending(), 3);
+        assert_eq!(eng.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn same_time_events_fire_in_insertion_order() {
+        let mut eng: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            eng.schedule_at(SimTime::from_secs(7), i);
+        }
+        let mut order = Vec::new();
+        eng.run(|_, i| order.push(i));
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn engine_works_with_calendar_backend() {
+        let mut eng: Engine<u32, CalendarQueue<u32>> =
+            Engine::with_queue(CalendarQueue::new());
+        for i in (0..100u32).rev() {
+            eng.schedule_at(SimTime::from_millis(i as u64 * 10), i);
+        }
+        let mut order = Vec::new();
+        eng.run(|_, i| order.push(i));
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+}

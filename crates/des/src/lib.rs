@@ -1,0 +1,44 @@
+//! # dynp-des — deterministic discrete-event simulation kernel
+//!
+//! This crate is the simulation substrate for the dynP reproduction. The
+//! paper evaluates the self-tuning dynP scheduler "with means of a discrete
+//! event simulation environment"; this crate provides that environment:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer millisecond simulation time
+//!   with exact, total ordering (no floating-point drift in event order),
+//! * [`queue::EventQueue`] — the pending-event-set abstraction with two
+//!   backends: a binary heap ([`queue::BinaryHeapQueue`]) and a classic
+//!   dynamically-resizing calendar queue ([`queue::CalendarQueue`]),
+//! * [`Engine`] — the event loop: schedule events, pop them in
+//!   (time, insertion-order) order, advance the clock monotonically,
+//! * [`stats`] — online statistics (Welford mean/variance, min/max,
+//!   time-weighted averages, logarithmic histograms) used to summarize
+//!   simulation output without storing every sample.
+//!
+//! Determinism is a design requirement: two events scheduled for the same
+//! time are always delivered in insertion (FIFO) order, regardless of the
+//! queue backend, so simulation results are exactly reproducible.
+//!
+//! ```
+//! use dynp_des::{Engine, SimTime, SimDuration};
+//!
+//! let mut engine: Engine<&'static str> = Engine::new();
+//! engine.schedule_at(SimTime::from_secs(5), "world");
+//! engine.schedule_at(SimTime::from_secs(1), "hello");
+//! let mut seen = Vec::new();
+//! engine.run(|eng, ev| {
+//!     seen.push((eng.now(), ev));
+//! });
+//! assert_eq!(seen[0], (SimTime::from_secs(1), "hello"));
+//! assert_eq!(seen[1], (SimTime::from_secs(5), "world"));
+//! ```
+
+pub mod engine;
+pub mod queue;
+pub mod stats;
+pub mod time;
+
+pub use engine::Engine;
+pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
+pub use stats::{Histogram, OnlineStats, TimeWeighted};
+pub use time::{SimDuration, SimTime};

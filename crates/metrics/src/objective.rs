@@ -1,0 +1,212 @@
+//! Evaluation of *planned* schedules — the decider's objective function.
+//!
+//! "The self-tuning dynP scheduler computes full schedules for each
+//! available policy … These schedules are evaluated by means of a
+//! performance metrics. Thereby, the performance of each policy is
+//! expressed by a single value."
+//!
+//! All objectives are normalized so that **lower is better** (utilization
+//! is negated), which keeps every decider a pure argmin.
+
+use dynp_des::SimTime;
+use dynp_rms::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// The metric a planned schedule is scored with. The paper names
+/// "response time, slowdown, or utilization" as candidates and evaluates
+/// with the slowdown weighted by area.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Planned slowdown weighted by estimated job area (default — matches
+    /// the paper's SLDwA evaluation metric).
+    SlowdownWeightedByArea,
+    /// Plain average planned slowdown.
+    AvgSlowdown,
+    /// Average planned response time (seconds).
+    AvgResponseTime,
+    /// Planned response time weighted by width (ARTwW on the plan).
+    ResponseTimeWeightedByWidth,
+    /// Negated planned utilization over the plan's horizon (lower =
+    /// better ⇒ higher utilization wins).
+    Utilization,
+}
+
+impl Objective {
+    /// All implemented objectives.
+    pub const ALL: [Objective; 5] = [
+        Objective::SlowdownWeightedByArea,
+        Objective::AvgSlowdown,
+        Objective::AvgResponseTime,
+        Objective::ResponseTimeWeightedByWidth,
+        Objective::Utilization,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::SlowdownWeightedByArea => "SLDwA",
+            Objective::AvgSlowdown => "AvgSLD",
+            Objective::AvgResponseTime => "ART",
+            Objective::ResponseTimeWeightedByWidth => "ARTwW",
+            Objective::Utilization => "UTIL",
+        }
+    }
+
+    /// Scores a planned schedule at time `now`; lower is better. An empty
+    /// schedule scores 0 for every objective (all policies tie, and the
+    /// deciders then keep the running policy).
+    ///
+    /// Planned quantities use the *estimate* as the run time — the actual
+    /// run time is unknown to the scheduler at planning time.
+    pub fn evaluate(self, schedule: &Schedule, now: SimTime) -> f64 {
+        if schedule.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Objective::SlowdownWeightedByArea => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for e in &schedule.entries {
+                    let est = e.job.estimate.as_secs_f64();
+                    let response = e.planned_wait().as_secs_f64() + est;
+                    let area = e.job.estimated_area();
+                    num += area * (response / est);
+                    den += area;
+                }
+                num / den
+            }
+            Objective::AvgSlowdown => {
+                let sum: f64 = schedule
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        let est = e.job.estimate.as_secs_f64();
+                        (e.planned_wait().as_secs_f64() + est) / est
+                    })
+                    .sum();
+                sum / schedule.len() as f64
+            }
+            Objective::AvgResponseTime => {
+                let sum: f64 = schedule
+                    .entries
+                    .iter()
+                    .map(|e| e.planned_wait().as_secs_f64() + e.job.estimate.as_secs_f64())
+                    .sum();
+                sum / schedule.len() as f64
+            }
+            Objective::ResponseTimeWeightedByWidth => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for e in &schedule.entries {
+                    let response =
+                        e.planned_wait().as_secs_f64() + e.job.estimate.as_secs_f64();
+                    num += e.job.width as f64 * response;
+                    den += e.job.width as f64;
+                }
+                num / den
+            }
+            Objective::Utilization => {
+                // Planned area over the span from now to the horizon; the
+                // denser the plan packs, the higher the value. Negated so
+                // lower is better.
+                let span = schedule.horizon().saturating_since(now).as_secs_f64();
+                if span <= 0.0 {
+                    return 0.0;
+                }
+                let area: f64 = schedule.entries.iter().map(|e| e.job.estimated_area()).sum();
+                -(area / span)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_des::SimDuration;
+    use dynp_rms::PlannedJob;
+    use dynp_workload::{Job, JobId};
+
+    fn entry(id: u32, submit_s: u64, width: u32, est_s: u64, start_s: u64) -> PlannedJob {
+        PlannedJob {
+            job: Job::new(
+                JobId(id),
+                SimTime::from_secs(submit_s),
+                width,
+                SimDuration::from_secs(est_s),
+                SimDuration::from_secs(est_s),
+            ),
+            start: SimTime::from_secs(start_s),
+        }
+    }
+
+    #[test]
+    fn empty_schedule_scores_zero_everywhere() {
+        let s = Schedule::new();
+        for o in Objective::ALL {
+            assert_eq!(o.evaluate(&s, SimTime::ZERO), 0.0, "{}", o.name());
+        }
+    }
+
+    #[test]
+    fn sldwa_on_plan_hand_computed() {
+        // Job 0: submit 0, start 0, est 100, width 2 → slowdown 1, area 200.
+        // Job 1: submit 0, start 100, est 50, width 1 → slowdown 3, area 50.
+        let s = Schedule {
+            entries: vec![entry(0, 0, 2, 100, 0), entry(1, 0, 1, 50, 100)],
+        };
+        let v = Objective::SlowdownWeightedByArea.evaluate(&s, SimTime::ZERO);
+        let expected = (200.0 * 1.0 + 50.0 * 3.0) / 250.0;
+        assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_metrics_hand_computed() {
+        let s = Schedule {
+            entries: vec![entry(0, 0, 2, 100, 0), entry(1, 0, 1, 50, 100)],
+        };
+        assert!(
+            (Objective::AvgSlowdown.evaluate(&s, SimTime::ZERO) - (1.0 + 3.0) / 2.0).abs()
+                < 1e-12
+        );
+        assert!(
+            (Objective::AvgResponseTime.evaluate(&s, SimTime::ZERO) - (100.0 + 150.0) / 2.0)
+                .abs()
+                < 1e-12
+        );
+        let artww = (2.0 * 100.0 + 1.0 * 150.0) / 3.0;
+        assert!(
+            (Objective::ResponseTimeWeightedByWidth.evaluate(&s, SimTime::ZERO) - artww).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn utilization_prefers_denser_packing() {
+        // Same two jobs; plan A packs them concurrently (horizon 100),
+        // plan B serializes them (horizon 150).
+        let a = Schedule {
+            entries: vec![entry(0, 0, 2, 100, 0), entry(1, 0, 1, 50, 0)],
+        };
+        let b = Schedule {
+            entries: vec![entry(0, 0, 2, 100, 0), entry(1, 0, 1, 50, 100)],
+        };
+        let va = Objective::Utilization.evaluate(&a, SimTime::ZERO);
+        let vb = Objective::Utilization.evaluate(&b, SimTime::ZERO);
+        assert!(va < vb, "denser plan must score lower (better): {va} vs {vb}");
+    }
+
+    #[test]
+    fn better_plans_score_lower_on_slowdown() {
+        // Identical jobs, one plan starts the short job later.
+        let early = Schedule {
+            entries: vec![entry(0, 0, 1, 10, 0), entry(1, 0, 1, 100, 10)],
+        };
+        let late = Schedule {
+            entries: vec![entry(1, 0, 1, 100, 0), entry(0, 0, 1, 10, 100)],
+        };
+        let ve = Objective::SlowdownWeightedByArea.evaluate(&early, SimTime::ZERO);
+        let vl = Objective::SlowdownWeightedByArea.evaluate(&late, SimTime::ZERO);
+        assert!(ve < vl, "{ve} vs {vl}");
+    }
+}

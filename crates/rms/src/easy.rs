@@ -1,0 +1,260 @@
+//! EASY backfilling — the *queueing* counterpart to the planning RMS.
+//!
+//! The paper's introduction notes that "most commonly used is first come
+//! first serve (FCFS) combined with backfilling [Lifka 1995, Skovira
+//! 1996, Mu'alem & Feitelson 2001]". Planning-based systems backfill
+//! implicitly; queueing systems run the explicit EASY algorithm instead:
+//!
+//! 1. start queue-head jobs while they fit;
+//! 2. when the head does not fit, give it a *reservation* at the shadow
+//!    time (the earliest instant enough processors free up, assuming
+//!    running jobs hold their estimate);
+//! 3. scan the rest of the queue and start ("backfill") any job that
+//!    fits now and does not delay the reservation — either because it
+//!    ends before the shadow time, or because it only uses the extra
+//!    processors the head job will not need.
+//!
+//! Including EASY lets the harness compare queueing against planning on
+//! identical workloads (ablation A4) — the contrast the dynP line of
+//! work builds on (Hovestadt et al., "Queuing vs. Planning").
+
+use crate::policy::Policy;
+use crate::schedule::{PlannedJob, Schedule};
+use crate::scheduler::{ReplanReason, Scheduler};
+use crate::state::RmsState;
+use dynp_des::SimTime;
+use dynp_workload::Job;
+
+/// Queueing scheduler with EASY backfilling.
+///
+/// The queue is kept in the order of `policy` (EASY is traditionally
+/// FCFS, but any total order works — an SJF-ordered EASY is the queueing
+/// analogue of the planning SJF baseline).
+#[derive(Debug)]
+pub struct EasyBackfillScheduler {
+    policy: Policy,
+    queue_buf: Vec<Job>,
+    /// Number of jobs started by backfilling rather than at the head.
+    pub backfilled: u64,
+}
+
+impl EasyBackfillScheduler {
+    /// Creates an EASY scheduler ordering its queue by `policy`.
+    pub fn new(policy: Policy) -> Self {
+        EasyBackfillScheduler {
+            policy,
+            queue_buf: Vec::new(),
+            backfilled: 0,
+        }
+    }
+
+    /// The classic EASY configuration (FCFS order).
+    pub fn fcfs() -> Self {
+        Self::new(Policy::Fcfs)
+    }
+}
+
+impl Scheduler for EasyBackfillScheduler {
+    /// Returns a schedule containing exactly the jobs to start *now*
+    /// (queueing systems assign no future start times; the driver keeps
+    /// the rest waiting).
+    fn replan(&mut self, state: &RmsState, now: SimTime, _reason: ReplanReason) -> Schedule {
+        self.queue_buf.clear();
+        self.queue_buf.extend_from_slice(state.waiting());
+        self.policy.sort_queue(&mut self.queue_buf);
+
+        let mut free = state.free_processors();
+        let mut entries: Vec<PlannedJob> = Vec::new();
+        let mut idx = 0;
+
+        // Phase 1: start head jobs while they fit.
+        while idx < self.queue_buf.len() && self.queue_buf[idx].width <= free {
+            let job = self.queue_buf[idx];
+            free -= job.width;
+            entries.push(PlannedJob { job, start: now });
+            idx += 1;
+        }
+        if idx >= self.queue_buf.len() {
+            return Schedule { entries };
+        }
+
+        // Phase 2: reservation for the non-fitting head job. Walk the
+        // running jobs (and the jobs just started above) by estimated
+        // end; the shadow time is when enough processors accumulate.
+        let head = self.queue_buf[idx];
+        let mut ends: Vec<(SimTime, u32)> = state
+            .running()
+            .iter()
+            .map(|r| (r.estimated_end(), r.job.width))
+            .chain(
+                entries
+                    .iter()
+                    .map(|e| (e.start.saturating_add(e.job.estimate), e.job.width)),
+            )
+            .collect();
+        ends.sort_by_key(|&(t, _)| t);
+        let mut avail = free;
+        let mut shadow = SimTime::MAX;
+        let mut extra = 0u32;
+        for (end, width) in ends {
+            avail += width;
+            if avail >= head.width {
+                shadow = end;
+                extra = avail - head.width;
+                break;
+            }
+        }
+        debug_assert!(
+            shadow != SimTime::MAX,
+            "head job must fit once everything drains"
+        );
+
+        // Phase 3: backfill the remaining queue in order.
+        for job in &self.queue_buf[idx + 1..] {
+            if job.width > free {
+                continue;
+            }
+            let ends_before_shadow = now.saturating_add(job.estimate) <= shadow;
+            if ends_before_shadow {
+                free -= job.width;
+                entries.push(PlannedJob { job: *job, start: now });
+                self.backfilled += 1;
+            } else if job.width <= extra {
+                free -= job.width;
+                extra -= job.width;
+                entries.push(PlannedJob { job: *job, start: now });
+                self.backfilled += 1;
+            }
+        }
+        Schedule { entries }
+    }
+
+    fn active_policy(&self) -> Policy {
+        self.policy
+    }
+
+    fn name(&self) -> String {
+        if self.policy == Policy::Fcfs {
+            "EASY".to_string()
+        } else {
+            format!("EASY[{}]", self.policy.name())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_des::SimDuration;
+    use dynp_workload::JobId;
+
+    fn j(id: u32, submit_s: u64, width: u32, est_s: u64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(submit_s),
+            width,
+            SimDuration::from_secs(est_s),
+            SimDuration::from_secs(est_s),
+        )
+    }
+
+    fn started(s: &Schedule) -> Vec<u32> {
+        s.entries.iter().map(|e| e.job.id.0).collect()
+    }
+
+    #[test]
+    fn starts_head_jobs_that_fit() {
+        let mut state = RmsState::new(8);
+        state.submit(j(0, 0, 4, 100));
+        state.submit(j(1, 1, 4, 100));
+        state.submit(j(2, 2, 4, 100)); // does not fit
+        let mut easy = EasyBackfillScheduler::fcfs();
+        let s = easy.replan(&state, SimTime::from_secs(2), ReplanReason::Submission);
+        assert_eq!(started(&s), vec![0, 1]);
+        assert_eq!(easy.backfilled, 0);
+    }
+
+    #[test]
+    fn backfills_short_jobs_under_the_reservation() {
+        // Machine 4; a width-3 job runs until t=100. Queue: wide head
+        // (width 4, blocked) then a short narrow job that ends before the
+        // shadow time → backfilled.
+        let mut state = RmsState::new(4);
+        state.submit(j(9, 0, 3, 100));
+        let mut easy = EasyBackfillScheduler::fcfs();
+        let s0 = easy.replan(&state, SimTime::ZERO, ReplanReason::Submission);
+        for e in s0.due(SimTime::ZERO) {
+            state.start(e.job.id, SimTime::ZERO);
+        }
+        state.submit(j(0, 1, 4, 50)); // head, blocked until t=100
+        state.submit(j(1, 1, 1, 80)); // ends at 81 < 100 → backfill
+        state.submit(j(2, 1, 1, 200)); // would end at 201 > 100, no extra → skip
+        let now = SimTime::from_secs(1);
+        let s = easy.replan(&state, now, ReplanReason::Submission);
+        assert_eq!(started(&s), vec![1]);
+        assert_eq!(easy.backfilled, 1);
+    }
+
+    #[test]
+    fn backfills_on_extra_processors_past_the_shadow() {
+        // Machine 8; width-4 running until t=100. Head needs 6 → shadow
+        // t=100, extra = (4+4) - 6 = 2. A long width-2 job may run past
+        // the shadow on the extra processors.
+        let mut state = RmsState::new(8);
+        state.submit(j(9, 0, 4, 100));
+        let mut easy = EasyBackfillScheduler::fcfs();
+        let s0 = easy.replan(&state, SimTime::ZERO, ReplanReason::Submission);
+        for e in s0.due(SimTime::ZERO) {
+            state.start(e.job.id, SimTime::ZERO);
+        }
+        state.submit(j(0, 1, 6, 50)); // head, blocked
+        state.submit(j(1, 1, 2, 10_000)); // long but fits the 2 extra
+        state.submit(j(2, 1, 2, 10_000)); // extra exhausted → must wait
+        let now = SimTime::from_secs(1);
+        let s = easy.replan(&state, now, ReplanReason::Submission);
+        assert_eq!(started(&s), vec![1]);
+    }
+
+    #[test]
+    fn backfill_never_delays_the_head_reservation() {
+        // End-to-end: the head job must start no later than the shadow
+        // time computed when it got stuck (running estimates are upper
+        // bounds, so early completions can only improve it).
+        let mut state = RmsState::new(4);
+        state.submit(j(9, 0, 3, 100));
+        let mut easy = EasyBackfillScheduler::fcfs();
+        let s = easy.replan(&state, SimTime::ZERO, ReplanReason::Submission);
+        let run9 = state.start(s.entries[0].job.id, SimTime::ZERO);
+        state.submit(j(0, 1, 4, 50));
+        state.submit(j(1, 1, 1, 80));
+        let now = SimTime::from_secs(1);
+        let s = easy.replan(&state, now, ReplanReason::Submission);
+        let run1 = state.start(s.entries[0].job.id, now);
+        // Completions at estimated ends.
+        state.complete(run1.job.id, run1.actual_end());
+        state.complete(run9.job.id, run9.actual_end());
+        let s = easy.replan(&state, SimTime::from_secs(100), ReplanReason::Completion);
+        assert_eq!(started(&s), vec![0]); // head starts exactly at shadow
+    }
+
+    #[test]
+    fn empty_queue_is_a_noop() {
+        let state = RmsState::new(4);
+        let mut easy = EasyBackfillScheduler::fcfs();
+        let s = easy.replan(&state, SimTime::ZERO, ReplanReason::Completion);
+        assert!(s.is_empty());
+        assert_eq!(easy.name(), "EASY");
+        assert_eq!(easy.active_policy(), Policy::Fcfs);
+    }
+
+    #[test]
+    fn sjf_ordered_easy_reorders_the_queue() {
+        let mut state = RmsState::new(2);
+        state.submit(j(0, 0, 2, 1_000));
+        state.submit(j(1, 1, 2, 10));
+        let mut easy = EasyBackfillScheduler::new(Policy::Sjf);
+        let s = easy.replan(&state, SimTime::from_secs(1), ReplanReason::Submission);
+        assert_eq!(started(&s), vec![1]); // shortest first
+        assert_eq!(easy.name(), "EASY[SJF]");
+    }
+}

@@ -1,0 +1,42 @@
+//! # dynp-rms — a planning-based resource management substrate
+//!
+//! The dynP scheduler is defined on top of a *planning based* RMS (the
+//! paper's CCS, classified in Hovestadt et al. 2003): unlike queuing
+//! systems, a planning based RMS "schedules the present and future
+//! resource usage, so that newly submitted jobs are placed in the active
+//! schedule as soon as possible and they get a start time assigned. With
+//! this approach backfilling is done implicitly."
+//!
+//! This crate provides that substrate from scratch:
+//!
+//! * [`profile`] — the free-capacity timeline over future time, the data
+//!   structure planners search for start-time slots;
+//! * [`policy`] — the queue-ordering policies: FCFS, SJF, LJF (the
+//!   paper's three) plus SAF/LAF extensions;
+//! * [`schedule`] — a full schedule (planned start time for every waiting
+//!   job) with validation of the no-overcommit invariant;
+//! * [`planner`] — the earliest-fit planner that builds a full schedule
+//!   for a queue in policy order (implicit backfilling);
+//! * [`state`] — the job life-cycle state machine of the RMS: waiting →
+//!   running → completed, with processor accounting;
+//! * [`scheduler`] — the `Scheduler` abstraction the simulation driver
+//!   calls at every event, and the static single-policy scheduler the
+//!   paper uses as baseline.
+
+pub mod easy;
+pub mod planner;
+pub mod policy;
+pub mod profile;
+pub mod reservation;
+pub mod schedule;
+pub mod scheduler;
+pub mod state;
+
+pub use easy::EasyBackfillScheduler;
+pub use planner::Planner;
+pub use policy::Policy;
+pub use profile::Profile;
+pub use reservation::{Reservation, ReservationBook};
+pub use schedule::{PlannedJob, Schedule};
+pub use scheduler::{ReplanReason, Scheduler, StaticScheduler};
+pub use state::{CompletedJob, RmsState, RunningJob};

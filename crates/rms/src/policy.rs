@@ -1,0 +1,175 @@
+//! Queue-ordering scheduling policies.
+//!
+//! The paper's CCS implements FCFS, SJF and LJF; the self-tuning dynP
+//! scheduler switches among them. The SAF/LAF area-based variants are an
+//! extension of this reproduction showing the framework is policy-
+//! agnostic (they take part in ablation experiments only).
+//!
+//! A policy is nothing more than an ordering of the waiting queue — the
+//! planner then assigns each job, in that order, the earliest feasible
+//! start time (implicit backfilling).
+
+use dynp_workload::Job;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A scheduling policy: a total order on waiting jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// First come, first serve — order of submission.
+    Fcfs,
+    /// Shortest job first — ascending estimated run time. Preferred by
+    /// interactive users; reduces average wait time.
+    Sjf,
+    /// Longest job first — descending estimated run time. Binds resources
+    /// long, reduces fragmentation, increases utilization and throughput.
+    Ljf,
+    /// Smallest area first — ascending estimated area (extension).
+    Saf,
+    /// Largest area first — descending estimated area (extension).
+    Laf,
+}
+
+impl Policy {
+    /// The three basic policies of the paper, in its canonical order.
+    pub const BASIC: [Policy; 3] = [Policy::Fcfs, Policy::Sjf, Policy::Ljf];
+
+    /// All implemented policies (basic + extensions).
+    pub const ALL: [Policy; 5] = [
+        Policy::Fcfs,
+        Policy::Sjf,
+        Policy::Ljf,
+        Policy::Saf,
+        Policy::Laf,
+    ];
+
+    /// Short display name matching the paper's abbreviations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fcfs => "FCFS",
+            Policy::Sjf => "SJF",
+            Policy::Ljf => "LJF",
+            Policy::Saf => "SAF",
+            Policy::Laf => "LAF",
+        }
+    }
+
+    /// Parses a (case-insensitive) policy name.
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s.to_ascii_uppercase().as_str() {
+            "FCFS" => Some(Policy::Fcfs),
+            "SJF" => Some(Policy::Sjf),
+            "LJF" => Some(Policy::Ljf),
+            "SAF" => Some(Policy::Saf),
+            "LAF" => Some(Policy::Laf),
+            _ => None,
+        }
+    }
+
+    /// Sorts `queue` into this policy's order. All orders fall back to
+    /// FCFS (submission time, then id) on ties, so every policy is a
+    /// total, deterministic order.
+    pub fn sort_queue(self, queue: &mut [Job]) {
+        match self {
+            Policy::Fcfs => queue.sort_by_key(|j| (j.submit, j.id)),
+            Policy::Sjf => queue.sort_by_key(|j| (j.estimate, j.submit, j.id)),
+            Policy::Ljf => {
+                queue.sort_by_key(|j| (std::cmp::Reverse(j.estimate), j.submit, j.id))
+            }
+            Policy::Saf => queue.sort_by(|a, b| {
+                a.estimated_area()
+                    .total_cmp(&b.estimated_area())
+                    .then_with(|| (a.submit, a.id).cmp(&(b.submit, b.id)))
+            }),
+            Policy::Laf => queue.sort_by(|a, b| {
+                b.estimated_area()
+                    .total_cmp(&a.estimated_area())
+                    .then_with(|| (a.submit, a.id).cmp(&(b.submit, b.id)))
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_des::{SimDuration, SimTime};
+    use dynp_workload::JobId;
+
+    fn j(id: u32, submit_s: u64, width: u32, est_s: u64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(submit_s),
+            width,
+            SimDuration::from_secs(est_s),
+            SimDuration::from_secs(est_s),
+        )
+    }
+
+    fn ids(queue: &[Job]) -> Vec<u32> {
+        queue.iter().map(|x| x.id.0).collect()
+    }
+
+    #[test]
+    fn fcfs_orders_by_submission() {
+        let mut q = vec![j(0, 30, 1, 10), j(1, 10, 1, 99), j(2, 20, 1, 50)];
+        Policy::Fcfs.sort_queue(&mut q);
+        assert_eq!(ids(&q), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn sjf_orders_by_estimate_ascending() {
+        let mut q = vec![j(0, 0, 1, 300), j(1, 10, 1, 100), j(2, 20, 1, 200)];
+        Policy::Sjf.sort_queue(&mut q);
+        assert_eq!(ids(&q), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ljf_orders_by_estimate_descending() {
+        let mut q = vec![j(0, 0, 1, 300), j(1, 10, 1, 100), j(2, 20, 1, 200)];
+        Policy::Ljf.sort_queue(&mut q);
+        assert_eq!(ids(&q), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn ties_fall_back_to_fcfs_order() {
+        let mut q = vec![j(5, 40, 1, 100), j(1, 10, 1, 100), j(3, 20, 1, 100)];
+        Policy::Sjf.sort_queue(&mut q);
+        assert_eq!(ids(&q), vec![1, 3, 5]);
+        Policy::Ljf.sort_queue(&mut q);
+        assert_eq!(ids(&q), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn saf_and_laf_use_area() {
+        // Areas: j0 = 4×100 = 400, j1 = 1×300 = 300, j2 = 2×175 = 350.
+        let mut q = vec![j(0, 0, 4, 100), j(1, 10, 1, 300), j(2, 20, 2, 175)];
+        Policy::Saf.sort_queue(&mut q);
+        assert_eq!(ids(&q), vec![1, 2, 0]);
+        Policy::Laf.sort_queue(&mut q);
+        assert_eq!(ids(&q), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in Policy::ALL {
+            assert_eq!(Policy::parse(p.name()), Some(p));
+            assert_eq!(Policy::parse(&p.name().to_lowercase()), Some(p));
+        }
+        assert_eq!(Policy::parse("nope"), None);
+    }
+
+    #[test]
+    fn basic_is_the_papers_triple() {
+        assert_eq!(
+            Policy::BASIC.map(|p| p.name()),
+            ["FCFS", "SJF", "LJF"]
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Advance reservations — fixed-time resource blocks the planner must
+//! plan around.
+//!
+//! Planning-based RMSs (the paper's CCS among them) support reserving
+//! processors for a fixed future interval: maintenance windows,
+//! interactive sessions at a guaranteed hour, co-allocation with other
+//! sites. A reservation is not a job — it never enters a queue and never
+//! moves; the planner simply treats its interval as unavailable capacity.
+//!
+//! This module extends the substrate beyond the paper's minimum: the
+//! [`ReservationBook`] tracks active reservations, and
+//! [`crate::Planner::plan_with_reservations`] builds full schedules
+//! around them (jobs still backfill *before* a reservation when they fit).
+
+use dynp_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A fixed block of processors over a fixed interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// Identifier (unique within a book).
+    pub id: u32,
+    /// First reserved instant.
+    pub start: SimTime,
+    /// Length of the reserved window.
+    pub duration: SimDuration,
+    /// Reserved processors.
+    pub width: u32,
+}
+
+impl Reservation {
+    /// One past the last reserved instant.
+    pub fn end(&self) -> SimTime {
+        self.start.saturating_add(self.duration)
+    }
+
+    /// True when the reservation still overlaps `[now, ∞)`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.end() > now
+    }
+}
+
+/// A collection of advance reservations with id-based bookkeeping.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReservationBook {
+    reservations: Vec<Reservation>,
+    next_id: u32,
+}
+
+impl ReservationBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a reservation and returns its id.
+    ///
+    /// # Panics
+    /// Panics on zero width or duration (an empty reservation is a bug,
+    /// not a request).
+    pub fn add(&mut self, start: SimTime, duration: SimDuration, width: u32) -> u32 {
+        assert!(width > 0, "reservation needs processors");
+        assert!(!duration.is_zero(), "reservation needs a duration");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.reservations.push(Reservation {
+            id,
+            start,
+            duration,
+            width,
+        });
+        id
+    }
+
+    /// Cancels a reservation; returns whether it existed.
+    pub fn cancel(&mut self, id: u32) -> bool {
+        let before = self.reservations.len();
+        self.reservations.retain(|r| r.id != id);
+        before != self.reservations.len()
+    }
+
+    /// Drops reservations that ended at or before `now`; returns how many
+    /// were removed.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.reservations.len();
+        self.reservations.retain(|r| r.active_at(now));
+        before - self.reservations.len()
+    }
+
+    /// Reservations still active at `now`.
+    pub fn active(&self, now: SimTime) -> impl Iterator<Item = &Reservation> {
+        self.reservations.iter().filter(move |r| r.active_at(now))
+    }
+
+    /// All reservations in the book.
+    pub fn all(&self) -> &[Reservation] {
+        &self.reservations
+    }
+
+    /// Total processor-seconds currently booked from `now` on (clipping
+    /// windows that already began).
+    pub fn booked_area(&self, now: SimTime) -> f64 {
+        self.active(now)
+            .map(|r| {
+                let start = r.start.max(now);
+                r.end().saturating_since(start).as_secs_f64() * r.width as f64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+    fn d(secs: u64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn add_cancel_expire_life_cycle() {
+        let mut book = ReservationBook::new();
+        let a = book.add(t(100), d(50), 4);
+        let b = book.add(t(300), d(50), 8);
+        assert_eq!(book.all().len(), 2);
+        assert!(book.cancel(a));
+        assert!(!book.cancel(a));
+        assert_eq!(book.all().len(), 1);
+        // b ends at 350; expiring at 350 removes it.
+        assert_eq!(book.expire(t(350)), 1);
+        assert!(book.all().is_empty());
+        let _ = b;
+    }
+
+    #[test]
+    fn active_filters_by_end_time() {
+        let mut book = ReservationBook::new();
+        book.add(t(0), d(100), 2);
+        book.add(t(500), d(100), 2);
+        assert_eq!(book.active(t(50)).count(), 2);
+        assert_eq!(book.active(t(100)).count(), 1); // first ended exactly
+        assert_eq!(book.active(t(700)).count(), 0);
+    }
+
+    #[test]
+    fn booked_area_clips_started_windows() {
+        let mut book = ReservationBook::new();
+        book.add(t(0), d(100), 2); // 200 proc-s total
+        book.add(t(200), d(10), 10); // 100 proc-s
+        // At t=50 the first window has 50 s left → 100 + 100.
+        assert!((book.booked_area(t(50)) - 200.0).abs() < 1e-9);
+        assert!((book.booked_area(t(0)) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs processors")]
+    fn zero_width_is_rejected() {
+        ReservationBook::new().add(t(0), d(10), 0);
+    }
+}

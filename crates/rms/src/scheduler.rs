@@ -1,0 +1,122 @@
+//! The scheduler abstraction the simulation driver calls at every event,
+//! plus the static single-policy baseline of the paper.
+
+use crate::planner::Planner;
+use crate::policy::Policy;
+use crate::schedule::Schedule;
+use crate::state::RmsState;
+use dynp_des::SimTime;
+use dynp_workload::Job;
+
+/// Reasons the RMS asks for a new schedule. "Such a self-tuning dynP step
+/// is done each time the planning based RMS has to compute a new schedule,
+/// that is when jobs are submitted and when executed jobs finish." The
+/// paper also mentions restricting self-tuning to submissions only; the
+/// reason lets schedulers implement that option.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplanReason {
+    /// One or more jobs were just submitted.
+    Submission,
+    /// A running job just finished.
+    Completion,
+}
+
+/// A scheduler: turns the current RMS state into a full schedule.
+///
+/// Called by the driver after every event; the driver then starts every
+/// job whose planned start is due and keeps the rest waiting.
+pub trait Scheduler {
+    /// Computes a full schedule for the waiting queue at `now`.
+    fn replan(&mut self, state: &RmsState, now: SimTime, reason: ReplanReason) -> Schedule;
+
+    /// The policy currently in force (for switch statistics/logging).
+    fn active_policy(&self) -> Policy;
+
+    /// Display name, e.g. `"SJF"` or `"dynP(preferred=SJF)"`.
+    fn name(&self) -> String;
+}
+
+/// The paper's baseline: a single fixed policy (with the implicit
+/// backfilling every planning-based RMS provides).
+#[derive(Debug)]
+pub struct StaticScheduler {
+    policy: Policy,
+    planner: Planner,
+    queue_buf: Vec<Job>,
+}
+
+impl StaticScheduler {
+    /// Creates a static scheduler for `policy`.
+    pub fn new(policy: Policy) -> Self {
+        StaticScheduler {
+            policy,
+            planner: Planner::new(),
+            queue_buf: Vec::new(),
+        }
+    }
+}
+
+impl Scheduler for StaticScheduler {
+    fn replan(&mut self, state: &RmsState, now: SimTime, _reason: ReplanReason) -> Schedule {
+        self.queue_buf.clear();
+        self.queue_buf.extend_from_slice(state.waiting());
+        self.policy.sort_queue(&mut self.queue_buf);
+        self.planner
+            .plan(state.machine_size(), now, state.running(), &self.queue_buf)
+    }
+
+    fn active_policy(&self) -> Policy {
+        self.policy
+    }
+
+    fn name(&self) -> String {
+        self.policy.name().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_des::SimDuration;
+    use dynp_workload::JobId;
+
+    fn j(id: u32, submit_s: u64, width: u32, est_s: u64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(submit_s),
+            width,
+            SimDuration::from_secs(est_s),
+            SimDuration::from_secs(est_s),
+        )
+    }
+
+    #[test]
+    fn static_scheduler_orders_by_its_policy() {
+        let mut state = RmsState::new(2);
+        state.submit(j(0, 0, 2, 100));
+        state.submit(j(1, 1, 2, 10));
+
+        let mut sjf = StaticScheduler::new(Policy::Sjf);
+        let s = sjf.replan(&state, SimTime::from_secs(1), ReplanReason::Submission);
+        assert_eq!(s.entries[0].job.id, JobId(1));
+        assert_eq!(sjf.name(), "SJF");
+        assert_eq!(sjf.active_policy(), Policy::Sjf);
+
+        let mut ljf = StaticScheduler::new(Policy::Ljf);
+        let s = ljf.replan(&state, SimTime::from_secs(1), ReplanReason::Submission);
+        assert_eq!(s.entries[0].job.id, JobId(0));
+    }
+
+    #[test]
+    fn replan_is_idempotent_on_unchanged_state() {
+        let mut state = RmsState::new(4);
+        for i in 0..5 {
+            state.submit(j(i, i as u64, (i % 3) + 1, 50 + i as u64));
+        }
+        let mut sched = StaticScheduler::new(Policy::Fcfs);
+        let now = SimTime::from_secs(10);
+        let a = sched.replan(&state, now, ReplanReason::Submission);
+        let b = sched.replan(&state, now, ReplanReason::Completion);
+        assert_eq!(a.entries, b.entries);
+    }
+}

@@ -1,0 +1,290 @@
+//! The RMS job life-cycle state machine: waiting → running → completed.
+//!
+//! [`RmsState`] owns the three job pools and the processor accounting;
+//! it is deliberately policy-free — *which* waiting job starts next is
+//! the scheduler's decision (see [`crate::scheduler`]), the state machine
+//! only enforces physics: processors are finite, a job runs exactly its
+//! actual run time, transitions are checked.
+
+use dynp_des::SimTime;
+use dynp_workload::{Job, JobId};
+
+/// A job currently executing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunningJob {
+    /// The job.
+    pub job: Job,
+    /// When it started.
+    pub start: SimTime,
+}
+
+impl RunningJob {
+    /// When the planner must assume the job ends (start + estimate);
+    /// planning systems reserve the estimate and kill jobs that exceed it.
+    pub fn estimated_end(&self) -> SimTime {
+        self.start.saturating_add(self.job.estimate)
+    }
+
+    /// When the job actually ends (start + actual run time) — the
+    /// completion event time.
+    pub fn actual_end(&self) -> SimTime {
+        self.start.saturating_add(self.job.actual)
+    }
+}
+
+/// A finished job with its realized times — the record metrics are
+/// computed from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompletedJob {
+    /// The job.
+    pub job: Job,
+    /// Realized start time.
+    pub start: SimTime,
+    /// Realized completion time (start + actual run time).
+    pub end: SimTime,
+}
+
+impl CompletedJob {
+    /// Wait time: start − submit.
+    pub fn wait_secs(&self) -> f64 {
+        self.start.saturating_since(self.job.submit).as_secs_f64()
+    }
+
+    /// Response time: end − submit.
+    pub fn response_secs(&self) -> f64 {
+        self.end.saturating_since(self.job.submit).as_secs_f64()
+    }
+}
+
+/// The resource-management state: job pools plus processor accounting.
+#[derive(Clone, Debug)]
+pub struct RmsState {
+    machine_size: u32,
+    free: u32,
+    waiting: Vec<Job>,
+    running: Vec<RunningJob>,
+    completed: Vec<CompletedJob>,
+    submitted: usize,
+}
+
+impl RmsState {
+    /// Creates an idle machine of `machine_size` processors.
+    pub fn new(machine_size: u32) -> Self {
+        assert!(machine_size >= 1);
+        RmsState {
+            machine_size,
+            free: machine_size,
+            waiting: Vec::new(),
+            running: Vec::new(),
+            completed: Vec::new(),
+            submitted: 0,
+        }
+    }
+
+    /// Machine size in processors.
+    pub fn machine_size(&self) -> u32 {
+        self.machine_size
+    }
+
+    /// Currently idle processors.
+    pub fn free_processors(&self) -> u32 {
+        self.free
+    }
+
+    /// The waiting queue (unordered — policies order copies of it).
+    pub fn waiting(&self) -> &[Job] {
+        &self.waiting
+    }
+
+    /// Currently executing jobs.
+    pub fn running(&self) -> &[RunningJob] {
+        &self.running
+    }
+
+    /// Finished jobs in completion order.
+    pub fn completed(&self) -> &[CompletedJob] {
+        &self.completed
+    }
+
+    /// Number of jobs ever submitted.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// True when no job is waiting or running.
+    pub fn is_idle(&self) -> bool {
+        self.waiting.is_empty() && self.running.is_empty()
+    }
+
+    /// Adds a job to the waiting queue.
+    ///
+    /// # Panics
+    /// Panics if the job is wider than the machine (workload and machine
+    /// must match).
+    pub fn submit(&mut self, job: Job) {
+        assert!(
+            job.width <= self.machine_size,
+            "job {} wider than machine",
+            job.id
+        );
+        self.submitted += 1;
+        self.waiting.push(job);
+    }
+
+    /// Starts a waiting job at `now`, consuming processors. Returns the
+    /// running record (whose [`RunningJob::actual_end`] is the completion
+    /// event time the caller must schedule).
+    ///
+    /// # Panics
+    /// Panics if the job is not waiting, starts before its submission, or
+    /// exceeds the free processors — all indicate a scheduler bug.
+    pub fn start(&mut self, id: JobId, now: SimTime) -> RunningJob {
+        let idx = self
+            .waiting
+            .iter()
+            .position(|j| j.id == id)
+            .unwrap_or_else(|| panic!("job {id} is not waiting"));
+        let job = self.waiting.swap_remove(idx);
+        assert!(now >= job.submit, "job {id} started before submission");
+        assert!(
+            job.width <= self.free,
+            "job {id} needs {} processors but only {} are free",
+            job.width,
+            self.free
+        );
+        self.free -= job.width;
+        let run = RunningJob { job, start: now };
+        self.running.push(run);
+        run
+    }
+
+    /// Completes a running job at `now`, releasing its processors.
+    ///
+    /// # Panics
+    /// Panics if the job is not running or `now` is not its actual end
+    /// time — completions fire exactly when scheduled.
+    pub fn complete(&mut self, id: JobId, now: SimTime) -> CompletedJob {
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.job.id == id)
+            .unwrap_or_else(|| panic!("job {id} is not running"));
+        let run = self.running.swap_remove(idx);
+        assert_eq!(
+            now,
+            run.actual_end(),
+            "job {id} completed at the wrong time"
+        );
+        self.free += run.job.width;
+        debug_assert!(self.free <= self.machine_size);
+        let done = CompletedJob {
+            job: run.job,
+            start: run.start,
+            end: now,
+        };
+        self.completed.push(done);
+        done
+    }
+
+    /// Consumes the state and returns the completed jobs.
+    pub fn into_completed(self) -> Vec<CompletedJob> {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_des::SimDuration;
+    use dynp_workload::JobId;
+
+    fn j(id: u32, submit_s: u64, width: u32, est_s: u64, act_s: u64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(submit_s),
+            width,
+            SimDuration::from_secs(est_s),
+            SimDuration::from_secs(act_s),
+        )
+    }
+
+    #[test]
+    fn life_cycle_accounting() {
+        let mut s = RmsState::new(8);
+        assert!(s.is_idle());
+        s.submit(j(0, 0, 3, 100, 60));
+        s.submit(j(1, 0, 5, 100, 100));
+        assert_eq!(s.waiting().len(), 2);
+        assert_eq!(s.free_processors(), 8);
+
+        let r0 = s.start(JobId(0), SimTime::from_secs(0));
+        assert_eq!(s.free_processors(), 5);
+        assert_eq!(r0.actual_end(), SimTime::from_secs(60));
+        assert_eq!(r0.estimated_end(), SimTime::from_secs(100));
+
+        s.start(JobId(1), SimTime::from_secs(0));
+        assert_eq!(s.free_processors(), 0);
+        assert!(!s.is_idle());
+
+        let done = s.complete(JobId(0), SimTime::from_secs(60));
+        assert_eq!(s.free_processors(), 3);
+        assert_eq!(done.wait_secs(), 0.0);
+        assert_eq!(done.response_secs(), 60.0);
+
+        s.complete(JobId(1), SimTime::from_secs(100));
+        assert!(s.is_idle());
+        assert_eq!(s.completed().len(), 2);
+        assert_eq!(s.submitted(), 2);
+    }
+
+    #[test]
+    fn wait_and_response_times() {
+        let mut s = RmsState::new(4);
+        s.submit(j(0, 10, 2, 50, 30));
+        s.start(JobId(0), SimTime::from_secs(25));
+        let done = s.complete(JobId(0), SimTime::from_secs(55));
+        assert_eq!(done.wait_secs(), 15.0);
+        assert_eq!(done.response_secs(), 45.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not waiting")]
+    fn start_requires_waiting_job() {
+        let mut s = RmsState::new(4);
+        s.start(JobId(7), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn start_requires_free_processors() {
+        let mut s = RmsState::new(4);
+        s.submit(j(0, 0, 3, 10, 10));
+        s.submit(j(1, 0, 3, 10, 10));
+        s.start(JobId(0), SimTime::ZERO);
+        s.start(JobId(1), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "before submission")]
+    fn start_cannot_precede_submission() {
+        let mut s = RmsState::new(4);
+        s.submit(j(0, 100, 1, 10, 10));
+        s.start(JobId(0), SimTime::from_secs(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong time")]
+    fn complete_must_match_actual_end() {
+        let mut s = RmsState::new(4);
+        s.submit(j(0, 0, 1, 10, 10));
+        s.start(JobId(0), SimTime::ZERO);
+        s.complete(JobId(0), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider")]
+    fn submit_rejects_oversized_job() {
+        let mut s = RmsState::new(4);
+        s.submit(j(0, 0, 5, 10, 10));
+    }
+}

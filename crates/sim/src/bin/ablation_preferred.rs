@@ -1,0 +1,83 @@
+//! Ablation A1 — which policy should the unfair decider prefer?
+//!
+//! The paper evaluates only the SJF-preferred decider ("we mostly focus
+//! on good slowdowns for satisfying the users"); this ablation runs the
+//! preferred decider with each of the three basic policies as the
+//! preferred one, against the fair advanced decider, and reports SLDwA
+//! and utilization.
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin ablation_preferred [--quick] [--trace CTC]
+//! ```
+
+use dynp_core::DeciderKind;
+use dynp_rms::Policy;
+use dynp_sim::cli::CommonArgs;
+use dynp_sim::report::{num, Table};
+use dynp_sim::{Experiment, SchedulerSpec};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let specs: Vec<SchedulerSpec> = std::iter::once(SchedulerSpec::dynp(DeciderKind::Advanced))
+        .chain(Policy::BASIC.iter().map(|&p| {
+            SchedulerSpec::dynp(DeciderKind::Preferred {
+                policy: p,
+                threshold: 0.0,
+            })
+        }))
+        .collect();
+    let names: Vec<String> = specs.iter().map(SchedulerSpec::name).collect();
+
+    let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
+    exp.base_seed = args.seed;
+    exp.workers = args.workers;
+    eprintln!("Ablation A1 (preferred policy): {} runs", exp.total_runs());
+    let result = exp.run_with_progress(CommonArgs::progress_printer(exp.total_runs()));
+
+    let mut headers: Vec<String> = vec!["trace".into(), "factor".into()];
+    headers.extend(names.iter().map(|n| format!("SLDwA {n}")));
+    headers.extend(names.iter().map(|n| format!("util {n}")));
+    let mut table = Table::new(
+        "Ablation A1 — preferred-policy choice for the unfair decider",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+
+    for model in &exp.traces {
+        for &factor in &exp.factors {
+            let mut row = vec![model.name.clone(), num(factor, 1)];
+            for n in &names {
+                row.push(num(result.sldwa(&model.name, factor, n), 2));
+            }
+            for n in &names {
+                row.push(num(result.utilization(&model.name, factor, n) * 100.0, 2));
+            }
+            table.push_row(row);
+        }
+    }
+    print!("{}", table.to_text());
+
+    // Condensed per-trace averages relative to the advanced decider.
+    println!("\naverage SLDwA difference to dynP[advanced] in % (positive = better than advanced):");
+    for model in &exp.traces {
+        print!("  {:<5}", model.name);
+        for n in names.iter().skip(1) {
+            let avg: f64 = exp
+                .factors
+                .iter()
+                .map(|&f| {
+                    let adv = result.sldwa(&model.name, f, &names[0]);
+                    (adv - result.sldwa(&model.name, f, n)) / adv * 100.0
+                })
+                .sum::<f64>()
+                / exp.factors.len() as f64;
+            print!("  {n}: {avg:+.2}%");
+        }
+        println!();
+    }
+
+    if let Some(dir) = &args.out {
+        table
+            .write_csv(dir, "ablation_preferred")
+            .expect("write ablation_preferred.csv");
+    }
+}

@@ -1,0 +1,87 @@
+//! Renders every `figN_*.dat` series file written by the `table4` /
+//! `table5` binaries into standalone SVG line charts — the paper's
+//! Figures 1–4 as images, measured and published series side by side.
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin figures -- [RESULTS_DIR]
+//! ```
+//!
+//! Slowdown figures (1 and 3) use a log y-axis, like reading the paper's
+//! plots across their two orders of magnitude; utilization figures (2
+//! and 4) are linear in percent.
+
+use dynp_sim::report::FigureData;
+use dynp_sim::svg::{write_chart, ChartOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let dir = PathBuf::from(
+        std::env::args()
+            .nth(1)
+            .unwrap_or_else(|| "results".to_string()),
+    );
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!(
+                "cannot read {}: {e}\nrun the table4/table5 binaries with --out {} first",
+                dir.display(),
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let mut rendered = 0;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("fig") && n.ends_with(".dat"))
+        .collect();
+    names.sort();
+
+    for name in names {
+        let stem = name.trim_end_matches(".dat");
+        let text = match std::fs::read_to_string(dir.join(&name)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("skipping {name}: {e}");
+                continue;
+            }
+        };
+        let fig = match FigureData::from_dat(&text) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("skipping {name}: {e}");
+                continue;
+            }
+        };
+        // Figures 1 and 3 plot slowdowns (log axis); 2 and 4 plot
+        // utilization in percent (linear).
+        let slowdown = stem.starts_with("fig1") || stem.starts_with("fig3");
+        let opts = ChartOptions {
+            log_y: slowdown,
+            y_label: if slowdown {
+                "SLDwA (log scale)".into()
+            } else {
+                "utilization [%]".into()
+            },
+            ..ChartOptions::default()
+        };
+        match write_chart(&fig, &opts, &dir, stem) {
+            Ok(()) => {
+                println!("rendered {}/{stem}.svg", dir.display());
+                rendered += 1;
+            }
+            Err(e) => eprintln!("failed to write {stem}.svg: {e}"),
+        }
+    }
+    if rendered == 0 {
+        eprintln!(
+            "no fig*.dat files in {} — run table4/table5 with --out first",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    println!("{rendered} figures rendered");
+}

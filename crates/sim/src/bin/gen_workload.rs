@@ -1,0 +1,79 @@
+//! Workload export tool: generate synthetic job sets and write them as
+//! Standard Workload Format files, so any other simulator (or a later
+//! run of this one) can consume the exact inputs.
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin gen_workload -- \
+//!     --trace CTC --jobs 10000 --sets 3 --shrink 0.8 --out-dir workloads
+//! cargo run --release -p dynp-sim --bin gen_workload -- --lublin --jobs 5000
+//! ```
+
+use dynp_sim::cli::CommonArgs;
+use dynp_workload::lublin::LublinModel;
+use dynp_workload::{swf, transform, TraceStats};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let mut shrink_factor = 1.0f64;
+    let mut out_dir = PathBuf::from("workloads");
+    let mut use_lublin = false;
+    let mut rest = args.rest.iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--shrink" => {
+                shrink_factor = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--shrink needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--out-dir" => {
+                out_dir = PathBuf::from(rest.next().unwrap_or_else(|| {
+                    eprintln!("--out-dir needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--lublin" => use_lublin = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let sets = if use_lublin {
+        LublinModel::default().generate_sets(args.jobs, args.sets, args.seed)
+    } else {
+        args.traces
+            .iter()
+            .flat_map(|m| m.generate_sets(args.jobs, args.sets, args.seed))
+            .collect()
+    };
+
+    for set in sets {
+        let scaled = if (shrink_factor - 1.0).abs() > 1e-12 {
+            transform::shrink(&set, shrink_factor)
+        } else {
+            set
+        };
+        let fname = format!(
+            "{}.swf",
+            scaled.name.replace('/', "_").replace('@', "_x")
+        );
+        let path = out_dir.join(&fname);
+        let file = File::create(&path).expect("create SWF file");
+        swf::write_swf(&scaled, BufWriter::new(file)).expect("write SWF");
+        println!(
+            "{} -> {} ({} jobs)",
+            TraceStats::measure(&scaled).table2_rows(),
+            path.display(),
+            scaled.len()
+        );
+    }
+}

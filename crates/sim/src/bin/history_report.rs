@@ -1,0 +1,133 @@
+//! Policy-history report: run the self-tuning dynP scheduler on one
+//! workload and print everything about its decisions — time shares,
+//! residence times, flap rate, switch log, and tail percentiles of the
+//! realized job outcomes.
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin history_report -- \
+//!     --trace SDSC --jobs 4000 [--shrink 0.8] [--decider preferred]
+//! ```
+
+use dynp_core::{DeciderKind, DynPConfig, PolicyHistory, SelfTuningScheduler};
+use dynp_des::{SimDuration, SimTime};
+use dynp_metrics::OutcomeDistributions;
+use dynp_rms::Policy;
+use dynp_sim::cli::CommonArgs;
+use dynp_sim::simulate_detailed;
+use dynp_workload::transform;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let mut shrink_factor = 0.8f64;
+    let mut decider = DeciderKind::Advanced;
+    let mut rest = args.rest.iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--shrink" => {
+                shrink_factor = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shrink needs a number");
+            }
+            "--decider" => {
+                decider = match rest.next().map(String::as_str) {
+                    Some("simple") => DeciderKind::Simple,
+                    Some("advanced") => DeciderKind::Advanced,
+                    Some("preferred") => DeciderKind::Preferred {
+                        policy: Policy::Sjf,
+                        threshold: 0.0,
+                    },
+                    other => {
+                        eprintln!("--decider must be simple|advanced|preferred, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let model = &args.traces[0];
+    let set = transform::shrink(&model.generate(args.jobs, args.seed), shrink_factor);
+    println!(
+        "workload: {} ({} jobs, machine {}, shrinking factor {shrink_factor})",
+        set.name,
+        set.len(),
+        set.machine_size
+    );
+
+    let mut scheduler = SelfTuningScheduler::new(DynPConfig::paper(decider));
+    let detail = simulate_detailed(&set, &mut scheduler);
+    let m = &detail.result.metrics;
+    println!(
+        "\n{}: SLDwA {:.2}, utilization {:.2} %, ARTwW {:.0} s",
+        detail.result.scheduler,
+        m.sldwa,
+        m.utilization * 100.0,
+        m.artww
+    );
+    println!(
+        "queue: peak {} jobs, time-weighted mean {:.1}; mean busy {:.1}/{} processors",
+        detail.observations.peak_queue,
+        detail.observations.mean_queue,
+        detail.observations.mean_busy,
+        set.machine_size
+    );
+
+    // Decisions.
+    println!(
+        "\ndecisions: {} total, {} switches ({:.2} % switch rate)",
+        scheduler.stats.decisions,
+        scheduler.stats.switches,
+        scheduler.stats.switches as f64 / scheduler.stats.decisions.max(1) as f64 * 100.0
+    );
+    for policy in Policy::BASIC {
+        println!(
+            "  {:<5} won {:>5.1} % of decisions",
+            policy.name(),
+            scheduler.stats.share(policy) * 100.0
+        );
+    }
+
+    // Timeline.
+    let end = SimTime::from_secs_f64(m.last_end_secs);
+    let history = PolicyHistory::reconstruct(Policy::Fcfs, &scheduler.stats, SimTime::ZERO, end);
+    println!("\npolicy time shares over the run:");
+    for (name, share) in history.shares() {
+        println!("  {name:<5} {:>5.1} %", share * 100.0);
+    }
+    println!(
+        "segments: {}, mean residence {:.0} s, flapping share (<5 min) {:.0} %",
+        history.segments().len(),
+        history.mean_residence_secs(),
+        history.flapping_share(SimDuration::from_secs(300)) * 100.0
+    );
+
+    // Outcome tails.
+    let d = OutcomeDistributions::measure(&detail.completed);
+    println!("\nper-job outcome distributions:");
+    println!(
+        "  wait [s]   p50 {:>8.0}  p90 {:>8.0}  p99 {:>8.0}  max {:>8.0}",
+        d.wait_secs.p50, d.wait_secs.p90, d.wait_secs.p99, d.wait_secs.max
+    );
+    println!(
+        "  slowdown   p50 {:>8.2}  p90 {:>8.2}  p99 {:>8.2}  max {:>8.2}",
+        d.slowdown.p50, d.slowdown.p90, d.slowdown.p99, d.slowdown.max
+    );
+    println!(
+        "  bounded    p50 {:>8.2}  p90 {:>8.2}  p99 {:>8.2}  max {:>8.2}",
+        d.bounded_slowdown.p50,
+        d.bounded_slowdown.p90,
+        d.bounded_slowdown.p99,
+        d.bounded_slowdown.max
+    );
+
+    if let Some(dir) = &args.out {
+        dynp_sim::svg::write_gantt(&detail.completed, set.machine_size, dir, "gantt")
+            .expect("write gantt");
+        eprintln!("wrote {}/gantt.svg", dir.display());
+    }
+}

@@ -1,0 +1,39 @@
+//! Developer tool: times representative single runs (static FCFS and
+//! dynP) at light and saturated load so experiment scales can be chosen
+//! to fit a time budget. Not part of the reproduction itself.
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin perfprobe
+//! ```
+
+use dynp_sim::{simulate, SchedulerSpec};
+use dynp_workload::{traces, transform};
+use std::time::Instant;
+
+fn main() {
+    for (trace, factor, jobs) in [
+        ("CTC", 1.0, 2_000),
+        ("CTC", 0.6, 2_000),
+        ("SDSC", 0.6, 2_000),
+        ("CTC", 0.6, 10_000),
+    ] {
+        let model = traces::by_name(trace).expect("known trace");
+        let base = model.generate(jobs, 1);
+        let set = transform::shrink(&base, factor);
+        for spec in [
+            SchedulerSpec::Static(dynp_rms::Policy::Fcfs),
+            SchedulerSpec::dynp(dynp_core::DeciderKind::Advanced),
+        ] {
+            let mut s = spec.build();
+            let t0 = Instant::now();
+            let r = simulate(&set, s.as_mut());
+            println!(
+                "{trace}@{factor} jobs={jobs} {:<16} {:>8.2?}  sldwa={:.2} util={:.3}",
+                spec.name(),
+                t0.elapsed(),
+                r.metrics.sldwa,
+                r.metrics.utilization
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Generic sweep runner: compose any scheduler line-up from the command
+//! line and run it over any subset of traces and shrinking factors.
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin sweep -- \
+//!     --trace CTC --scheduler FCFS --scheduler dynp:preferred:SJF \
+//!     --scheduler easy --scheduler dynp:advanced --quick
+//! ```
+//!
+//! Scheduler syntax:
+//!
+//! | spec                         | meaning                                   |
+//! |------------------------------|-------------------------------------------|
+//! | `FCFS` / `SJF` / `LJF` / `SAF` / `LAF` | static policy (planning)        |
+//! | `easy` / `easy:SJF`          | EASY backfilling (queue order)            |
+//! | `dynp:simple`                | dynP with the simple decider              |
+//! | `dynp:advanced`              | dynP with the advanced decider            |
+//! | `dynp:preferred:SJF`         | dynP, SJF-preferred decider               |
+//! | `dynp:preferred:SJF:0.05`    | …with a 5 % "clearly better" threshold    |
+
+use dynp_core::DeciderKind;
+use dynp_rms::Policy;
+use dynp_sim::cli::CommonArgs;
+use dynp_sim::report::{num, Table};
+use dynp_sim::{Experiment, SchedulerSpec};
+
+fn parse_scheduler(spec: &str) -> Result<SchedulerSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        [p] if Policy::parse(p).is_some() => Ok(SchedulerSpec::Static(Policy::parse(p).unwrap())),
+        ["easy"] => Ok(SchedulerSpec::Easy(Policy::Fcfs)),
+        ["easy", p] => Policy::parse(p)
+            .map(SchedulerSpec::Easy)
+            .ok_or_else(|| format!("unknown policy {p:?}")),
+        ["dynp", "simple"] => Ok(SchedulerSpec::dynp(DeciderKind::Simple)),
+        ["dynp", "advanced"] => Ok(SchedulerSpec::dynp(DeciderKind::Advanced)),
+        ["dynp", "preferred", p] => Policy::parse(p)
+            .map(|policy| {
+                SchedulerSpec::dynp(DeciderKind::Preferred {
+                    policy,
+                    threshold: 0.0,
+                })
+            })
+            .ok_or_else(|| format!("unknown policy {p:?}")),
+        ["dynp", "preferred", p, th] => {
+            let policy = Policy::parse(p).ok_or_else(|| format!("unknown policy {p:?}"))?;
+            let threshold: f64 = th
+                .parse()
+                .map_err(|_| format!("bad threshold {th:?}"))?;
+            Ok(SchedulerSpec::dynp(DeciderKind::Preferred {
+                policy,
+                threshold,
+            }))
+        }
+        _ => Err(format!("unrecognized scheduler spec {spec:?}")),
+    }
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+
+    // Binary-specific flags come through args.rest: --scheduler SPEC…
+    let mut specs: Vec<SchedulerSpec> = Vec::new();
+    let mut rest = args.rest.iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--scheduler" => {
+                let spec_str = rest.next().unwrap_or_else(|| {
+                    eprintln!("--scheduler needs a value");
+                    std::process::exit(2);
+                });
+                match parse_scheduler(spec_str) {
+                    Ok(s) => specs.push(s),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if specs.is_empty() {
+        specs = SchedulerSpec::paper_lineup();
+        eprintln!("no --scheduler given; using the paper line-up");
+    }
+    let names: Vec<String> = specs.iter().map(SchedulerSpec::name).collect();
+
+    let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
+    exp.base_seed = args.seed;
+    exp.workers = args.workers;
+    eprintln!(
+        "sweep: {} traces × {} factors × {} schedulers × {} sets = {} runs",
+        exp.traces.len(),
+        exp.factors.len(),
+        exp.schedulers.len(),
+        exp.sets_per_trace,
+        exp.total_runs()
+    );
+    let result = exp.run_with_progress(CommonArgs::progress_printer(exp.total_runs()));
+
+    let mut headers: Vec<String> = vec!["trace".into(), "factor".into()];
+    headers.extend(names.iter().map(|n| format!("SLDwA {n}")));
+    headers.extend(names.iter().map(|n| format!("util% {n}")));
+    let mut table = Table::new(
+        format!("sweep ({} jobs × {} sets)", args.jobs, args.sets),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for model in &exp.traces {
+        for &factor in &exp.factors {
+            let mut row = vec![model.name.clone(), num(factor, 1)];
+            for n in &names {
+                row.push(num(result.sldwa(&model.name, factor, n), 2));
+            }
+            for n in &names {
+                row.push(num(result.utilization(&model.name, factor, n) * 100.0, 2));
+            }
+            table.push_row(row);
+        }
+    }
+    print!("{}", table.to_text());
+
+    if let Some(dir) = &args.out {
+        table.write_csv(dir, "sweep").expect("write sweep.csv");
+        eprintln!("wrote sweep.csv to {}", dir.display());
+    }
+}

@@ -1,0 +1,136 @@
+//! Experiment E3 — regenerates the paper's **Table 4** and the data
+//! behind **Figure 1** (SLDwA) and **Figure 2** (utilization): the three
+//! static basic policies FCFS, SJF and LJF across all traces and
+//! shrinking factors.
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin table4 [--quick] [--out DIR]
+//! ```
+
+use dynp_rms::Policy;
+use dynp_sim::cli::CommonArgs;
+use dynp_sim::paper_ref;
+use dynp_sim::report::{num, FigureData, Table};
+use dynp_sim::{Experiment, SchedulerSpec};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let specs = vec![
+        SchedulerSpec::Static(Policy::Fcfs),
+        SchedulerSpec::Static(Policy::Sjf),
+        SchedulerSpec::Static(Policy::Ljf),
+    ];
+    let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
+    exp.base_seed = args.seed;
+    exp.workers = args.workers;
+
+    eprintln!(
+        "Table 4 / Figures 1–2: {} traces × {} factors × 3 policies × {} sets of {} jobs = {} runs",
+        exp.traces.len(),
+        exp.factors.len(),
+        exp.sets_per_trace,
+        exp.jobs_per_set,
+        exp.total_runs()
+    );
+    let result = exp.run_with_progress(CommonArgs::progress_printer(exp.total_runs()));
+
+    let mut table = Table::new(
+        format!(
+            "Table 4 — SLDwA and utilization of the basic policies ({} jobs × {} sets, drop-min/max average; 'p:' columns are the paper's values)",
+            args.jobs, args.sets
+        ),
+        &[
+            "trace", "factor",
+            "FCFS", "SJF", "LJF", "p:FCFS", "p:SJF", "p:LJF",
+            "util FCFS", "SJF", "LJF", "p:FCFS", "p:SJF", "p:LJF",
+        ],
+    );
+
+    for model in &exp.traces {
+        let trace = model.name.as_str();
+        let mut fig1 = FigureData::new(
+            format!("Figure 1 ({trace}) — SLDwA of FCFS/SJF/LJF vs shrinking factor"),
+            &["FCFS", "SJF", "LJF", "paper_FCFS", "paper_SJF", "paper_LJF"],
+        );
+        let mut fig2 = FigureData::new(
+            format!("Figure 2 ({trace}) — utilization [%] of FCFS/SJF/LJF vs shrinking factor"),
+            &["FCFS", "SJF", "LJF", "paper_FCFS", "paper_SJF", "paper_LJF"],
+        );
+        for &factor in &exp.factors {
+            let sld = [
+                result.sldwa(trace, factor, "FCFS"),
+                result.sldwa(trace, factor, "SJF"),
+                result.sldwa(trace, factor, "LJF"),
+            ];
+            let util = [
+                result.utilization(trace, factor, "FCFS") * 100.0,
+                result.utilization(trace, factor, "SJF") * 100.0,
+                result.utilization(trace, factor, "LJF") * 100.0,
+            ];
+            let paper = paper_ref::table4(trace, factor);
+            let (psld, putil) = paper.map_or(([f64::NAN; 3], [f64::NAN; 3]), |p| (p.sldwa, p.util));
+            table.push_row(vec![
+                trace.to_string(),
+                num(factor, 1),
+                num(sld[0], 2),
+                num(sld[1], 2),
+                num(sld[2], 2),
+                num(psld[0], 2),
+                num(psld[1], 2),
+                num(psld[2], 2),
+                num(util[0], 2),
+                num(util[1], 2),
+                num(util[2], 2),
+                num(putil[0], 2),
+                num(putil[1], 2),
+                num(putil[2], 2),
+            ]);
+            fig1.push(factor, sld.iter().chain(&psld).copied().collect());
+            fig2.push(factor, util.iter().chain(&putil).copied().collect());
+        }
+        if let Some(dir) = &args.out {
+            fig1.write_dat(dir, &format!("fig1_{}", trace.to_lowercase()))
+                .expect("write fig1 data");
+            fig2.write_dat(dir, &format!("fig2_{}", trace.to_lowercase()))
+                .expect("write fig2 data");
+        }
+    }
+
+    print!("{}", table.to_text());
+    if let Some(dir) = &args.out {
+        table.write_csv(dir, "table4").expect("write table4.csv");
+        eprintln!("wrote table4.csv and fig1_*/fig2_*.dat to {}", dir.display());
+    }
+
+    // Qualitative shape summary (the claims §4.3 derives from the table).
+    println!("\nshape checks (paper's qualitative claims on our data):");
+    let check = |label: &str, ok: bool| {
+        println!("  [{}] {label}", if ok { "ok" } else { "MISS" });
+    };
+    if exp.traces.iter().any(|t| t.name == "KTH") {
+        let ok = exp
+            .factors
+            .iter()
+            .all(|&f| result.sldwa("KTH", f, "SJF") <= result.sldwa("KTH", f, "FCFS"));
+        check("KTH: SJF beats FCFS in SLDwA at every workload", ok);
+    }
+    for trace in ["CTC", "SDSC"] {
+        if exp.traces.iter().any(|t| t.name == trace) {
+            let ok = result.sldwa(trace, 0.6, "SJF") < result.sldwa(trace, 0.6, "FCFS");
+            check(&format!("{trace}: SJF overtakes FCFS at heavy load (0.6)"), ok);
+        }
+    }
+    let lj_worst = exp.traces.iter().all(|t| {
+        exp.factors.iter().all(|&f| {
+            result.sldwa(&t.name, f, "LJF") >= result.sldwa(&t.name, f, "SJF") - 1e-9
+        })
+    });
+    check("LJF never has a better SLDwA than SJF", lj_worst);
+    let sjf_low_util = exp.traces.iter().all(|t| {
+        exp.factors.iter().all(|&f| {
+            result.utilization(&t.name, f, "SJF")
+                <= result.utilization(&t.name, f, "LJF") + 0.02
+        })
+    });
+    check("SJF utilization does not exceed LJF's (±2 pts)", sjf_low_util);
+}

@@ -1,0 +1,204 @@
+//! Experiment E4/E5 — regenerates the paper's **Table 5** (and the
+//! condensed **Table 3**) plus the data behind **Figure 3** (SLDwA) and
+//! **Figure 4** (utilization): the self-tuning dynP scheduler with the
+//! advanced and the SJF-preferred decider against static SJF.
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin table5 [--quick] [--out DIR]
+//! ```
+
+use dynp_core::DeciderKind;
+use dynp_rms::Policy;
+use dynp_sim::cli::CommonArgs;
+use dynp_sim::paper_ref;
+use dynp_sim::report::{num, signed, FigureData, Table};
+use dynp_sim::{Experiment, SchedulerSpec};
+
+const ADV: &str = "dynP[advanced]";
+const PREF: &str = "dynP[SJF-preferred]";
+
+fn main() {
+    let args = CommonArgs::parse();
+    let specs = vec![
+        SchedulerSpec::Static(Policy::Sjf),
+        SchedulerSpec::dynp(DeciderKind::Advanced),
+        SchedulerSpec::dynp(DeciderKind::Preferred {
+            policy: Policy::Sjf,
+            threshold: 0.0,
+        }),
+    ];
+    let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
+    exp.base_seed = args.seed;
+    exp.workers = args.workers;
+
+    eprintln!(
+        "Table 5 / Figures 3–4: {} traces × {} factors × 3 schedulers × {} sets of {} jobs = {} runs",
+        exp.traces.len(),
+        exp.factors.len(),
+        exp.sets_per_trace,
+        exp.jobs_per_set,
+        exp.total_runs()
+    );
+    let result = exp.run_with_progress(CommonArgs::progress_printer(exp.total_runs()));
+
+    let mut table = Table::new(
+        format!(
+            "Table 5 — dynP (advanced, SJF-preferred) vs static SJF ({} jobs × {} sets; 'p:' columns are the paper's values; positive SLDwA differences are good)",
+            args.jobs, args.sets
+        ),
+        &[
+            "trace", "factor",
+            "SJF", "adv.", "SJF-pref.",
+            "Δadv%", "Δpref%", "p:Δadv%", "p:Δpref%",
+            "util SJF", "adv.", "SJF-pref.",
+            "Δadv", "Δpref", "p:Δadv", "p:Δpref",
+        ],
+    );
+
+    // Collected per-trace averages for Table 3.
+    let mut table3 = Table::new(
+        "Table 3 — averages over all shrinking factors (relative SLDwA difference to SJF in %, absolute utilization difference in %-points)",
+        &[
+            "trace",
+            "ΔSLDwA adv%", "ΔSLDwA pref%", "p:adv%", "p:pref%",
+            "Δutil adv", "Δutil pref", "p:adv", "p:pref",
+        ],
+    );
+
+    for model in &exp.traces {
+        let trace = model.name.as_str();
+        let mut fig3 = FigureData::new(
+            format!("Figure 3 ({trace}) — SLDwA of dynP deciders vs SJF"),
+            &["SJF", "advanced", "SJF-preferred", "paper_SJF", "paper_adv", "paper_pref"],
+        );
+        let mut fig4 = FigureData::new(
+            format!("Figure 4 ({trace}) — utilization [%] of dynP deciders vs SJF"),
+            &["SJF", "advanced", "SJF-preferred", "paper_SJF", "paper_adv", "paper_pref"],
+        );
+        let mut sld_diff_sum = [0.0f64; 2];
+        let mut util_diff_sum = [0.0f64; 2];
+
+        for &factor in &exp.factors {
+            let sld = [
+                result.sldwa(trace, factor, "SJF"),
+                result.sldwa(trace, factor, ADV),
+                result.sldwa(trace, factor, PREF),
+            ];
+            let util = [
+                result.utilization(trace, factor, "SJF") * 100.0,
+                result.utilization(trace, factor, ADV) * 100.0,
+                result.utilization(trace, factor, PREF) * 100.0,
+            ];
+            // Positive = dynP better (smaller slowdown), as in the paper.
+            let d_sld = [
+                (sld[0] - sld[1]) / sld[0] * 100.0,
+                (sld[0] - sld[2]) / sld[0] * 100.0,
+            ];
+            let d_util = [util[1] - util[0], util[2] - util[0]];
+            sld_diff_sum[0] += d_sld[0];
+            sld_diff_sum[1] += d_sld[1];
+            util_diff_sum[0] += d_util[0];
+            util_diff_sum[1] += d_util[1];
+
+            let paper = paper_ref::table5(trace, factor);
+            let (psld, putil) = paper.map_or(([f64::NAN; 3], [f64::NAN; 3]), |p| (p.sldwa, p.util));
+            let pd_sld = [
+                (psld[0] - psld[1]) / psld[0] * 100.0,
+                (psld[0] - psld[2]) / psld[0] * 100.0,
+            ];
+            let pd_util = [putil[1] - putil[0], putil[2] - putil[0]];
+
+            table.push_row(vec![
+                trace.to_string(),
+                num(factor, 1),
+                num(sld[0], 2),
+                num(sld[1], 2),
+                num(sld[2], 2),
+                signed(d_sld[0], 2),
+                signed(d_sld[1], 2),
+                signed(pd_sld[0], 2),
+                signed(pd_sld[1], 2),
+                num(util[0], 2),
+                num(util[1], 2),
+                num(util[2], 2),
+                signed(d_util[0], 2),
+                signed(d_util[1], 2),
+                signed(pd_util[0], 2),
+                signed(pd_util[1], 2),
+            ]);
+            fig3.push(factor, sld.iter().chain(&psld).copied().collect());
+            fig4.push(factor, util.iter().chain(&putil).copied().collect());
+        }
+
+        let nf = exp.factors.len() as f64;
+        let p3 = paper_ref::TABLE3.iter().find(|r| r.trace == trace);
+        table3.push_row(vec![
+            trace.to_string(),
+            signed(sld_diff_sum[0] / nf, 2),
+            signed(sld_diff_sum[1] / nf, 2),
+            signed(p3.map_or(f64::NAN, |p| p.sldwa_diff_pct[0]), 2),
+            signed(p3.map_or(f64::NAN, |p| p.sldwa_diff_pct[1]), 2),
+            signed(util_diff_sum[0] / nf, 2),
+            signed(util_diff_sum[1] / nf, 2),
+            signed(p3.map_or(f64::NAN, |p| p.util_diff_pts[0]), 2),
+            signed(p3.map_or(f64::NAN, |p| p.util_diff_pts[1]), 2),
+        ]);
+
+        if let Some(dir) = &args.out {
+            fig3.write_dat(dir, &format!("fig3_{}", trace.to_lowercase()))
+                .expect("write fig3 data");
+            fig4.write_dat(dir, &format!("fig4_{}", trace.to_lowercase()))
+                .expect("write fig4 data");
+        }
+    }
+
+    print!("{}", table.to_text());
+    println!();
+    print!("{}", table3.to_text());
+
+    if let Some(dir) = &args.out {
+        table.write_csv(dir, "table5").expect("write table5.csv");
+        table3.write_csv(dir, "table3").expect("write table3.csv");
+        eprintln!(
+            "wrote table5.csv, table3.csv and fig3_*/fig4_*.dat to {}",
+            dir.display()
+        );
+    }
+
+    // Qualitative shape summary.
+    println!("\nshape checks (paper's qualitative claims on our data):");
+    let check = |label: &str, ok: bool| {
+        println!("  [{}] {label}", if ok { "ok" } else { "MISS" });
+    };
+    for trace in ["CTC", "SDSC"] {
+        if exp.traces.iter().any(|t| t.name == trace) {
+            let better_sld = exp.factors.iter().filter(|&&f| {
+                result.sldwa(trace, f, PREF) < result.sldwa(trace, f, "SJF")
+            });
+            let better_util = exp.factors.iter().filter(|&&f| {
+                result.utilization(trace, f, PREF) > result.utilization(trace, f, "SJF")
+            });
+            check(
+                &format!(
+                    "{trace}: SJF-preferred improves slowdown AND utilization at most workloads"
+                ),
+                better_sld.count() >= 3 && better_util.count() >= 3,
+            );
+        }
+    }
+    if exp.traces.iter().any(|t| t.name == "KTH") {
+        let avg_diff: f64 = exp
+            .factors
+            .iter()
+            .map(|&f| {
+                let s = result.sldwa("KTH", f, "SJF");
+                (s - result.sldwa("KTH", f, PREF)) / s * 100.0
+            })
+            .sum::<f64>()
+            / exp.factors.len() as f64;
+        check(
+            "KTH: dynP gains over SJF are small (|avg| < 5%)",
+            avg_diff.abs() < 5.0,
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Minimal shared command-line parsing for the experiment binaries.
+//!
+//! Every table/figure binary accepts the same scale flags:
+//!
+//! ```text
+//! --jobs N       jobs per synthetic set        (paper: 10000)
+//! --sets K       synthetic sets per trace      (paper: 10)
+//! --quick        shorthand for --jobs 2500 --sets 5
+//! --trace NAME   restrict to one trace (repeatable; default: all four)
+//! --seed S       base RNG seed                 (default 0x5EED)
+//! --workers W    worker threads                (default: one per core)
+//! --out DIR      also write CSV tables and gnuplot .dat files to DIR
+//! ```
+
+use dynp_workload::{traces, TraceModel};
+use std::path::PathBuf;
+
+/// Parsed common options.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// Jobs per synthetic set.
+    pub jobs: usize,
+    /// Synthetic sets per trace.
+    pub sets: usize,
+    /// Selected workload models.
+    pub traces: Vec<TraceModel>,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads (0 = auto).
+    pub workers: usize,
+    /// Output directory for CSV/.dat files.
+    pub out: Option<PathBuf>,
+    /// Leftover (binary-specific) arguments.
+    pub rest: Vec<String>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            jobs: traces::PAPER_JOBS_PER_SET,
+            sets: traces::PAPER_SETS_PER_TRACE,
+            traces: traces::standard_models(),
+            seed: 0x5EED,
+            workers: 0,
+            out: None,
+            rest: Vec::new(),
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> CommonArgs {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: [--jobs N] [--sets K] [--quick] [--trace NAME]... \
+                     [--seed S] [--workers W] [--out DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<CommonArgs, String> {
+        let mut out = CommonArgs::default();
+        let mut selected: Vec<TraceModel> = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--jobs" => {
+                    out.jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|_| "--jobs expects an integer".to_string())?;
+                }
+                "--sets" => {
+                    out.sets = value("--sets")?
+                        .parse()
+                        .map_err(|_| "--sets expects an integer".to_string())?;
+                }
+                "--quick" => {
+                    out.jobs = 2_500;
+                    out.sets = 5;
+                }
+                "--trace" => {
+                    let name = value("--trace")?;
+                    let model = traces::by_name(&name)
+                        .ok_or_else(|| format!("unknown trace {name:?}"))?;
+                    selected.push(model);
+                }
+                "--seed" => {
+                    out.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed expects an integer".to_string())?;
+                }
+                "--workers" => {
+                    out.workers = value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers expects an integer".to_string())?;
+                }
+                "--out" => {
+                    out.out = Some(PathBuf::from(value("--out")?));
+                }
+                other => out.rest.push(other.to_string()),
+            }
+        }
+        if !selected.is_empty() {
+            out.traces = selected;
+        }
+        if out.jobs == 0 || out.sets == 0 {
+            return Err("--jobs and --sets must be positive".to_string());
+        }
+        Ok(out)
+    }
+
+    /// Standard progress printer: a line every ~5% of runs.
+    pub fn progress_printer(total: usize) -> impl Fn(usize, usize) + Sync {
+        let step = (total / 20).max(1);
+        move |done, total| {
+            if done % step == 0 || done == total {
+                eprintln!("  [{done}/{total}] runs complete");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonArgs, String> {
+        CommonArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.jobs, 10_000);
+        assert_eq!(a.sets, 10);
+        assert_eq!(a.traces.len(), 4);
+        assert!(a.out.is_none());
+    }
+
+    #[test]
+    fn quick_shrinks_the_scale() {
+        let a = parse(&["--quick"]).unwrap();
+        assert_eq!(a.jobs, 2_500);
+        assert_eq!(a.sets, 5);
+    }
+
+    #[test]
+    fn explicit_flags_override() {
+        let a = parse(&["--jobs", "100", "--sets", "3", "--seed", "7", "--workers", "2"]).unwrap();
+        assert_eq!(a.jobs, 100);
+        assert_eq!(a.sets, 3);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.workers, 2);
+    }
+
+    #[test]
+    fn trace_selection_and_rest() {
+        let a = parse(&["--trace", "kth", "--trace", "CTC", "--frobnicate"]).unwrap();
+        let names: Vec<&str> = a.traces.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["KTH", "CTC"]);
+        assert_eq!(a.rest, vec!["--frobnicate"]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "x"]).is_err());
+        assert!(parse(&["--trace", "nope"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Parameter sweeps: traces × shrinking factors × schedulers × job sets.
+//!
+//! The paper's experiment grid: for each of the four traces, generate K
+//! synthetic job sets, scale each by every shrinking factor, run every
+//! scheduler on every scaled set, and combine the K per-set results by
+//! dropping min and max and averaging the rest.
+//!
+//! Runs execute on a small worker pool (crossbeam scoped threads); every
+//! run is independent and deterministic, so the sweep result does not
+//! depend on scheduling order or worker count.
+
+use crate::runner::simulate;
+use crate::spec::SchedulerSpec;
+use dynp_metrics::{CombinedMetrics, SimMetrics};
+use dynp_workload::{transform, JobSet, TraceModel};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One cell of the experiment grid.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Trace name ("CTC", …).
+    pub trace: String,
+    /// Shrinking factor.
+    pub factor: f64,
+    /// Scheduler display name.
+    pub scheduler: String,
+}
+
+/// A cell with its combined (drop-min/max averaged) metrics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Grid coordinates.
+    pub cell: Cell,
+    /// Combined metrics over the K job sets.
+    pub combined: CombinedMetrics,
+}
+
+/// The full sweep result.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// All cells, in (trace, factor, scheduler) iteration order.
+    pub cells: Vec<CellResult>,
+}
+
+impl ExperimentResult {
+    /// Looks a cell up by coordinates.
+    pub fn get(&self, trace: &str, factor: f64, scheduler: &str) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.cell.trace == trace
+                && (c.cell.factor - factor).abs() < 1e-9
+                && c.cell.scheduler == scheduler
+        })
+    }
+
+    /// Combined SLDwA of a cell (`NaN` when absent).
+    pub fn sldwa(&self, trace: &str, factor: f64, scheduler: &str) -> f64 {
+        self.get(trace, factor, scheduler)
+            .map_or(f64::NAN, |c| c.combined.sldwa)
+    }
+
+    /// Combined utilization of a cell (`NaN` when absent).
+    pub fn utilization(&self, trace: &str, factor: f64, scheduler: &str) -> f64 {
+        self.get(trace, factor, scheduler)
+            .map_or(f64::NAN, |c| c.combined.utilization)
+    }
+}
+
+/// A sweep definition.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Workload models to sweep.
+    pub traces: Vec<TraceModel>,
+    /// Shrinking factors (paper: 1.0 … 0.6).
+    pub factors: Vec<f64>,
+    /// Scheduler line-up.
+    pub schedulers: Vec<SchedulerSpec>,
+    /// Jobs per synthetic set (paper: 10,000).
+    pub jobs_per_set: usize,
+    /// Synthetic sets per trace (paper: 10).
+    pub sets_per_trace: usize,
+    /// Base RNG seed; set i of every trace uses a seed derived from it.
+    pub base_seed: u64,
+    /// Worker threads (0 = one per available core).
+    pub workers: usize,
+}
+
+impl Experiment {
+    /// The paper's grid over the given traces and schedulers at a chosen
+    /// scale.
+    pub fn new(
+        traces: Vec<TraceModel>,
+        schedulers: Vec<SchedulerSpec>,
+        jobs_per_set: usize,
+        sets_per_trace: usize,
+    ) -> Self {
+        Experiment {
+            traces,
+            factors: dynp_workload::traces::SHRINKING_FACTORS.to_vec(),
+            schedulers,
+            jobs_per_set,
+            sets_per_trace,
+            base_seed: 0x5EED,
+            workers: 0,
+        }
+    }
+
+    /// Total number of simulation runs the sweep performs.
+    pub fn total_runs(&self) -> usize {
+        self.traces.len() * self.factors.len() * self.schedulers.len() * self.sets_per_trace
+    }
+
+    /// Runs the sweep, invoking `progress(done, total)` as runs finish.
+    pub fn run_with_progress(&self, progress: impl Fn(usize, usize) + Sync) -> ExperimentResult {
+        // Pre-generate the base (factor 1.0) job sets once per
+        // (trace, set); shrinking is cheap and done per task.
+        let base_sets: Vec<Vec<JobSet>> = self
+            .traces
+            .iter()
+            .map(|m| m.generate_sets(self.jobs_per_set, self.sets_per_trace, self.base_seed))
+            .collect();
+
+        // Task grid: (trace, factor, scheduler, set).
+        struct Task {
+            trace: usize,
+            factor: usize,
+            sched: usize,
+            set: usize,
+        }
+        let mut tasks = Vec::with_capacity(self.total_runs());
+        for t in 0..self.traces.len() {
+            for f in 0..self.factors.len() {
+                for s in 0..self.schedulers.len() {
+                    for k in 0..self.sets_per_trace {
+                        tasks.push(Task {
+                            trace: t,
+                            factor: f,
+                            sched: s,
+                            set: k,
+                        });
+                    }
+                }
+            }
+        }
+
+        let results: Mutex<Vec<Option<SimMetrics>>> = Mutex::new(vec![None; tasks.len()]);
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let total = tasks.len();
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.workers
+        };
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers.min(total.max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let task = &tasks[i];
+                    let base = &base_sets[task.trace][task.set];
+                    let set = transform::shrink(base, self.factors[task.factor]);
+                    let mut scheduler = self.schedulers[task.sched].build();
+                    let run = simulate(&set, scheduler.as_mut());
+                    results.lock()[i] = Some(run.metrics);
+                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    progress(d, total);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        // Combine per cell, preserving the deterministic grid order.
+        let metrics = results.into_inner();
+        let mut cells = Vec::new();
+        let sets = self.sets_per_trace;
+        for (t, model) in self.traces.iter().enumerate() {
+            for (f, &factor) in self.factors.iter().enumerate() {
+                for (s, spec) in self.schedulers.iter().enumerate() {
+                    let base_idx = ((t * self.factors.len() + f) * self.schedulers.len() + s)
+                        * sets;
+                    let runs: Vec<SimMetrics> = (0..sets)
+                        .map(|k| metrics[base_idx + k].expect("missing run result"))
+                        .collect();
+                    cells.push(CellResult {
+                        cell: Cell {
+                            trace: model.name.clone(),
+                            factor,
+                            scheduler: spec.name(),
+                        },
+                        combined: CombinedMetrics::combine(&runs),
+                    });
+                }
+            }
+        }
+        ExperimentResult { cells }
+    }
+
+    /// Runs the sweep silently.
+    pub fn run(&self) -> ExperimentResult {
+        self.run_with_progress(|_, _| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_rms::Policy;
+
+    fn tiny_experiment(workers: usize) -> Experiment {
+        let mut e = Experiment::new(
+            vec![dynp_workload::traces::kth()],
+            vec![
+                SchedulerSpec::Static(Policy::Fcfs),
+                SchedulerSpec::Static(Policy::Sjf),
+            ],
+            120,
+            3,
+        );
+        e.factors = vec![1.0, 0.8];
+        e.workers = workers;
+        e
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let e = tiny_experiment(1);
+        assert_eq!(e.total_runs(), 2 * 2 * 3);
+        let r = e.run();
+        assert_eq!(r.cells.len(), 4); // 1 trace × 2 factors × 2 schedulers
+        for c in &r.cells {
+            assert_eq!(c.combined.runs, 3);
+            assert!(c.combined.sldwa >= 1.0 - 1e-9);
+            assert!(c.combined.utilization > 0.0 && c.combined.utilization <= 1.0);
+        }
+        assert!(r.get("KTH", 0.8, "SJF").is_some());
+        assert!(r.get("KTH", 0.7, "SJF").is_none());
+        assert!(!r.sldwa("KTH", 1.0, "FCFS").is_nan());
+        assert!(r.sldwa("KTH", 1.0, "LJF").is_nan());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let serial = tiny_experiment(1).run();
+        let parallel = tiny_experiment(4).run();
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.combined.sldwa, b.combined.sldwa);
+            assert_eq!(a.combined.utilization, b.combined.utilization);
+        }
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        let e = tiny_experiment(2);
+        let max_seen = std::sync::atomic::AtomicUsize::new(0);
+        let r = e.run_with_progress(|done, total| {
+            assert!(done <= total);
+            max_seen.fetch_max(done, Ordering::Relaxed);
+        });
+        assert_eq!(max_seen.load(Ordering::Relaxed), e.total_runs());
+        assert_eq!(r.cells.len(), 4);
+    }
+
+    #[test]
+    fn higher_load_does_not_reduce_slowdown() {
+        // Shrinking to 0.8 strictly increases offered load; SLDwA should
+        // not get (noticeably) better.
+        let r = tiny_experiment(1).run();
+        let light = r.sldwa("KTH", 1.0, "FCFS");
+        let heavy = r.sldwa("KTH", 0.8, "FCFS");
+        assert!(
+            heavy >= light * 0.9,
+            "heavier load should not improve slowdown much: {light} → {heavy}"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # dynp-sim — the experiment harness
+//!
+//! Binds the substrates together and regenerates the paper's evaluation:
+//!
+//! * [`runner`] — runs one job set through one scheduler on the discrete
+//!   event engine and measures the result;
+//! * [`spec`] — serializable scheduler specifications (static policies,
+//!   dynP with any decider) so experiments are data;
+//! * [`experiment`] — parameter sweeps over traces × shrinking factors ×
+//!   schedulers with multi-set replication, worker-thread execution and
+//!   the paper's drop-min/max combination;
+//! * [`report`] — text/CSV/gnuplot rendering of result tables.
+//!
+//! The binaries in `src/bin/` map one-to-one onto the paper's tables and
+//! figures (see DESIGN.md §3): `table1`, `table2`, `table4` (Figures
+//! 1–2), `table5` (Figures 3–4, includes Table 3), plus the ablation
+//! studies `ablation_preferred`, `ablation_threshold`, `ablation_step`.
+
+pub mod cli;
+pub mod experiment;
+pub mod paper_ref;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod svg;
+
+pub use experiment::{Cell, CellResult, Experiment, ExperimentResult};
+pub use runner::{simulate, simulate_detailed, DetailedRun, RunObservations, RunResult};
+pub use spec::SchedulerSpec;

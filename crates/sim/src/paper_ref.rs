@@ -1,0 +1,271 @@
+//! The published numbers of the paper, transcribed for side-by-side
+//! comparison in the experiment binaries and EXPERIMENTS.md.
+//!
+//! Source: A. Streit, "Evaluation of an Unfair Decider Mechanism for the
+//! Self-Tuning dynP Job Scheduler", IPDPS 2004 — Tables 2, 3, 4 and 5.
+
+/// One Table 2 row: trace statistics of the original archive traces.
+#[derive(Clone, Copy, Debug)]
+pub struct Table2Ref {
+    /// Trace name.
+    pub trace: &'static str,
+    /// Jobs in the original trace.
+    pub jobs: u64,
+    /// Requested resources: (min, avg, max).
+    pub width: (f64, f64, f64),
+    /// Available resources on the machine.
+    pub machine: u32,
+    /// Estimated run time in seconds: (min, avg, max).
+    pub estimate: (f64, f64, f64),
+    /// Actual run time in seconds: (min, avg, max).
+    pub actual: (f64, f64, f64),
+    /// Average overestimation factor.
+    pub overestimation: f64,
+    /// Interarrival time in seconds: (min, avg, max).
+    pub interarrival: (f64, f64, f64),
+}
+
+/// The paper's Table 2.
+pub const TABLE2: [Table2Ref; 4] = [
+    Table2Ref {
+        trace: "CTC",
+        jobs: 79_302,
+        width: (1.0, 10.72, 336.0),
+        machine: 430,
+        estimate: (0.0, 24_324.0, 64_800.0),
+        actual: (0.0, 10_958.0, 64_800.0),
+        overestimation: 2.220,
+        interarrival: (0.0, 369.0, 164_472.0),
+    },
+    Table2Ref {
+        trace: "KTH",
+        jobs: 28_490,
+        width: (1.0, 7.66, 100.0),
+        machine: 100,
+        estimate: (60.0, 13_678.0, 216_000.0),
+        actual: (0.0, 8_858.0, 216_000.0),
+        overestimation: 1.544,
+        interarrival: (0.0, 1_031.0, 327_952.0),
+    },
+    Table2Ref {
+        trace: "LANL",
+        jobs: 201_387,
+        width: (32.0, 104.95, 1_024.0),
+        machine: 1_024,
+        estimate: (1.0, 3_683.0, 30_000.0),
+        actual: (1.0, 1_659.0, 25_200.0),
+        overestimation: 2.220,
+        interarrival: (0.0, 509.0, 201_006.0),
+    },
+    Table2Ref {
+        trace: "SDSC",
+        jobs: 67_667,
+        width: (1.0, 10.54, 128.0),
+        machine: 128,
+        estimate: (2.0, 14_344.0, 172_800.0),
+        actual: (0.0, 6_077.0, 172_800.0),
+        overestimation: 2.360,
+        interarrival: (0.0, 934.0, 79_503.0),
+    },
+];
+
+/// One Table 4 row: static-policy results at one (trace, factor) point.
+/// Policy order: FCFS, SJF, LJF.
+#[derive(Clone, Copy, Debug)]
+pub struct Table4Ref {
+    /// Trace name.
+    pub trace: &'static str,
+    /// Shrinking factor.
+    pub factor: f64,
+    /// SLDwA per policy (FCFS, SJF, LJF).
+    pub sldwa: [f64; 3],
+    /// Utilization in percent per policy (FCFS, SJF, LJF).
+    pub util: [f64; 3],
+}
+
+/// The paper's Table 4 (data behind Figures 1 and 2).
+pub const TABLE4: [Table4Ref; 20] = [
+    Table4Ref { trace: "CTC", factor: 1.0, sldwa: [2.61, 2.78, 3.55], util: [76.20, 75.48, 76.50] },
+    Table4Ref { trace: "CTC", factor: 0.9, sldwa: [3.99, 4.80, 5.99], util: [83.43, 80.74, 84.29] },
+    Table4Ref { trace: "CTC", factor: 0.8, sldwa: [7.51, 8.36, 13.25], util: [89.13, 83.07, 91.70] },
+    Table4Ref { trace: "CTC", factor: 0.7, sldwa: [13.01, 12.27, 23.42], util: [91.65, 85.36, 95.01] },
+    Table4Ref { trace: "CTC", factor: 0.6, sldwa: [19.61, 17.46, 36.22], util: [93.38, 85.94, 96.60] },
+    Table4Ref { trace: "KTH", factor: 1.0, sldwa: [4.06, 3.32, 7.33], util: [69.33, 68.81, 69.48] },
+    Table4Ref { trace: "KTH", factor: 0.9, sldwa: [5.51, 4.35, 11.11], util: [76.64, 75.46, 76.84] },
+    Table4Ref { trace: "KTH", factor: 0.8, sldwa: [9.00, 6.85, 20.75], util: [85.08, 80.37, 85.41] },
+    Table4Ref { trace: "KTH", factor: 0.7, sldwa: [20.72, 12.29, 54.58], util: [92.08, 82.59, 93.20] },
+    Table4Ref { trace: "KTH", factor: 0.6, sldwa: [45.73, 21.29, 120.84], util: [94.03, 84.25, 96.30] },
+    Table4Ref { trace: "LANL", factor: 1.0, sldwa: [2.53, 2.47, 2.92], util: [63.61, 63.61, 63.63] },
+    Table4Ref { trace: "LANL", factor: 0.9, sldwa: [3.20, 3.16, 3.83], util: [70.64, 70.59, 70.66] },
+    Table4Ref { trace: "LANL", factor: 0.8, sldwa: [4.69, 5.11, 6.26], util: [79.37, 79.11, 79.42] },
+    Table4Ref { trace: "LANL", factor: 0.7, sldwa: [10.05, 14.93, 16.52], util: [90.13, 85.46, 90.43] },
+    Table4Ref { trace: "LANL", factor: 0.6, sldwa: [44.46, 41.73, 82.88], util: [96.10, 86.71, 97.67] },
+    Table4Ref { trace: "SDSC", factor: 1.0, sldwa: [6.16, 6.00, 14.49], util: [79.41, 78.59, 79.69] },
+    Table4Ref { trace: "SDSC", factor: 0.9, sldwa: [10.36, 16.48, 30.70], util: [86.85, 80.55, 87.49] },
+    Table4Ref { trace: "SDSC", factor: 0.8, sldwa: [25.06, 29.86, 84.77], util: [91.83, 81.23, 92.87] },
+    Table4Ref { trace: "SDSC", factor: 0.7, sldwa: [46.20, 42.83, 121.05], util: [93.15, 81.87, 95.00] },
+    Table4Ref { trace: "SDSC", factor: 0.6, sldwa: [71.08, 57.01, 162.54], util: [94.05, 82.38, 96.19] },
+];
+
+/// One Table 5 row: SJF vs dynP (advanced, SJF-preferred) at one
+/// (trace, factor) point.
+#[derive(Clone, Copy, Debug)]
+pub struct Table5Ref {
+    /// Trace name.
+    pub trace: &'static str,
+    /// Shrinking factor.
+    pub factor: f64,
+    /// SLDwA: (SJF, advanced, SJF-preferred).
+    pub sldwa: [f64; 3],
+    /// Utilization in percent: (SJF, advanced, SJF-preferred).
+    pub util: [f64; 3],
+}
+
+/// The paper's Table 5 (data behind Figures 3 and 4). The advanced-
+/// decider utilization at KTH/0.7 is blank in the paper; it is
+/// reconstructed from the printed −0.22 %-point difference.
+pub const TABLE5: [Table5Ref; 20] = [
+    Table5Ref { trace: "CTC", factor: 1.0, sldwa: [2.78, 2.48, 2.49], util: [75.48, 76.07, 76.13] },
+    Table5Ref { trace: "CTC", factor: 0.9, sldwa: [4.80, 4.16, 3.90], util: [80.74, 82.09, 82.54] },
+    Table5Ref { trace: "CTC", factor: 0.8, sldwa: [8.36, 7.44, 7.37], util: [83.07, 84.84, 84.72] },
+    Table5Ref { trace: "CTC", factor: 0.7, sldwa: [12.27, 11.76, 11.83], util: [85.36, 86.32, 86.30] },
+    Table5Ref { trace: "CTC", factor: 0.6, sldwa: [17.46, 16.40, 16.54], util: [85.94, 87.39, 86.95] },
+    Table5Ref { trace: "KTH", factor: 1.0, sldwa: [3.32, 3.25, 3.20], util: [68.81, 69.04, 68.98] },
+    Table5Ref { trace: "KTH", factor: 0.9, sldwa: [4.35, 4.31, 4.42], util: [75.46, 75.68, 75.68] },
+    Table5Ref { trace: "KTH", factor: 0.8, sldwa: [6.85, 6.70, 6.91], util: [80.37, 80.72, 80.63] },
+    Table5Ref { trace: "KTH", factor: 0.7, sldwa: [12.29, 12.79, 12.80], util: [82.59, 82.37, 82.42] },
+    Table5Ref { trace: "KTH", factor: 0.6, sldwa: [21.29, 21.41, 21.45], util: [84.25, 84.33, 84.40] },
+    Table5Ref { trace: "LANL", factor: 1.0, sldwa: [2.47, 2.43, 2.42], util: [63.61, 63.61, 63.61] },
+    Table5Ref { trace: "LANL", factor: 0.9, sldwa: [3.16, 3.13, 3.13], util: [70.59, 70.63, 70.63] },
+    Table5Ref { trace: "LANL", factor: 0.8, sldwa: [5.11, 4.95, 5.00], util: [79.11, 79.14, 79.12] },
+    Table5Ref { trace: "LANL", factor: 0.7, sldwa: [14.93, 14.50, 14.58], util: [85.46, 85.64, 85.57] },
+    Table5Ref { trace: "LANL", factor: 0.6, sldwa: [41.73, 42.37, 42.13], util: [86.71, 86.81, 87.00] },
+    Table5Ref { trace: "SDSC", factor: 1.0, sldwa: [6.00, 5.56, 5.59], util: [78.59, 78.75, 78.73] },
+    Table5Ref { trace: "SDSC", factor: 0.9, sldwa: [16.48, 13.90, 14.09], util: [80.55, 81.99, 82.20] },
+    Table5Ref { trace: "SDSC", factor: 0.8, sldwa: [29.86, 27.64, 27.54], util: [81.23, 82.59, 82.42] },
+    Table5Ref { trace: "SDSC", factor: 0.7, sldwa: [42.83, 41.95, 41.74], util: [81.87, 83.01, 82.96] },
+    Table5Ref { trace: "SDSC", factor: 0.6, sldwa: [57.01, 57.35, 57.29], util: [82.38, 82.94, 82.86] },
+];
+
+/// One Table 3 row: per-trace averages of the Table 5 differences.
+#[derive(Clone, Copy, Debug)]
+pub struct Table3Ref {
+    /// Trace name.
+    pub trace: &'static str,
+    /// Average relative SLDwA difference to SJF in % (advanced,
+    /// SJF-preferred); positive is good.
+    pub sldwa_diff_pct: [f64; 2],
+    /// Average absolute utilization difference to SJF in %-points
+    /// (advanced, SJF-preferred).
+    pub util_diff_pts: [f64; 2],
+}
+
+/// The paper's Table 3.
+pub const TABLE3: [Table3Ref; 4] = [
+    Table3Ref { trace: "CTC", sldwa_diff_pct: [9.04, 9.92], util_diff_pts: [1.22, 1.21] },
+    Table3Ref { trace: "KTH", sldwa_diff_pct: [0.15, -0.72], util_diff_pts: [0.13, 0.12] },
+    Table3Ref { trace: "LANL", sldwa_diff_pct: [1.51, 1.29], util_diff_pts: [0.07, 0.09] },
+    Table3Ref { trace: "SDSC", sldwa_diff_pct: [6.36, 6.22], util_diff_pts: [0.93, 0.91] },
+];
+
+/// Table 4 lookup.
+pub fn table4(trace: &str, factor: f64) -> Option<&'static Table4Ref> {
+    TABLE4
+        .iter()
+        .find(|r| r.trace == trace && (r.factor - factor).abs() < 1e-9)
+}
+
+/// Table 5 lookup.
+pub fn table5(trace: &str, factor: f64) -> Option<&'static Table5Ref> {
+    TABLE5
+        .iter()
+        .find(|r| r.trace == trace && (r.factor - factor).abs() < 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_complete_grids() {
+        for trace in ["CTC", "KTH", "LANL", "SDSC"] {
+            for factor in [1.0, 0.9, 0.8, 0.7, 0.6] {
+                assert!(table4(trace, factor).is_some(), "T4 {trace}@{factor}");
+                assert!(table5(trace, factor).is_some(), "T5 {trace}@{factor}");
+            }
+        }
+        assert!(table4("CTC", 0.5).is_none());
+    }
+
+    /// Consistency: the SJF column of Table 5 must equal the SJF column
+    /// of Table 4 (the paper prints the same values twice).
+    #[test]
+    fn sjf_columns_agree_between_tables() {
+        for t5 in &TABLE5 {
+            let t4 = table4(t5.trace, t5.factor).unwrap();
+            assert_eq!(t5.sldwa[0], t4.sldwa[1], "{} {}", t5.trace, t5.factor);
+            assert_eq!(t5.util[0], t4.util[1], "{} {}", t5.trace, t5.factor);
+        }
+    }
+
+    /// Consistency: Table 3 equals the per-trace averages of the Table 5
+    /// differences (within rounding of the printed values).
+    #[test]
+    fn table3_is_the_average_of_table5_differences() {
+        for t3 in &TABLE3 {
+            let rows: Vec<&Table5Ref> =
+                TABLE5.iter().filter(|r| r.trace == t3.trace).collect();
+            for (k, col) in [1usize, 2].into_iter().enumerate() {
+                let sld_avg: f64 = rows
+                    .iter()
+                    .map(|r| (r.sldwa[0] - r.sldwa[col]) / r.sldwa[0] * 100.0)
+                    .sum::<f64>()
+                    / rows.len() as f64;
+                assert!(
+                    (sld_avg - t3.sldwa_diff_pct[k]).abs() < 0.15,
+                    "{} col {col}: {sld_avg:.2} vs {}",
+                    t3.trace,
+                    t3.sldwa_diff_pct[k]
+                );
+                let util_avg: f64 = rows
+                    .iter()
+                    .map(|r| r.util[col] - r.util[0])
+                    .sum::<f64>()
+                    / rows.len() as f64;
+                assert!(
+                    (util_avg - t3.util_diff_pts[k]).abs() < 0.05,
+                    "{} col {col}: {util_avg:.2} vs {}",
+                    t3.trace,
+                    t3.util_diff_pts[k]
+                );
+            }
+        }
+    }
+
+    /// The paper's qualitative claims hold in its own numbers — the same
+    /// predicates EXPERIMENTS.md checks against our reproduction.
+    #[test]
+    fn papers_shape_claims_hold_in_reference_data() {
+        // SJF best on KTH at every factor.
+        for r in TABLE4.iter().filter(|r| r.trace == "KTH") {
+            assert!(r.sldwa[1] < r.sldwa[0] && r.sldwa[1] < r.sldwa[2]);
+        }
+        // LJF always worst slowdown, best-or-tied utilization.
+        for r in &TABLE4 {
+            assert!(r.sldwa[2] >= r.sldwa[0] && r.sldwa[2] >= r.sldwa[1]);
+            assert!(r.util[2] >= r.util[0] - 0.01 && r.util[2] >= r.util[1]);
+        }
+        // FCFS beats SJF on CTC at light load and on SDSC at medium load
+        // (at SDSC/1.0 the paper's own numbers have SJF marginally ahead,
+        // 6.00 vs 6.16, despite the prose).
+        for (trace, factor) in [("CTC", 1.0), ("CTC", 0.9), ("SDSC", 0.9), ("SDSC", 0.8)] {
+            let r = table4(trace, factor).unwrap();
+            assert!(r.sldwa[0] < r.sldwa[1], "{trace}@{factor}");
+        }
+        // SJF overtakes FCFS on CTC and SDSC at the heaviest loads.
+        for trace in ["CTC", "SDSC"] {
+            let r = table4(trace, 0.6).unwrap();
+            assert!(r.sldwa[1] < r.sldwa[0]);
+        }
+    }
+}

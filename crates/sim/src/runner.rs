@@ -1,0 +1,309 @@
+//! The single-run simulation loop.
+//!
+//! Drives one [`JobSet`] through one [`Scheduler`] on the discrete event
+//! engine. Two event kinds exist — job arrival and job completion — and
+//! the scheduler replans on every event, exactly the paper's setup
+//! ("such a self-tuning dynP step is done … when jobs are submitted and
+//! when executed jobs finish"). After replanning, every job whose planned
+//! start is due is started and its completion event scheduled.
+
+use dynp_des::{Engine, TimeWeighted};
+use dynp_metrics::SimMetrics;
+use dynp_rms::{CompletedJob, ReplanReason, RmsState, Scheduler};
+use dynp_workload::{JobId, JobSet};
+use serde::{Deserialize, Serialize};
+
+/// Events of the RMS simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Event {
+    /// A job reaches the system.
+    Arrive(JobId),
+    /// A running job's actual run time elapses.
+    Finish(JobId),
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Aggregate metrics of the completed job set.
+    pub metrics: SimMetrics,
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// Job-set name.
+    pub job_set: String,
+    /// Number of processed events (arrivals + completions).
+    pub events: u64,
+}
+
+/// Queue and occupancy statistics observed *during* a run (not derivable
+/// from the aggregate metrics alone).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RunObservations {
+    /// Largest waiting-queue depth reached.
+    pub peak_queue: usize,
+    /// Time-weighted mean waiting-queue depth.
+    pub mean_queue: f64,
+    /// Time-weighted mean busy processors.
+    pub mean_busy: f64,
+}
+
+/// A run result together with the realized per-job records and in-run
+/// observations — for timelines, histograms and debugging.
+#[derive(Clone, Debug)]
+pub struct DetailedRun {
+    /// The aggregate result (same as [`simulate`]).
+    pub result: RunResult,
+    /// Completed-job records in completion order.
+    pub completed: Vec<CompletedJob>,
+    /// Queue/occupancy observations.
+    pub observations: RunObservations,
+}
+
+/// Simulates `set` under `scheduler` until every job has completed.
+///
+/// # Panics
+/// Panics if the run ends with unfinished jobs — that would be a
+/// scheduler or driver bug, not a data condition (FCFS fallback ordering
+/// makes every policy starvation-free in a drained system).
+pub fn simulate(set: &JobSet, scheduler: &mut dyn Scheduler) -> RunResult {
+    simulate_detailed(set, scheduler).result
+}
+
+/// Like [`simulate`], but also returns the completed-job records and
+/// in-run queue/occupancy observations.
+pub fn simulate_detailed(set: &JobSet, scheduler: &mut dyn Scheduler) -> DetailedRun {
+    let mut state = RmsState::new(set.machine_size);
+    let mut engine: Engine<Event> = Engine::new();
+    for job in set.jobs() {
+        engine.schedule_at(job.submit, Event::Arrive(job.id));
+    }
+    let t0 = set.first_submit();
+    let mut queue_tw = TimeWeighted::new(t0, 0.0);
+    let mut busy_tw = TimeWeighted::new(t0, 0.0);
+    let mut peak_queue = 0usize;
+
+    engine.run(|eng, event| {
+        let now = eng.now();
+        let reason = match event {
+            Event::Arrive(id) => {
+                state.submit(*set.job(id));
+                ReplanReason::Submission
+            }
+            Event::Finish(id) => {
+                state.complete(id, now);
+                ReplanReason::Completion
+            }
+        };
+        let schedule = scheduler.replan(&state, now, reason);
+        for entry in schedule.due(now) {
+            let run = state.start(entry.job.id, now);
+            eng.schedule_at(run.actual_end(), Event::Finish(entry.job.id));
+        }
+        peak_queue = peak_queue.max(state.waiting().len());
+        queue_tw.set(now, state.waiting().len() as f64);
+        busy_tw.set(
+            now,
+            (state.machine_size() - state.free_processors()) as f64,
+        );
+    });
+
+    assert!(
+        state.is_idle(),
+        "simulation drained with {} waiting / {} running jobs",
+        state.waiting().len(),
+        state.running().len()
+    );
+    assert_eq!(
+        state.completed().len(),
+        set.len(),
+        "job conservation violated"
+    );
+
+    let end = engine.now();
+    let result = RunResult {
+        metrics: SimMetrics::measure(set.machine_size, state.completed()),
+        scheduler: scheduler.name(),
+        job_set: set.name.clone(),
+        events: engine.processed(),
+    };
+    DetailedRun {
+        result,
+        observations: RunObservations {
+            peak_queue,
+            mean_queue: queue_tw.average_until(end),
+            mean_busy: busy_tw.average_until(end),
+        },
+        completed: state.into_completed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_core::{DeciderKind, DynPConfig, SelfTuningScheduler};
+    use dynp_des::{SimDuration, SimTime};
+    use dynp_rms::{Policy, StaticScheduler};
+    use dynp_workload::{Job, JobId};
+
+    fn j(id: u32, submit_s: u64, width: u32, est_s: u64, act_s: u64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(submit_s),
+            width,
+            SimDuration::from_secs(est_s),
+            SimDuration::from_secs(act_s),
+        )
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let set = JobSet::new("t", 4, vec![j(0, 10, 2, 100, 60)]);
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let r = simulate(&set, &mut s);
+        assert_eq!(r.metrics.jobs, 1);
+        assert_eq!(r.metrics.avg_wait_secs, 0.0);
+        assert_eq!(r.metrics.sldwa, 1.0);
+        assert_eq!(r.events, 2);
+        // Runs 10..70 on 2 of 4 procs; span from submit 10 to end 70.
+        assert!((r.metrics.utilization - (60.0 * 2.0) / (4.0 * 60.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fcfs_serializes_conflicting_jobs() {
+        // Machine 2, both jobs width 2: second waits for the first's
+        // ACTUAL end (30), not its estimate (100) — early-completion
+        // replanning pulls it forward.
+        let set = JobSet::new("t", 2, vec![j(0, 0, 2, 100, 30), j(1, 0, 2, 50, 50)]);
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let r = simulate(&set, &mut s);
+        // Job 1: wait 30, run 50 → response 80, slowdown 80/50 = 1.6.
+        assert!((r.metrics.avg_wait_secs - 15.0).abs() < 1e-9);
+        let expected_sldwa =
+            (30.0 * 2.0 * 1.0 + 50.0 * 2.0 * 1.6) / (30.0 * 2.0 + 50.0 * 2.0);
+        assert!((r.metrics.sldwa - expected_sldwa).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sjf_reorders_queue_but_never_kills_running_jobs() {
+        // Long job arrives first and starts; short job arrives while it
+        // runs. SJF cannot preempt: the short job waits for the free
+        // processor.
+        let set = JobSet::new("t", 2, vec![j(0, 0, 2, 1_000, 1_000), j(1, 10, 2, 10, 10)]);
+        let mut s = StaticScheduler::new(Policy::Sjf);
+        let r = simulate(&set, &mut s);
+        // Short job waits 990 s.
+        assert!((r.metrics.avg_wait_secs - 495.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backfilling_uses_gaps_without_delaying_the_queue_head() {
+        // Machine 4. Running: width 3 until t=100 (actual = estimate).
+        // Queue: wide job (4) then a narrow short job (1×50).
+        let set = JobSet::new(
+            "t",
+            4,
+            vec![
+                j(0, 0, 3, 100, 100),
+                j(1, 1, 4, 100, 100),
+                j(2, 2, 1, 50, 50),
+            ],
+        );
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let r = simulate(&set, &mut s);
+        // Job 2 backfills at t=2 (1 proc free), finishing at 52 — before
+        // job 1 starts at 100. Its wait is 0.
+        let done_job2 = r.metrics.jobs == 3;
+        assert!(done_job2);
+        // Waits: job0 = 0, job1 = 99, job2 = 0.
+        assert!((r.metrics.avg_wait_secs - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_completion_triggers_replan_and_pulls_starts_forward() {
+        // Job 0 estimates 1000 but actually runs 100; job 1 (width 2)
+        // must start at job 0's ACTUAL end.
+        let set = JobSet::new("t", 2, vec![j(0, 0, 2, 1_000, 100), j(1, 5, 2, 10, 10)]);
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let r = simulate(&set, &mut s);
+        // Job 1 waits 95 (from submit 5 to start 100), not 995.
+        assert!((r.metrics.avg_wait_secs - 47.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynp_completes_all_jobs_and_records_decisions() {
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| {
+                j(
+                    i,
+                    (i as u64) * 20,
+                    (i % 4) + 1,
+                    if i % 3 == 0 { 2_000 } else { 50 },
+                    if i % 3 == 0 { 1_500 } else { 40 },
+                )
+            })
+            .collect();
+        let set = JobSet::new("t", 8, jobs);
+        let mut s = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+        let r = simulate(&set, &mut s);
+        assert_eq!(r.metrics.jobs, 50);
+        assert_eq!(s.stats.decisions, 100); // one per event
+        assert!(r.metrics.utilization > 0.0 && r.metrics.utilization <= 1.0);
+    }
+
+    #[test]
+    fn detailed_run_observations_are_consistent() {
+        // Machine 2: job 0 runs [0, 100); job 1 waits [0, 100) and runs
+        // [100, 200).
+        let set = JobSet::new("t", 2, vec![j(0, 0, 2, 100, 100), j(1, 0, 2, 100, 100)]);
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let d = simulate_detailed(&set, &mut s);
+        assert_eq!(d.completed.len(), 2);
+        assert_eq!(d.observations.peak_queue, 1);
+        // Queue is 1 over [0, 100) of a 200 s run → mean 0.5.
+        assert!((d.observations.mean_queue - 0.5).abs() < 1e-9);
+        // 2 processors busy the whole time.
+        assert!((d.observations.mean_busy - 2.0).abs() < 1e-9);
+        // The aggregate half matches the plain API.
+        let mut s2 = StaticScheduler::new(Policy::Fcfs);
+        let plain = simulate(&set, &mut s2);
+        assert_eq!(plain.metrics.sldwa.to_bits(), d.result.metrics.sldwa.to_bits());
+    }
+
+    #[test]
+    fn completed_records_cover_every_job() {
+        let set = dynp_workload::traces::ctc().generate(150, 9);
+        let mut s = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+        let d = simulate_detailed(&set, &mut s);
+        let mut ids: Vec<u32> = d.completed.iter().map(|c| c.job.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..150).collect::<Vec<_>>());
+        assert!(d.observations.mean_busy > 0.0);
+        assert!(d.observations.peak_queue >= 1);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_results() {
+        let model = dynp_workload::traces::kth();
+        let set = model.generate(300, 7);
+        let mut a = StaticScheduler::new(Policy::Sjf);
+        let mut b = StaticScheduler::new(Policy::Sjf);
+        let ra = simulate(&set, &mut a);
+        let rb = simulate(&set, &mut b);
+        assert_eq!(ra.metrics.sldwa, rb.metrics.sldwa);
+        assert_eq!(ra.metrics.utilization, rb.metrics.utilization);
+        assert_eq!(ra.events, rb.events);
+    }
+
+    #[test]
+    fn all_policies_complete_every_job() {
+        let model = dynp_workload::traces::sdsc();
+        let set = model.generate(200, 3);
+        for policy in Policy::BASIC {
+            let mut s = StaticScheduler::new(policy);
+            let r = simulate(&set, &mut s);
+            assert_eq!(r.metrics.jobs, 200, "{policy} lost jobs");
+            assert!(r.metrics.sldwa >= 1.0 - 1e-9);
+            assert!(r.metrics.utilization <= 1.0 + 1e-9);
+        }
+    }
+}

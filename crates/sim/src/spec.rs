@@ -1,0 +1,125 @@
+//! Serializable scheduler specifications — experiments as data.
+
+use dynp_core::{DecideOn, DeciderKind, DynPConfig, SelfTuningScheduler};
+use dynp_metrics::Objective;
+use dynp_rms::{EasyBackfillScheduler, Policy, Scheduler, StaticScheduler};
+use serde::{Deserialize, Serialize};
+
+/// A scheduler recipe that can be stored in experiment configurations and
+/// instantiated per run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerSpec {
+    /// A static single-policy scheduler (the paper's baselines).
+    Static(Policy),
+    /// The self-tuning dynP scheduler.
+    DynP {
+        /// Decider mechanism.
+        decider: DeciderKind,
+        /// Objective the plans are scored with.
+        objective: Objective,
+        /// Which events trigger decisions.
+        decide_on: DecideOn,
+    },
+    /// Queueing scheduler with EASY backfilling in the given queue order
+    /// (the non-planning comparator, ablation A4).
+    Easy(Policy),
+}
+
+impl SchedulerSpec {
+    /// dynP with the paper's defaults (SLDwA objective, decisions at
+    /// every event) and the given decider.
+    pub fn dynp(decider: DeciderKind) -> Self {
+        SchedulerSpec::DynP {
+            decider,
+            objective: Objective::SlowdownWeightedByArea,
+            decide_on: DecideOn::AllEvents,
+        }
+    }
+
+    /// The paper's headline line-up: FCFS, SJF, LJF, dynP-advanced,
+    /// dynP-SJF-preferred.
+    pub fn paper_lineup() -> Vec<SchedulerSpec> {
+        vec![
+            SchedulerSpec::Static(Policy::Fcfs),
+            SchedulerSpec::Static(Policy::Sjf),
+            SchedulerSpec::Static(Policy::Ljf),
+            SchedulerSpec::dynp(DeciderKind::Advanced),
+            SchedulerSpec::dynp(DeciderKind::Preferred {
+                policy: Policy::Sjf,
+                threshold: 0.0,
+            }),
+        ]
+    }
+
+    /// Instantiates a fresh scheduler (schedulers are stateful, one per
+    /// run).
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerSpec::Static(policy) => Box::new(StaticScheduler::new(*policy)),
+            SchedulerSpec::DynP {
+                decider,
+                objective,
+                decide_on,
+            } => {
+                let mut config = DynPConfig::paper(*decider);
+                config.objective = *objective;
+                config.decide_on = *decide_on;
+                Box::new(SelfTuningScheduler::new(config))
+            }
+            SchedulerSpec::Easy(policy) => Box::new(EasyBackfillScheduler::new(*policy)),
+        }
+    }
+
+    /// Display name, matching the paper's column heads where applicable.
+    pub fn name(&self) -> String {
+        match self {
+            SchedulerSpec::Static(p) => p.name().to_string(),
+            SchedulerSpec::DynP { decider, .. } => format!("dynP[{}]", decider.name()),
+            SchedulerSpec::Easy(Policy::Fcfs) => "EASY".to_string(),
+            SchedulerSpec::Easy(p) => format!("EASY[{}]", p.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_the_paper() {
+        let names: Vec<String> = SchedulerSpec::paper_lineup()
+            .iter()
+            .map(SchedulerSpec::name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "FCFS",
+                "SJF",
+                "LJF",
+                "dynP[advanced]",
+                "dynP[SJF-preferred]"
+            ]
+        );
+    }
+
+    #[test]
+    fn build_produces_matching_schedulers() {
+        let s = SchedulerSpec::Static(Policy::Ljf).build();
+        assert_eq!(s.name(), "LJF");
+        let d = SchedulerSpec::dynp(DeciderKind::Simple).build();
+        assert_eq!(d.name(), "dynP[simple]");
+        let e = SchedulerSpec::Easy(Policy::Fcfs).build();
+        assert_eq!(e.name(), "EASY");
+        assert_eq!(SchedulerSpec::Easy(Policy::Sjf).name(), "EASY[SJF]");
+    }
+
+    #[test]
+    fn specs_serialize_round_trip() {
+        for spec in SchedulerSpec::paper_lineup() {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: SchedulerSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The job model of §4.2: "a job is defined by the submission time, the
+//! number of requested resources (= width), and the estimated run time
+//! (= length). … Additionally, for the simulation the actual run time is
+//! required."
+
+use dynp_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job within a [`JobSet`]; dense, starting at 0, usable
+/// as a vector index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The id as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// A rigid parallel batch job.
+///
+/// The planning-based RMS schedules on the *estimate* (run time estimates
+/// are mandatory in planning systems); the simulation releases resources
+/// after the *actual* run time. Jobs are killed at their estimate, so
+/// `actual <= estimate` is an invariant (enforced by [`Job::new`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Dense identifier within the owning job set.
+    pub id: JobId,
+    /// Submission (arrival) time.
+    pub submit: SimTime,
+    /// Number of requested processors ("width"). At least 1.
+    pub width: u32,
+    /// Estimated (user-requested) run time ("length"). At least 1 ms.
+    pub estimate: SimDuration,
+    /// Actual run time; `0 < actual <= estimate`.
+    pub actual: SimDuration,
+}
+
+impl Job {
+    /// Creates a job, clamping fields to the model invariants:
+    /// `width >= 1`, `estimate >= 1 ms`, `1 ms <= actual <= estimate`.
+    pub fn new(
+        id: JobId,
+        submit: SimTime,
+        width: u32,
+        estimate: SimDuration,
+        actual: SimDuration,
+    ) -> Self {
+        let estimate = estimate.max(SimDuration::from_millis(1));
+        let actual = actual.max(SimDuration::from_millis(1)).min(estimate);
+        Job {
+            id,
+            submit,
+            width: width.max(1),
+            estimate,
+            actual,
+        }
+    }
+
+    /// The job's area: actual run time (seconds) × width. SLDwA weights
+    /// jobs by this quantity.
+    pub fn area(&self) -> f64 {
+        self.actual.as_secs_f64() * self.width as f64
+    }
+
+    /// The job's *planned* area: estimated run time (seconds) × width —
+    /// what the planner reserves.
+    pub fn estimated_area(&self) -> f64 {
+        self.estimate.as_secs_f64() * self.width as f64
+    }
+
+    /// Ratio estimate/actual for this job (≥ 1 by the invariant).
+    pub fn overestimation(&self) -> f64 {
+        self.estimate.as_secs_f64() / self.actual.as_secs_f64()
+    }
+}
+
+/// A job set: one simulation input, jobs sorted by submission time.
+///
+/// The paper generates "ten synthetic job sets, with 10,000 jobs each …
+/// for each trace".
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobSet {
+    /// Human-readable origin, e.g. `"CTC"` or `"CTC/set3"`.
+    pub name: String,
+    /// Number of processors of the machine this set targets.
+    pub machine_size: u32,
+    /// Jobs in nondecreasing submission order, ids dense `0..n`.
+    jobs: Vec<Job>,
+}
+
+impl JobSet {
+    /// Builds a job set; jobs are sorted by (submit, id) and re-numbered
+    /// densely so `jobs[i].id == JobId(i)`.
+    ///
+    /// # Panics
+    /// Panics if any job is wider than the machine.
+    pub fn new(name: impl Into<String>, machine_size: u32, mut jobs: Vec<Job>) -> Self {
+        assert!(machine_size >= 1, "machine must have at least 1 processor");
+        jobs.sort_by_key(|j| (j.submit, j.id));
+        for (i, j) in jobs.iter_mut().enumerate() {
+            assert!(
+                j.width <= machine_size,
+                "job {} wider ({}) than machine ({machine_size})",
+                j.id,
+                j.width
+            );
+            j.id = JobId(i as u32);
+        }
+        JobSet {
+            name: name.into(),
+            machine_size,
+            jobs,
+        }
+    }
+
+    /// All jobs, sorted by submission time.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Job lookup by id.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.index()]
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the set has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Submission time of the first job ([`SimTime::ZERO`] when empty).
+    pub fn first_submit(&self) -> SimTime {
+        self.jobs.first().map_or(SimTime::ZERO, |j| j.submit)
+    }
+
+    /// Submission time of the last job ([`SimTime::ZERO`] when empty).
+    pub fn last_submit(&self) -> SimTime {
+        self.jobs.last().map_or(SimTime::ZERO, |j| j.submit)
+    }
+
+    /// Total actual area of all jobs (processor-seconds of real work).
+    pub fn total_area(&self) -> f64 {
+        self.jobs.iter().map(Job::area).sum()
+    }
+
+    /// Offered load: total area / (machine size × submission span). A
+    /// rough lower bound on the utilization a scheduler can reach before
+    /// saturation.
+    pub fn offered_load(&self) -> f64 {
+        let span = self
+            .last_submit()
+            .saturating_since(self.first_submit())
+            .as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.total_area() / (self.machine_size as f64 * span)
+    }
+
+    /// Consumes the set and returns its jobs.
+    pub fn into_jobs(self) -> Vec<Job> {
+        self.jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(id: u32, submit_s: u64, width: u32, est_s: u64, act_s: u64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(submit_s),
+            width,
+            SimDuration::from_secs(est_s),
+            SimDuration::from_secs(act_s),
+        )
+    }
+
+    #[test]
+    fn new_clamps_invariants() {
+        let job = Job::new(
+            JobId(0),
+            SimTime::ZERO,
+            0,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(99),
+        );
+        assert_eq!(job.width, 1);
+        assert_eq!(job.actual, job.estimate); // actual clamped to estimate
+        let zero = Job::new(JobId(1), SimTime::ZERO, 4, SimDuration::ZERO, SimDuration::ZERO);
+        assert_eq!(zero.estimate.as_millis(), 1);
+        assert_eq!(zero.actual.as_millis(), 1);
+    }
+
+    #[test]
+    fn area_is_runtime_times_width() {
+        let job = j(0, 0, 8, 100, 50);
+        assert_eq!(job.area(), 400.0);
+        assert_eq!(job.estimated_area(), 800.0);
+        assert_eq!(job.overestimation(), 2.0);
+    }
+
+    #[test]
+    fn jobset_sorts_and_renumbers() {
+        let set = JobSet::new(
+            "t",
+            64,
+            vec![j(7, 30, 1, 5, 5), j(2, 10, 2, 5, 5), j(5, 20, 4, 5, 5)],
+        );
+        let submits: Vec<u64> = set.jobs().iter().map(|x| x.submit.as_millis() / 1000).collect();
+        assert_eq!(submits, vec![10, 20, 30]);
+        for (i, job) in set.jobs().iter().enumerate() {
+            assert_eq!(job.id, JobId(i as u32));
+            assert_eq!(set.job(job.id), job);
+        }
+    }
+
+    #[test]
+    fn jobset_sort_is_stable_for_equal_submits() {
+        let set = JobSet::new(
+            "t",
+            8,
+            vec![j(0, 5, 1, 1, 1), j(1, 5, 2, 1, 1), j(2, 5, 3, 1, 1)],
+        );
+        let widths: Vec<u32> = set.jobs().iter().map(|x| x.width).collect();
+        assert_eq!(widths, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider")]
+    fn jobset_rejects_oversized_jobs() {
+        let _ = JobSet::new("t", 4, vec![j(0, 0, 5, 1, 1)]);
+    }
+
+    #[test]
+    fn offered_load_formula() {
+        // Two width-2 jobs of 50s each, submitted 100s apart, machine 4:
+        // area = 200, span = 100, load = 200 / (4*100) = 0.5.
+        let set = JobSet::new("t", 4, vec![j(0, 0, 2, 50, 50), j(1, 100, 2, 50, 50)]);
+        assert!((set.offered_load() - 0.5).abs() < 1e-12);
+        assert_eq!(set.total_area(), 200.0);
+    }
+
+    #[test]
+    fn empty_set_is_benign() {
+        let set = JobSet::new("t", 4, vec![]);
+        assert!(set.is_empty());
+        assert_eq!(set.offered_load(), 0.0);
+        assert_eq!(set.first_submit(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dynp-workload — parallel job workloads for scheduler evaluation
+//!
+//! The paper evaluates the self-tuning dynP scheduler on four synthetic job
+//! sets "based on traces from the Parallel Workload Archive" (CTC, KTH,
+//! LANL, SDSC). This crate is the workload substrate:
+//!
+//! * [`job`] — the job model: a job is (submission time, width = requested
+//!   processors, length = estimated run time) plus the actual run time
+//!   needed by the simulation, exactly as defined in §4.2 of the paper;
+//! * [`swf`] — reader/writer for the Standard Workload Format used by the
+//!   Parallel Workload Archive, so real traces can be dropped in;
+//! * [`dist`] — distribution toolbox (clamped lognormal, hyperexponential,
+//!   log-uniform, weighted discrete, user-estimate accuracy mixtures);
+//! * [`regime`] — regime-switching user-session model: the temporal
+//!   non-uniformity (interactive bursts, batch phases, parameter studies)
+//!   that policy switching exploits;
+//! * [`model`] — the synthetic generator assembling regimes into job sets
+//!   with a calibrated mean interarrival time;
+//! * [`lublin`] — a Lublin–Feitelson-style parametric model with a
+//!   sinusoidal daily arrival cycle, as an alternative input family;
+//! * [`traces`] — models calibrated to the published Table 2 statistics of
+//!   the four traces;
+//! * [`transform`] — the shrinking-factor workload scaling of §4.2 plus
+//!   job-set utilities;
+//! * [`stats`] — trace statistics (regenerates Table 2 for our inputs).
+
+pub mod dist;
+pub mod job;
+pub mod lublin;
+pub mod model;
+pub mod regime;
+pub mod stats;
+pub mod swf;
+pub mod traces;
+pub mod transform;
+
+pub use job::{Job, JobId, JobSet};
+pub use model::TraceModel;
+pub use stats::TraceStats;
+pub use traces::{ctc, kth, lanl, sdsc, standard_models};
+pub use transform::shrink;

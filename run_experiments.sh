@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper at full scale, plus the
+# ablations at reduced scale. Results land in results/ and results/*.log.
+set -x
+cd "$(dirname "$0")"
+mkdir -p results
+./target/release/table1 > results/table1.log 2>&1
+./target/release/table2 --out results > results/table2.log 2>&1
+./target/release/table4 --out results > results/table4.log 2>&1
+./target/release/table5 --out results > results/table5.log 2>&1
+./target/release/ablation_preferred --jobs 3000 --sets 5 --out results > results/ablation_preferred.log 2>&1
+./target/release/ablation_threshold --jobs 3000 --sets 5 --trace CTC --trace KTH --out results > results/ablation_threshold.log 2>&1
+./target/release/ablation_step --jobs 3000 --sets 5 --trace CTC --trace SDSC --out results > results/ablation_step.log 2>&1
+./target/release/ablation_queue_vs_planning --jobs 3000 --sets 5 --trace CTC --trace SDSC --out results > results/ablation_queue_vs_planning.log 2>&1
+./target/release/figures results > results/figures.log 2>&1
+echo ALL_EXPERIMENTS_DONE
