@@ -35,12 +35,10 @@ fn bench_decider_step(c: &mut Criterion) {
             BenchmarkId::new("dynp_sjf_preferred", depth),
             &depth,
             |b, _| {
-                let mut s = SelfTuningScheduler::new(DynPConfig::paper(
-                    DeciderKind::Preferred {
-                        policy: Policy::Sjf,
-                        threshold: 0.0,
-                    },
-                ));
+                let mut s = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Preferred {
+                    policy: Policy::Sjf,
+                    threshold: 0.0,
+                }));
                 b.iter(|| black_box(s.replan(&state, now, ReplanReason::Submission)))
             },
         );

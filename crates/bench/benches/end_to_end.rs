@@ -43,13 +43,27 @@ fn bench_end_to_end(c: &mut Criterion) {
         ),
         ("simple", DeciderKind::Simple),
     ] {
+        group.bench_with_input(BenchmarkId::new("table5_cell", label), &decider, |b, &d| {
+            b.iter(|| {
+                let mut s = SchedulerSpec::dynp(d).build();
+                black_box(simulate(black_box(&set), s.as_mut()))
+            })
+        });
+    }
+    // The incremental replanning engine against its from-scratch
+    // reference: both produce bit-identical runs, the gap is pure
+    // scheduling overhead.
+    for (label, reference) in [("incremental", false), ("reference", true)] {
         group.bench_with_input(
-            BenchmarkId::new("table5_cell", label),
-            &decider,
-            |b, &d| {
+            BenchmarkId::new("dynp_engine", label),
+            &reference,
+            |b, &reference| {
                 b.iter(|| {
-                    let mut s = SchedulerSpec::dynp(d).build();
-                    black_box(simulate(black_box(&set), s.as_mut()))
+                    let mut s = dynp_core::SelfTuningScheduler::new(dynp_core::DynPConfig::paper(
+                        DeciderKind::Advanced,
+                    ));
+                    s.set_reference_mode(reference);
+                    black_box(simulate(black_box(&set), &mut s))
                 })
             },
         );

@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynp_bench::bench_model;
-use dynp_des::SimTime;
-use dynp_rms::{Planner, Policy};
+use dynp_des::{SimDuration, SimTime};
+use dynp_rms::{Planner, Policy, ReferencePlanner, RunningJob};
 use dynp_workload::Job;
 
 fn queue_of(depth: usize) -> Vec<Job> {
@@ -21,22 +21,71 @@ fn bench_planner(c: &mut Criterion) {
         for policy in [Policy::Fcfs, Policy::Sjf, Policy::Ljf] {
             let mut sorted = queue.clone();
             policy.sort_queue(&mut sorted);
-            group.bench_with_input(
-                BenchmarkId::new(policy.name(), depth),
-                &depth,
-                |b, _| {
-                    let mut planner = Planner::new();
-                    b.iter(|| {
-                        black_box(planner.plan(
-                            100,
-                            SimTime::ZERO,
-                            &[],
-                            black_box(&sorted),
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(policy.name(), depth), &depth, |b, _| {
+                let mut planner = Planner::new();
+                b.iter(|| black_box(planner.plan(100, SimTime::ZERO, &[], black_box(&sorted))))
+            });
         }
+    }
+    group.finish();
+
+    // One full self-tuning planning step (3 policies over the same base
+    // profile): the incremental engine (one prepare + watermark-restored
+    // plans) against the from-scratch reference.
+    let mut group = c.benchmark_group("planning_step_3policy");
+    for &depth in &[64usize, 256] {
+        let queue: Vec<Job> = queue_of(depth)
+            .into_iter()
+            .map(|mut j| {
+                j.submit = SimTime::ZERO;
+                j
+            })
+            .collect();
+        let running: Vec<RunningJob> = (0..32u64)
+            .map(|i| RunningJob {
+                job: Job::new(
+                    dynp_workload::JobId(10_000 + i as u32),
+                    SimTime::ZERO,
+                    (i as u32 % 3) + 1,
+                    SimDuration::from_secs(500 + 13 * i),
+                    SimDuration::from_secs(500 + 13 * i),
+                ),
+                start: SimTime::ZERO,
+            })
+            .collect();
+        let machine = 128u32;
+        let now = SimTime::from_secs(1);
+        let orders: Vec<Vec<Job>> = Policy::BASIC
+            .iter()
+            .map(|p| {
+                let mut q = queue.clone();
+                p.sort_queue(&mut q);
+                q
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("incremental", depth), &depth, |b, _| {
+            let mut planner = Planner::new();
+            let mut plans = vec![Default::default(); Policy::BASIC.len()];
+            b.iter(|| {
+                planner.prepare(machine, now, &running, &[]);
+                for (order, out) in orders.iter().zip(plans.iter_mut()) {
+                    planner.plan_prepared_into(order, out);
+                }
+                black_box(&plans);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", depth), &depth, |b, _| {
+            let mut planner = ReferencePlanner::new();
+            let mut queue_buf: Vec<Job> = Vec::new();
+            b.iter(|| {
+                for policy in Policy::BASIC {
+                    queue_buf.clear();
+                    queue_buf.extend_from_slice(&queue);
+                    policy.sort_queue(&mut queue_buf);
+                    black_box(planner.plan(machine, now, &running, &queue_buf));
+                }
+            })
+        });
     }
     group.finish();
 

@@ -33,11 +33,7 @@ fn bench_profile(c: &mut Criterion) {
             b.iter_batched(
                 || p.clone(),
                 |mut p| {
-                    black_box(p.allocate_earliest(
-                        SimTime::ZERO,
-                        SimDuration::from_secs(300),
-                        30,
-                    ))
+                    black_box(p.allocate_earliest(SimTime::ZERO, SimDuration::from_secs(300), 30))
                 },
                 criterion::BatchSize::SmallInput,
             )

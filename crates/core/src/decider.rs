@@ -296,9 +296,7 @@ mod tests {
             // Draw from a small grid so exact ties happen often — the
             // tie cases are where the deciders differ.
             let v = prop_oneof![Just(1.0f64), Just(2.0), Just(3.0), 0.5f64..5.0];
-            (v.clone(), v.clone(), v).prop_map(|(f, s, l)| {
-                vec![(Fcfs, f), (Sjf, s), (Ljf, l)]
-            })
+            (v.clone(), v.clone(), v).prop_map(|(f, s, l)| vec![(Fcfs, f), (Sjf, s), (Ljf, l)])
         }
 
         fn arb_old() -> impl Strategy<Value = Policy> {

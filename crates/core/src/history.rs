@@ -38,9 +38,6 @@ impl PolicyHistory {
     /// Reconstructs the timeline from a run's switch statistics: the
     /// initial policy holds from `start` until the first logged switch,
     /// and the last policy holds until `end`.
-    ///
-    /// Log entries with unparseable policy names are skipped (the log
-    /// stores display names).
     pub fn reconstruct(
         initial: Policy,
         stats: &SwitchStats,
@@ -50,17 +47,14 @@ impl PolicyHistory {
         let mut segments = Vec::with_capacity(stats.log.len() + 1);
         let mut current = initial;
         let mut seg_start = start;
-        for (time, name) in &stats.log {
-            let Some(next) = Policy::parse(name) else {
-                continue;
-            };
-            if *time > seg_start {
+        for &(time, next) in &stats.log {
+            if time > seg_start {
                 segments.push(PolicySegment {
                     start: seg_start,
-                    end: *time,
+                    end: time,
                     policy: current,
                 });
-                seg_start = *time;
+                seg_start = time;
             }
             current = next;
         }
@@ -153,21 +147,18 @@ mod tests {
         SimTime::from_secs(secs)
     }
 
-    fn stats_with_log(entries: &[(u64, &str)]) -> SwitchStats {
+    fn stats_with_log(entries: &[(u64, Policy)]) -> SwitchStats {
         SwitchStats {
             decisions: entries.len() as u64,
             switches: entries.len() as u64,
             chosen: Default::default(),
-            log: entries
-                .iter()
-                .map(|&(s, n)| (t(s), n.to_string()))
-                .collect(),
+            log: entries.iter().map(|&(s, p)| (t(s), p)).collect(),
         }
     }
 
     #[test]
     fn reconstructs_segments_with_boundaries() {
-        let stats = stats_with_log(&[(100, "SJF"), (300, "LJF")]);
+        let stats = stats_with_log(&[(100, Policy::Sjf), (300, Policy::Ljf)]);
         let h = PolicyHistory::reconstruct(Policy::Fcfs, &stats, t(0), t(1_000));
         assert_eq!(h.segments().len(), 3);
         assert_eq!(h.segments()[0].policy, Policy::Fcfs);
@@ -182,7 +173,7 @@ mod tests {
 
     #[test]
     fn time_accounting_sums_split_segments() {
-        let stats = stats_with_log(&[(100, "SJF"), (200, "FCFS"), (400, "SJF")]);
+        let stats = stats_with_log(&[(100, Policy::Sjf), (200, Policy::Fcfs), (400, Policy::Sjf)]);
         let h = PolicyHistory::reconstruct(Policy::Fcfs, &stats, t(0), t(500));
         // FCFS: [0,100) + [200,400) = 300; SJF: [100,200) + [400,500) = 200.
         assert_eq!(h.time_in(Policy::Fcfs), SimDuration::from_secs(300));
@@ -216,24 +207,17 @@ mod tests {
     #[test]
     fn flapping_detection() {
         // Three 1-second segments then a long one.
-        let stats = stats_with_log(&[(1, "SJF"), (2, "FCFS"), (3, "LJF")]);
+        let stats = stats_with_log(&[(1, Policy::Sjf), (2, Policy::Fcfs), (3, Policy::Ljf)]);
         let h = PolicyHistory::reconstruct(Policy::Fcfs, &stats, t(0), t(1_000));
         let share = h.flapping_share(SimDuration::from_secs(5));
         assert!((share - 0.75).abs() < 1e-12, "{share}");
     }
 
     #[test]
-    fn unparseable_log_entries_are_skipped() {
-        let stats = stats_with_log(&[(10, "SJF"), (20, "???"), (30, "LJF")]);
-        let h = PolicyHistory::reconstruct(Policy::Fcfs, &stats, t(0), t(100));
-        assert_eq!(h.segments().len(), 3); // FCFS, SJF, LJF
-    }
-
-    #[test]
     fn coincident_switch_times_collapse() {
         // A switch logged at the same instant as the previous one
         // produces no zero-length segment.
-        let stats = stats_with_log(&[(10, "SJF"), (10, "LJF")]);
+        let stats = stats_with_log(&[(10, Policy::Sjf), (10, Policy::Ljf)]);
         let h = PolicyHistory::reconstruct(Policy::Fcfs, &stats, t(0), t(100));
         assert_eq!(h.segments().len(), 2);
         assert_eq!(h.segments()[1].policy, Policy::Ljf);

@@ -4,10 +4,11 @@ use crate::compare::EPSILON;
 use crate::decider::DeciderKind;
 use dynp_des::SimTime;
 use dynp_metrics::Objective;
-use dynp_rms::{Planner, Policy, ReplanReason, RmsState, Schedule, Scheduler};
+use dynp_rms::{
+    Planner, Policy, QueueChange, ReferencePlanner, ReplanReason, RmsState, Schedule, Scheduler,
+};
 use dynp_workload::Job;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Which events trigger a self-tuning step. "An option for the
 /// self-tuning dynP scheduler is to do the self-tuning dynP step only
@@ -57,16 +58,16 @@ impl DynPConfig {
 }
 
 /// Bookkeeping of the decisions a dynP run made.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SwitchStats {
     /// Number of self-tuning steps (decisions) taken.
     pub decisions: u64,
     /// Number of decisions that changed the active policy.
     pub switches: u64,
-    /// Decisions won per policy name.
-    pub chosen: BTreeMap<String, u64>,
-    /// The switch log: (time, new policy name), recorded only on change.
-    pub log: Vec<(SimTime, String)>,
+    /// Decisions won per policy, indexed by [`Policy::index`].
+    pub chosen: [u64; Policy::COUNT],
+    /// The switch log: (time, new policy), recorded only on change.
+    pub log: Vec<(SimTime, Policy)>,
 }
 
 impl SwitchStats {
@@ -75,7 +76,7 @@ impl SwitchStats {
         if self.decisions == 0 {
             return 0.0;
         }
-        *self.chosen.get(policy.name()).unwrap_or(&0) as f64 / self.decisions as f64
+        self.chosen[policy.index()] as f64 / self.decisions as f64
     }
 }
 
@@ -88,9 +89,24 @@ pub struct SelfTuningScheduler {
     config: DynPConfig,
     active: Policy,
     planner: Planner,
+    /// From-scratch planner used when [`reference_mode`] is on.
+    reference_planner: ReferencePlanner,
+    /// When true, every step re-sorts every queue and rebuilds every
+    /// profile from scratch (the pre-incremental algorithm), bypassing all
+    /// incremental state. Kept as the correctness oracle: incremental and
+    /// reference runs must produce bit-identical schedules and stats.
+    reference_mode: bool,
+    /// Scratch queue for reference-mode planning.
     queue_buf: Vec<Job>,
+    /// Persistent sorted waiting-queue view per candidate policy (parallel
+    /// to `config.policies`), maintained incrementally across events.
+    orders: Vec<Vec<Job>>,
+    /// How far into the state's queue change log the orders are synced.
+    log_cursor: usize,
     /// Per-policy plan of the current step; reused across steps.
     plans: Vec<(Policy, Schedule, f64)>,
+    /// Scratch score vector handed to the decider; reused across steps.
+    scores: Vec<(Policy, f64)>,
     /// Decision bookkeeping.
     pub stats: SwitchStats,
 }
@@ -110,8 +126,17 @@ impl SelfTuningScheduler {
         SelfTuningScheduler {
             active: config.initial_policy,
             planner: Planner::new(),
+            reference_planner: ReferencePlanner::new(),
+            reference_mode: false,
             queue_buf: Vec::new(),
-            plans: Vec::new(),
+            orders: vec![Vec::new(); config.policies.len()],
+            log_cursor: 0,
+            plans: config
+                .policies
+                .iter()
+                .map(|&p| (p, Schedule::default(), 0.0))
+                .collect(),
+            scores: Vec::new(),
             config,
             stats: SwitchStats::default(),
         }
@@ -122,44 +147,183 @@ impl SelfTuningScheduler {
         &self.config
     }
 
-    /// Plans the waiting queue under one policy.
-    fn plan_policy(&mut self, policy: Policy, state: &RmsState, now: SimTime) -> Schedule {
+    /// Switches between the incremental engine (default) and the
+    /// from-scratch reference algorithm. Both produce bit-identical
+    /// schedules and stats; the reference exists as the oracle the
+    /// equivalence tests check the incremental engine against.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference_mode = on;
+    }
+
+    /// Brings the per-policy sorted queue views in sync with the RMS
+    /// waiting queue by replaying the tail of the state's queue change
+    /// log: newly submitted jobs are binary-inserted into every policy
+    /// order, jobs that started are binary-search removed. Cost is
+    /// O(changes × policies × queue) per event instead of a full
+    /// O(policies × queue log queue) copy-and-re-sort.
+    ///
+    /// # Panics
+    /// Panics if the state's log is shorter than the cursor — the
+    /// incremental engine must observe a single `RmsState` over its whole
+    /// lifetime (as the simulation driver guarantees).
+    fn sync_orders(&mut self, state: &RmsState) {
+        let log = state.queue_log();
+        assert!(
+            self.log_cursor <= log.len(),
+            "scheduler observed a different RmsState: queue log shrank"
+        );
+        for change in &log[self.log_cursor..] {
+            match change {
+                QueueChange::Entered(job) => {
+                    for (policy, order) in self.config.policies.iter().zip(&mut self.orders) {
+                        let pos = order
+                            .binary_search_by(|probe| policy.cmp_jobs(probe, job))
+                            .unwrap_err();
+                        order.insert(pos, *job);
+                    }
+                }
+                QueueChange::Left(job) => {
+                    for (policy, order) in self.config.policies.iter().zip(&mut self.orders) {
+                        let pos = order
+                            .binary_search_by(|probe| policy.cmp_jobs(probe, job))
+                            .expect("departed job must be present in every policy order");
+                        order.remove(pos);
+                    }
+                }
+            }
+        }
+        self.log_cursor = log.len();
+        debug_assert_eq!(self.orders[0].len(), state.waiting().len());
+    }
+
+    /// Records one decision's outcome in the stats and installs the
+    /// winning policy.
+    fn record_decision(&mut self, now: SimTime, next: Policy) {
+        self.stats.decisions += 1;
+        self.stats.chosen[next.index()] += 1;
+        if next != self.active {
+            self.stats.switches += 1;
+            self.stats.log.push((now, next));
+            self.active = next;
+        }
+    }
+
+    /// Plans the waiting queue under one policy, from scratch (reference
+    /// algorithm: copy the queue, sort it, rebuild the profile).
+    fn plan_policy_reference(
+        &mut self,
+        policy: Policy,
+        state: &RmsState,
+        now: SimTime,
+    ) -> Schedule {
         self.queue_buf.clear();
         self.queue_buf.extend_from_slice(state.waiting());
         policy.sort_queue(&mut self.queue_buf);
-        self.planner
+        self.reference_planner
             .plan(state.machine_size(), now, state.running(), &self.queue_buf)
+    }
+
+    /// Plans the active policy's queue without a decision (the
+    /// SubmissionsOnly completion path).
+    fn plan_active(&mut self, state: &RmsState, now: SimTime) -> Schedule {
+        if self.reference_mode {
+            return self.plan_policy_reference(self.active, state, now);
+        }
+        self.sync_orders(state);
+        self.planner
+            .prepare(state.machine_size(), now, state.running(), &[]);
+        let slot = self
+            .config
+            .policies
+            .iter()
+            .position(|&p| p == self.active)
+            .expect("active policy is always a candidate");
+        self.planner.plan_prepared(&self.orders[slot])
     }
 
     /// One self-tuning dynP step: full schedule per policy, score each,
     /// decide, install.
     fn self_tuning_step(&mut self, state: &RmsState, now: SimTime) -> Schedule {
-        self.plans.clear();
-        let policies = self.config.policies.clone();
-        for policy in policies {
-            let schedule = self.plan_policy(policy, state, now);
-            let score = self.config.objective.evaluate(&schedule, now);
-            self.plans.push((policy, schedule, score));
+        if self.reference_mode {
+            return self.self_tuning_step_reference(state, now);
         }
-        let scores: Vec<(Policy, f64)> =
-            self.plans.iter().map(|&(p, _, v)| (p, v)).collect();
+        self.sync_orders(state);
+
+        // Fast path: an empty queue plans to the empty schedule under
+        // every policy, so every score is the objective's empty value
+        // (0.0) and the decision is whatever the decider does on uniform
+        // scores — identical to the general path, without planning.
+        if state.waiting().is_empty() {
+            self.scores.clear();
+            self.scores
+                .extend(self.config.policies.iter().map(|&p| (p, 0.0)));
+            let next = self
+                .config
+                .decider
+                .decide(&self.scores, self.active, self.config.epsilon);
+            self.record_decision(now, next);
+            return Schedule::default();
+        }
+
+        // The base profile (running jobs + reservations) is identical for
+        // every candidate policy: build it once, restore per policy.
+        self.planner
+            .prepare(state.machine_size(), now, state.running(), &[]);
+
+        // Fast path: with a single candidate every decider returns it
+        // regardless of score (argmin of one; the advanced/preferred
+        // variants degenerate likewise), so skip scoring and plan once.
+        if let [policy] = self.config.policies[..] {
+            self.record_decision(now, policy);
+            return self.planner.plan_prepared(&self.orders[0]);
+        }
+
+        for (i, &policy) in self.config.policies.iter().enumerate() {
+            debug_assert_eq!(self.plans[i].0, policy);
+            self.planner
+                .plan_prepared_into(&self.orders[i], &mut self.plans[i].1);
+            self.plans[i].2 = self.config.objective.evaluate(&self.plans[i].1, now);
+        }
+        self.scores.clear();
+        self.scores
+            .extend(self.plans.iter().map(|(p, _, v)| (*p, *v)));
         let next = self
             .config
             .decider
-            .decide(&scores, self.active, self.config.epsilon);
-
-        self.stats.decisions += 1;
-        *self.stats.chosen.entry(next.name().to_string()).or_insert(0) += 1;
-        if next != self.active {
-            self.stats.switches += 1;
-            self.stats.log.push((now, next.name().to_string()));
-            self.active = next;
-        }
+            .decide(&self.scores, self.active, self.config.epsilon);
+        self.record_decision(now, next);
 
         let idx = self
             .plans
             .iter()
-            .position(|&(p, _, _)| p == next)
+            .position(|(p, _, _)| *p == next)
+            .expect("decider returned a non-candidate policy");
+        std::mem::take(&mut self.plans[idx].1)
+    }
+
+    /// The pre-incremental step: re-sort every queue, rebuild every
+    /// profile, score, decide. Kept verbatim as the correctness oracle.
+    fn self_tuning_step_reference(&mut self, state: &RmsState, now: SimTime) -> Schedule {
+        let policies = self.config.policies.clone();
+        self.plans.clear();
+        for policy in policies {
+            let schedule = self.plan_policy_reference(policy, state, now);
+            let score = self.config.objective.evaluate(&schedule, now);
+            self.plans.push((policy, schedule, score));
+        }
+        self.scores.clear();
+        self.scores
+            .extend(self.plans.iter().map(|(p, _, v)| (*p, *v)));
+        let next = self
+            .config
+            .decider
+            .decide(&self.scores, self.active, self.config.epsilon);
+        self.record_decision(now, next);
+
+        let idx = self
+            .plans
+            .iter()
+            .position(|(p, _, _)| *p == next)
             .expect("decider returned a non-candidate policy");
         std::mem::take(&mut self.plans[idx].1)
     }
@@ -168,9 +332,7 @@ impl SelfTuningScheduler {
 impl Scheduler for SelfTuningScheduler {
     fn replan(&mut self, state: &RmsState, now: SimTime, reason: ReplanReason) -> Schedule {
         match (self.config.decide_on, reason) {
-            (DecideOn::SubmissionsOnly, ReplanReason::Completion) => {
-                self.plan_policy(self.active, state, now)
-            }
+            (DecideOn::SubmissionsOnly, ReplanReason::Completion) => self.plan_active(state, now),
             _ => self.self_tuning_step(state, now),
         }
     }
@@ -295,6 +457,119 @@ mod tests {
         let mut config = DynPConfig::paper(DeciderKind::Simple);
         config.policies = vec![Policy::Sjf];
         let _ = SelfTuningScheduler::new(config);
+    }
+
+    #[test]
+    fn empty_queue_fast_path_still_decides() {
+        // The empty-queue fast path must go through the decider: a
+        // preferred decider switches to its preferred policy on uniform
+        // (all-zero) scores even with nothing to plan.
+        let state = RmsState::new(4);
+        let mut s = dynp(DeciderKind::Preferred {
+            policy: Policy::Sjf,
+            threshold: 0.1,
+        });
+        let _ = s.replan(&state, SimTime::ZERO, ReplanReason::Submission);
+        assert_eq!(s.active_policy(), Policy::Sjf);
+        assert_eq!(s.stats.decisions, 1);
+        assert_eq!(s.stats.switches, 1);
+        assert_eq!(s.stats.log, vec![(SimTime::ZERO, Policy::Sjf)]);
+    }
+
+    #[test]
+    fn single_candidate_fast_path_counts_stats() {
+        let mut config = DynPConfig::paper(DeciderKind::Advanced);
+        config.policies = vec![Policy::Sjf];
+        config.initial_policy = Policy::Sjf;
+        let mut s = SelfTuningScheduler::new(config);
+        let mut state = RmsState::new(4);
+        state.submit(j(0, 0, 2, 100));
+        let _ = s.replan(&state, SimTime::ZERO, ReplanReason::Submission);
+        let _ = s.replan(&state, SimTime::ZERO, ReplanReason::Submission);
+        assert_eq!(s.stats.decisions, 2);
+        assert_eq!(s.stats.switches, 0);
+        assert!((s.stats.share(Policy::Sjf) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_matches_reference_across_events() {
+        // Drive incremental and reference schedulers through the same
+        // event sequence (submissions, starts, completions) and demand
+        // bit-identical schedules and stats at every step.
+        for decider in [
+            DeciderKind::Simple,
+            DeciderKind::Advanced,
+            DeciderKind::Preferred {
+                policy: Policy::Ljf,
+                threshold: 0.05,
+            },
+        ] {
+            let mut incremental = dynp(decider);
+            let mut reference = dynp(decider);
+            reference.set_reference_mode(true);
+
+            let mut state = RmsState::new(4);
+            let check = |state: &RmsState,
+                         now: SimTime,
+                         reason: ReplanReason,
+                         a: &mut SelfTuningScheduler,
+                         b: &mut SelfTuningScheduler| {
+                let x = a.replan(state, now, reason);
+                let y = b.replan(state, now, reason);
+                assert_eq!(x.entries, y.entries, "{decider:?} at {now:?}");
+                assert_eq!(a.stats, b.stats, "{decider:?} at {now:?}");
+                assert_eq!(a.active_policy(), b.active_policy());
+                x
+            };
+
+            // Event 1: empty queue.
+            check(
+                &state,
+                SimTime::ZERO,
+                ReplanReason::Submission,
+                &mut incremental,
+                &mut reference,
+            );
+            // Events 2..5: staggered submissions.
+            for i in 0..4u32 {
+                let now = SimTime::from_secs(10 * (i as u64 + 1));
+                state.submit(j(i, 10 * (i as u64 + 1), (i % 3) + 1, 50 * (4 - i as u64)));
+                check(
+                    &state,
+                    now,
+                    ReplanReason::Submission,
+                    &mut incremental,
+                    &mut reference,
+                );
+            }
+            // Event 6: the first planned job starts, then one completes.
+            let now = SimTime::from_secs(60);
+            let sched = check(
+                &state,
+                now,
+                ReplanReason::Submission,
+                &mut incremental,
+                &mut reference,
+            );
+            let first = sched.entries[0].job.id;
+            state.start(first, now);
+            check(
+                &state,
+                now,
+                ReplanReason::Submission,
+                &mut incremental,
+                &mut reference,
+            );
+            let end = state.running()[0].actual_end();
+            state.complete(first, end);
+            check(
+                &state,
+                end,
+                ReplanReason::Completion,
+                &mut incremental,
+                &mut reference,
+            );
+        }
     }
 
     #[test]

@@ -53,27 +53,62 @@ pub fn table1_rows() -> Vec<Table1Row> {
         row("1", "FCFS = SJF = LJF", (2.0, 2.0, 2.0), Sjf, Fcfs, Sjf),
         row("1", "FCFS = SJF = LJF", (2.0, 2.0, 2.0), Ljf, Fcfs, Ljf),
         // Case 2: SJF strictly best.
-        row("2", "SJF < FCFS, SJF < LJF", (3.0, 1.0, 2.0), Fcfs, Sjf, Sjf),
+        row(
+            "2",
+            "SJF < FCFS, SJF < LJF",
+            (3.0, 1.0, 2.0),
+            Fcfs,
+            Sjf,
+            Sjf,
+        ),
         // Case 3: FCFS strictly best.
-        row("3", "FCFS < SJF, FCFS < LJF", (1.0, 3.0, 2.0), Sjf, Fcfs, Fcfs),
+        row(
+            "3",
+            "FCFS < SJF, FCFS < LJF",
+            (1.0, 3.0, 2.0),
+            Sjf,
+            Fcfs,
+            Fcfs,
+        ),
         // Case 4: LJF strictly best, FCFS/SJF in any relation.
         row("4a", "LJF < *, FCFS < SJF", (2.0, 3.0, 1.0), Fcfs, Ljf, Ljf),
         row("4b", "LJF < *, FCFS = SJF", (2.0, 2.0, 1.0), Fcfs, Ljf, Ljf),
         row("4c", "LJF < *, FCFS > SJF", (3.0, 2.0, 1.0), Fcfs, Ljf, Ljf),
         // Case 5: FCFS = SJF, LJF below both.
-        row("5", "FCFS = SJF, LJF < FCFS", (2.0, 2.0, 1.0), Sjf, Ljf, Ljf),
+        row(
+            "5",
+            "FCFS = SJF, LJF < FCFS",
+            (2.0, 2.0, 1.0),
+            Sjf,
+            Ljf,
+            Ljf,
+        ),
         // Case 6: FCFS = SJF, both below LJF — the old policy decides.
         row("6a", "FCFS = SJF < LJF", (1.0, 1.0, 2.0), Fcfs, Fcfs, Fcfs),
         row("6b", "FCFS = SJF < LJF", (1.0, 1.0, 2.0), Sjf, Fcfs, Sjf),
         row("6c", "FCFS = SJF < LJF", (1.0, 1.0, 2.0), Ljf, Fcfs, Fcfs),
         // Case 7: FCFS = LJF, SJF below both.
-        row("7", "FCFS = LJF, SJF < FCFS", (2.0, 1.0, 2.0), Fcfs, Sjf, Sjf),
+        row(
+            "7",
+            "FCFS = LJF, SJF < FCFS",
+            (2.0, 1.0, 2.0),
+            Fcfs,
+            Sjf,
+            Sjf,
+        ),
         // Case 8: FCFS = LJF, both below SJF.
         row("8a", "FCFS = LJF < SJF", (1.0, 2.0, 1.0), Fcfs, Fcfs, Fcfs),
         row("8b", "FCFS = LJF < SJF", (1.0, 2.0, 1.0), Sjf, Fcfs, Fcfs),
         row("8c", "FCFS = LJF < SJF", (1.0, 2.0, 1.0), Ljf, Fcfs, Ljf),
         // Case 9: SJF = LJF, FCFS below both.
-        row("9", "SJF = LJF, FCFS < SJF", (1.0, 2.0, 2.0), Ljf, Fcfs, Fcfs),
+        row(
+            "9",
+            "SJF = LJF, FCFS < SJF",
+            (1.0, 2.0, 2.0),
+            Ljf,
+            Fcfs,
+            Fcfs,
+        ),
         // Case 10: SJF = LJF, both below FCFS.
         row("10a", "SJF = LJF < FCFS", (2.0, 1.0, 1.0), Fcfs, Sjf, Sjf),
         row("10b", "SJF = LJF < FCFS", (2.0, 1.0, 1.0), Sjf, Sjf, Sjf),
@@ -85,12 +120,8 @@ pub fn table1_rows() -> Vec<Table1Row> {
 /// rows where the simple decider errs (the paper prints them bold).
 pub fn render_table1() -> String {
     let mut out = String::new();
-    out.push_str(
-        "case | combination              | old  | simple | correct | simple errs\n",
-    );
-    out.push_str(
-        "-----+--------------------------+------+--------+---------+------------\n",
-    );
+    out.push_str("case | combination              | old  | simple | correct | simple errs\n");
+    out.push_str("-----+--------------------------+------+--------+---------+------------\n");
     for r in table1_rows() {
         let scores = vec![(Fcfs, r.values.0), (Sjf, r.values.1), (Ljf, r.values.2)];
         let simple = simple_decide(&scores, r.old, EPSILON);
@@ -113,11 +144,7 @@ mod tests {
     use super::*;
 
     fn scores(r: &Table1Row) -> Vec<(Policy, f64)> {
-        vec![
-            (Fcfs, r.values.0),
-            (Sjf, r.values.1),
-            (Ljf, r.values.2),
-        ]
+        vec![(Fcfs, r.values.0), (Sjf, r.values.1), (Ljf, r.values.2)]
     }
 
     /// The headline check: our simple decider reproduces the paper's
@@ -127,7 +154,8 @@ mod tests {
         for r in table1_rows() {
             let got = simple_decide(&scores(&r), r.old, EPSILON);
             assert_eq!(
-                got, r.simple,
+                got,
+                r.simple,
                 "case {} (old={}): simple decider chose {}, table says {}",
                 r.case,
                 r.old.name(),
@@ -144,7 +172,8 @@ mod tests {
         for r in table1_rows() {
             let got = advanced_decide(&scores(&r), r.old, EPSILON);
             assert_eq!(
-                got, r.correct,
+                got,
+                r.correct,
                 "case {} (old={}): advanced decider chose {}, table says {}",
                 r.case,
                 r.old.name(),

@@ -150,8 +150,14 @@ mod tests {
         assert_eq!(
             log,
             vec![
-                "ping3@1000", "pong3@2000", "ping2@3000", "pong2@4000",
-                "ping1@5000", "pong1@6000", "ping0@7000", "pong0@8000",
+                "ping3@1000",
+                "pong3@2000",
+                "ping2@3000",
+                "pong2@4000",
+                "ping1@5000",
+                "pong1@6000",
+                "ping0@7000",
+                "pong0@8000",
             ]
         );
     }
@@ -192,8 +198,7 @@ mod tests {
 
     #[test]
     fn engine_works_with_calendar_backend() {
-        let mut eng: Engine<u32, CalendarQueue<u32>> =
-            Engine::with_queue(CalendarQueue::new());
+        let mut eng: Engine<u32, CalendarQueue<u32>> = Engine::with_queue(CalendarQueue::new());
         for i in (0..100u32).rev() {
             eng.schedule_at(SimTime::from_millis(i as u64 * 10), i);
         }

@@ -186,9 +186,7 @@ impl<E> CalendarQueue<E> {
         let bucket = &mut self.buckets[idx];
         // Keep each bucket sorted by (time, seq) so dequeues take the head.
         let pos = bucket
-            .binary_search_by(|probe| {
-                (probe.time, probe.seq).cmp(&(entry.time, entry.seq))
-            })
+            .binary_search_by(|probe| (probe.time, probe.seq).cmp(&(entry.time, entry.seq)))
             .unwrap_or_else(|p| p);
         bucket.insert(pos, entry);
         self.len += 1;
@@ -223,8 +221,7 @@ impl<E> CalendarQueue<E> {
         self.len = 0;
         // Reposition the dequeue cursor at the last popped time.
         self.last_bucket = self.bucket_index(self.last_time);
-        self.bucket_top =
-            (self.last_time / self.bucket_width + 1) * self.bucket_width;
+        self.bucket_top = (self.last_time / self.bucket_width + 1) * self.bucket_width;
         for e in entries {
             self.insert_entry(e);
         }
@@ -306,7 +303,7 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
             self.last_bucket = bi;
             self.bucket_top = (t / self.bucket_width + 1) * self.bucket_width;
             let _ = self.last_bucket; // cursor repositioned; loop re-scans
-            // Re-run the scan; it will now find the event in bucket `bi`.
+                                      // Re-run the scan; it will now find the event in bucket `bi`.
             continue;
         }
     }

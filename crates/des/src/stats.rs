@@ -123,7 +123,6 @@ pub struct TimeWeighted {
     last_value: f64,
     integral: f64,
     start: SimTime,
-    started: bool,
 }
 
 impl TimeWeighted {
@@ -134,7 +133,6 @@ impl TimeWeighted {
             last_value: initial,
             integral: 0.0,
             start,
-            started: true,
         }
     }
 

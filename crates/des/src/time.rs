@@ -282,7 +282,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_millis(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_millis(1))
+            .is_none());
         assert_eq!(
             SimTime::MAX.saturating_add(SimDuration::from_millis(1)),
             SimTime::MAX

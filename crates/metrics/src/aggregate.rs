@@ -94,13 +94,7 @@ mod tests {
     use dynp_des::SimDuration;
     use dynp_workload::{Job, JobId};
 
-    fn done(
-        id: u32,
-        submit_s: u64,
-        start_s: u64,
-        width: u32,
-        actual_s: u64,
-    ) -> CompletedJob {
+    fn done(id: u32, submit_s: u64, start_s: u64, width: u32, actual_s: u64) -> CompletedJob {
         let job = Job::new(
             JobId(id),
             SimTime::from_secs(submit_s),
@@ -156,7 +150,11 @@ mod tests {
         };
         let m = SimMetrics::measure(1, &[a, b]);
         let expected = (600.5 + 620.0) / 20.5;
-        assert!((m.sldwa - expected).abs() < 1e-9, "{} vs {expected}", m.sldwa);
+        assert!(
+            (m.sldwa - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            m.sldwa
+        );
         // Unweighted average is dominated by the short job instead.
         assert!((m.avg_slowdown - (1_201.0 + 31.0) / 2.0).abs() < 1e-9);
     }

@@ -73,9 +73,7 @@ impl CombinedMetrics {
     /// Combines the per-run metrics of one experiment cell, dropping the
     /// extreme run per metric as the paper prescribes.
     pub fn combine(runs: &[SimMetrics]) -> CombinedMetrics {
-        let take = |f: &dyn Fn(&SimMetrics) -> f64| -> Vec<f64> {
-            runs.iter().map(f).collect()
-        };
+        let take = |f: &dyn Fn(&SimMetrics) -> f64| -> Vec<f64> { runs.iter().map(f).collect() };
         let sldwa_values = take(&|m| m.sldwa);
         let util_values = take(&|m| m.utilization);
         CombinedMetrics {

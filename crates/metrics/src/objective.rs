@@ -98,8 +98,7 @@ impl Objective {
                 let mut num = 0.0;
                 let mut den = 0.0;
                 for e in &schedule.entries {
-                    let response =
-                        e.planned_wait().as_secs_f64() + e.job.estimate.as_secs_f64();
+                    let response = e.planned_wait().as_secs_f64() + e.job.estimate.as_secs_f64();
                     num += e.job.width as f64 * response;
                     den += e.job.width as f64;
                 }
@@ -113,7 +112,11 @@ impl Objective {
                 if span <= 0.0 {
                     return 0.0;
                 }
-                let area: f64 = schedule.entries.iter().map(|e| e.job.estimated_area()).sum();
+                let area: f64 = schedule
+                    .entries
+                    .iter()
+                    .map(|e| e.job.estimated_area())
+                    .sum();
                 -(area / span)
             }
         }
@@ -166,12 +169,10 @@ mod tests {
             entries: vec![entry(0, 0, 2, 100, 0), entry(1, 0, 1, 50, 100)],
         };
         assert!(
-            (Objective::AvgSlowdown.evaluate(&s, SimTime::ZERO) - (1.0 + 3.0) / 2.0).abs()
-                < 1e-12
+            (Objective::AvgSlowdown.evaluate(&s, SimTime::ZERO) - (1.0 + 3.0) / 2.0).abs() < 1e-12
         );
         assert!(
-            (Objective::AvgResponseTime.evaluate(&s, SimTime::ZERO) - (100.0 + 150.0) / 2.0)
-                .abs()
+            (Objective::AvgResponseTime.evaluate(&s, SimTime::ZERO) - (100.0 + 150.0) / 2.0).abs()
                 < 1e-12
         );
         let artww = (2.0 * 100.0 + 1.0 * 150.0) / 3.0;
@@ -193,7 +194,10 @@ mod tests {
         };
         let va = Objective::Utilization.evaluate(&a, SimTime::ZERO);
         let vb = Objective::Utilization.evaluate(&b, SimTime::ZERO);
-        assert!(va < vb, "denser plan must score lower (better): {va} vs {vb}");
+        assert!(
+            va < vb,
+            "denser plan must score lower (better): {va} vs {vb}"
+        );
     }
 
     #[test]

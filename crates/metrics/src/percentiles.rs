@@ -65,9 +65,7 @@ impl OutcomeDistributions {
             bounded_slowdown: QuantileStats::of(
                 outcomes.iter().map(|o| o.bounded_slowdown).collect(),
             ),
-            response_secs: QuantileStats::of(
-                outcomes.iter().map(|o| o.response_secs).collect(),
-            ),
+            response_secs: QuantileStats::of(outcomes.iter().map(|o| o.response_secs).collect()),
         }
     }
 }

@@ -161,13 +161,7 @@ mod tests {
     fn bucketed_utilization_hand_computed() {
         // Machine 4. One width-4 job over [0, 50) then idle to 100.
         let jobs = [done(0, 0, 0, 4, 50)];
-        let u = bucketed_utilization(
-            4,
-            &jobs,
-            SimTime::ZERO,
-            SimTime::from_secs(100),
-            50.0,
-        );
+        let u = bucketed_utilization(4, &jobs, SimTime::ZERO, SimTime::from_secs(100), 50.0);
         assert_eq!(u.len(), 2);
         assert!((u[0] - 1.0).abs() < 1e-9);
         assert!((u[1] - 0.0).abs() < 1e-9);
@@ -178,13 +172,7 @@ mod tests {
         // Machine 4; width-2 job over [25, 75): bucket [0,50) is busy
         // half the time at half the machine → 0.25; same for [50,100).
         let jobs = [done(0, 0, 25, 2, 50)];
-        let u = bucketed_utilization(
-            4,
-            &jobs,
-            SimTime::ZERO,
-            SimTime::from_secs(100),
-            50.0,
-        );
+        let u = bucketed_utilization(4, &jobs, SimTime::ZERO, SimTime::from_secs(100), 50.0);
         assert!((u[0] - 0.25).abs() < 1e-9, "{u:?}");
         assert!((u[1] - 0.25).abs() < 1e-9, "{u:?}");
     }

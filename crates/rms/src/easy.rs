@@ -117,12 +117,18 @@ impl Scheduler for EasyBackfillScheduler {
             let ends_before_shadow = now.saturating_add(job.estimate) <= shadow;
             if ends_before_shadow {
                 free -= job.width;
-                entries.push(PlannedJob { job: *job, start: now });
+                entries.push(PlannedJob {
+                    job: *job,
+                    start: now,
+                });
                 self.backfilled += 1;
             } else if job.width <= extra {
                 free -= job.width;
                 extra -= job.width;
-                entries.push(PlannedJob { job: *job, start: now });
+                entries.push(PlannedJob {
+                    job: *job,
+                    start: now,
+                });
                 self.backfilled += 1;
             }
         }

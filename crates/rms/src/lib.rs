@@ -33,10 +33,10 @@ pub mod scheduler;
 pub mod state;
 
 pub use easy::EasyBackfillScheduler;
-pub use planner::Planner;
+pub use planner::{Planner, ReferencePlanner};
 pub use policy::Policy;
 pub use profile::Profile;
 pub use reservation::{Reservation, ReservationBook};
 pub use schedule::{PlannedJob, Schedule};
 pub use scheduler::{ReplanReason, Scheduler, StaticScheduler};
-pub use state::{CompletedJob, RmsState, RunningJob};
+pub use state::{CompletedJob, QueueChange, RmsState, RunningJob};

@@ -14,15 +14,33 @@ use crate::state::RunningJob;
 use dynp_des::{SimDuration, SimTime};
 use dynp_workload::Job;
 
-/// Stateless planning logic with a reusable profile buffer.
+/// Planning logic with a shared, per-event base profile.
 ///
-/// The buffer only avoids re-allocating the break-point vector: every
-/// [`Planner::plan`] call rebuilds the profile from scratch, so one
-/// planner may serve many policies in turn (the dynP self-tuning step
-/// plans once per policy at every event).
+/// At every scheduling event the base profile — running-job reservations
+/// plus fixed reservation windows — is identical for every candidate
+/// policy; only the queue order differs. [`Planner::prepare`] builds
+/// that base once with an endpoint sweep, and each
+/// [`Planner::plan_prepared`] call restores the working profile to the
+/// prepared watermark with one `memcpy` before placing the queue. The
+/// dynP self-tuning step plans once per policy per event, so this turns
+/// P profile rebuilds per event into one build plus P cheap restores.
+///
+/// [`Planner::plan`] keeps the original one-shot signature (prepare +
+/// plan in one call) and produces bit-identical schedules to
+/// [`ReferencePlanner`], the retained from-scratch implementation.
 #[derive(Debug)]
 pub struct Planner {
+    /// Working profile each planning pass narrows.
     profile: Profile,
+    /// Shared base: running jobs + reservations as of `prepared_at`.
+    base: Profile,
+    /// Instant [`Planner::prepare`] was last called at.
+    prepared_at: SimTime,
+    /// Scratch span list handed to the sweep (reused, no per-event
+    /// allocation).
+    spans: Vec<(SimTime, SimTime, u32)>,
+    /// Scratch endpoint buffer for the sweep.
+    events: Vec<(SimTime, i64)>,
 }
 
 /// Padding added after a running job's estimated end when the estimate
@@ -36,6 +54,69 @@ impl Planner {
     pub fn new() -> Self {
         Planner {
             profile: Profile::new(1, SimTime::ZERO),
+            base: Profile::new(1, SimTime::ZERO),
+            prepared_at: SimTime::ZERO,
+            spans: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Builds the shared base profile for one scheduling event: the
+    /// machine as narrowed by `running` jobs (blocked to their estimated
+    /// end, at least marginally past `now` — see `RUNNING_PAD`) and by
+    /// the active `reservations` (clipped to `[now, end)`).
+    ///
+    /// Subsequent [`Planner::plan_prepared`] calls plan against this
+    /// base until `prepare` is called again.
+    pub fn prepare(
+        &mut self,
+        machine_size: u32,
+        now: SimTime,
+        running: &[RunningJob],
+        reservations: &[crate::reservation::Reservation],
+    ) {
+        self.spans.clear();
+        for r in running {
+            let end = r.estimated_end().max(now + RUNNING_PAD);
+            self.spans.push((now, end, r.job.width));
+        }
+        for res in reservations {
+            if !res.active_at(now) {
+                continue;
+            }
+            self.spans.push((res.start.max(now), res.end(), res.width));
+        }
+        self.base
+            .rebuild_from_spans(machine_size, now, &self.spans, &mut self.events);
+        self.prepared_at = now;
+    }
+
+    /// Plans `queue` (already in policy order) against the prepared base:
+    /// restores the working profile to the watermark, then gives each
+    /// job the earliest feasible start ≥ max(now, submit).
+    ///
+    /// Call [`Planner::prepare`] first; planning against a stale base is
+    /// not checked.
+    pub fn plan_prepared(&mut self, queue: &[Job]) -> Schedule {
+        let mut schedule = Schedule::default();
+        self.plan_prepared_into(queue, &mut schedule);
+        schedule
+    }
+
+    /// [`Planner::plan_prepared`] into a caller-owned schedule, reusing
+    /// its entry buffer (the self-tuning step keeps one schedule per
+    /// candidate policy alive across events).
+    pub fn plan_prepared_into(&mut self, queue: &[Job], out: &mut Schedule) {
+        let now = self.prepared_at;
+        self.profile.restore_from(&self.base);
+        out.entries.clear();
+        out.entries.reserve(queue.len());
+        for job in queue {
+            let earliest = now.max(job.submit);
+            let start = self
+                .profile
+                .allocate_earliest(earliest, job.estimate, job.width);
+            out.entries.push(PlannedJob { job: *job, start });
         }
     }
 
@@ -59,6 +140,65 @@ impl Planner {
     /// [`Reservation`](crate::reservation::Reservation) windows: the
     /// planner treats each active reservation's processors as unavailable
     /// over its interval, and queue jobs backfill around them.
+    pub fn plan_with_reservations(
+        &mut self,
+        machine_size: u32,
+        now: SimTime,
+        running: &[RunningJob],
+        reservations: &[crate::reservation::Reservation],
+        queue: &[Job],
+    ) -> Schedule {
+        self.prepare(machine_size, now, running, reservations);
+        let schedule = self.plan_prepared(queue);
+        debug_assert!(
+            schedule.validate(machine_size, running, now).is_ok(),
+            "planner produced invalid schedule: {:?}",
+            schedule.validate(machine_size, running, now)
+        );
+        schedule
+    }
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The retained from-scratch planner: rebuilds the whole profile with
+/// one [`Profile::allocate`] per running job and reservation on every
+/// call — exactly the algorithm [`Planner`] used before the shared-base
+/// refactor.
+///
+/// It exists as the correctness oracle (property tests assert its
+/// schedules are bit-identical to the incremental path's) and as the
+/// baseline the perf-trajectory harness measures speedups against. It is
+/// not used on any production path.
+#[derive(Debug)]
+pub struct ReferencePlanner {
+    profile: Profile,
+}
+
+impl ReferencePlanner {
+    /// Creates a reference planner.
+    pub fn new() -> Self {
+        ReferencePlanner {
+            profile: Profile::new(1, SimTime::ZERO),
+        }
+    }
+
+    /// From-scratch counterpart of [`Planner::plan`].
+    pub fn plan(
+        &mut self,
+        machine_size: u32,
+        now: SimTime,
+        running: &[RunningJob],
+        queue: &[Job],
+    ) -> Schedule {
+        self.plan_with_reservations(machine_size, now, running, &[], queue)
+    }
+
+    /// From-scratch counterpart of [`Planner::plan_with_reservations`].
     pub fn plan_with_reservations(
         &mut self,
         machine_size: u32,
@@ -93,14 +233,14 @@ impl Planner {
         let schedule = Schedule { entries };
         debug_assert!(
             schedule.validate(machine_size, running, now).is_ok(),
-            "planner produced invalid schedule: {:?}",
+            "reference planner produced invalid schedule: {:?}",
             schedule.validate(machine_size, running, now)
         );
         schedule
     }
 }
 
-impl Default for Planner {
+impl Default for ReferencePlanner {
     fn default() -> Self {
         Self::new()
     }
@@ -238,6 +378,38 @@ mod tests {
         assert_eq!(ljf.entries[1].start, t(101));
     }
 
+    #[test]
+    fn one_prepare_serves_many_policy_passes() {
+        let running = [RunningJob {
+            job: j(9, 0, 3, 100),
+            start: t(0),
+        }];
+        let mut q = vec![j(0, 0, 4, 50), j(1, 2, 1, 80)];
+        let mut incremental = Planner::new();
+        incremental.prepare(4, t(10), &running, &[]);
+        let mut reference = ReferencePlanner::new();
+        for policy in [Policy::Fcfs, Policy::Sjf, Policy::Ljf] {
+            policy.sort_queue(&mut q);
+            let fast = incremental.plan_prepared(&q);
+            let slow = reference.plan(4, t(10), &running, &q);
+            assert_eq!(fast.entries, slow.entries, "{policy:?} diverged");
+        }
+    }
+
+    #[test]
+    fn plan_prepared_into_reuses_the_buffer() {
+        let mut p = Planner::new();
+        p.prepare(8, t(0), &[], &[]);
+        let mut out = Schedule::default();
+        p.plan_prepared_into(&[j(0, 0, 4, 10)], &mut out);
+        assert_eq!(out.len(), 1);
+        let q2 = [j(1, 0, 2, 5), j(2, 0, 2, 5)];
+        p.plan_prepared_into(&q2, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.entries[0].job.id, JobId(1));
+        assert_eq!(p.plan_prepared(&q2).entries, out.entries);
+    }
+
     mod reservations {
         use super::*;
         use crate::reservation::ReservationBook;
@@ -350,6 +522,53 @@ mod tests {
             let s = p.plan(4, t(100), &[], &queue);
             for w in s.entries.windows(2) {
                 prop_assert!(w[0].start <= w[1].start);
+            }
+        }
+
+        /// Equivalence oracle: the shared-base planner and the retained
+        /// from-scratch reference produce bit-identical schedules for
+        /// every policy order of a random queue over random running
+        /// jobs — including repeated plan_prepared calls against one
+        /// prepare.
+        #[test]
+        fn incremental_planner_matches_reference(
+            widths in proptest::collection::vec(1u32..8, 1..40),
+            ests in proptest::collection::vec(1u64..500, 1..40),
+            submits in proptest::collection::vec(0u64..100, 1..40),
+            n_running in 0usize..5,
+            now_s in 0u64..200,
+        ) {
+            let n = widths.len().min(ests.len()).min(submits.len());
+            let machine = 8u32;
+            let now = t(now_s);
+            let mut running = Vec::new();
+            let mut used = 0u32;
+            for i in 0..n_running.min(n) {
+                let w = widths[i].min(machine - used);
+                if w == 0 { break; }
+                used += w;
+                running.push(RunningJob {
+                    // Estimates straddle `now` so some running jobs are
+                    // overdue (exercising RUNNING_PAD) and some are not.
+                    job: j(1000 + i as u32, 0, w, ests[i]),
+                    start: t(now_s.saturating_sub(50)),
+                });
+            }
+            let mut queue: Vec<Job> = (0..n)
+                .map(|i| j(i as u32, submits[i], widths[i], ests[i]))
+                .collect();
+            let mut incremental = Planner::new();
+            incremental.prepare(machine, now, &running, &[]);
+            let mut reference = ReferencePlanner::new();
+            for policy in Policy::ALL {
+                policy.sort_queue(&mut queue);
+                let fast = incremental.plan_prepared(&queue);
+                let slow = reference.plan(machine, now, &running, &queue);
+                prop_assert_eq!(&fast.entries, &slow.entries,
+                                "{:?} diverged from reference", policy);
+                // The one-shot wrapper takes the same incremental path.
+                let wrapped = Planner::new().plan(machine, now, &running, &queue);
+                prop_assert_eq!(&wrapped.entries, &slow.entries);
             }
         }
     }

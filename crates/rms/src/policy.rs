@@ -66,27 +66,50 @@ impl Policy {
         }
     }
 
-    /// Sorts `queue` into this policy's order. All orders fall back to
-    /// FCFS (submission time, then id) on ties, so every policy is a
-    /// total, deterministic order.
-    pub fn sort_queue(self, queue: &mut [Job]) {
+    /// Dense index of this policy in [`Policy::ALL`]; lets per-policy
+    /// counters live in a fixed array instead of a string-keyed map.
+    pub fn index(self) -> usize {
         match self {
-            Policy::Fcfs => queue.sort_by_key(|j| (j.submit, j.id)),
-            Policy::Sjf => queue.sort_by_key(|j| (j.estimate, j.submit, j.id)),
-            Policy::Ljf => {
-                queue.sort_by_key(|j| (std::cmp::Reverse(j.estimate), j.submit, j.id))
-            }
-            Policy::Saf => queue.sort_by(|a, b| {
-                a.estimated_area()
-                    .total_cmp(&b.estimated_area())
-                    .then_with(|| (a.submit, a.id).cmp(&(b.submit, b.id)))
-            }),
-            Policy::Laf => queue.sort_by(|a, b| {
-                b.estimated_area()
-                    .total_cmp(&a.estimated_area())
-                    .then_with(|| (a.submit, a.id).cmp(&(b.submit, b.id)))
-            }),
+            Policy::Fcfs => 0,
+            Policy::Sjf => 1,
+            Policy::Ljf => 2,
+            Policy::Saf => 3,
+            Policy::Laf => 4,
         }
+    }
+
+    /// Number of policies (the valid range of [`Policy::index`]).
+    pub const COUNT: usize = Policy::ALL.len();
+
+    /// This policy's total order on jobs: the comparator behind
+    /// [`Policy::sort_queue`], exposed so callers can maintain sorted
+    /// queue views incrementally (binary insertion and removal) with
+    /// exactly the order a full sort would produce. All orders fall back
+    /// to FCFS (submission time, then id) on ties; the unique id makes
+    /// every order total and deterministic.
+    pub fn cmp_jobs(self, a: &Job, b: &Job) -> std::cmp::Ordering {
+        match self {
+            Policy::Fcfs => (a.submit, a.id).cmp(&(b.submit, b.id)),
+            Policy::Sjf => (a.estimate, a.submit, a.id).cmp(&(b.estimate, b.submit, b.id)),
+            Policy::Ljf => (std::cmp::Reverse(a.estimate), a.submit, a.id).cmp(&(
+                std::cmp::Reverse(b.estimate),
+                b.submit,
+                b.id,
+            )),
+            Policy::Saf => a
+                .estimated_area()
+                .total_cmp(&b.estimated_area())
+                .then_with(|| (a.submit, a.id).cmp(&(b.submit, b.id))),
+            Policy::Laf => b
+                .estimated_area()
+                .total_cmp(&a.estimated_area())
+                .then_with(|| (a.submit, a.id).cmp(&(b.submit, b.id))),
+        }
+    }
+
+    /// Sorts `queue` into this policy's order (see [`Policy::cmp_jobs`]).
+    pub fn sort_queue(self, queue: &mut [Job]) {
+        queue.sort_by(|a, b| self.cmp_jobs(a, b));
     }
 }
 
@@ -167,9 +190,51 @@ mod tests {
 
     #[test]
     fn basic_is_the_papers_triple() {
-        assert_eq!(
-            Policy::BASIC.map(|p| p.name()),
-            ["FCFS", "SJF", "LJF"]
-        );
+        assert_eq!(Policy::BASIC.map(|p| p.name()), ["FCFS", "SJF", "LJF"]);
+    }
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (i, p) in Policy::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Policy::COUNT, Policy::ALL.len());
+    }
+
+    #[test]
+    fn cmp_jobs_is_the_sort_order() {
+        // Widths/areas picked to make SAF/LAF disagree with SJF/LJF and
+        // to include estimate and submit ties.
+        let jobs = vec![
+            j(0, 30, 4, 100),
+            j(1, 10, 1, 300),
+            j(2, 20, 2, 175),
+            j(3, 10, 1, 300), // full tie with job 1 except id
+            j(4, 5, 3, 100),  // estimate tie with job 0
+        ];
+        for p in Policy::ALL {
+            let mut sorted = jobs.clone();
+            p.sort_queue(&mut sorted);
+            // The comparator agrees with the sorted order...
+            for w in sorted.windows(2) {
+                assert_eq!(
+                    p.cmp_jobs(&w[0], &w[1]),
+                    std::cmp::Ordering::Less,
+                    "{p:?}: {:?} !< {:?}",
+                    w[0].id,
+                    w[1].id
+                );
+            }
+            // ...and is a strict total order (antisymmetric, irreflexive).
+            for a in &jobs {
+                assert_eq!(p.cmp_jobs(a, a), std::cmp::Ordering::Equal);
+                for b in &jobs {
+                    if a.id != b.id {
+                        assert_eq!(p.cmp_jobs(a, b), p.cmp_jobs(b, a).reverse());
+                        assert_ne!(p.cmp_jobs(a, b), std::cmp::Ordering::Equal);
+                    }
+                }
+            }
+        }
     }
 }

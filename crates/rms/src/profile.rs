@@ -57,6 +57,89 @@ impl Profile {
         self.capacity = capacity;
     }
 
+    /// Rebuilds the whole profile from `(start, end, width)` spans in one
+    /// endpoint sweep: O((S + R) log R) for R spans producing S points,
+    /// instead of the O(R·P) of repeated [`Profile::allocate`] calls
+    /// (each of which `Vec::insert`s into the point list). Spans starting
+    /// before `origin` are clipped to it; empty and zero-width spans are
+    /// ignored. `events` is caller-provided scratch so the per-event hot
+    /// path allocates nothing.
+    ///
+    /// The resulting profile is the canonical minimal representation of
+    /// the same piecewise-constant function the allocate-loop produces,
+    /// so every [`Profile::earliest_fit`] answer — and therefore every
+    /// schedule planned on top — is identical.
+    ///
+    /// # Panics
+    /// Panics if the spans overcommit the machine at any instant (the
+    /// same condition on which the allocate-loop panics) or if
+    /// `capacity` is zero.
+    pub fn rebuild_from_spans(
+        &mut self,
+        capacity: u32,
+        origin: SimTime,
+        spans: &[(SimTime, SimTime, u32)],
+        events: &mut Vec<(SimTime, i64)>,
+    ) {
+        assert!(capacity >= 1, "profile needs at least one processor");
+        self.capacity = capacity;
+        self.points.clear();
+        self.points.push(ProfilePoint {
+            time: origin,
+            free: capacity,
+        });
+        events.clear();
+        for &(start, end, width) in spans {
+            if width == 0 {
+                continue;
+            }
+            let start = start.max(origin);
+            if end <= start {
+                continue;
+            }
+            events.push((start, width as i64));
+            events.push((end, -(width as i64)));
+        }
+        events.sort_unstable_by_key(|&(time, _)| time);
+        let mut used: i64 = 0;
+        let mut i = 0;
+        while i < events.len() {
+            let time = events[i].0;
+            let mut delta = 0i64;
+            while i < events.len() && events[i].0 == time {
+                delta += events[i].1;
+                i += 1;
+            }
+            if delta == 0 {
+                continue;
+            }
+            used += delta;
+            assert!(
+                (0..=capacity as i64).contains(&used),
+                "overcommit: {used} processors reserved at {time:?}, capacity {capacity}"
+            );
+            let free = capacity - used as u32;
+            let last = self.points.last_mut().expect("origin point present");
+            if last.time == time {
+                last.free = free;
+            } else {
+                self.points.push(ProfilePoint { time, free });
+            }
+        }
+        self.assert_invariants();
+    }
+
+    /// Makes this profile a copy of `base` without reallocating (one
+    /// `memcpy` of the point list). This is the per-policy "restore to
+    /// watermark" step: the planner builds the running-jobs base once
+    /// per event and every policy's planning pass starts from a restored
+    /// copy instead of rebuilding it.
+    pub fn restore_from(&mut self, base: &Profile) {
+        self.capacity = base.capacity;
+        self.points.clear();
+        self.points.extend_from_slice(&base.points);
+    }
+
     /// Total processors of the machine.
     pub fn capacity(&self) -> u32 {
         self.capacity
@@ -80,7 +163,9 @@ impl Profile {
     /// Index of the segment containing `t` (the last point with
     /// `time <= t`, or segment 0 for earlier instants).
     fn seg_index(&self, t: SimTime) -> usize {
-        self.points.partition_point(|p| p.time <= t).saturating_sub(1)
+        self.points
+            .partition_point(|p| p.time <= t)
+            .saturating_sub(1)
     }
 
     /// Ensures a break point exists exactly at `t` (splitting the
@@ -133,26 +218,35 @@ impl Profile {
     /// # Panics
     /// Panics if `width` exceeds the machine capacity.
     pub fn earliest_fit(&self, after: SimTime, duration: SimDuration, width: u32) -> SimTime {
+        self.earliest_fit_indexed(after, duration, width).0
+    }
+
+    /// [`Profile::earliest_fit`] plus the index of the segment containing
+    /// the returned instant, so callers that allocate right away need not
+    /// re-search.
+    fn earliest_fit_indexed(
+        &self,
+        after: SimTime,
+        duration: SimDuration,
+        width: u32,
+    ) -> (SimTime, usize) {
         assert!(
             width <= self.capacity,
             "job width {width} exceeds capacity {}",
             self.capacity
         );
-        if width == 0 || duration.is_zero() {
-            return after.max(self.origin());
-        }
         let mut candidate = after.max(self.origin());
         let mut i = self.seg_index(candidate);
+        if width == 0 || duration.is_zero() {
+            return (candidate, i);
+        }
         'outer: loop {
             let end = candidate.saturating_add(duration);
             // Scan segments overlapping [candidate, end) for a blocker.
             let mut j = i;
             while j < self.points.len() && self.points[j].time < end {
                 if self.points[j].free < width {
-                    let seg_end = self
-                        .points
-                        .get(j + 1)
-                        .map_or(SimTime::MAX, |p| p.time);
+                    let seg_end = self.points.get(j + 1).map_or(SimTime::MAX, |p| p.time);
                     if seg_end > candidate {
                         // Blocked: jump past this segment to the next
                         // instant with enough capacity.
@@ -160,10 +254,7 @@ impl Profile {
                         while k < self.points.len() && self.points[k].free < width {
                             k += 1;
                         }
-                        debug_assert!(
-                            k < self.points.len(),
-                            "profile must end at full capacity"
-                        );
+                        debug_assert!(k < self.points.len(), "profile must end at full capacity");
                         candidate = self.points[k].time;
                         i = k;
                         continue 'outer;
@@ -171,20 +262,82 @@ impl Profile {
                 }
                 j += 1;
             }
-            return candidate;
+            return (candidate, i);
         }
     }
 
     /// Finds the earliest fit and allocates it in one step; returns the
-    /// chosen start time.
+    /// chosen start time. Equivalent to [`Profile::earliest_fit`] followed
+    /// by [`Profile::allocate`], but reuses the fit's segment index and
+    /// inserts both new break points with a single tail shift instead of
+    /// two `Vec::insert`s — this is the planner's hot path (once per
+    /// queued job per policy per event).
     pub fn allocate_earliest(
         &mut self,
         after: SimTime,
         duration: SimDuration,
         width: u32,
     ) -> SimTime {
-        let start = self.earliest_fit(after, duration, width);
-        self.allocate(start, duration, width);
+        let (start, s_seg) = self.earliest_fit_indexed(after, duration, width);
+        if duration.is_zero() || width == 0 {
+            return start;
+        }
+        debug_assert!(self.points[s_seg].time <= start);
+        let end = start.saturating_add(duration);
+
+        // First segment index whose point time is >= end, scanning
+        // forward from the fit segment (the span rarely covers many).
+        let mut e_seg = s_seg;
+        while e_seg < self.points.len() && self.points[e_seg].time < end {
+            e_seg += 1;
+        }
+        // Break points to materialize: one at `start` (unless a point
+        // sits there already), one at `end` (ditto). Their free values
+        // are those of the segments they split.
+        let need_s = self.points[s_seg].time != start;
+        let need_e = e_seg >= self.points.len() || self.points[e_seg].time != end;
+        let free_at_end = self.points[e_seg - 1].free;
+        let grow = usize::from(need_s) + usize::from(need_e);
+        let old_len = self.points.len();
+        if grow > 0 {
+            self.points.resize(
+                old_len + grow,
+                ProfilePoint {
+                    time: SimTime::MAX,
+                    free: self.capacity,
+                },
+            );
+            // One shift of the tail [e_seg..] by the full growth, then —
+            // when both points are new — one shift of the covered middle
+            // (s_seg+1..e_seg) by one.
+            self.points.copy_within(e_seg..old_len, e_seg + grow);
+            if need_e {
+                self.points[e_seg + usize::from(need_s)] = ProfilePoint {
+                    time: end,
+                    free: free_at_end,
+                };
+            }
+            if need_s {
+                self.points.copy_within(s_seg + 1..e_seg, s_seg + 2);
+                self.points[s_seg + 1] = ProfilePoint {
+                    time: start,
+                    free: self.points[s_seg].free,
+                };
+            }
+        }
+        // Narrow every segment covering [start, end).
+        let first = s_seg + usize::from(need_s);
+        let last = e_seg + usize::from(need_s);
+        for p in &mut self.points[first..last] {
+            assert!(
+                p.free >= width,
+                "overcommit: segment at {:?} has {} free, needs {width}",
+                p.time,
+                p.free
+            );
+            p.free -= width;
+        }
+        self.assert_invariants();
         start
     }
 
@@ -322,6 +475,80 @@ mod tests {
         let _ = p.earliest_fit(t(0), d(1), 5);
     }
 
+    #[test]
+    fn sweep_rebuild_matches_allocate_loop() {
+        let spans = [
+            (t(0), t(100), 3u32),
+            (t(50), t(150), 2),
+            (t(100), t(200), 4),
+            (t(300), t(310), 8),
+        ];
+        let mut by_alloc = Profile::new(8, t(0));
+        for &(s, e, w) in &spans {
+            by_alloc.allocate(s, e.saturating_since(s), w);
+        }
+        let mut by_sweep = Profile::new(1, t(99));
+        let mut scratch = Vec::new();
+        by_sweep.rebuild_from_spans(8, t(0), &spans, &mut scratch);
+        // Identical as piecewise functions (representations may differ
+        // only in redundant points, and the sweep emits none).
+        for probe in 0..400 {
+            assert_eq!(
+                by_sweep.free_at(t(probe)),
+                by_alloc.free_at(t(probe)),
+                "free differs at t={probe}"
+            );
+        }
+        assert_eq!(by_sweep.capacity(), 8);
+    }
+
+    #[test]
+    fn sweep_rebuild_clips_to_origin_and_skips_empty_spans() {
+        let mut p = Profile::new(1, t(0));
+        let mut scratch = Vec::new();
+        p.rebuild_from_spans(
+            4,
+            t(100),
+            &[
+                (t(0), t(150), 2),   // started before origin: clipped
+                (t(0), t(50), 4),    // entirely past: dropped
+                (t(120), t(120), 4), // empty: dropped
+                (t(130), t(140), 0), // zero width: dropped
+            ],
+            &mut scratch,
+        );
+        assert_eq!(p.origin(), t(100));
+        assert_eq!(p.free_at(t(100)), 2);
+        assert_eq!(p.free_at(t(149)), 2);
+        assert_eq!(p.free_at(t(150)), 4);
+        assert_eq!(p.points().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overcommit")]
+    fn sweep_rebuild_panics_on_overcommit() {
+        let mut p = Profile::new(1, t(0));
+        let mut scratch = Vec::new();
+        p.rebuild_from_spans(4, t(0), &[(t(0), t(10), 3), (t(5), t(15), 3)], &mut scratch);
+    }
+
+    #[test]
+    fn restore_from_copies_without_affecting_the_base() {
+        let mut base = Profile::new(8, t(0));
+        base.allocate(t(10), d(20), 5);
+        let mut work = Profile::new(1, t(999));
+        work.restore_from(&base);
+        assert_eq!(work.capacity(), 8);
+        assert_eq!(work.points(), base.points());
+        // Narrowing the copy leaves the base untouched.
+        work.allocate(t(10), d(20), 3);
+        assert_eq!(work.free_at(t(15)), 0);
+        assert_eq!(base.free_at(t(15)), 3);
+        // A second restore really is a reset to the watermark.
+        work.restore_from(&base);
+        assert_eq!(work.free_at(t(15)), 3);
+    }
+
     proptest! {
         /// Random allocate_earliest sequences never violate profile
         /// invariants and always place each reservation at a feasible,
@@ -388,6 +615,40 @@ mod tests {
                 let blocked = (0..dur).any(|off| p.free_at(t(probe + off)) < w);
                 prop_assert!(blocked, "start {probe} would also fit (earliest was {s0})");
                 probe += 1;
+            }
+        }
+
+        /// The endpoint sweep builds the same piecewise function as the
+        /// allocate loop, for any non-overcommitting span set — and every
+        /// earliest_fit query answers identically on both.
+        #[test]
+        fn sweep_equals_allocate_loop(
+            raw in proptest::collection::vec((1u32..5, 0u64..300, 1u64..200), 0..25),
+            queries in proptest::collection::vec((1u32..9, 0u64..400, 1u64..150), 1..10),
+        ) {
+            let capacity = 16u32;
+            // Keep the span set feasible by stacking greedily: place each
+            // span at its requested time only if it still fits there.
+            let mut by_alloc = Profile::new(capacity, t(0));
+            let mut spans: Vec<(SimTime, SimTime, u32)> = Vec::new();
+            for (w, start, dur) in raw {
+                let fits = (start..start + dur).all(|sec| by_alloc.free_at(t(sec)) >= w);
+                if fits {
+                    by_alloc.allocate(t(start), d(dur), w);
+                    spans.push((t(start), t(start + dur), w));
+                }
+            }
+            let mut by_sweep = Profile::new(1, t(7));
+            let mut scratch = Vec::new();
+            by_sweep.rebuild_from_spans(capacity, t(0), &spans, &mut scratch);
+            for sec in 0..600 {
+                prop_assert_eq!(by_sweep.free_at(t(sec)), by_alloc.free_at(t(sec)));
+            }
+            for (w, after, dur) in queries {
+                prop_assert_eq!(
+                    by_sweep.earliest_fit(t(after), d(dur), w),
+                    by_alloc.earliest_fit(t(after), d(dur), w)
+                );
             }
         }
     }

@@ -150,7 +150,7 @@ mod tests {
         let mut book = ReservationBook::new();
         book.add(t(0), d(100), 2); // 200 proc-s total
         book.add(t(200), d(10), 10); // 100 proc-s
-        // At t=50 the first window has 50 s left → 100 + 100.
+                                     // At t=50 the first window has 50 s left → 100 + 100.
         assert!((book.booked_area(t(50)) - 200.0).abs() < 1e-9);
         assert!((book.booked_area(t(0)) - 300.0).abs() < 1e-9);
     }

@@ -43,7 +43,9 @@ pub struct Schedule {
 impl Schedule {
     /// Creates an empty schedule.
     pub fn new() -> Self {
-        Schedule { entries: Vec::new() }
+        Schedule {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of planned jobs.

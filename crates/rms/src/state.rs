@@ -56,6 +56,17 @@ impl CompletedJob {
     }
 }
 
+/// One change to the waiting queue, in occurrence order. The append-only
+/// log of these lets incremental schedulers replay exact queue deltas
+/// instead of re-scanning (or re-sorting) the whole queue every event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueueChange {
+    /// The job entered the waiting queue (submission).
+    Entered(Job),
+    /// The job left the waiting queue (it started).
+    Left(Job),
+}
+
 /// The resource-management state: job pools plus processor accounting.
 #[derive(Clone, Debug)]
 pub struct RmsState {
@@ -65,6 +76,7 @@ pub struct RmsState {
     running: Vec<RunningJob>,
     completed: Vec<CompletedJob>,
     submitted: usize,
+    queue_log: Vec<QueueChange>,
 }
 
 impl RmsState {
@@ -78,6 +90,7 @@ impl RmsState {
             running: Vec::new(),
             completed: Vec::new(),
             submitted: 0,
+            queue_log: Vec::new(),
         }
     }
 
@@ -116,6 +129,14 @@ impl RmsState {
         self.waiting.is_empty() && self.running.is_empty()
     }
 
+    /// The append-only waiting-queue change log, complete since this
+    /// state's construction. Incremental consumers remember how far they
+    /// have read (their cursor into this slice) and replay only the tail;
+    /// the log's total length is bounded by two entries per job.
+    pub fn queue_log(&self) -> &[QueueChange] {
+        &self.queue_log
+    }
+
     /// Adds a job to the waiting queue.
     ///
     /// # Panics
@@ -129,6 +150,7 @@ impl RmsState {
         );
         self.submitted += 1;
         self.waiting.push(job);
+        self.queue_log.push(QueueChange::Entered(job));
     }
 
     /// Starts a waiting job at `now`, consuming processors. Returns the
@@ -153,6 +175,7 @@ impl RmsState {
             self.free
         );
         self.free -= job.width;
+        self.queue_log.push(QueueChange::Left(job));
         let run = RunningJob { job, start: now };
         self.running.push(run);
         run

@@ -57,7 +57,9 @@ fn main() {
     print!("{}", table.to_text());
 
     // Condensed per-trace averages relative to the advanced decider.
-    println!("\naverage SLDwA difference to dynP[advanced] in % (positive = better than advanced):");
+    println!(
+        "\naverage SLDwA difference to dynP[advanced] in % (positive = better than advanced):"
+    );
     for model in &exp.traces {
         print!("  {:<5}", model.name);
         for n in names.iter().skip(1) {

@@ -38,7 +38,10 @@ fn main() {
     let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
     exp.base_seed = args.seed;
     exp.workers = args.workers;
-    eprintln!("Ablation A4 (queueing vs planning): {} runs", exp.total_runs());
+    eprintln!(
+        "Ablation A4 (queueing vs planning): {} runs",
+        exp.total_runs()
+    );
     let result = exp.run_with_progress(CommonArgs::progress_printer(exp.total_runs()));
 
     let mut headers: Vec<String> = vec!["trace".into(), "factor".into()];

@@ -63,9 +63,7 @@ fn main() {
         }
     }
     print!("{}", table.to_text());
-    println!(
-        "\nreading: as the threshold grows the decider sticks to SJF longer; its results"
-    );
+    println!("\nreading: as the threshold grows the decider sticks to SJF longer; its results");
     println!("should interpolate between th=0 (paper) and the static SJF column.");
 
     if let Some(dir) = &args.out {

@@ -24,13 +24,10 @@ fn main() {
     while let Some(flag) = rest.next() {
         match flag.as_str() {
             "--shrink" => {
-                shrink_factor = rest
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--shrink needs a number");
-                        std::process::exit(2);
-                    });
+                shrink_factor = rest.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--shrink needs a number");
+                    std::process::exit(2);
+                });
             }
             "--out-dir" => {
                 out_dir = PathBuf::from(rest.next().unwrap_or_else(|| {
@@ -62,10 +59,7 @@ fn main() {
         } else {
             set
         };
-        let fname = format!(
-            "{}.swf",
-            scaled.name.replace('/', "_").replace('@', "_x")
-        );
+        let fname = format!("{}.swf", scaled.name.replace('/', "_").replace('@', "_x"));
         let path = out_dir.join(&fname);
         let file = File::create(&path).expect("create SWF file");
         swf::write_swf(&scaled, BufWriter::new(file)).expect("write SWF");

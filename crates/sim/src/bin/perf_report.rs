@@ -1,0 +1,314 @@
+//! Perf-trajectory harness: times a fixed reduced-scale grid and writes
+//! machine-readable `BENCH_planner.json` / `BENCH_end_to_end.json` so
+//! subsequent changes can be checked against the recorded trajectory.
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin perf_report [-- --quick] [--out-dir DIR]
+//! ```
+//!
+//! Two reports:
+//!
+//! * **planner** — microbenchmark of one self-tuning step's planning work
+//!   (3 policy plans over the same base profile) comparing the incremental
+//!   planner (shared base, watermark restore) against the from-scratch
+//!   reference, across queue depths and running-set sizes;
+//! * **end_to_end** — full simulations of dynP (3 candidate policies,
+//!   advanced decider) per grid cell, incremental vs the from-scratch
+//!   reference mode, with wall time, events/sec, an allocation-count
+//!   proxy, and the resulting speedup.
+//!
+//! Everything is seeded and single-threaded; numbers vary with the host,
+//! the *ratios* are the tracked quantity.
+
+use dynp_core::{DeciderKind, DynPConfig, SelfTuningScheduler};
+use dynp_des::{SimDuration, SimTime};
+use dynp_rms::{Planner, Policy, ReferencePlanner, RunningJob};
+use dynp_sim::simulate;
+use dynp_workload::{traces, transform, Job, JobId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts heap allocations so the reports carry an allocation proxy —
+/// the incremental engine's point is to stop allocating per event.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Median wall time in nanoseconds over `reps` runs of `f`.
+fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One row of a report: ordered key → JSON-literal pairs.
+struct Row(Vec<(&'static str, String)>);
+
+impl Row {
+    fn str(mut self, k: &'static str, v: &str) -> Self {
+        self.0.push((k, format!("\"{}\"", json_escape(v))));
+        self
+    }
+    fn num(mut self, k: &'static str, v: f64) -> Self {
+        self.0.push((k, format!("{v}")));
+        self
+    }
+    fn int(mut self, k: &'static str, v: u64) -> Self {
+        self.0.push((k, format!("{v}")));
+        self
+    }
+}
+
+fn write_report(path: &std::path::Path, meta: &[(&str, String)], rows: &[Row]) {
+    let mut out = String::from("{\n");
+    for (k, v) in meta {
+        let _ = writeln!(out, "  \"{k}\": {v},");
+    }
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        for (j, (k, v)) in row.0.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{k}\": {v}");
+        }
+        out.push('}');
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn bench_job(id: u32, submit_s: u64, width: u32, est_s: u64) -> Job {
+    Job::new(
+        JobId(id),
+        SimTime::from_secs(submit_s),
+        width,
+        SimDuration::from_secs(est_s),
+        SimDuration::from_secs(est_s),
+    )
+}
+
+/// Deterministic synthetic running set: `n` jobs of staggered widths and
+/// remaining times. All overlap near time zero, so the machine must be at
+/// least as large as the total width (see [`machine_for`]).
+fn running_set(n: usize) -> Vec<RunningJob> {
+    (0..n)
+        .map(|i| {
+            let width = (i as u32 % 4) + 1;
+            let est = 600 + 37 * (i as u64 % 53);
+            RunningJob {
+                job: bench_job(100_000 + i as u32, 0, width, est),
+                start: SimTime::from_secs(7 * (i as u64 % 11)),
+            }
+        })
+        .collect()
+}
+
+/// Machine size that fits the running set fully busy plus headroom for
+/// the waiting queue to plan into.
+fn machine_for(running: &[RunningJob]) -> u32 {
+    running.iter().map(|r| r.job.width).sum::<u32>().max(192) + 64
+}
+
+/// The planner microbenchmark: one dynP step's planning work (three
+/// policy-ordered plans of the same queue against the same running set).
+fn planner_report(out_dir: &std::path::Path, quick: bool) {
+    let reps = if quick { 5 } else { 25 };
+    let now = SimTime::from_secs(100_000);
+    let mut rows = Vec::new();
+
+    for &(depth, nrun) in &[(64usize, 16usize), (256, 64), (1024, 64), (1024, 256)] {
+        let queue: Vec<Job> = transform::shrink(&traces::kth().generate(depth, 7), 1.0)
+            .into_jobs()
+            .into_iter()
+            .map(|mut j| {
+                j.submit = SimTime::ZERO;
+                j
+            })
+            .collect();
+        let running = running_set(nrun);
+        let machine = machine_for(&running);
+        let orders: Vec<Vec<Job>> = Policy::BASIC
+            .iter()
+            .map(|p| {
+                let mut q = queue.clone();
+                p.sort_queue(&mut q);
+                q
+            })
+            .collect();
+
+        // Incremental: one prepare, three watermark-restored plans.
+        let mut planner = Planner::new();
+        let mut schedules = vec![Default::default(); Policy::BASIC.len()];
+        let inc_ns = median_ns(reps, || {
+            planner.prepare(machine, now, &running, &[]);
+            for (order, out) in orders.iter().zip(schedules.iter_mut()) {
+                planner.plan_prepared_into(order, out);
+            }
+        });
+
+        // Reference: three from-scratch plans, each copying the unsorted
+        // queue and sorting it (exactly the pre-incremental per-event
+        // work).
+        let mut reference = ReferencePlanner::new();
+        let mut queue_buf = Vec::new();
+        let ref_ns = median_ns(reps, || {
+            for policy in Policy::BASIC {
+                queue_buf.clear();
+                queue_buf.extend_from_slice(&queue);
+                policy.sort_queue(&mut queue_buf);
+                let s = reference.plan(machine, now, &running, &queue_buf);
+                std::hint::black_box(&s);
+            }
+        });
+
+        rows.push(
+            Row(Vec::new())
+                .int("queue_depth", depth as u64)
+                .int("running_jobs", nrun as u64)
+                .int("incremental_ns_per_step", inc_ns)
+                .int("reference_ns_per_step", ref_ns)
+                .num("speedup", ref_ns as f64 / inc_ns.max(1) as f64),
+        );
+    }
+
+    write_report(
+        &out_dir.join("BENCH_planner.json"),
+        &[
+            ("report", "\"planner\"".to_string()),
+            (
+                "unit",
+                "\"ns per 3-policy planning step, median\"".to_string(),
+            ),
+            ("reps", reps.to_string()),
+        ],
+        &rows,
+    );
+}
+
+/// The end-to-end grid: full dynP simulations, incremental vs reference.
+fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
+    let (jobs, reps) = if quick { (400, 1) } else { (1_500, 3) };
+    let grid = [("CTC", 0.7), ("SDSC", 0.7), ("KTH", 0.8)];
+    let config = DynPConfig::paper(DeciderKind::Advanced);
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    for (trace, factor) in grid {
+        let model = traces::by_name(trace).expect("known trace");
+        let set = transform::shrink(&model.generate(jobs, 11), factor);
+
+        let run = |reference: bool| {
+            // Warm-up run, then timed runs; allocation proxy from the
+            // last run only (counts are deterministic per run).
+            let events = {
+                let mut s = SelfTuningScheduler::new(config.clone());
+                s.set_reference_mode(reference);
+                simulate(&set, &mut s).events as u64
+            };
+            let mut allocs = 0;
+            let ns = median_ns(reps, || {
+                let mut s = SelfTuningScheduler::new(config.clone());
+                s.set_reference_mode(reference);
+                let before = allocations();
+                let r = simulate(&set, &mut s);
+                allocs = allocations() - before;
+                std::hint::black_box(&r);
+            });
+            (ns, events, allocs)
+        };
+        let (inc_ns, events, inc_allocs) = run(false);
+        let (ref_ns, _, ref_allocs) = run(true);
+        let speedup = ref_ns as f64 / inc_ns.max(1) as f64;
+        speedups.push(speedup);
+
+        println!(
+            "{trace}@{factor} jobs={jobs}: incremental {:.2} ms, reference {:.2} ms, speedup {speedup:.2}x, allocs {inc_allocs} vs {ref_allocs}",
+            inc_ns as f64 / 1e6,
+            ref_ns as f64 / 1e6,
+        );
+        rows.push(
+            Row(Vec::new())
+                .str("trace", trace)
+                .num("factor", factor)
+                .int("jobs", jobs as u64)
+                .int("events", events)
+                .int("incremental_ns", inc_ns)
+                .int("reference_ns", ref_ns)
+                .num("speedup", speedup)
+                .num(
+                    "events_per_sec_incremental",
+                    events as f64 / (inc_ns as f64 / 1e9),
+                )
+                .int("allocations_incremental", inc_allocs)
+                .int("allocations_reference", ref_allocs),
+        );
+    }
+
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("geomean speedup: {geomean:.2}x");
+    write_report(
+        &out_dir.join("BENCH_end_to_end.json"),
+        &[
+            ("report", "\"end_to_end\"".to_string()),
+            (
+                "scheduler",
+                "\"dynP[advanced], FCFS/SJF/LJF candidates\"".to_string(),
+            ),
+            ("reps", reps.to_string()),
+            ("geomean_speedup", format!("{geomean}")),
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+
+    planner_report(&out_dir, quick);
+    end_to_end_report(&out_dir, quick);
+}

@@ -44,9 +44,7 @@ fn parse_scheduler(spec: &str) -> Result<SchedulerSpec, String> {
             .ok_or_else(|| format!("unknown policy {p:?}")),
         ["dynp", "preferred", p, th] => {
             let policy = Policy::parse(p).ok_or_else(|| format!("unknown policy {p:?}"))?;
-            let threshold: f64 = th
-                .parse()
-                .map_err(|_| format!("bad threshold {th:?}"))?;
+            let threshold: f64 = th.parse().map_err(|_| format!("bad threshold {th:?}"))?;
             Ok(SchedulerSpec::dynp(DeciderKind::Preferred {
                 policy,
                 threshold,

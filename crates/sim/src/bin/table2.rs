@@ -22,8 +22,23 @@ fn main() {
     let mut table = Table::new(
         "",
         &[
-            "trace", "source", "width min", "avg", "max", "machine", "est min[s]", "avg", "max",
-            "act min[s]", "avg", "max", "overest", "ia min[s]", "avg", "max", "load",
+            "trace",
+            "source",
+            "width min",
+            "avg",
+            "max",
+            "machine",
+            "est min[s]",
+            "avg",
+            "max",
+            "act min[s]",
+            "avg",
+            "max",
+            "overest",
+            "ia min[s]",
+            "avg",
+            "max",
+            "load",
         ],
     );
 
@@ -34,12 +49,10 @@ fn main() {
         let stats: Vec<TraceStats> = sets.iter().map(TraceStats::measure).collect();
         let n = stats.len() as f64;
         let avg = |f: &dyn Fn(&TraceStats) -> f64| stats.iter().map(f).sum::<f64>() / n;
-        let minv = |f: &dyn Fn(&TraceStats) -> f64| {
-            stats.iter().map(f).fold(f64::INFINITY, f64::min)
-        };
-        let maxv = |f: &dyn Fn(&TraceStats) -> f64| {
-            stats.iter().map(f).fold(f64::NEG_INFINITY, f64::max)
-        };
+        let minv =
+            |f: &dyn Fn(&TraceStats) -> f64| stats.iter().map(f).fold(f64::INFINITY, f64::min);
+        let maxv =
+            |f: &dyn Fn(&TraceStats) -> f64| stats.iter().map(f).fold(f64::NEG_INFINITY, f64::max);
 
         table.push_row(vec![
             model.name.clone(),
@@ -88,9 +101,7 @@ fn main() {
     println!(
         "\nnotes: interarrival averages are calibrated to the paper's measured offered load at"
     );
-    println!(
-        "shrinking factor 1.0 rather than to the raw trace interarrival (DESIGN.md §4.2);"
-    );
+    println!("shrinking factor 1.0 rather than to the raw trace interarrival (DESIGN.md §4.2);");
     println!("min actual run time is clamped to 1 s (the paper's traces contain 0 s jobs).");
 
     if let Some(dir) = &args.out {

@@ -99,7 +99,10 @@ fn main() {
     print!("{}", table.to_text());
     if let Some(dir) = &args.out {
         table.write_csv(dir, "table4").expect("write table4.csv");
-        eprintln!("wrote table4.csv and fig1_*/fig2_*.dat to {}", dir.display());
+        eprintln!(
+            "wrote table4.csv and fig1_*/fig2_*.dat to {}",
+            dir.display()
+        );
     }
 
     // Qualitative shape summary (the claims §4.3 derives from the table).
@@ -117,20 +120,25 @@ fn main() {
     for trace in ["CTC", "SDSC"] {
         if exp.traces.iter().any(|t| t.name == trace) {
             let ok = result.sldwa(trace, 0.6, "SJF") < result.sldwa(trace, 0.6, "FCFS");
-            check(&format!("{trace}: SJF overtakes FCFS at heavy load (0.6)"), ok);
+            check(
+                &format!("{trace}: SJF overtakes FCFS at heavy load (0.6)"),
+                ok,
+            );
         }
     }
     let lj_worst = exp.traces.iter().all(|t| {
-        exp.factors.iter().all(|&f| {
-            result.sldwa(&t.name, f, "LJF") >= result.sldwa(&t.name, f, "SJF") - 1e-9
-        })
+        exp.factors
+            .iter()
+            .all(|&f| result.sldwa(&t.name, f, "LJF") >= result.sldwa(&t.name, f, "SJF") - 1e-9)
     });
     check("LJF never has a better SLDwA than SJF", lj_worst);
     let sjf_low_util = exp.traces.iter().all(|t| {
         exp.factors.iter().all(|&f| {
-            result.utilization(&t.name, f, "SJF")
-                <= result.utilization(&t.name, f, "LJF") + 0.02
+            result.utilization(&t.name, f, "SJF") <= result.utilization(&t.name, f, "LJF") + 0.02
         })
     });
-    check("SJF utilization does not exceed LJF's (±2 pts)", sjf_low_util);
+    check(
+        "SJF utilization does not exceed LJF's (±2 pts)",
+        sjf_low_util,
+    );
 }

@@ -69,11 +69,25 @@ fn main() {
         let trace = model.name.as_str();
         let mut fig3 = FigureData::new(
             format!("Figure 3 ({trace}) — SLDwA of dynP deciders vs SJF"),
-            &["SJF", "advanced", "SJF-preferred", "paper_SJF", "paper_adv", "paper_pref"],
+            &[
+                "SJF",
+                "advanced",
+                "SJF-preferred",
+                "paper_SJF",
+                "paper_adv",
+                "paper_pref",
+            ],
         );
         let mut fig4 = FigureData::new(
             format!("Figure 4 ({trace}) — utilization [%] of dynP deciders vs SJF"),
-            &["SJF", "advanced", "SJF-preferred", "paper_SJF", "paper_adv", "paper_pref"],
+            &[
+                "SJF",
+                "advanced",
+                "SJF-preferred",
+                "paper_SJF",
+                "paper_adv",
+                "paper_pref",
+            ],
         );
         let mut sld_diff_sum = [0.0f64; 2];
         let mut util_diff_sum = [0.0f64; 2];
@@ -172,9 +186,10 @@ fn main() {
     };
     for trace in ["CTC", "SDSC"] {
         if exp.traces.iter().any(|t| t.name == trace) {
-            let better_sld = exp.factors.iter().filter(|&&f| {
-                result.sldwa(trace, f, PREF) < result.sldwa(trace, f, "SJF")
-            });
+            let better_sld = exp
+                .factors
+                .iter()
+                .filter(|&&f| result.sldwa(trace, f, PREF) < result.sldwa(trace, f, "SJF"));
             let better_util = exp.factors.iter().filter(|&&f| {
                 result.utilization(trace, f, PREF) > result.utilization(trace, f, "SJF")
             });

@@ -70,9 +70,7 @@ impl CommonArgs {
         let mut selected: Vec<TraceModel> = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} needs a value"))
-            };
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
             match arg.as_str() {
                 "--jobs" => {
                     out.jobs = value("--jobs")?
@@ -90,8 +88,8 @@ impl CommonArgs {
                 }
                 "--trace" => {
                     let name = value("--trace")?;
-                    let model = traces::by_name(&name)
-                        .ok_or_else(|| format!("unknown trace {name:?}"))?;
+                    let model =
+                        traces::by_name(&name).ok_or_else(|| format!("unknown trace {name:?}"))?;
                     selected.push(model);
                 }
                 "--seed" => {
@@ -156,7 +154,17 @@ mod tests {
 
     #[test]
     fn explicit_flags_override() {
-        let a = parse(&["--jobs", "100", "--sets", "3", "--seed", "7", "--workers", "2"]).unwrap();
+        let a = parse(&[
+            "--jobs",
+            "100",
+            "--sets",
+            "3",
+            "--seed",
+            "7",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
         assert_eq!(a.jobs, 100);
         assert_eq!(a.sets, 3);
         assert_eq!(a.seed, 7);

@@ -5,7 +5,7 @@
 //! scheduler on every scaled set, and combine the K per-set results by
 //! dropping min and max and averaging the rest.
 //!
-//! Runs execute on a small worker pool (crossbeam scoped threads); every
+//! Runs execute on a small worker pool (std scoped threads); every
 //! run is independent and deterministic, so the sweep result does not
 //! depend on scheduling order or worker count.
 
@@ -13,9 +13,10 @@ use crate::runner::simulate;
 use crate::spec::SchedulerSpec;
 use dynp_metrics::{CombinedMetrics, SimMetrics};
 use dynp_workload::{transform, JobSet, TraceModel};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// One cell of the experiment grid.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -42,16 +43,51 @@ pub struct CellResult {
 pub struct ExperimentResult {
     /// All cells, in (trace, factor, scheduler) iteration order.
     pub cells: Vec<CellResult>,
+    /// Lazily built coordinate → index map. Valid only as long as
+    /// `cells` is not mutated after the first lookup; the sweep builds
+    /// `cells` once and then only reads.
+    index: OnceLock<HashMap<String, usize>>,
 }
 
 impl ExperimentResult {
-    /// Looks a cell up by coordinates.
+    /// Wraps a finished cell list.
+    pub fn new(cells: Vec<CellResult>) -> Self {
+        ExperimentResult {
+            cells,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// Lookup key: the factor is quantized to a 1e-6 grid so callers can
+    /// pass the same literal the grid was built from without worrying
+    /// about float noise (the old linear scan compared with a 1e-9
+    /// tolerance; quantization subsumes it, and real factors are 0.05
+    /// apart).
+    fn key(trace: &str, factor: f64, scheduler: &str) -> String {
+        let q = (factor * 1e6).round() as i64;
+        format!("{trace}\u{1}{q}\u{1}{scheduler}")
+    }
+
+    /// Looks a cell up by coordinates in O(1) after a one-time index
+    /// build (the previous implementation scanned all cells per lookup,
+    /// which made table rendering over big sweeps quadratic).
     pub fn get(&self, trace: &str, factor: f64, scheduler: &str) -> Option<&CellResult> {
-        self.cells.iter().find(|c| {
-            c.cell.trace == trace
-                && (c.cell.factor - factor).abs() < 1e-9
-                && c.cell.scheduler == scheduler
-        })
+        let index = self.index.get_or_init(|| {
+            let mut map = HashMap::with_capacity(self.cells.len());
+            // Reverse order so the first occurrence wins on (impossible
+            // in grid order, but defensive) duplicate coordinates,
+            // matching the old scan's first-match semantics.
+            for (i, c) in self.cells.iter().enumerate().rev() {
+                map.insert(
+                    Self::key(&c.cell.trace, c.cell.factor, &c.cell.scheduler),
+                    i,
+                );
+            }
+            map
+        });
+        index
+            .get(&Self::key(trace, factor, scheduler))
+            .map(|&i| &self.cells[i])
     }
 
     /// Combined SLDwA of a cell (`NaN` when absent).
@@ -154,9 +190,9 @@ impl Experiment {
             self.workers
         };
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers.min(total.max(1)) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= tasks.len() {
                         break;
@@ -166,23 +202,22 @@ impl Experiment {
                     let set = transform::shrink(base, self.factors[task.factor]);
                     let mut scheduler = self.schedulers[task.sched].build();
                     let run = simulate(&set, scheduler.as_mut());
-                    results.lock()[i] = Some(run.metrics);
+                    results.lock().unwrap()[i] = Some(run.metrics);
                     let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                     progress(d, total);
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
 
         // Combine per cell, preserving the deterministic grid order.
-        let metrics = results.into_inner();
+        let metrics = results.into_inner().unwrap();
         let mut cells = Vec::new();
         let sets = self.sets_per_trace;
         for (t, model) in self.traces.iter().enumerate() {
             for (f, &factor) in self.factors.iter().enumerate() {
                 for (s, spec) in self.schedulers.iter().enumerate() {
-                    let base_idx = ((t * self.factors.len() + f) * self.schedulers.len() + s)
-                        * sets;
+                    let base_idx =
+                        ((t * self.factors.len() + f) * self.schedulers.len() + s) * sets;
                     let runs: Vec<SimMetrics> = (0..sets)
                         .map(|k| metrics[base_idx + k].expect("missing run result"))
                         .collect();
@@ -197,7 +232,7 @@ impl Experiment {
                 }
             }
         }
-        ExperimentResult { cells }
+        ExperimentResult::new(cells)
     }
 
     /// Runs the sweep silently.

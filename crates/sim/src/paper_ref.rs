@@ -85,26 +85,126 @@ pub struct Table4Ref {
 
 /// The paper's Table 4 (data behind Figures 1 and 2).
 pub const TABLE4: [Table4Ref; 20] = [
-    Table4Ref { trace: "CTC", factor: 1.0, sldwa: [2.61, 2.78, 3.55], util: [76.20, 75.48, 76.50] },
-    Table4Ref { trace: "CTC", factor: 0.9, sldwa: [3.99, 4.80, 5.99], util: [83.43, 80.74, 84.29] },
-    Table4Ref { trace: "CTC", factor: 0.8, sldwa: [7.51, 8.36, 13.25], util: [89.13, 83.07, 91.70] },
-    Table4Ref { trace: "CTC", factor: 0.7, sldwa: [13.01, 12.27, 23.42], util: [91.65, 85.36, 95.01] },
-    Table4Ref { trace: "CTC", factor: 0.6, sldwa: [19.61, 17.46, 36.22], util: [93.38, 85.94, 96.60] },
-    Table4Ref { trace: "KTH", factor: 1.0, sldwa: [4.06, 3.32, 7.33], util: [69.33, 68.81, 69.48] },
-    Table4Ref { trace: "KTH", factor: 0.9, sldwa: [5.51, 4.35, 11.11], util: [76.64, 75.46, 76.84] },
-    Table4Ref { trace: "KTH", factor: 0.8, sldwa: [9.00, 6.85, 20.75], util: [85.08, 80.37, 85.41] },
-    Table4Ref { trace: "KTH", factor: 0.7, sldwa: [20.72, 12.29, 54.58], util: [92.08, 82.59, 93.20] },
-    Table4Ref { trace: "KTH", factor: 0.6, sldwa: [45.73, 21.29, 120.84], util: [94.03, 84.25, 96.30] },
-    Table4Ref { trace: "LANL", factor: 1.0, sldwa: [2.53, 2.47, 2.92], util: [63.61, 63.61, 63.63] },
-    Table4Ref { trace: "LANL", factor: 0.9, sldwa: [3.20, 3.16, 3.83], util: [70.64, 70.59, 70.66] },
-    Table4Ref { trace: "LANL", factor: 0.8, sldwa: [4.69, 5.11, 6.26], util: [79.37, 79.11, 79.42] },
-    Table4Ref { trace: "LANL", factor: 0.7, sldwa: [10.05, 14.93, 16.52], util: [90.13, 85.46, 90.43] },
-    Table4Ref { trace: "LANL", factor: 0.6, sldwa: [44.46, 41.73, 82.88], util: [96.10, 86.71, 97.67] },
-    Table4Ref { trace: "SDSC", factor: 1.0, sldwa: [6.16, 6.00, 14.49], util: [79.41, 78.59, 79.69] },
-    Table4Ref { trace: "SDSC", factor: 0.9, sldwa: [10.36, 16.48, 30.70], util: [86.85, 80.55, 87.49] },
-    Table4Ref { trace: "SDSC", factor: 0.8, sldwa: [25.06, 29.86, 84.77], util: [91.83, 81.23, 92.87] },
-    Table4Ref { trace: "SDSC", factor: 0.7, sldwa: [46.20, 42.83, 121.05], util: [93.15, 81.87, 95.00] },
-    Table4Ref { trace: "SDSC", factor: 0.6, sldwa: [71.08, 57.01, 162.54], util: [94.05, 82.38, 96.19] },
+    Table4Ref {
+        trace: "CTC",
+        factor: 1.0,
+        sldwa: [2.61, 2.78, 3.55],
+        util: [76.20, 75.48, 76.50],
+    },
+    Table4Ref {
+        trace: "CTC",
+        factor: 0.9,
+        sldwa: [3.99, 4.80, 5.99],
+        util: [83.43, 80.74, 84.29],
+    },
+    Table4Ref {
+        trace: "CTC",
+        factor: 0.8,
+        sldwa: [7.51, 8.36, 13.25],
+        util: [89.13, 83.07, 91.70],
+    },
+    Table4Ref {
+        trace: "CTC",
+        factor: 0.7,
+        sldwa: [13.01, 12.27, 23.42],
+        util: [91.65, 85.36, 95.01],
+    },
+    Table4Ref {
+        trace: "CTC",
+        factor: 0.6,
+        sldwa: [19.61, 17.46, 36.22],
+        util: [93.38, 85.94, 96.60],
+    },
+    Table4Ref {
+        trace: "KTH",
+        factor: 1.0,
+        sldwa: [4.06, 3.32, 7.33],
+        util: [69.33, 68.81, 69.48],
+    },
+    Table4Ref {
+        trace: "KTH",
+        factor: 0.9,
+        sldwa: [5.51, 4.35, 11.11],
+        util: [76.64, 75.46, 76.84],
+    },
+    Table4Ref {
+        trace: "KTH",
+        factor: 0.8,
+        sldwa: [9.00, 6.85, 20.75],
+        util: [85.08, 80.37, 85.41],
+    },
+    Table4Ref {
+        trace: "KTH",
+        factor: 0.7,
+        sldwa: [20.72, 12.29, 54.58],
+        util: [92.08, 82.59, 93.20],
+    },
+    Table4Ref {
+        trace: "KTH",
+        factor: 0.6,
+        sldwa: [45.73, 21.29, 120.84],
+        util: [94.03, 84.25, 96.30],
+    },
+    Table4Ref {
+        trace: "LANL",
+        factor: 1.0,
+        sldwa: [2.53, 2.47, 2.92],
+        util: [63.61, 63.61, 63.63],
+    },
+    Table4Ref {
+        trace: "LANL",
+        factor: 0.9,
+        sldwa: [3.20, 3.16, 3.83],
+        util: [70.64, 70.59, 70.66],
+    },
+    Table4Ref {
+        trace: "LANL",
+        factor: 0.8,
+        sldwa: [4.69, 5.11, 6.26],
+        util: [79.37, 79.11, 79.42],
+    },
+    Table4Ref {
+        trace: "LANL",
+        factor: 0.7,
+        sldwa: [10.05, 14.93, 16.52],
+        util: [90.13, 85.46, 90.43],
+    },
+    Table4Ref {
+        trace: "LANL",
+        factor: 0.6,
+        sldwa: [44.46, 41.73, 82.88],
+        util: [96.10, 86.71, 97.67],
+    },
+    Table4Ref {
+        trace: "SDSC",
+        factor: 1.0,
+        sldwa: [6.16, 6.00, 14.49],
+        util: [79.41, 78.59, 79.69],
+    },
+    Table4Ref {
+        trace: "SDSC",
+        factor: 0.9,
+        sldwa: [10.36, 16.48, 30.70],
+        util: [86.85, 80.55, 87.49],
+    },
+    Table4Ref {
+        trace: "SDSC",
+        factor: 0.8,
+        sldwa: [25.06, 29.86, 84.77],
+        util: [91.83, 81.23, 92.87],
+    },
+    Table4Ref {
+        trace: "SDSC",
+        factor: 0.7,
+        sldwa: [46.20, 42.83, 121.05],
+        util: [93.15, 81.87, 95.00],
+    },
+    Table4Ref {
+        trace: "SDSC",
+        factor: 0.6,
+        sldwa: [71.08, 57.01, 162.54],
+        util: [94.05, 82.38, 96.19],
+    },
 ];
 
 /// One Table 5 row: SJF vs dynP (advanced, SJF-preferred) at one
@@ -125,26 +225,126 @@ pub struct Table5Ref {
 /// decider utilization at KTH/0.7 is blank in the paper; it is
 /// reconstructed from the printed −0.22 %-point difference.
 pub const TABLE5: [Table5Ref; 20] = [
-    Table5Ref { trace: "CTC", factor: 1.0, sldwa: [2.78, 2.48, 2.49], util: [75.48, 76.07, 76.13] },
-    Table5Ref { trace: "CTC", factor: 0.9, sldwa: [4.80, 4.16, 3.90], util: [80.74, 82.09, 82.54] },
-    Table5Ref { trace: "CTC", factor: 0.8, sldwa: [8.36, 7.44, 7.37], util: [83.07, 84.84, 84.72] },
-    Table5Ref { trace: "CTC", factor: 0.7, sldwa: [12.27, 11.76, 11.83], util: [85.36, 86.32, 86.30] },
-    Table5Ref { trace: "CTC", factor: 0.6, sldwa: [17.46, 16.40, 16.54], util: [85.94, 87.39, 86.95] },
-    Table5Ref { trace: "KTH", factor: 1.0, sldwa: [3.32, 3.25, 3.20], util: [68.81, 69.04, 68.98] },
-    Table5Ref { trace: "KTH", factor: 0.9, sldwa: [4.35, 4.31, 4.42], util: [75.46, 75.68, 75.68] },
-    Table5Ref { trace: "KTH", factor: 0.8, sldwa: [6.85, 6.70, 6.91], util: [80.37, 80.72, 80.63] },
-    Table5Ref { trace: "KTH", factor: 0.7, sldwa: [12.29, 12.79, 12.80], util: [82.59, 82.37, 82.42] },
-    Table5Ref { trace: "KTH", factor: 0.6, sldwa: [21.29, 21.41, 21.45], util: [84.25, 84.33, 84.40] },
-    Table5Ref { trace: "LANL", factor: 1.0, sldwa: [2.47, 2.43, 2.42], util: [63.61, 63.61, 63.61] },
-    Table5Ref { trace: "LANL", factor: 0.9, sldwa: [3.16, 3.13, 3.13], util: [70.59, 70.63, 70.63] },
-    Table5Ref { trace: "LANL", factor: 0.8, sldwa: [5.11, 4.95, 5.00], util: [79.11, 79.14, 79.12] },
-    Table5Ref { trace: "LANL", factor: 0.7, sldwa: [14.93, 14.50, 14.58], util: [85.46, 85.64, 85.57] },
-    Table5Ref { trace: "LANL", factor: 0.6, sldwa: [41.73, 42.37, 42.13], util: [86.71, 86.81, 87.00] },
-    Table5Ref { trace: "SDSC", factor: 1.0, sldwa: [6.00, 5.56, 5.59], util: [78.59, 78.75, 78.73] },
-    Table5Ref { trace: "SDSC", factor: 0.9, sldwa: [16.48, 13.90, 14.09], util: [80.55, 81.99, 82.20] },
-    Table5Ref { trace: "SDSC", factor: 0.8, sldwa: [29.86, 27.64, 27.54], util: [81.23, 82.59, 82.42] },
-    Table5Ref { trace: "SDSC", factor: 0.7, sldwa: [42.83, 41.95, 41.74], util: [81.87, 83.01, 82.96] },
-    Table5Ref { trace: "SDSC", factor: 0.6, sldwa: [57.01, 57.35, 57.29], util: [82.38, 82.94, 82.86] },
+    Table5Ref {
+        trace: "CTC",
+        factor: 1.0,
+        sldwa: [2.78, 2.48, 2.49],
+        util: [75.48, 76.07, 76.13],
+    },
+    Table5Ref {
+        trace: "CTC",
+        factor: 0.9,
+        sldwa: [4.80, 4.16, 3.90],
+        util: [80.74, 82.09, 82.54],
+    },
+    Table5Ref {
+        trace: "CTC",
+        factor: 0.8,
+        sldwa: [8.36, 7.44, 7.37],
+        util: [83.07, 84.84, 84.72],
+    },
+    Table5Ref {
+        trace: "CTC",
+        factor: 0.7,
+        sldwa: [12.27, 11.76, 11.83],
+        util: [85.36, 86.32, 86.30],
+    },
+    Table5Ref {
+        trace: "CTC",
+        factor: 0.6,
+        sldwa: [17.46, 16.40, 16.54],
+        util: [85.94, 87.39, 86.95],
+    },
+    Table5Ref {
+        trace: "KTH",
+        factor: 1.0,
+        sldwa: [3.32, 3.25, 3.20],
+        util: [68.81, 69.04, 68.98],
+    },
+    Table5Ref {
+        trace: "KTH",
+        factor: 0.9,
+        sldwa: [4.35, 4.31, 4.42],
+        util: [75.46, 75.68, 75.68],
+    },
+    Table5Ref {
+        trace: "KTH",
+        factor: 0.8,
+        sldwa: [6.85, 6.70, 6.91],
+        util: [80.37, 80.72, 80.63],
+    },
+    Table5Ref {
+        trace: "KTH",
+        factor: 0.7,
+        sldwa: [12.29, 12.79, 12.80],
+        util: [82.59, 82.37, 82.42],
+    },
+    Table5Ref {
+        trace: "KTH",
+        factor: 0.6,
+        sldwa: [21.29, 21.41, 21.45],
+        util: [84.25, 84.33, 84.40],
+    },
+    Table5Ref {
+        trace: "LANL",
+        factor: 1.0,
+        sldwa: [2.47, 2.43, 2.42],
+        util: [63.61, 63.61, 63.61],
+    },
+    Table5Ref {
+        trace: "LANL",
+        factor: 0.9,
+        sldwa: [3.16, 3.13, 3.13],
+        util: [70.59, 70.63, 70.63],
+    },
+    Table5Ref {
+        trace: "LANL",
+        factor: 0.8,
+        sldwa: [5.11, 4.95, 5.00],
+        util: [79.11, 79.14, 79.12],
+    },
+    Table5Ref {
+        trace: "LANL",
+        factor: 0.7,
+        sldwa: [14.93, 14.50, 14.58],
+        util: [85.46, 85.64, 85.57],
+    },
+    Table5Ref {
+        trace: "LANL",
+        factor: 0.6,
+        sldwa: [41.73, 42.37, 42.13],
+        util: [86.71, 86.81, 87.00],
+    },
+    Table5Ref {
+        trace: "SDSC",
+        factor: 1.0,
+        sldwa: [6.00, 5.56, 5.59],
+        util: [78.59, 78.75, 78.73],
+    },
+    Table5Ref {
+        trace: "SDSC",
+        factor: 0.9,
+        sldwa: [16.48, 13.90, 14.09],
+        util: [80.55, 81.99, 82.20],
+    },
+    Table5Ref {
+        trace: "SDSC",
+        factor: 0.8,
+        sldwa: [29.86, 27.64, 27.54],
+        util: [81.23, 82.59, 82.42],
+    },
+    Table5Ref {
+        trace: "SDSC",
+        factor: 0.7,
+        sldwa: [42.83, 41.95, 41.74],
+        util: [81.87, 83.01, 82.96],
+    },
+    Table5Ref {
+        trace: "SDSC",
+        factor: 0.6,
+        sldwa: [57.01, 57.35, 57.29],
+        util: [82.38, 82.94, 82.86],
+    },
 ];
 
 /// One Table 3 row: per-trace averages of the Table 5 differences.
@@ -162,10 +362,26 @@ pub struct Table3Ref {
 
 /// The paper's Table 3.
 pub const TABLE3: [Table3Ref; 4] = [
-    Table3Ref { trace: "CTC", sldwa_diff_pct: [9.04, 9.92], util_diff_pts: [1.22, 1.21] },
-    Table3Ref { trace: "KTH", sldwa_diff_pct: [0.15, -0.72], util_diff_pts: [0.13, 0.12] },
-    Table3Ref { trace: "LANL", sldwa_diff_pct: [1.51, 1.29], util_diff_pts: [0.07, 0.09] },
-    Table3Ref { trace: "SDSC", sldwa_diff_pct: [6.36, 6.22], util_diff_pts: [0.93, 0.91] },
+    Table3Ref {
+        trace: "CTC",
+        sldwa_diff_pct: [9.04, 9.92],
+        util_diff_pts: [1.22, 1.21],
+    },
+    Table3Ref {
+        trace: "KTH",
+        sldwa_diff_pct: [0.15, -0.72],
+        util_diff_pts: [0.13, 0.12],
+    },
+    Table3Ref {
+        trace: "LANL",
+        sldwa_diff_pct: [1.51, 1.29],
+        util_diff_pts: [0.07, 0.09],
+    },
+    Table3Ref {
+        trace: "SDSC",
+        sldwa_diff_pct: [6.36, 6.22],
+        util_diff_pts: [0.93, 0.91],
+    },
 ];
 
 /// Table 4 lookup.
@@ -213,8 +429,7 @@ mod tests {
     #[test]
     fn table3_is_the_average_of_table5_differences() {
         for t3 in &TABLE3 {
-            let rows: Vec<&Table5Ref> =
-                TABLE5.iter().filter(|r| r.trace == t3.trace).collect();
+            let rows: Vec<&Table5Ref> = TABLE5.iter().filter(|r| r.trace == t3.trace).collect();
             for (k, col) in [1usize, 2].into_iter().enumerate() {
                 let sld_avg: f64 = rows
                     .iter()
@@ -227,11 +442,8 @@ mod tests {
                     t3.trace,
                     t3.sldwa_diff_pct[k]
                 );
-                let util_avg: f64 = rows
-                    .iter()
-                    .map(|r| r.util[col] - r.util[0])
-                    .sum::<f64>()
-                    / rows.len() as f64;
+                let util_avg: f64 =
+                    rows.iter().map(|r| r.util[col] - r.util[0]).sum::<f64>() / rows.len() as f64;
                 assert!(
                     (util_avg - t3.util_diff_pts[k]).abs() < 0.05,
                     "{} col {col}: {util_avg:.2} vs {}",

@@ -91,7 +91,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -113,7 +117,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -293,7 +301,7 @@ mod tests {
     }
 
     #[test]
-    fn files_round_trip(){
+    fn files_round_trip() {
         let dir = std::env::temp_dir().join("dynp_report_test");
         sample().write_csv(&dir, "t").unwrap();
         let read = std::fs::read_to_string(dir.join("t.csv")).unwrap();
@@ -301,7 +309,9 @@ mod tests {
         let mut f = FigureData::new("x", &["s"]);
         f.push(0.5, vec![1.0]);
         f.write_dat(&dir, "f").unwrap();
-        assert!(std::fs::read_to_string(dir.join("f.dat")).unwrap().contains("0.5"));
+        assert!(std::fs::read_to_string(dir.join("f.dat"))
+            .unwrap()
+            .contains("0.5"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

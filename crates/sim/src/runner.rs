@@ -101,10 +101,7 @@ pub fn simulate_detailed(set: &JobSet, scheduler: &mut dyn Scheduler) -> Detaile
         }
         peak_queue = peak_queue.max(state.waiting().len());
         queue_tw.set(now, state.waiting().len() as f64);
-        busy_tw.set(
-            now,
-            (state.machine_size() - state.free_processors()) as f64,
-        );
+        busy_tw.set(now, (state.machine_size() - state.free_processors()) as f64);
     });
 
     assert!(
@@ -178,8 +175,7 @@ mod tests {
         let r = simulate(&set, &mut s);
         // Job 1: wait 30, run 50 → response 80, slowdown 80/50 = 1.6.
         assert!((r.metrics.avg_wait_secs - 15.0).abs() < 1e-9);
-        let expected_sldwa =
-            (30.0 * 2.0 * 1.0 + 50.0 * 2.0 * 1.6) / (30.0 * 2.0 + 50.0 * 2.0);
+        let expected_sldwa = (30.0 * 2.0 * 1.0 + 50.0 * 2.0 * 1.6) / (30.0 * 2.0 + 50.0 * 2.0);
         assert!((r.metrics.sldwa - expected_sldwa).abs() < 1e-9);
     }
 
@@ -266,7 +262,10 @@ mod tests {
         // The aggregate half matches the plain API.
         let mut s2 = StaticScheduler::new(Policy::Fcfs);
         let plain = simulate(&set, &mut s2);
-        assert_eq!(plain.metrics.sldwa.to_bits(), d.result.metrics.sldwa.to_bits());
+        assert_eq!(
+            plain.metrics.sldwa.to_bits(),
+            d.result.metrics.sldwa.to_bits()
+        );
     }
 
     #[test]

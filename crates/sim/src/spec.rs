@@ -115,11 +115,18 @@ mod tests {
     }
 
     #[test]
-    fn specs_serialize_round_trip() {
-        for spec in SchedulerSpec::paper_lineup() {
-            let json = serde_json::to_string(&spec).unwrap();
-            let back: SchedulerSpec = serde_json::from_str(&json).unwrap();
-            assert_eq!(spec, back);
+    fn names_identify_specs_uniquely() {
+        // Names are the stable textual form of a spec (results tables,
+        // BENCH_*.json); the line-up must not alias.
+        let lineup = SchedulerSpec::paper_lineup();
+        let names: Vec<String> = lineup.iter().map(SchedulerSpec::name).collect();
+        let mut deduped = names.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), lineup.len(), "aliased names: {names:?}");
+        // And a fresh build answers to the same name.
+        for spec in &lineup {
+            assert_eq!(spec.build().name(), spec.name());
         }
     }
 }

@@ -208,7 +208,11 @@ pub fn render_chart(fig: &FigureData, opts: &ChartOptions) -> String {
             let (px, py) = to_px(*x, y);
             let _ = write!(points, "{px:.1},{py:.1} ");
         }
-        let dash = if dashed { " stroke-dasharray=\"6 4\"" } else { "" };
+        let dash = if dashed {
+            " stroke-dasharray=\"6 4\""
+        } else {
+            ""
+        };
         let _ = writeln!(
             svg,
             "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.8\"{dash} points=\"{points}\"/>"
@@ -405,7 +409,9 @@ fn format_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -503,11 +509,7 @@ mod tests {
             // must land on different row bases (y coordinates differ).
             let jobs = [done(0, 0, 2, 100), done(1, 0, 2, 100)];
             let svg = render_gantt(&jobs, 4, 800.0, 400.0);
-            let ys: Vec<&str> = svg
-                .split("<title>")
-                .skip(1)
-                .map(|_| "")
-                .collect();
+            let ys: Vec<&str> = svg.split("<title>").skip(1).map(|_| "").collect();
             assert_eq!(ys.len(), 2);
             // Extract the y=".." of the two job rects (skip the frame).
             let mut y_vals = Vec::new();

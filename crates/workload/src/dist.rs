@@ -77,7 +77,9 @@ impl DurationDist {
                 } else {
                     *mean_long
                 };
-                Exp::new(1.0 / mean).expect("mean must be positive").sample(rng)
+                Exp::new(1.0 / mean)
+                    .expect("mean must be positive")
+                    .sample(rng)
             }
             DurationDist::LogUniform { min, max } => {
                 let (lo, hi) = (min.ln(), max.ln());
@@ -147,11 +149,14 @@ impl WidthDist {
         let w = match self {
             WidthDist::Constant(w) => *w,
             WidthDist::Weighted(items) => {
-                let items_f: Vec<(f64, f64)> =
-                    items.iter().map(|&(v, w)| (v as f64, w)).collect();
+                let items_f: Vec<(f64, f64)> = items.iter().map(|&(v, w)| (v as f64, w)).collect();
                 weighted_choice(&items_f, rng).round() as u32
             }
-            WidthDist::LogUniform { min, max, pow2_snap } => {
+            WidthDist::LogUniform {
+                min,
+                max,
+                pow2_snap,
+            } => {
                 let (lo, hi) = ((*min as f64).ln(), (*max as f64 + 1.0).ln());
                 let raw = (rng.gen::<f64>() * (hi - lo) + lo).exp();
                 let mut w = raw.floor() as u32;
@@ -320,7 +325,10 @@ mod tests {
 
     #[test]
     fn log_uniform_stays_in_bounds() {
-        let d = DurationDist::LogUniform { min: 10.0, max: 1000.0 };
+        let d = DurationDist::LogUniform {
+            min: 10.0,
+            max: 1000.0,
+        };
         let mut r = rng();
         for _ in 0..10_000 {
             let x = d.sample(&mut r);

@@ -202,7 +202,13 @@ mod tests {
         );
         assert_eq!(job.width, 1);
         assert_eq!(job.actual, job.estimate); // actual clamped to estimate
-        let zero = Job::new(JobId(1), SimTime::ZERO, 4, SimDuration::ZERO, SimDuration::ZERO);
+        let zero = Job::new(
+            JobId(1),
+            SimTime::ZERO,
+            4,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
         assert_eq!(zero.estimate.as_millis(), 1);
         assert_eq!(zero.actual.as_millis(), 1);
     }
@@ -222,7 +228,11 @@ mod tests {
             64,
             vec![j(7, 30, 1, 5, 5), j(2, 10, 2, 5, 5), j(5, 20, 4, 5, 5)],
         );
-        let submits: Vec<u64> = set.jobs().iter().map(|x| x.submit.as_millis() / 1000).collect();
+        let submits: Vec<u64> = set
+            .jobs()
+            .iter()
+            .map(|x| x.submit.as_millis() / 1000)
+            .collect();
         assert_eq!(submits, vec![10, 20, 30]);
         for (i, job) in set.jobs().iter().enumerate() {
             assert_eq!(job.id, JobId(i as u32));

@@ -208,12 +208,8 @@ mod tests {
             assert!(j.estimate >= j.actual);
         }
         // And a recognizable share is exact.
-        let exact = set
-            .jobs()
-            .iter()
-            .filter(|j| j.estimate == j.actual)
-            .count() as f64
-            / set.len() as f64;
+        let exact =
+            set.jobs().iter().filter(|j| j.estimate == j.actual).count() as f64 / set.len() as f64;
         assert!(exact > 0.10, "exact-estimate share {exact}");
     }
 

@@ -177,14 +177,20 @@ mod tests {
                     2.0,
                     15.0,
                     WidthDist::Weighted(vec![(1, 3.0), (2, 1.0)]),
-                    DurationDist::LogUniform { min: 30.0, max: 600.0 },
+                    DurationDist::LogUniform {
+                        min: 30.0,
+                        max: 600.0,
+                    },
                     0.3,
                 ),
                 (
                     1.0,
                     6.0,
                     WidthDist::Weighted(vec![(8, 1.0), (16, 1.0)]),
-                    DurationDist::LogUniform { min: 3_600.0, max: 36_000.0 },
+                    DurationDist::LogUniform {
+                        min: 3_600.0,
+                        max: 36_000.0,
+                    },
                     2.5,
                 ),
                 (

@@ -108,16 +108,18 @@ pub fn three_regime(
     batch: (f64, f64, WidthDist, DurationDist, f64),
     study: (f64, f64, WidthDist, DurationDist, f64),
 ) -> Vec<Regime> {
-    let mk = |name: &str, (weight, sess, width, est, scale): (f64, f64, WidthDist, DurationDist, f64)| {
-        Regime {
-            name: name.to_string(),
-            weight,
-            mean_session_jobs: sess,
-            width,
-            estimate: est,
-            arrival_scale: scale,
-        }
-    };
+    let mk =
+        |name: &str,
+         (weight, sess, width, est, scale): (f64, f64, WidthDist, DurationDist, f64)| {
+            Regime {
+                name: name.to_string(),
+                weight,
+                mean_session_jobs: sess,
+                width,
+                estimate: est,
+                arrival_scale: scale,
+            }
+        };
     vec![
         mk("interactive", interactive),
         mk("batch", batch),
@@ -188,8 +190,14 @@ mod tests {
         // which is ≥ the configured mean; just check the ordering.
         let mean = |v: &Vec<u32>| v.iter().sum::<u32>() as f64 / v.len() as f64;
         let (mi, mb, ms) = (mean(&lengths[0]), mean(&lengths[1]), mean(&lengths[2]));
-        assert!(ms > mi, "study sessions ({ms:.1}) should outlast interactive ({mi:.1})");
-        assert!(mi > mb, "interactive sessions ({mi:.1}) should outlast batch ({mb:.1})");
+        assert!(
+            ms > mi,
+            "study sessions ({ms:.1}) should outlast interactive ({mi:.1})"
+        );
+        assert!(
+            mi > mb,
+            "interactive sessions ({mi:.1}) should outlast batch ({mb:.1})"
+        );
     }
 
     #[test]
@@ -218,7 +226,10 @@ mod tests {
             seen[idx] = true;
             chain.step(&mut rng);
         }
-        assert!(seen.iter().all(|&s| s), "all regimes should occur: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all regimes should occur: {seen:?}"
+        );
     }
 
     #[test]

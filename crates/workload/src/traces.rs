@@ -180,11 +180,7 @@ pub fn kth() -> TraceModel {
                     (64, 0.3),
                     (100, 0.1),
                 ]),
-                DurationDist::Weighted(vec![
-                    (21_600.0, 3.0),
-                    (86_400.0, 4.0),
-                    (216_000.0, 3.0),
-                ]),
+                DurationDist::Weighted(vec![(21_600.0, 3.0), (86_400.0, 4.0), (216_000.0, 3.0)]),
                 3.0,
             ),
             regime(
@@ -229,11 +225,7 @@ pub fn lanl() -> TraceModel {
                 4.3,
                 8.0,
                 cm5_widths.clone(),
-                DurationDist::Weighted(vec![
-                    (120.0, 2.0),
-                    (600.0, 4.0),
-                    (1_800.0, 4.0),
-                ]),
+                DurationDist::Weighted(vec![(120.0, 2.0), (600.0, 4.0), (1_800.0, 4.0)]),
                 0.75,
             ),
             regime(
@@ -286,11 +278,7 @@ pub fn sdsc() -> TraceModel {
                 1.625,
                 8.0,
                 WidthDist::Weighted(vec![(16, 2.0), (32, 3.0), (64, 3.0), (128, 2.0)]),
-                DurationDist::Weighted(vec![
-                    (43_200.0, 4.0),
-                    (86_400.0, 4.0),
-                    (172_800.0, 2.0),
-                ]),
+                DurationDist::Weighted(vec![(43_200.0, 4.0), (86_400.0, 4.0), (172_800.0, 2.0)]),
                 3.0,
             ),
             regime(
@@ -344,9 +332,8 @@ mod tests {
     fn check(model: &TraceModel, t: Target) {
         let sets = model.generate_sets(10_000, 6, 4242);
         let stats: Vec<TraceStats> = sets.iter().map(TraceStats::measure).collect();
-        let avg = |f: &dyn Fn(&TraceStats) -> f64| {
-            stats.iter().map(f).sum::<f64>() / stats.len() as f64
-        };
+        let avg =
+            |f: &dyn Fn(&TraceStats) -> f64| stats.iter().map(f).sum::<f64>() / stats.len() as f64;
         let mean_width = avg(&|s| s.width.mean);
         let max_width = stats.iter().map(|s| s.width.max).fold(0.0, f64::max);
         let mean_estimate = avg(&|s| s.estimate.mean);
@@ -453,7 +440,11 @@ mod tests {
     fn lanl_widths_are_cm5_partitions() {
         let set = lanl().generate(5_000, 1);
         for j in set.jobs() {
-            assert!(j.width >= 32 && j.width.is_power_of_two(), "width {}", j.width);
+            assert!(
+                j.width >= 32 && j.width.is_power_of_two(),
+                "width {}",
+                j.width
+            );
         }
     }
 

@@ -26,11 +26,7 @@ pub fn shrink(set: &JobSet, factor: f64) -> JobSet {
             ..*j
         })
         .collect();
-    JobSet::new(
-        format!("{}@{factor}", set.name),
-        set.machine_size,
-        jobs,
-    )
+    JobSet::new(format!("{}@{factor}", set.name), set.machine_size, jobs)
 }
 
 /// Keeps only the first `n` jobs (by submission order).
@@ -74,11 +70,7 @@ pub fn concat(a: &JobSet, b: &JobSet, gap_secs: f64) -> JobSet {
             ..*j
         });
     }
-    JobSet::new(
-        format!("{}+{}", a.name, b.name),
-        a.machine_size,
-        jobs,
-    )
+    JobSet::new(format!("{}+{}", a.name, b.name), a.machine_size, jobs)
 }
 
 #[cfg(test)]
@@ -171,10 +163,7 @@ mod tests {
         let c = concat(&a, &b, 1_000.0);
         assert_eq!(c.len(), 6);
         // First job of b lands at last_submit(a) + gap + its own submit.
-        assert_eq!(
-            c.jobs()[3].submit.as_secs_f64(),
-            900.0 + 1_000.0 + 100.0
-        );
+        assert_eq!(c.jobs()[3].submit.as_secs_f64(), 900.0 + 1_000.0 + 100.0);
     }
 
     proptest! {

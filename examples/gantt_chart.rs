@@ -44,8 +44,7 @@ fn main() {
             .to_lowercase()
             .replace(['[', ']'], "_")
             .replace('-', "_");
-        write_gantt(&detail.completed, set.machine_size, &out, &name)
-            .expect("write gantt SVG");
+        write_gantt(&detail.completed, set.machine_size, &out, &name).expect("write gantt SVG");
         println!(
             "{:<24} SLDwA {:>7.2}  util {:>5.1} %  makespan {:>8.0} s  -> {}/{}.svg",
             detail.result.scheduler,

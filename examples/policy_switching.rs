@@ -45,7 +45,10 @@ fn main() {
     let interactive = phase_model(
         "interactive",
         WidthDist::Weighted(vec![(1, 5.0), (2, 3.0), (4, 2.0)]),
-        DurationDist::LogUniform { min: 60.0, max: 900.0 },
+        DurationDist::LogUniform {
+            min: 60.0,
+            max: 900.0,
+        },
         20.0,
     )
     .generate(400, 1);
@@ -54,7 +57,10 @@ fn main() {
     let batch = phase_model(
         "batch",
         WidthDist::Weighted(vec![(8, 4.0), (16, 4.0), (32, 2.0)]),
-        DurationDist::LogUniform { min: 7_200.0, max: 43_200.0 },
+        DurationDist::LogUniform {
+            min: 7_200.0,
+            max: 43_200.0,
+        },
         600.0,
     )
     .generate(150, 2);

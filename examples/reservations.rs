@@ -20,9 +20,7 @@ fn main() {
         SimDuration::from_secs(3_600),
         machine,
     );
-    println!(
-        "reservation {res_id}: all {machine} processors blocked over [2h, 3h)\n"
-    );
+    println!("reservation {res_id}: all {machine} processors blocked over [2h, 3h)\n");
 
     // A queue of mixed jobs, all submitted at t = 0.
     let model = TraceModel {
@@ -51,8 +49,7 @@ fn main() {
     Policy::Fcfs.sort_queue(&mut queue);
 
     let mut planner = Planner::new();
-    let schedule =
-        planner.plan_with_reservations(machine, SimTime::ZERO, &[], book.all(), &queue);
+    let schedule = planner.plan_with_reservations(machine, SimTime::ZERO, &[], book.all(), &queue);
 
     println!(
         "{:<5} {:>6} {:>10} {:>12} {:>12}  note",

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Regenerates every table and figure of the paper at full scale, plus the
 # ablations at reduced scale. Results land in results/ and results/*.log.
-set -x
+# Fails loudly: the first bin that exits non-zero aborts the whole run.
+set -eux
 cd "$(dirname "$0")"
 mkdir -p results
 ./target/release/table1 > results/table1.log 2>&1

@@ -70,10 +70,10 @@ fn arbitrary_jobset() -> impl Strategy<Value = JobSet> {
         2u32..12, // machine size
         proptest::collection::vec(
             (
-                0u64..5_000,  // submit (s)
-                1u32..12,     // width (clamped to machine)
-                1u64..2_000,  // estimate (s)
-                1u64..2_000,  // actual (clamped to estimate)
+                0u64..5_000, // submit (s)
+                1u32..12,    // width (clamped to machine)
+                1u64..2_000, // estimate (s)
+                1u64..2_000, // actual (clamped to estimate)
             ),
             1..35,
         ),

@@ -147,7 +147,7 @@ fn dynp_switches_on_real_workloads() {
     );
     assert_eq!(s.stats.decisions, 2 * 800);
     // Every decision is accounted to some policy.
-    let total: u64 = s.stats.chosen.values().sum();
+    let total: u64 = s.stats.chosen.iter().sum();
     assert_eq!(total, s.stats.decisions);
 }
 

@@ -1,0 +1,122 @@
+//! Equivalence oracle for the incremental replanning engine.
+//!
+//! The incremental `SelfTuningScheduler` (shared base profiles, persistent
+//! per-policy queue orders, fast paths) must be *bit-identical* to the
+//! from-scratch reference algorithm it replaced: same schedules, same
+//! decisions, same metrics, same switch statistics. These tests drive both
+//! engines through full simulations — randomized workloads and the paper's
+//! trace models — and demand exact equality.
+
+use dynp_suite::prelude::*;
+use dynp_suite::workload::{traces, transform};
+use proptest::prelude::*;
+
+fn job(id: u32, submit_s: u64, width: u32, est_s: u64, actual_s: u64) -> Job {
+    Job::new(
+        JobId(id),
+        SimTime::from_secs(submit_s),
+        width,
+        SimDuration::from_secs(est_s),
+        SimDuration::from_secs(actual_s),
+    )
+}
+
+/// Runs one full simulation with the given config, incrementally or in
+/// reference mode, and returns everything the run produced.
+fn run(
+    set: &JobSet,
+    config: &DynPConfig,
+    reference: bool,
+) -> (SimMetrics, dynp_suite::core::SwitchStats, Policy) {
+    let mut s = SelfTuningScheduler::new(config.clone());
+    s.set_reference_mode(reference);
+    let result = simulate(set, &mut s);
+    (result.metrics, s.stats.clone(), s.active_policy())
+}
+
+fn assert_equivalent(set: &JobSet, config: &DynPConfig) {
+    let (m_inc, stats_inc, active_inc) = run(set, config, false);
+    let (m_ref, stats_ref, active_ref) = run(set, config, true);
+    let ctx = format!(
+        "{} / {:?} / {:?}",
+        set.name, config.decider, config.decide_on
+    );
+    assert_eq!(m_inc.sldwa.to_bits(), m_ref.sldwa.to_bits(), "{ctx}");
+    assert_eq!(
+        m_inc.utilization.to_bits(),
+        m_ref.utilization.to_bits(),
+        "{ctx}"
+    );
+    assert_eq!(m_inc.artww.to_bits(), m_ref.artww.to_bits(), "{ctx}");
+    assert_eq!(m_inc.last_end_secs, m_ref.last_end_secs, "{ctx}");
+    assert_eq!(stats_inc, stats_ref, "{ctx}");
+    assert_eq!(active_inc, active_ref, "{ctx}");
+}
+
+proptest! {
+    /// Random workloads: incremental and reference runs are bit-identical
+    /// for every decider and decide-on variant.
+    #[test]
+    fn incremental_equals_reference_on_random_workloads(
+        raw in proptest::collection::vec((0u64..2_000, 1u32..17, 1u64..600, 1u64..600), 1..40),
+        decider_pick in 0u8..4,
+        submissions_only in 0u8..2,
+    ) {
+        let jobs: Vec<Job> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, width, est, actual))| {
+                job(i as u32, submit, width, est, actual.min(est))
+            })
+            .collect();
+        let set = JobSet::new("proptest", 16, jobs);
+        let decider = match decider_pick {
+            0 => DeciderKind::Simple,
+            1 => DeciderKind::Advanced,
+            2 => DeciderKind::Preferred { policy: Policy::Sjf, threshold: 0.0 },
+            _ => DeciderKind::Preferred { policy: Policy::Ljf, threshold: 0.05 },
+        };
+        let mut config = DynPConfig::paper(decider);
+        if submissions_only == 1 {
+            config.decide_on = DecideOn::SubmissionsOnly;
+        }
+        assert_equivalent(&set, &config);
+    }
+}
+
+/// The paper's trace models: incremental and reference runs are
+/// bit-identical on realistic workloads.
+#[test]
+fn incremental_equals_reference_on_trace_models() {
+    for model in traces::standard_models() {
+        let set = transform::shrink(&model.generate(200, 7), 0.8);
+        for decider in [
+            DeciderKind::Advanced,
+            DeciderKind::Preferred {
+                policy: Policy::Sjf,
+                threshold: 0.0,
+            },
+        ] {
+            assert_equivalent(&set, &DynPConfig::paper(decider));
+        }
+    }
+}
+
+/// Seeded determinism regression: the incremental engine reproduces its
+/// own run exactly — identical metrics *and* identical switch statistics.
+#[test]
+fn incremental_run_is_deterministic() {
+    let model = traces::ctc();
+    let config = DynPConfig::paper(DeciderKind::Advanced);
+    let once = || {
+        let set = transform::shrink(&model.generate(300, 41), 0.8);
+        run(&set, &config, false)
+    };
+    let (m1, stats1, active1) = once();
+    let (m2, stats2, active2) = once();
+    assert_eq!(m1.sldwa.to_bits(), m2.sldwa.to_bits());
+    assert_eq!(m1.utilization.to_bits(), m2.utilization.to_bits());
+    assert_eq!(stats1, stats2);
+    assert_eq!(active1, active2);
+    assert!(stats1.decisions > 0);
+}

@@ -52,8 +52,7 @@ fn dynp_history_reconstructs_over_lublin_run() {
     let mut scheduler = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
     let detail = dynp_suite::sim::simulate_detailed(&set, &mut scheduler);
     let end = SimTime::from_secs_f64(detail.result.metrics.last_end_secs);
-    let history =
-        PolicyHistory::reconstruct(Policy::Fcfs, &scheduler.stats, SimTime::ZERO, end);
+    let history = PolicyHistory::reconstruct(Policy::Fcfs, &scheduler.stats, SimTime::ZERO, end);
     // Shares sum to 1 over the policies that occurred.
     let total: f64 = history.shares().values().sum();
     assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");

@@ -13,9 +13,12 @@ fn swf_round_trip_preserves_simulation_results() {
 
     let mut buf = Vec::new();
     swf::write_swf(&set, &mut buf).expect("serialize");
-    let reread =
-        swf::read_swf(BufReader::new(buf.as_slice()), set.name.clone(), set.machine_size)
-            .expect("parse back");
+    let reread = swf::read_swf(
+        BufReader::new(buf.as_slice()),
+        set.name.clone(),
+        set.machine_size,
+    )
+    .expect("parse back");
     assert_eq!(set.len(), reread.len());
 
     for spec in [

@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Mirrors the slice of the criterion API the bench crate uses —
+//! `Criterion`, `benchmark_group`/`sample_size`/`bench_function`/
+//! `bench_with_input`/`finish`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `BatchSize`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros — with a plain walltime harness behind it:
+//! warm up briefly, run timed batches until a time budget or sample
+//! count is reached, and print the median ns/iter. There are no HTML
+//! reports, statistical regressions, or CLI filters; `cargo bench`
+//! output is one line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted for API compatibility, the
+/// stub times one routine call per setup regardless.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Two-part benchmark name, rendered as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs timed iterations of one benchmark body.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            sample_count,
+        }
+    }
+
+    /// Times `routine`, called in batches sized so each sample spans at
+    /// least ~1 ms (amortizing timer overhead for fast bodies).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + batch calibration: grow the batch until it costs
+        // >= 1 ms or 2^20 iterations.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let budget = Instant::now();
+        while self.samples.len() < self.sample_count
+            && (self.samples.len() < 5 || budget.elapsed() < Duration::from_millis(300))
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let budget = Instant::now();
+        while self.samples.len() < self.sample_count.max(10)
+            && (self.samples.len() < 5 || budget.elapsed() < Duration::from_millis(300))
+        {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.sort_by(f64::total_cmp);
+        self.samples[self.samples.len() / 2] * 1e9
+    }
+}
+
+fn run_one(full_name: &str, sample_count: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new(sample_count);
+    f(&mut b);
+    let ns = b.median_ns();
+    if ns.is_nan() {
+        println!("{full_name:<50} (no samples)");
+    } else if ns >= 1e9 {
+        println!("{full_name:<50} {:>12.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{full_name:<50} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{full_name:<50} {:>12.3} µs/iter", ns / 1e3);
+    } else {
+        println!("{full_name:<50} {:>12.1} ns/iter", ns);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_count, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_count, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: 30,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, 30, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(10);
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(!b.median_ns().is_nan());
+        assert!(b.median_ns() >= 0.0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(5);
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u64; 16]
+            },
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(setups >= 5);
+    }
+
+    #[test]
+    fn benchmark_id_renders_both_parts() {
+        assert_eq!(BenchmarkId::new("fit", 42).to_string(), "fit/42");
+    }
+}

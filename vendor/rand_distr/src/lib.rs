@@ -1,0 +1,160 @@
+//! Offline stand-in for `rand_distr` 0.4.
+//!
+//! Provides the distributions the workload crates sample — `Exp` and
+//! `LogNormal` (plus the `Normal` it is built on) — with textbook
+//! algorithms: inverse-CDF for the exponential, Box–Muller for the
+//! normal. The constructors mirror rand_distr's `Result` signatures so
+//! call sites keep their `.expect(...)` handling.
+
+use rand::Rng;
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be sampled from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution; `lambda` must be finite and
+    /// positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error("Exp: lambda must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF. gen::<f64>() is in [0, 1), so 1 - u is in (0, 1]
+        // and the log is finite.
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Normal distribution with the given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(Error("Normal: parameters must be finite, std_dev >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller, discarding the second variate so sampling is
+        // stateless (the struct is Copy and sample takes &self).
+        let mut u1: f64 = rng.gen();
+        while u1 == 0.0 {
+            u1 = rng.gen();
+        }
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the mean and standard
+    /// deviation of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma).map_err(|_| Error("LogNormal: invalid parameters"))?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_rejects_bad_lambda() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(2.0, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[n / 2];
+        let expected = 2.0f64.exp();
+        assert!(
+            (median - expected).abs() / expected < 0.03,
+            "median {median} vs {expected}"
+        );
+    }
+}

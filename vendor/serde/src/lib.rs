@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container has no crates.io access. This crate keeps every
+//! `#[derive(Serialize, Deserialize)]` and `T: Serialize` bound in the
+//! workspace compiling without providing an actual serialization
+//! framework: the traits are markers with blanket impls, and the derive
+//! macros (re-exported from the sibling `serde_derive` stub) expand to
+//! nothing. Anything that genuinely needs bytes on disk writes its format
+//! by hand (the experiment binaries emit text tables and hand-rolled
+//! JSON).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented for every sized type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Mirror of `serde::de` for `DeserializeOwned` bounds.
+pub mod de {
+    /// Marker for types deserializable without borrowed data.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}

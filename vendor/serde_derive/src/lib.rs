@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container image has no crates.io access, so the real serde derive
+//! macros (and their syn/quote dependency tree) are unavailable. This
+//! crate accepts the same derive syntax — including `#[serde(...)]`
+//! helper attributes — and expands to nothing at all: the sibling `serde`
+//! stub provides blanket impls of its marker traits, so `#[derive(
+//! Serialize, Deserialize)]` keeps compiling everywhere without pulling
+//! in a serialization framework. Code that needs real serialization in
+//! this repository writes JSON by hand (see `dynp-sim`'s `perf_report`).
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
