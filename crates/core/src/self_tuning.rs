@@ -219,8 +219,13 @@ impl SelfTuningScheduler {
         self.queue_buf.clear();
         self.queue_buf.extend_from_slice(state.waiting());
         policy.sort_queue(&mut self.queue_buf);
-        self.reference_planner
-            .plan(state.machine_size(), now, state.running(), &self.queue_buf)
+        self.reference_planner.plan_with_reservations(
+            state.machine_size(),
+            now,
+            state.running(),
+            state.reservation_slice(),
+            &self.queue_buf,
+        )
     }
 
     /// Plans the active policy's queue without a decision (the
@@ -230,8 +235,12 @@ impl SelfTuningScheduler {
             return self.plan_policy_reference(self.active, state, now);
         }
         self.sync_orders(state);
-        self.planner
-            .prepare(state.machine_size(), now, state.running(), &[]);
+        self.planner.prepare(
+            state.machine_size(),
+            now,
+            state.running(),
+            state.reservation_slice(),
+        );
         let slot = self
             .config
             .policies
@@ -265,10 +274,16 @@ impl SelfTuningScheduler {
             return Schedule::default();
         }
 
-        // The base profile (running jobs + reservations) is identical for
-        // every candidate policy: build it once, restore per policy.
-        self.planner
-            .prepare(state.machine_size(), now, state.running(), &[]);
+        // The base profile (running jobs + admitted reservation windows)
+        // is identical for every candidate policy: build it once, restore
+        // per policy. This is where the incremental endpoint sweep folds
+        // reservation endpoints in.
+        self.planner.prepare(
+            state.machine_size(),
+            now,
+            state.running(),
+            state.reservation_slice(),
+        );
 
         // Fast path: with a single candidate every decider returns it
         // regardless of score (argmin of one; the advanced/preferred
@@ -332,7 +347,12 @@ impl SelfTuningScheduler {
 impl Scheduler for SelfTuningScheduler {
     fn replan(&mut self, state: &RmsState, now: SimTime, reason: ReplanReason) -> Schedule {
         match (self.config.decide_on, reason) {
-            (DecideOn::SubmissionsOnly, ReplanReason::Completion) => self.plan_active(state, now),
+            // SubmissionsOnly: completions and reservation-book changes
+            // replan with the active policy, without reconsidering it.
+            (DecideOn::SubmissionsOnly, ReplanReason::Completion)
+            | (DecideOn::SubmissionsOnly, ReplanReason::Reservation) => {
+                self.plan_active(state, now)
+            }
             _ => self.self_tuning_step(state, now),
         }
     }
@@ -569,6 +589,49 @@ mod tests {
                 &mut incremental,
                 &mut reference,
             );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_reference_with_reservations() {
+        // A reservation-bearing state: both engines must fold the admitted
+        // windows into their base profiles and stay bit-identical.
+        for decider in [DeciderKind::Simple, DeciderKind::Advanced] {
+            let mut incremental = dynp(decider);
+            let mut reference = dynp(decider);
+            reference.set_reference_mode(true);
+
+            let mut state = RmsState::new(4);
+            state.admit_reservation(SimTime::from_secs(120), SimDuration::from_secs(60), 3);
+            for i in 0..4u32 {
+                let now = SimTime::from_secs(10 * (i as u64 + 1));
+                state.submit(j(i, 10 * (i as u64 + 1), (i % 3) + 1, 50 * (4 - i as u64)));
+                let x = incremental.replan(&state, now, ReplanReason::Submission);
+                let y = reference.replan(&state, now, ReplanReason::Submission);
+                assert_eq!(x.entries, y.entries, "{decider:?} at {now:?}");
+                assert_eq!(incremental.stats, reference.stats);
+            }
+            // Admitting another window mid-stream is a Reservation replan.
+            state.admit_reservation(SimTime::from_secs(300), SimDuration::from_secs(50), 4);
+            let now = SimTime::from_secs(45);
+            let x = incremental.replan(&state, now, ReplanReason::Reservation);
+            let y = reference.replan(&state, now, ReplanReason::Reservation);
+            assert_eq!(x.entries, y.entries, "{decider:?} post-admit");
+            assert_eq!(incremental.active_policy(), reference.active_policy());
+            // The schedules actually avoid the windows.
+            for e in &x.entries {
+                let end = e.start.saturating_add(e.job.estimate);
+                if e.job.width > 1 {
+                    let w_start = SimTime::from_secs(120);
+                    let w_end = SimTime::from_secs(180);
+                    assert!(
+                        end <= w_start || e.start >= w_end,
+                        "width-{} job at {:?} overlaps the 3-wide window",
+                        e.job.width,
+                        e.start
+                    );
+                }
+            }
         }
     }
 

@@ -18,13 +18,16 @@
 //! * [`objective`] — evaluation of *planned* schedules, the single value
 //!   per policy the dynP decider compares,
 //! * [`combine`] — the paper's multi-set result combiner: drop the best
-//!   and worst of the K runs, average the rest.
+//!   and worst of the K runs, average the rest,
+//! * [`reservations`] — advance-reservation admission counters (acceptance
+//!   rate, booked-area utilization).
 
 pub mod aggregate;
 pub mod combine;
 pub mod job_metrics;
 pub mod objective;
 pub mod percentiles;
+pub mod reservations;
 pub mod timeline;
 
 pub use aggregate::SimMetrics;
@@ -32,3 +35,4 @@ pub use combine::{combine_drop_extremes, CombinedMetrics};
 pub use job_metrics::{bounded_slowdown, slowdown, JobOutcome};
 pub use objective::Objective;
 pub use percentiles::{OutcomeDistributions, QuantileStats};
+pub use reservations::ReservationStats;

@@ -1,0 +1,116 @@
+//! Advance-reservation admission metrics.
+//!
+//! The admission subsystem produces a second result axis next to the job
+//! metrics: how much of the offered booking pressure was admitted
+//! ([`ReservationStats::acceptance_rate`]), how much machine area the
+//! honored windows actually occupied, and — combined with the job-side
+//! SLDwA — what the guarantees cost the batch workload.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over one simulated reservation stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReservationStats {
+    /// Requests offered to the admission controller.
+    pub requests: u64,
+    /// Requests admitted into the book.
+    pub admitted: u64,
+    /// Rejections because the window did not fit the free capacity.
+    pub rejected_capacity: u64,
+    /// Rejections because admitting would push a promised job start past
+    /// its guarantee.
+    pub rejected_guarantee: u64,
+    /// Rejections for malformed requests (zero/oversized width, window in
+    /// the past).
+    pub rejected_invalid: u64,
+    /// Admitted windows withdrawn by their user before they started.
+    pub cancelled: u64,
+    /// Admitted windows that ran to completion (started and ended).
+    pub honored: u64,
+    /// Processor-seconds requested across all requests.
+    pub requested_area: f64,
+    /// Processor-seconds across admitted windows.
+    pub admitted_area: f64,
+}
+
+impl ReservationStats {
+    /// Admitted / offered requests; 1 for an empty stream (nothing was
+    /// refused).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / self.requests as f64
+        }
+    }
+
+    /// Admitted / requested processor-seconds; 1 for an empty stream.
+    pub fn area_acceptance_rate(&self) -> f64 {
+        if self.requested_area <= 0.0 {
+            1.0
+        } else {
+            self.admitted_area / self.requested_area
+        }
+    }
+
+    /// Fraction of total machine capacity over `span_secs` booked by
+    /// admitted windows.
+    pub fn booked_utilization(&self, machine_size: u32, span_secs: f64) -> f64 {
+        let capacity = machine_size as f64 * span_secs;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            self.admitted_area / capacity
+        }
+    }
+
+    /// Total rejections, any reason.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_capacity + self.rejected_guarantee + self.rejected_invalid
+    }
+
+    /// Accumulates another run's counters into this one (for per-cell
+    /// aggregation over replicated job sets).
+    pub fn merge(&mut self, other: &ReservationStats) {
+        self.requests += other.requests;
+        self.admitted += other.admitted;
+        self.rejected_capacity += other.rejected_capacity;
+        self.rejected_guarantee += other.rejected_guarantee;
+        self.rejected_invalid += other.rejected_invalid;
+        self.cancelled += other.cancelled;
+        self.honored += other.honored;
+        self.requested_area += other.requested_area;
+        self.admitted_area += other.admitted_area;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_has_perfect_rates() {
+        let s = ReservationStats::default();
+        assert_eq!(s.acceptance_rate(), 1.0);
+        assert_eq!(s.area_acceptance_rate(), 1.0);
+        assert_eq!(s.booked_utilization(128, 3600.0), 0.0);
+    }
+
+    #[test]
+    fn rates_reflect_counters() {
+        let s = ReservationStats {
+            requests: 10,
+            admitted: 7,
+            rejected_capacity: 2,
+            rejected_guarantee: 1,
+            requested_area: 1000.0,
+            admitted_area: 650.0,
+            ..Default::default()
+        };
+        assert!((s.acceptance_rate() - 0.7).abs() < 1e-12);
+        assert!((s.area_acceptance_rate() - 0.65).abs() < 1e-12);
+        assert_eq!(s.rejected(), 3);
+        // 650 proc-secs on a 100-proc machine over 100s → 6.5%
+        assert!((s.booked_utilization(100, 100.0) - 0.065).abs() < 1e-12);
+    }
+}

@@ -18,7 +18,9 @@
 //! identical workloads (ablation A4) — the contrast the dynP line of
 //! work builds on (Hovestadt et al., "Queuing vs. Planning").
 
+use crate::planner::RUNNING_PAD;
 use crate::policy::Policy;
+use crate::profile::Profile;
 use crate::schedule::{PlannedJob, Schedule};
 use crate::scheduler::{ReplanReason, Scheduler};
 use crate::state::RmsState;
@@ -30,10 +32,24 @@ use dynp_workload::Job;
 /// The queue is kept in the order of `policy` (EASY is traditionally
 /// FCFS, but any total order works — an SJF-ordered EASY is the queueing
 /// analogue of the planning SJF baseline).
+///
+/// When the RMS state carries admitted reservation windows, EASY treats
+/// them as *shadow constraints*: a job may only start now if its whole
+/// estimated run fits the free-capacity profile alongside the running
+/// jobs, the head job's shadow reservation *and* every admitted window —
+/// so queueing-vs-planning ablations stay comparable on mixed batch +
+/// guaranteed-start traffic. Reservation-free states take the classic
+/// EASY code path unchanged.
 #[derive(Debug)]
 pub struct EasyBackfillScheduler {
     policy: Policy,
     queue_buf: Vec<Job>,
+    /// Free-capacity profile for the reservation-aware path.
+    profile: Profile,
+    /// Scratch span list for the profile sweep.
+    spans: Vec<(SimTime, SimTime, u32)>,
+    /// Scratch endpoint buffer for the profile sweep.
+    events: Vec<(SimTime, i64)>,
     /// Number of jobs started by backfilling rather than at the head.
     pub backfilled: u64,
 }
@@ -44,6 +60,9 @@ impl EasyBackfillScheduler {
         EasyBackfillScheduler {
             policy,
             queue_buf: Vec::new(),
+            profile: Profile::new(1, SimTime::ZERO),
+            spans: Vec::new(),
+            events: Vec::new(),
             backfilled: 0,
         }
     }
@@ -51,6 +70,73 @@ impl EasyBackfillScheduler {
     /// The classic EASY configuration (FCFS order).
     pub fn fcfs() -> Self {
         Self::new(Policy::Fcfs)
+    }
+
+    /// EASY over a free-capacity profile that blocks out admitted
+    /// reservation windows (and the running jobs, padded exactly as the
+    /// planner pads them). Same three phases as the classic algorithm,
+    /// with "fits" generalized from "enough processors free this instant"
+    /// to "the whole estimated run fits the profile starting now":
+    ///
+    /// 1. start head jobs whose full run fits now;
+    /// 2. give the first stuck head a shadow reservation at its earliest
+    ///    profile fit;
+    /// 3. backfill any later job whose full run still fits now — by
+    ///    construction it delays neither the shadow reservation nor any
+    ///    admitted window.
+    ///
+    /// On states without reservations the generalized fit test agrees
+    /// with the classic one (free capacity only grows as running jobs
+    /// drain), but the classic path is kept verbatim for them anyway.
+    fn replan_with_windows(&mut self, state: &RmsState, now: SimTime) -> Schedule {
+        self.spans.clear();
+        for r in state.running() {
+            let end = r.estimated_end().max(now + RUNNING_PAD);
+            self.spans.push((now, end, r.job.width));
+        }
+        for res in state.reservations().active(now) {
+            self.spans
+                .push((res.start.max(now + RUNNING_PAD), res.end(), res.width));
+        }
+        self.profile
+            .rebuild_from_spans(state.machine_size(), now, &self.spans, &mut self.events);
+
+        let mut entries: Vec<PlannedJob> = Vec::new();
+        let mut idx = 0;
+
+        // Phase 1: start head jobs while their whole run fits now.
+        while idx < self.queue_buf.len() {
+            let job = self.queue_buf[idx];
+            if self.profile.earliest_fit(now, job.estimate, job.width) != now {
+                break;
+            }
+            self.profile.allocate(now, job.estimate, job.width);
+            entries.push(PlannedJob { job, start: now });
+            idx += 1;
+        }
+        if idx >= self.queue_buf.len() {
+            return Schedule { entries };
+        }
+
+        // Phase 2: shadow reservation for the stuck head at its earliest
+        // profile fit.
+        let head = self.queue_buf[idx];
+        let _shadow = self
+            .profile
+            .allocate_earliest(now, head.estimate, head.width);
+
+        // Phase 3: backfill later jobs that still fit now.
+        for job in &self.queue_buf[idx + 1..] {
+            if self.profile.earliest_fit(now, job.estimate, job.width) == now {
+                self.profile.allocate(now, job.estimate, job.width);
+                entries.push(PlannedJob {
+                    job: *job,
+                    start: now,
+                });
+                self.backfilled += 1;
+            }
+        }
+        Schedule { entries }
     }
 }
 
@@ -62,6 +148,10 @@ impl Scheduler for EasyBackfillScheduler {
         self.queue_buf.clear();
         self.queue_buf.extend_from_slice(state.waiting());
         self.policy.sort_queue(&mut self.queue_buf);
+
+        if state.reservations().active(now).next().is_some() {
+            return self.replan_with_windows(state, now);
+        }
 
         let mut free = state.free_processors();
         let mut entries: Vec<PlannedJob> = Vec::new();
@@ -251,6 +341,49 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(easy.name(), "EASY");
         assert_eq!(easy.active_policy(), Policy::Fcfs);
+    }
+
+    #[test]
+    fn windows_block_jobs_that_would_overlap_them() {
+        // Machine 4, idle, full-width window [50, 100). A job estimated
+        // at 100 s would run into it → must wait; a 50 s job exactly fits
+        // the gap and starts.
+        let mut state = RmsState::new(4);
+        state.admit_reservation(SimTime::from_secs(50), SimDuration::from_secs(50), 4);
+        state.submit(j(0, 0, 4, 100));
+        state.submit(j(1, 0, 2, 50));
+        let mut easy = EasyBackfillScheduler::fcfs();
+        let s = easy.replan(&state, SimTime::ZERO, ReplanReason::Submission);
+        assert_eq!(started(&s), vec![1]);
+        assert_eq!(easy.backfilled, 1);
+    }
+
+    #[test]
+    fn partial_window_leaves_width_usable() {
+        // Window takes 3 of 4 processors over [0+, 1000): a width-1 job
+        // coexists, a width-2 job cannot.
+        let mut state = RmsState::new(4);
+        state.admit_reservation(SimTime::ZERO, SimDuration::from_secs(1_000), 3);
+        state.submit(j(0, 1, 2, 100));
+        state.submit(j(1, 1, 1, 100));
+        let mut easy = EasyBackfillScheduler::fcfs();
+        let now = SimTime::from_secs(1);
+        let s = easy.replan(&state, now, ReplanReason::Submission);
+        assert_eq!(started(&s), vec![1]);
+    }
+
+    #[test]
+    fn expired_windows_restore_the_classic_path() {
+        let mut state = RmsState::new(4);
+        state.admit_reservation(SimTime::ZERO, SimDuration::from_secs(10), 4);
+        state.submit(j(0, 0, 4, 100));
+        let mut easy = EasyBackfillScheduler::fcfs();
+        // While the window holds, the job waits.
+        let s = easy.replan(&state, SimTime::from_secs(1), ReplanReason::Submission);
+        assert!(s.is_empty());
+        // Once it ends, the classic path runs and the job starts.
+        let s = easy.replan(&state, SimTime::from_secs(10), ReplanReason::Reservation);
+        assert_eq!(started(&s), vec![0]);
     }
 
     #[test]

@@ -21,8 +21,14 @@
 //!   running → completed, with processor accounting;
 //! * [`scheduler`] — the `Scheduler` abstraction the simulation driver
 //!   calls at every event, and the static single-policy scheduler the
-//!   paper uses as baseline.
+//!   paper uses as baseline;
+//! * [`reservation`] — advance-reservation windows and the book the RMS
+//!   state owns;
+//! * [`admission`] — feasibility-checked admission of reservation
+//!   requests: capacity against the base profile, guarantee preservation
+//!   against promised job starts.
 
+pub mod admission;
 pub mod easy;
 pub mod planner;
 pub mod policy;
@@ -32,6 +38,7 @@ pub mod schedule;
 pub mod scheduler;
 pub mod state;
 
+pub use admission::{AdmissionConfig, AdmissionController, RejectReason};
 pub use easy::EasyBackfillScheduler;
 pub use planner::{Planner, ReferencePlanner};
 pub use policy::Policy;

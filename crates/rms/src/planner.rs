@@ -47,7 +47,7 @@ pub struct Planner {
 /// has already elapsed at planning time: the job still physically holds
 /// its processors until its completion *event* is processed, so the plan
 /// must not hand them out at the current instant.
-const RUNNING_PAD: SimDuration = SimDuration::from_millis(1);
+pub(crate) const RUNNING_PAD: SimDuration = SimDuration::from_millis(1);
 
 impl Planner {
     /// Creates a planner.
@@ -64,7 +64,14 @@ impl Planner {
     /// Builds the shared base profile for one scheduling event: the
     /// machine as narrowed by `running` jobs (blocked to their estimated
     /// end, at least marginally past `now` — see `RUNNING_PAD`) and by
-    /// the active `reservations` (clipped to `[now, end)`).
+    /// the active `reservations` (clipped to `[now + RUNNING_PAD, end)`).
+    ///
+    /// The reservation clip starts one pad *past* `now`, not at `now`: a
+    /// job whose completion event is still queued at the current instant
+    /// physically holds its processors for the pad, and an ongoing
+    /// full-width window must not double-book them. The pad instant is
+    /// too short for any queue job to exploit, so schedules are
+    /// unaffected.
     ///
     /// Subsequent [`Planner::plan_prepared`] calls plan against this
     /// base until `prepare` is called again.
@@ -84,11 +91,38 @@ impl Planner {
             if !res.active_at(now) {
                 continue;
             }
-            self.spans.push((res.start.max(now), res.end(), res.width));
+            self.spans
+                .push((res.start.max(now + RUNNING_PAD), res.end(), res.width));
         }
         self.base
             .rebuild_from_spans(machine_size, now, &self.spans, &mut self.events);
         self.prepared_at = now;
+    }
+
+    /// True when the prepared base profile can absorb a *new* reservation
+    /// window `[start, start + duration)` of `width` processors without
+    /// overcommitting the machine against running jobs and the already
+    /// admitted reservations. This is the capacity half of the admission
+    /// feasibility check (see [`crate::admission`]); it reads the base
+    /// profile without mutating it, so the prepared state stays valid for
+    /// subsequent [`Planner::plan_prepared`] calls.
+    ///
+    /// Call [`Planner::prepare`] first; the window is evaluated as it
+    /// would be blocked out by the next `prepare` (clipped to start no
+    /// earlier than one pad past the prepare instant).
+    pub fn window_fits(&self, start: SimTime, duration: SimDuration, width: u32) -> bool {
+        if width == 0 || width > self.base.capacity() {
+            return false;
+        }
+        let end = start.saturating_add(duration);
+        let from = start.max(self.prepared_at + RUNNING_PAD);
+        if end <= from {
+            // Nothing left of the window: trivially absorbable.
+            return true;
+        }
+        self.base
+            .earliest_fit(from, end.saturating_since(from), width)
+            == from
     }
 
     /// Plans `queue` (already in policy order) against the prepared base:
@@ -217,8 +251,9 @@ impl ReferencePlanner {
             if !res.active_at(now) {
                 continue;
             }
-            // Clip windows that already began to [now, end).
-            let start = res.start.max(now);
+            // Clip windows that already began past the running-job pad
+            // (same rule as `Planner::prepare`).
+            let start = res.start.max(now + RUNNING_PAD);
             self.profile
                 .allocate(start, res.end().saturating_since(start), res.width);
         }
@@ -470,6 +505,62 @@ mod tests {
             let a = p.plan(4, t(0), &[], &q);
             let b = p.plan_with_reservations(4, t(0), &[], &[], &q);
             assert_eq!(a.entries, b.entries);
+        }
+
+        #[test]
+        fn overdue_running_job_coexists_with_full_width_window() {
+            // A job estimated to end exactly at `now` still holds its
+            // processors (completion event pending), while a full-width
+            // window opens at `now`. The pad clip keeps the base profile
+            // feasible instead of panicking on overcommit.
+            let mut book = ReservationBook::new();
+            book.add(t(100), SimDuration::from_secs(100), 4);
+            let running = [RunningJob {
+                job: j(9, 0, 1, 100),
+                start: t(0),
+            }];
+            let mut p = Planner::new();
+            let q = [j(0, 0, 2, 10)];
+            let s = p.plan_with_reservations(4, t(100), &running, book.all(), &q);
+            // The queue job must clear both the pad and the window.
+            assert_eq!(s.entries[0].start, t(200));
+            let mut r = ReferencePlanner::new();
+            let s2 = r.plan_with_reservations(4, t(100), &running, book.all(), &q);
+            assert_eq!(s.entries, s2.entries);
+        }
+
+        #[test]
+        fn window_fits_checks_capacity_against_the_base() {
+            let mut book = ReservationBook::new();
+            book.add(t(100), SimDuration::from_secs(100), 3);
+            let mut p = Planner::new();
+            p.prepare(4, t(0), &[], book.all());
+            // One processor is left over [100, 200).
+            assert!(p.window_fits(t(100), SimDuration::from_secs(100), 1));
+            assert!(!p.window_fits(t(100), SimDuration::from_secs(100), 2));
+            // Disjoint window: full machine available.
+            assert!(p.window_fits(t(200), SimDuration::from_secs(50), 4));
+            // Overlapping the tail only.
+            assert!(!p.window_fits(t(150), SimDuration::from_secs(100), 2));
+            // Degenerate widths.
+            assert!(!p.window_fits(t(300), SimDuration::from_secs(10), 0));
+            assert!(!p.window_fits(t(300), SimDuration::from_secs(10), 5));
+            // A window already over at the prepare instant absorbs trivially.
+            p.prepare(4, t(500), &[], book.all());
+            assert!(p.window_fits(t(100), SimDuration::from_secs(100), 4));
+        }
+
+        #[test]
+        fn window_fits_accounts_for_running_jobs() {
+            let running = [RunningJob {
+                job: j(9, 0, 3, 100),
+                start: t(0),
+            }];
+            let mut p = Planner::new();
+            p.prepare(4, t(0), &running, &[]);
+            assert!(p.window_fits(t(0), SimDuration::from_secs(50), 1));
+            assert!(!p.window_fits(t(0), SimDuration::from_secs(50), 2));
+            assert!(p.window_fits(t(100), SimDuration::from_secs(50), 4));
         }
     }
 

@@ -19,6 +19,9 @@ pub enum ReplanReason {
     Submission,
     /// A running job just finished.
     Completion,
+    /// The reservation book changed (a window was admitted, ended or was
+    /// cancelled) — capacity shifted without any job event.
+    Reservation,
 }
 
 /// A scheduler: turns the current RMS state into a full schedule.
@@ -61,8 +64,13 @@ impl Scheduler for StaticScheduler {
         self.queue_buf.clear();
         self.queue_buf.extend_from_slice(state.waiting());
         self.policy.sort_queue(&mut self.queue_buf);
-        self.planner
-            .plan(state.machine_size(), now, state.running(), &self.queue_buf)
+        self.planner.plan_with_reservations(
+            state.machine_size(),
+            now,
+            state.running(),
+            state.reservation_slice(),
+            &self.queue_buf,
+        )
     }
 
     fn active_policy(&self) -> Policy {
@@ -105,6 +113,17 @@ mod tests {
         let mut ljf = StaticScheduler::new(Policy::Ljf);
         let s = ljf.replan(&state, SimTime::from_secs(1), ReplanReason::Submission);
         assert_eq!(s.entries[0].job.id, JobId(0));
+    }
+
+    #[test]
+    fn static_scheduler_plans_around_admitted_windows() {
+        let mut state = RmsState::new(4);
+        state.submit(j(0, 0, 4, 100));
+        state.admit_reservation(SimTime::from_secs(50), SimDuration::from_secs(50), 4);
+        let mut sched = StaticScheduler::new(Policy::Fcfs);
+        let s = sched.replan(&state, SimTime::ZERO, ReplanReason::Reservation);
+        // The full-width job cannot finish before the window: it waits it out.
+        assert_eq!(s.entries[0].start, SimTime::from_secs(100));
     }
 
     #[test]

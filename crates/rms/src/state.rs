@@ -6,7 +6,8 @@
 //! only enforces physics: processors are finite, a job runs exactly its
 //! actual run time, transitions are checked.
 
-use dynp_des::SimTime;
+use crate::reservation::{Reservation, ReservationBook};
+use dynp_des::{SimDuration, SimTime};
 use dynp_workload::{Job, JobId};
 
 /// A job currently executing.
@@ -77,6 +78,7 @@ pub struct RmsState {
     completed: Vec<CompletedJob>,
     submitted: usize,
     queue_log: Vec<QueueChange>,
+    reservations: ReservationBook,
 }
 
 impl RmsState {
@@ -91,6 +93,7 @@ impl RmsState {
             completed: Vec::new(),
             submitted: 0,
             queue_log: Vec::new(),
+            reservations: ReservationBook::new(),
         }
     }
 
@@ -135,6 +138,47 @@ impl RmsState {
     /// the log's total length is bounded by two entries per job.
     pub fn queue_log(&self) -> &[QueueChange] {
         &self.queue_log
+    }
+
+    /// The advance-reservation book the schedulers plan around.
+    pub fn reservations(&self) -> &ReservationBook {
+        &self.reservations
+    }
+
+    /// The admitted reservation windows as a slice, in admission order —
+    /// the exact argument [`crate::Planner::prepare`] and
+    /// [`crate::Planner::plan_with_reservations`] take. Empty when no
+    /// reservation was ever admitted, so reservation-free runs hand the
+    /// planner the same empty slice they always did.
+    pub fn reservation_slice(&self) -> &[Reservation] {
+        self.reservations.all()
+    }
+
+    /// Admits a reservation window into the book and returns its id.
+    ///
+    /// The state machine performs no feasibility analysis here — that is
+    /// the admission controller's job
+    /// ([`crate::admission::AdmissionController`]); this method only
+    /// enforces physics, like [`RmsState::submit`] does for jobs.
+    ///
+    /// # Panics
+    /// Panics if the window is wider than the machine, or has zero width
+    /// or duration.
+    pub fn admit_reservation(&mut self, start: SimTime, duration: SimDuration, width: u32) -> u32 {
+        assert!(width <= self.machine_size, "reservation wider than machine");
+        self.reservations.add(start, duration, width)
+    }
+
+    /// Cancels an admitted reservation; returns whether it existed.
+    pub fn cancel_reservation(&mut self, id: u32) -> bool {
+        self.reservations.cancel(id)
+    }
+
+    /// Drops reservations whose windows ended at or before `now`, keeping
+    /// `active()` scans and base-profile builds O(live windows) on long
+    /// runs. Returns how many were removed.
+    pub fn expire_reservations(&mut self, now: SimTime) -> usize {
+        self.reservations.expire(now)
     }
 
     /// Adds a job to the waiting queue.
@@ -309,5 +353,27 @@ mod tests {
     fn submit_rejects_oversized_job() {
         let mut s = RmsState::new(4);
         s.submit(j(0, 0, 5, 10, 10));
+    }
+
+    #[test]
+    fn reservation_book_life_cycle_through_state() {
+        let mut s = RmsState::new(8);
+        assert!(s.reservation_slice().is_empty());
+        let a = s.admit_reservation(SimTime::from_secs(100), SimDuration::from_secs(50), 4);
+        let b = s.admit_reservation(SimTime::from_secs(300), SimDuration::from_secs(50), 8);
+        assert_eq!(s.reservation_slice().len(), 2);
+        assert!(s.cancel_reservation(a));
+        assert!(!s.cancel_reservation(a));
+        assert_eq!(s.reservation_slice().len(), 1);
+        assert_eq!(s.reservation_slice()[0].id, b);
+        assert_eq!(s.expire_reservations(SimTime::from_secs(350)), 1);
+        assert!(s.reservations().all().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than machine")]
+    fn admit_rejects_oversized_reservation() {
+        let mut s = RmsState::new(4);
+        s.admit_reservation(SimTime::ZERO, SimDuration::from_secs(10), 5);
     }
 }

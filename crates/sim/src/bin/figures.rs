@@ -1,6 +1,8 @@
 //! Renders every `figN_*.dat` series file written by the `table4` /
-//! `table5` binaries into standalone SVG line charts — the paper's
-//! Figures 1–4 as images, measured and published series side by side.
+//! `table5` / `ablation_reservations` binaries into standalone SVG line
+//! charts — the paper's Figures 1–4 as images (measured and published
+//! series side by side), plus the reservation acceptance-rate figures
+//! (`figR_*`).
 //!
 //! ```text
 //! cargo run --release -p dynp-sim --bin figures -- [RESULTS_DIR]
@@ -57,14 +59,23 @@ fn main() {
             }
         };
         // Figures 1 and 3 plot slowdowns (log axis); 2 and 4 plot
-        // utilization in percent (linear).
+        // utilization in percent (linear); figR plots the admission
+        // acceptance rate against the offered booked-area fraction.
         let slowdown = stem.starts_with("fig1") || stem.starts_with("fig3");
+        let reservations = stem.starts_with("figR");
         let opts = ChartOptions {
             log_y: slowdown,
             y_label: if slowdown {
                 "SLDwA (log scale)".into()
+            } else if reservations {
+                "acceptance rate [%]".into()
             } else {
                 "utilization [%]".into()
+            },
+            x_label: if reservations {
+                "offered booked-area fraction".into()
+            } else {
+                "shrinking factor".into()
             },
             ..ChartOptions::default()
         };

@@ -1,0 +1,111 @@
+//! Perf-trajectory gate: compares freshly measured `BENCH_planner.json` /
+//! `BENCH_end_to_end.json` reports against the committed baselines and
+//! fails if any speedup regressed by more than the tolerance band.
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin perf_gate -- BASELINE_DIR FRESH_DIR [--tolerance 0.10]
+//! ```
+//!
+//! The committed numbers are medians from some past host; absolute times
+//! are not comparable across machines, but the incremental-vs-reference
+//! *speedup ratios* are host-independent to first order — that is the
+//! tracked quantity. A fresh speedup below `committed × (1 − tolerance)`
+//! on any row fails the gate (exit 1). Rows are matched positionally; a
+//! changed row count is an error so silently dropped cells can't pass.
+//!
+//! The reports are written by `perf_report` with hand-rolled JSON, and
+//! read here with a hand-rolled scanner to match (the workspace
+//! deliberately vendors a no-op serde).
+
+use std::path::{Path, PathBuf};
+
+const REPORTS: [&str; 2] = ["BENCH_planner.json", "BENCH_end_to_end.json"];
+
+/// Extracts every `"speedup": <number>` value, in file order.
+fn speedups(text: &str) -> Vec<f64> {
+    let needle = "\"speedup\":";
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c) || c == ' '))
+            .unwrap_or(rest.len());
+        let token = rest[..end].trim();
+        match token.parse::<f64>() {
+            Ok(v) => out.push(v),
+            Err(_) => {
+                eprintln!("warning: unparsable speedup value {token:?}");
+            }
+        }
+        rest = &rest[end..];
+    }
+    out
+}
+
+fn read_speedups(dir: &Path, name: &str) -> Vec<f64> {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let v = speedups(&text);
+    if v.is_empty() {
+        eprintln!("no speedup entries in {}", path.display());
+        std::process::exit(2);
+    }
+    v
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut tolerance = 0.10_f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            tolerance = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--tolerance needs a number");
+                std::process::exit(2);
+            });
+        } else {
+            dirs.push(PathBuf::from(a));
+        }
+    }
+    if dirs.len() != 2 {
+        eprintln!("usage: perf_gate BASELINE_DIR FRESH_DIR [--tolerance 0.10]");
+        std::process::exit(2);
+    }
+    let (baseline_dir, fresh_dir) = (&dirs[0], &dirs[1]);
+
+    let mut failed = false;
+    for name in REPORTS {
+        let baseline = read_speedups(baseline_dir, name);
+        let fresh = read_speedups(fresh_dir, name);
+        if baseline.len() != fresh.len() {
+            eprintln!(
+                "{name}: row count changed ({} baseline vs {} fresh) — \
+                 regenerate the committed baseline",
+                baseline.len(),
+                fresh.len()
+            );
+            failed = true;
+            continue;
+        }
+        for (i, (b, f)) in baseline.iter().zip(&fresh).enumerate() {
+            let floor = b * (1.0 - tolerance);
+            let verdict = if *f < floor { "REGRESSED" } else { "ok" };
+            println!(
+                "{name} row {i}: baseline {b:.2}x, fresh {f:.2}x, floor {floor:.2}x — {verdict}"
+            );
+            if *f < floor {
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("perf gate FAILED (tolerance {:.0}%)", tolerance * 100.0);
+        std::process::exit(1);
+    }
+    println!("perf gate passed (tolerance {:.0}%)", tolerance * 100.0);
+}

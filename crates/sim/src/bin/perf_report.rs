@@ -22,9 +22,9 @@
 
 use dynp_core::{DeciderKind, DynPConfig, SelfTuningScheduler};
 use dynp_des::{SimDuration, SimTime};
-use dynp_rms::{Planner, Policy, ReferencePlanner, RunningJob};
-use dynp_sim::simulate;
-use dynp_workload::{traces, transform, Job, JobId};
+use dynp_rms::{AdmissionConfig, Planner, Policy, ReferencePlanner, RunningJob};
+use dynp_sim::simulate_with_reservations;
+use dynp_workload::{traces, transform, Job, JobId, ReservationModel};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -149,7 +149,7 @@ fn machine_for(running: &[RunningJob]) -> u32 {
 /// The planner microbenchmark: one dynP step's planning work (three
 /// policy-ordered plans of the same queue against the same running set).
 fn planner_report(out_dir: &std::path::Path, quick: bool) {
-    let reps = if quick { 5 } else { 25 };
+    let reps = if quick { 5 } else { 51 };
     let now = SimTime::from_secs(100_000);
     let mut rows = Vec::new();
 
@@ -223,43 +223,67 @@ fn planner_report(out_dir: &std::path::Path, quick: bool) {
 }
 
 /// The end-to-end grid: full dynP simulations, incremental vs reference.
+/// The last cell carries a reservation-heavy request stream — the
+/// admission path and window-aware planning under load — and asserts the
+/// two modes still agree bit-for-bit on SLDwA.
 fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
-    let (jobs, reps) = if quick { (400, 1) } else { (1_500, 3) };
-    let grid = [("CTC", 0.7), ("SDSC", 0.7), ("KTH", 0.8)];
+    let (jobs, reps) = if quick { (400, 1) } else { (1_500, 7) };
+    let grid = [
+        ("CTC", 0.7, 0.0),
+        ("SDSC", 0.7, 0.0),
+        ("KTH", 0.8, 0.0),
+        ("KTH", 0.8, 0.15),
+    ];
     let config = DynPConfig::paper(DeciderKind::Advanced);
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
 
-    for (trace, factor) in grid {
+    for (trace, factor, res_fraction) in grid {
         let model = traces::by_name(trace).expect("known trace");
         let set = transform::shrink(&model.generate(jobs, 11), factor);
+        let reqs = if res_fraction > 0.0 {
+            ReservationModel::typical(res_fraction).generate(&set, 11)
+        } else {
+            Vec::new()
+        };
 
         let run = |reference: bool| {
             // Warm-up run, then timed runs; allocation proxy from the
             // last run only (counts are deterministic per run).
-            let events = {
+            let (events, sldwa) = {
                 let mut s = SelfTuningScheduler::new(config.clone());
                 s.set_reference_mode(reference);
-                simulate(&set, &mut s).events as u64
+                let d = simulate_with_reservations(&set, &mut s, &reqs, AdmissionConfig::default());
+                (d.result.events, d.result.metrics.sldwa)
             };
             let mut allocs = 0;
             let ns = median_ns(reps, || {
                 let mut s = SelfTuningScheduler::new(config.clone());
                 s.set_reference_mode(reference);
                 let before = allocations();
-                let r = simulate(&set, &mut s);
+                let d = simulate_with_reservations(&set, &mut s, &reqs, AdmissionConfig::default());
                 allocs = allocations() - before;
-                std::hint::black_box(&r);
+                std::hint::black_box(&d);
             });
-            (ns, events, allocs)
+            (ns, events, allocs, sldwa)
         };
-        let (inc_ns, events, inc_allocs) = run(false);
-        let (ref_ns, _, ref_allocs) = run(true);
+        let (inc_ns, events, inc_allocs, inc_sldwa) = run(false);
+        let (ref_ns, _, ref_allocs, ref_sldwa) = run(true);
+        assert_eq!(
+            inc_sldwa.to_bits(),
+            ref_sldwa.to_bits(),
+            "incremental and reference modes diverged on {trace}@{factor} res={res_fraction}"
+        );
         let speedup = ref_ns as f64 / inc_ns.max(1) as f64;
         speedups.push(speedup);
 
         println!(
-            "{trace}@{factor} jobs={jobs}: incremental {:.2} ms, reference {:.2} ms, speedup {speedup:.2}x, allocs {inc_allocs} vs {ref_allocs}",
+            "{trace}@{factor}{} jobs={jobs}: incremental {:.2} ms, reference {:.2} ms, speedup {speedup:.2}x, allocs {inc_allocs} vs {ref_allocs}",
+            if res_fraction > 0.0 {
+                format!(" res={res_fraction}")
+            } else {
+                String::new()
+            },
             inc_ns as f64 / 1e6,
             ref_ns as f64 / 1e6,
         );
@@ -267,6 +291,7 @@ fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
             Row(Vec::new())
                 .str("trace", trace)
                 .num("factor", factor)
+                .num("res_fraction", res_fraction)
                 .int("jobs", jobs as u64)
                 .int("events", events)
                 .int("incremental_ns", inc_ns)

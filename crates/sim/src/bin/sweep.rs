@@ -90,6 +90,8 @@ fn main() {
     let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
     exp.base_seed = args.seed;
     exp.workers = args.workers;
+    exp.reservations = args.reservation_load();
+    let with_reservations = exp.reservations.is_some();
     eprintln!(
         "sweep: {} traces × {} factors × {} schedulers × {} sets = {} runs",
         exp.traces.len(),
@@ -103,6 +105,9 @@ fn main() {
     let mut headers: Vec<String> = vec!["trace".into(), "factor".into()];
     headers.extend(names.iter().map(|n| format!("SLDwA {n}")));
     headers.extend(names.iter().map(|n| format!("util% {n}")));
+    if with_reservations {
+        headers.extend(names.iter().map(|n| format!("res-acc% {n}")));
+    }
     let mut table = Table::new(
         format!("sweep ({} jobs × {} sets)", args.jobs, args.sets),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
@@ -115,6 +120,14 @@ fn main() {
             }
             for n in &names {
                 row.push(num(result.utilization(&model.name, factor, n) * 100.0, 2));
+            }
+            if with_reservations {
+                for n in &names {
+                    let acc = result
+                        .get(&model.name, factor, n)
+                        .map_or(f64::NAN, |c| c.reservations.acceptance_rate());
+                    row.push(num(acc * 100.0, 1));
+                }
             }
             table.push_row(row);
         }

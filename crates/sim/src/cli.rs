@@ -10,8 +10,12 @@
 //! --seed S       base RNG seed                 (default 0x5EED)
 //! --workers W    worker threads                (default: one per core)
 //! --out DIR      also write CSV tables and gnuplot .dat files to DIR
+//! --res-fraction F  offered booked-area fraction of a reservation
+//!                   stream riding on every run (default 0 = none)
+//! --res-slack S     admission guarantee slack in seconds (default 0)
 //! ```
 
+use crate::experiment::ReservationLoad;
 use dynp_workload::{traces, TraceModel};
 use std::path::PathBuf;
 
@@ -30,6 +34,11 @@ pub struct CommonArgs {
     pub workers: usize,
     /// Output directory for CSV/.dat files.
     pub out: Option<PathBuf>,
+    /// Offered booked-area fraction of the reservation stream (0 = no
+    /// stream).
+    pub res_fraction: f64,
+    /// Admission guarantee slack in seconds.
+    pub res_slack_secs: u64,
     /// Leftover (binary-specific) arguments.
     pub rest: Vec<String>,
 }
@@ -43,6 +52,8 @@ impl Default for CommonArgs {
             seed: 0x5EED,
             workers: 0,
             out: None,
+            res_fraction: 0.0,
+            res_slack_secs: 0,
             rest: Vec::new(),
         }
     }
@@ -57,7 +68,8 @@ impl CommonArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--jobs N] [--sets K] [--quick] [--trace NAME]... \
-                     [--seed S] [--workers W] [--out DIR]"
+                     [--seed S] [--workers W] [--out DIR] \
+                     [--res-fraction F] [--res-slack S]"
                 );
                 std::process::exit(2);
             }
@@ -105,6 +117,19 @@ impl CommonArgs {
                 "--out" => {
                     out.out = Some(PathBuf::from(value("--out")?));
                 }
+                "--res-fraction" => {
+                    out.res_fraction = value("--res-fraction")?
+                        .parse()
+                        .map_err(|_| "--res-fraction expects a number".to_string())?;
+                    if !(0.0..=1.0).contains(&out.res_fraction) {
+                        return Err("--res-fraction must be in [0, 1]".to_string());
+                    }
+                }
+                "--res-slack" => {
+                    out.res_slack_secs = value("--res-slack")?
+                        .parse()
+                        .map_err(|_| "--res-slack expects an integer".to_string())?;
+                }
                 other => out.rest.push(other.to_string()),
             }
         }
@@ -115,6 +140,18 @@ impl CommonArgs {
             return Err("--jobs and --sets must be positive".to_string());
         }
         Ok(out)
+    }
+
+    /// The reservation load the flags select, if any.
+    pub fn reservation_load(&self) -> Option<ReservationLoad> {
+        if self.res_fraction > 0.0 {
+            Some(ReservationLoad {
+                booked_fraction: self.res_fraction,
+                guarantee_slack_secs: self.res_slack_secs,
+            })
+        } else {
+            None
+        }
     }
 
     /// Standard progress printer: a line every ~5% of runs.
@@ -185,5 +222,17 @@ mod tests {
         assert!(parse(&["--jobs", "x"]).is_err());
         assert!(parse(&["--trace", "nope"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--res-fraction", "1.5"]).is_err());
+        assert!(parse(&["--res-fraction", "x"]).is_err());
+    }
+
+    #[test]
+    fn reservation_flags_select_a_load() {
+        let a = parse(&[]).unwrap();
+        assert!(a.reservation_load().is_none());
+        let a = parse(&["--res-fraction", "0.2", "--res-slack", "600"]).unwrap();
+        let load = a.reservation_load().unwrap();
+        assert_eq!(load.booked_fraction, 0.2);
+        assert_eq!(load.guarantee_slack_secs, 600);
     }
 }

@@ -9,10 +9,12 @@
 //! run is independent and deterministic, so the sweep result does not
 //! depend on scheduling order or worker count.
 
-use crate::runner::simulate;
+use crate::runner::{simulate, simulate_with_reservations};
 use crate::spec::SchedulerSpec;
-use dynp_metrics::{CombinedMetrics, SimMetrics};
-use dynp_workload::{transform, JobSet, TraceModel};
+use dynp_des::SimDuration;
+use dynp_metrics::{CombinedMetrics, ReservationStats, SimMetrics};
+use dynp_rms::AdmissionConfig;
+use dynp_workload::{transform, JobSet, ReservationModel, TraceModel};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,6 +38,10 @@ pub struct CellResult {
     pub cell: Cell,
     /// Combined metrics over the K job sets.
     pub combined: CombinedMetrics,
+    /// Reservation admission counters summed over all K job sets (the
+    /// drop-min/max convention applies to job metrics only). All zeros
+    /// when the sweep carries no reservation load.
+    pub reservations: ReservationStats,
 }
 
 /// The full sweep result.
@@ -103,6 +109,25 @@ impl ExperimentResult {
     }
 }
 
+/// An advance-reservation load riding on every run of a sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReservationLoad {
+    /// Target offered booked-area fraction (see
+    /// [`ReservationModel::typical`]).
+    pub booked_fraction: f64,
+    /// Admission guarantee slack in seconds: how far a promised job start
+    /// may slip before a window is refused.
+    pub guarantee_slack_secs: u64,
+}
+
+impl ReservationLoad {
+    fn admission(&self) -> AdmissionConfig {
+        AdmissionConfig {
+            guarantee_slack: SimDuration::from_secs(self.guarantee_slack_secs),
+        }
+    }
+}
+
 /// A sweep definition.
 #[derive(Clone, Debug)]
 pub struct Experiment {
@@ -120,6 +145,10 @@ pub struct Experiment {
     pub base_seed: u64,
     /// Worker threads (0 = one per available core).
     pub workers: usize,
+    /// Optional advance-reservation load applied to every run. `None`
+    /// keeps the sweep on the plain job-only path (bit-identical to the
+    /// pre-reservation harness).
+    pub reservations: Option<ReservationLoad>,
 }
 
 impl Experiment {
@@ -139,6 +168,7 @@ impl Experiment {
             sets_per_trace,
             base_seed: 0x5EED,
             workers: 0,
+            reservations: None,
         }
     }
 
@@ -180,7 +210,8 @@ impl Experiment {
             }
         }
 
-        let results: Mutex<Vec<Option<SimMetrics>>> = Mutex::new(vec![None; tasks.len()]);
+        let results: Mutex<Vec<Option<(SimMetrics, ReservationStats)>>> =
+            Mutex::new(vec![None; tasks.len()]);
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let total = tasks.len();
@@ -201,8 +232,25 @@ impl Experiment {
                     let base = &base_sets[task.trace][task.set];
                     let set = transform::shrink(base, self.factors[task.factor]);
                     let mut scheduler = self.schedulers[task.sched].build();
-                    let run = simulate(&set, scheduler.as_mut());
-                    results.lock().unwrap()[i] = Some(run.metrics);
+                    let outcome = match &self.reservations {
+                        None => (
+                            simulate(&set, scheduler.as_mut()).metrics,
+                            ReservationStats::default(),
+                        ),
+                        Some(load) => {
+                            let model = ReservationModel::typical(load.booked_fraction);
+                            let reqs =
+                                model.generate(&set, self.base_seed.wrapping_add(task.set as u64));
+                            let d = simulate_with_reservations(
+                                &set,
+                                scheduler.as_mut(),
+                                &reqs,
+                                load.admission(),
+                            );
+                            (d.result.metrics, d.reservations.stats)
+                        }
+                    };
+                    results.lock().unwrap()[i] = Some(outcome);
                     let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                     progress(d, total);
                 });
@@ -218,9 +266,13 @@ impl Experiment {
                 for (s, spec) in self.schedulers.iter().enumerate() {
                     let base_idx =
                         ((t * self.factors.len() + f) * self.schedulers.len() + s) * sets;
-                    let runs: Vec<SimMetrics> = (0..sets)
-                        .map(|k| metrics[base_idx + k].expect("missing run result"))
-                        .collect();
+                    let mut runs = Vec::with_capacity(sets);
+                    let mut res_stats = ReservationStats::default();
+                    for k in 0..sets {
+                        let (m, r) = metrics[base_idx + k].expect("missing run result");
+                        runs.push(m);
+                        res_stats.merge(&r);
+                    }
                     cells.push(CellResult {
                         cell: Cell {
                             trace: model.name.clone(),
@@ -228,6 +280,7 @@ impl Experiment {
                             scheduler: spec.name(),
                         },
                         combined: CombinedMetrics::combine(&runs),
+                        reservations: res_stats,
                     });
                 }
             }
@@ -300,6 +353,30 @@ mod tests {
         });
         assert_eq!(max_seen.load(Ordering::Relaxed), e.total_runs());
         assert_eq!(r.cells.len(), 4);
+    }
+
+    #[test]
+    fn reservation_load_rides_on_every_run() {
+        let mut e = tiny_experiment(2);
+        e.reservations = Some(ReservationLoad {
+            booked_fraction: 0.2,
+            guarantee_slack_secs: 0,
+        });
+        let r = e.run();
+        for c in &r.cells {
+            assert!(c.reservations.requests > 0, "{:?} saw no requests", c.cell);
+            assert_eq!(
+                c.reservations.admitted,
+                c.reservations.honored + c.reservations.cancelled
+            );
+        }
+        // The plain sweep stays untouched: all-zero counters and the
+        // same job metrics as before reservations existed.
+        let plain = tiny_experiment(2).run();
+        for (with, without) in r.cells.iter().zip(&plain.cells) {
+            assert_eq!(without.reservations, ReservationStats::default());
+            assert_eq!(with.cell, without.cell);
+        }
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub mod runner;
 pub mod spec;
 pub mod svg;
 
-pub use experiment::{Cell, CellResult, Experiment, ExperimentResult};
-pub use runner::{simulate, simulate_detailed, DetailedRun, RunObservations, RunResult};
+pub use experiment::{Cell, CellResult, Experiment, ExperimentResult, ReservationLoad};
+pub use runner::{
+    simulate, simulate_detailed, simulate_with_reservations, DetailedRun, ReservationReport,
+    RunObservations, RunResult,
+};
 pub use spec::SchedulerSpec;

@@ -1,16 +1,29 @@
 //! The single-run simulation loop.
 //!
 //! Drives one [`JobSet`] through one [`Scheduler`] on the discrete event
-//! engine. Two event kinds exist — job arrival and job completion — and
-//! the scheduler replans on every event, exactly the paper's setup
-//! ("such a self-tuning dynP step is done … when jobs are submitted and
-//! when executed jobs finish"). After replanning, every job whose planned
-//! start is due is started and its completion event scheduled.
+//! engine. For plain batch runs two event kinds exist — job arrival and
+//! job completion — and the scheduler replans on every event, exactly the
+//! paper's setup ("such a self-tuning dynP step is done … when jobs are
+//! submitted and when executed jobs finish"). After replanning, every job
+//! whose planned start is due is started and its completion event
+//! scheduled.
+//!
+//! [`simulate_with_reservations`] adds the advance-reservation traffic:
+//! reservation requests are feasibility-checked at their submission
+//! instant (admit iff the window fits the free capacity *and* no
+//! already-promised job start slips past its guarantee), admitted windows
+//! enter the [`RmsState`]'s book so every later plan routes around them,
+//! and window start/end/cancel become events of their own. With an empty
+//! request stream the event sequence — and therefore every schedule and
+//! metric — is bit-identical to [`simulate_detailed`].
 
 use dynp_des::{Engine, TimeWeighted};
-use dynp_metrics::SimMetrics;
-use dynp_rms::{CompletedJob, ReplanReason, RmsState, Scheduler};
-use dynp_workload::{JobId, JobSet};
+use dynp_metrics::{ReservationStats, SimMetrics};
+use dynp_rms::{
+    AdmissionConfig, AdmissionController, CompletedJob, RejectReason, ReplanReason, Reservation,
+    RmsState, Scheduler,
+};
+use dynp_workload::{JobId, JobSet, ReservationRequest};
 use serde::{Deserialize, Serialize};
 
 /// Events of the RMS simulation.
@@ -20,6 +33,15 @@ enum Event {
     Arrive(JobId),
     /// A running job's actual run time elapses.
     Finish(JobId),
+    /// A reservation request (index into the request stream) reaches the
+    /// admission controller.
+    ResRequest(u32),
+    /// An admitted window (book id) begins.
+    ResStart(u32),
+    /// An admitted window (book id) ends and leaves the book.
+    ResEnd(u32),
+    /// The user withdraws an admitted window (book id) before its start.
+    ResCancel(u32),
 }
 
 /// The outcome of one simulation run.
@@ -31,7 +53,8 @@ pub struct RunResult {
     pub scheduler: String,
     /// Job-set name.
     pub job_set: String,
-    /// Number of processed events (arrivals + completions).
+    /// Number of processed events (arrivals, completions and — when a
+    /// reservation stream is present — reservation life-cycle events).
     pub events: u64,
 }
 
@@ -47,6 +70,20 @@ pub struct RunObservations {
     pub mean_busy: f64,
 }
 
+/// What happened to the reservation stream during a run.
+#[derive(Clone, Debug, Default)]
+pub struct ReservationReport {
+    /// Admission and life-cycle counters.
+    pub stats: ReservationStats,
+    /// Admitted windows that ran to completion (neither cancelled nor
+    /// displaced — admission guarantees the latter cannot happen), in
+    /// admission order. These are the held capacity blocks the overlap
+    /// invariant is checked against.
+    pub honored: Vec<Reservation>,
+    /// Rejected requests: `(request id, reason)` in decision order.
+    pub rejected: Vec<(u32, RejectReason)>,
+}
+
 /// A run result together with the realized per-job records and in-run
 /// observations — for timelines, histograms and debugging.
 #[derive(Clone, Debug)]
@@ -57,6 +94,9 @@ pub struct DetailedRun {
     pub completed: Vec<CompletedJob>,
     /// Queue/occupancy observations.
     pub observations: RunObservations,
+    /// Reservation-stream outcome (all zeros/empty for reservation-free
+    /// runs).
+    pub reservations: ReservationReport,
 }
 
 /// Simulates `set` under `scheduler` until every job has completed.
@@ -72,15 +112,59 @@ pub fn simulate(set: &JobSet, scheduler: &mut dyn Scheduler) -> RunResult {
 /// Like [`simulate`], but also returns the completed-job records and
 /// in-run queue/occupancy observations.
 pub fn simulate_detailed(set: &JobSet, scheduler: &mut dyn Scheduler) -> DetailedRun {
+    simulate_with_reservations(set, scheduler, &[], AdmissionConfig::default())
+}
+
+/// Simulates `set` under `scheduler` with an advance-reservation request
+/// stream interleaved with the job submissions.
+///
+/// Each request is decided at its submission instant by the
+/// [`AdmissionController`]: the window must fit the base profile (running
+/// jobs + already admitted windows), and planning around it must not push
+/// any already-promised job start past its guarantee (plus
+/// `admission.guarantee_slack`). Admitted windows enter the state's
+/// reservation book, so every subsequent plan — incremental, reference or
+/// EASY — routes the batch jobs around them; they leave the book when
+/// they end or are cancelled, and the book is pruned of expired windows
+/// before every admission decision.
+///
+/// With `requests` empty this is exactly [`simulate_detailed`]: the same
+/// events in the same order, bit-identical schedules and metrics.
+///
+/// # Panics
+/// Panics if the run ends with unfinished jobs or a non-empty reservation
+/// book — either would be a driver bug.
+pub fn simulate_with_reservations(
+    set: &JobSet,
+    scheduler: &mut dyn Scheduler,
+    requests: &[ReservationRequest],
+    admission: AdmissionConfig,
+) -> DetailedRun {
     let mut state = RmsState::new(set.machine_size);
+    let mut controller = AdmissionController::new(admission);
     let mut engine: Engine<Event> = Engine::new();
     for job in set.jobs() {
         engine.schedule_at(job.submit, Event::Arrive(job.id));
     }
-    let t0 = set.first_submit();
+    // Scheduled after the arrivals so that at equal instants a job enters
+    // the queue before a window is judged against it.
+    for (i, r) in requests.iter().enumerate() {
+        engine.schedule_at(r.submit, Event::ResRequest(i as u32));
+    }
+    // Observation clocks start at the first event of either stream — a
+    // reservation request may precede the first job submission.
+    let t0 = requests
+        .iter()
+        .map(|r| r.submit)
+        .fold(set.first_submit(), |a, b| a.min(b));
     let mut queue_tw = TimeWeighted::new(t0, 0.0);
     let mut busy_tw = TimeWeighted::new(t0, 0.0);
     let mut peak_queue = 0usize;
+
+    let mut report = ReservationReport::default();
+    // Admitted windows by book id (ids are dense: the book assigns them
+    // sequentially and only this loop admits).
+    let mut admitted: Vec<(Reservation, bool)> = Vec::new();
 
     engine.run(|eng, event| {
         let now = eng.now();
@@ -92,6 +176,85 @@ pub fn simulate_detailed(set: &JobSet, scheduler: &mut dyn Scheduler) -> Detaile
             Event::Finish(id) => {
                 state.complete(id, now);
                 ReplanReason::Completion
+            }
+            Event::ResRequest(idx) => {
+                let r = &requests[idx as usize];
+                // Satellite of the admission protocol: drop windows that
+                // already ended before building the base profile.
+                state.expire_reservations(now);
+                report.stats.requests += 1;
+                report.stats.requested_area += r.area();
+                match controller.evaluate(
+                    &state,
+                    now,
+                    scheduler.active_policy(),
+                    r.start,
+                    r.duration,
+                    r.width,
+                ) {
+                    Ok(()) => {
+                        let book_id = state.admit_reservation(r.start, r.duration, r.width);
+                        debug_assert_eq!(book_id as usize, admitted.len());
+                        let res = Reservation {
+                            id: book_id,
+                            start: r.start,
+                            duration: r.duration,
+                            width: r.width,
+                        };
+                        admitted.push((res, false));
+                        report.stats.admitted += 1;
+                        report.stats.admitted_area += r.area();
+                        eng.schedule_at(res.start, Event::ResStart(book_id));
+                        eng.schedule_at(res.end(), Event::ResEnd(book_id));
+                        if let Some(c) = r.cancel_at {
+                            if c > now && c < r.start {
+                                eng.schedule_at(c, Event::ResCancel(book_id));
+                            }
+                        }
+                        ReplanReason::Reservation
+                    }
+                    Err(why) => {
+                        match why {
+                            RejectReason::NoCapacity => report.stats.rejected_capacity += 1,
+                            RejectReason::BreaksGuarantee => report.stats.rejected_guarantee += 1,
+                            RejectReason::InvalidWidth | RejectReason::InPast => {
+                                report.stats.rejected_invalid += 1
+                            }
+                        }
+                        report.rejected.push((r.id, why));
+                        // The state is untouched: nothing to replan.
+                        return;
+                    }
+                }
+            }
+            Event::ResStart(book_id) => {
+                // The window's capacity was withheld from every plan since
+                // admission; nothing changes at the boundary itself.
+                debug_assert!(
+                    admitted[book_id as usize].1
+                        || state.reservations().all().iter().any(|w| w.id == book_id),
+                    "admitted window {book_id} vanished before its start"
+                );
+                return;
+            }
+            Event::ResEnd(book_id) => {
+                let (res, cancelled) = admitted[book_id as usize];
+                if !cancelled {
+                    report.stats.honored += 1;
+                    report.honored.push(res);
+                }
+                state.expire_reservations(now);
+                ReplanReason::Reservation
+            }
+            Event::ResCancel(book_id) => {
+                let existed = state.cancel_reservation(book_id);
+                debug_assert!(
+                    existed,
+                    "cancel of window {book_id} that is not in the book"
+                );
+                admitted[book_id as usize].1 = true;
+                report.stats.cancelled += 1;
+                ReplanReason::Reservation
             }
         };
         let schedule = scheduler.replan(&state, now, reason);
@@ -115,6 +278,16 @@ pub fn simulate_detailed(set: &JobSet, scheduler: &mut dyn Scheduler) -> Detaile
         set.len(),
         "job conservation violated"
     );
+    assert!(
+        state.reservations().all().is_empty(),
+        "simulation drained with {} windows still booked",
+        state.reservations().all().len()
+    );
+    debug_assert_eq!(
+        report.stats.honored + report.stats.cancelled,
+        report.stats.admitted,
+        "admitted windows must end or be cancelled"
+    );
 
     let end = engine.now();
     let result = RunResult {
@@ -131,6 +304,7 @@ pub fn simulate_detailed(set: &JobSet, scheduler: &mut dyn Scheduler) -> Detaile
             mean_busy: busy_tw.average_until(end),
         },
         completed: state.into_completed(),
+        reservations: report,
     }
 }
 
@@ -278,6 +452,144 @@ mod tests {
         assert_eq!(ids, (0..150).collect::<Vec<_>>());
         assert!(d.observations.mean_busy > 0.0);
         assert!(d.observations.peak_queue >= 1);
+    }
+
+    fn req(
+        id: u32,
+        submit_s: u64,
+        start_s: u64,
+        dur_s: u64,
+        width: u32,
+        cancel_s: Option<u64>,
+    ) -> ReservationRequest {
+        ReservationRequest {
+            id,
+            submit: SimTime::from_secs(submit_s),
+            start: SimTime::from_secs(start_s),
+            duration: SimDuration::from_secs(dur_s),
+            width,
+            cancel_at: cancel_s.map(SimTime::from_secs),
+        }
+    }
+
+    #[test]
+    fn empty_request_stream_is_bit_identical_to_plain_run() {
+        let set = dynp_workload::traces::ctc().generate(200, 5);
+        let mut a = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+        let mut b = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+        let plain = simulate_detailed(&set, &mut a);
+        let with = simulate_with_reservations(&set, &mut b, &[], AdmissionConfig::default());
+        assert_eq!(
+            plain.result.metrics.sldwa.to_bits(),
+            with.result.metrics.sldwa.to_bits()
+        );
+        assert_eq!(
+            plain.result.metrics.utilization.to_bits(),
+            with.result.metrics.utilization.to_bits()
+        );
+        assert_eq!(plain.result.events, with.result.events);
+        assert_eq!(with.reservations.stats, ReservationStats::default());
+        assert!(with.reservations.honored.is_empty());
+    }
+
+    #[test]
+    fn admitted_window_delays_conflicting_jobs() {
+        // Machine 2. A full-width window [100, 200) is admitted at t=0;
+        // a full-width job arriving at t=50 with estimate 100 cannot
+        // finish before the window, so it starts when the window ends.
+        let set = JobSet::new("t", 2, vec![j(0, 50, 2, 100, 100)]);
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let reqs = [req(0, 0, 100, 100, 2, None)];
+        let d = simulate_with_reservations(&set, &mut s, &reqs, AdmissionConfig::default());
+        assert_eq!(d.reservations.stats.admitted, 1);
+        assert_eq!(d.reservations.stats.honored, 1);
+        assert_eq!(d.reservations.honored.len(), 1);
+        // Job waits from 50 to 200.
+        assert!((d.result.metrics.avg_wait_secs - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancelled_window_frees_its_capacity() {
+        // Same scenario, but the window is withdrawn at t=60 — before it
+        // starts — so the job runs immediately at its submission.
+        let set = JobSet::new("t", 2, vec![j(0, 70, 2, 100, 100)]);
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let reqs = [req(0, 0, 100, 100, 2, Some(60))];
+        let d = simulate_with_reservations(&set, &mut s, &reqs, AdmissionConfig::default());
+        assert_eq!(d.reservations.stats.admitted, 1);
+        assert_eq!(d.reservations.stats.cancelled, 1);
+        assert_eq!(d.reservations.stats.honored, 0);
+        assert!(d.reservations.honored.is_empty());
+        assert_eq!(d.result.metrics.avg_wait_secs, 0.0);
+    }
+
+    #[test]
+    fn infeasible_window_is_rejected_for_capacity() {
+        // Two overlapping full-width windows: the second cannot fit.
+        let set = JobSet::new("t", 2, vec![j(0, 500, 1, 10, 10)]);
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let reqs = [req(0, 0, 100, 100, 2, None), req(1, 10, 150, 100, 2, None)];
+        let d = simulate_with_reservations(&set, &mut s, &reqs, AdmissionConfig::default());
+        assert_eq!(d.reservations.stats.admitted, 1);
+        assert_eq!(d.reservations.stats.rejected_capacity, 1);
+        assert_eq!(d.reservations.rejected, vec![(1, RejectReason::NoCapacity)]);
+        assert!((d.reservations.stats.acceptance_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_that_breaks_a_job_guarantee_is_rejected() {
+        // Machine 2: a running-width job occupies [0, 100); a waiting
+        // full-width job is promised start 100. A window over [100, 200)
+        // would push that promise — rejected; a window after the job's
+        // estimated end is fine.
+        let set = JobSet::new("t", 2, vec![j(0, 0, 2, 100, 100), j(1, 0, 2, 100, 100)]);
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let reqs = [
+            req(0, 10, 120, 50, 2, None),  // overlaps promised [100, 200)
+            req(1, 20, 1000, 50, 2, None), // after both jobs' estimates
+        ];
+        let d = simulate_with_reservations(&set, &mut s, &reqs, AdmissionConfig::default());
+        assert_eq!(d.reservations.stats.rejected_guarantee, 1);
+        assert_eq!(d.reservations.stats.admitted, 1);
+        assert_eq!(
+            d.reservations.rejected,
+            vec![(0, RejectReason::BreaksGuarantee)]
+        );
+    }
+
+    #[test]
+    fn rejection_stream_is_deterministic() {
+        let set = dynp_workload::traces::kth().generate(150, 3);
+        let model = dynp_workload::ReservationModel::typical(0.4);
+        let reqs = model.generate(&set, 17);
+        let run = |policy| {
+            let mut s = StaticScheduler::new(policy);
+            simulate_with_reservations(&set, &mut s, &reqs, AdmissionConfig::default())
+        };
+        let a = run(Policy::Fcfs);
+        let b = run(Policy::Fcfs);
+        assert_eq!(a.reservations.rejected, b.reservations.rejected);
+        assert_eq!(a.reservations.stats, b.reservations.stats);
+        assert_eq!(
+            a.result.metrics.sldwa.to_bits(),
+            b.result.metrics.sldwa.to_bits()
+        );
+    }
+
+    #[test]
+    fn reservation_heavy_dynp_run_completes_all_jobs() {
+        let set = dynp_workload::traces::sdsc().generate(250, 21);
+        let model = dynp_workload::ReservationModel::typical(0.2);
+        let reqs = model.generate(&set, 4);
+        assert!(!reqs.is_empty());
+        let mut s = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+        let d = simulate_with_reservations(&set, &mut s, &reqs, AdmissionConfig::default());
+        assert_eq!(d.result.metrics.jobs, 250);
+        let st = &d.reservations.stats;
+        assert_eq!(st.requests, reqs.len() as u64);
+        assert_eq!(st.admitted, st.honored + st.cancelled);
+        assert_eq!(st.rejected() + st.admitted, st.requests);
+        assert!(st.admitted_area <= st.requested_area);
     }
 
     #[test]

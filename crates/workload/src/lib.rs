@@ -20,6 +20,9 @@
 //!   sinusoidal daily arrival cycle, as an alternative input family;
 //! * [`traces`] — models calibrated to the published Table 2 statistics of
 //!   the four traces;
+//! * [`reservation`] — advance-reservation request streams: a synthetic
+//!   Poisson generator calibrated to a target booked-area fraction, plus
+//!   SWF `;RESERVATION` directive support in [`swf`];
 //! * [`transform`] — the shrinking-factor workload scaling of §4.2 plus
 //!   job-set utilities;
 //! * [`stats`] — trace statistics (regenerates Table 2 for our inputs).
@@ -29,6 +32,7 @@ pub mod job;
 pub mod lublin;
 pub mod model;
 pub mod regime;
+pub mod reservation;
 pub mod stats;
 pub mod swf;
 pub mod traces;
@@ -36,6 +40,7 @@ pub mod transform;
 
 pub use job::{Job, JobId, JobSet};
 pub use model::TraceModel;
+pub use reservation::{ReservationModel, ReservationRequest};
 pub use stats::TraceStats;
 pub use traces::{ctc, kth, lanl, sdsc, standard_models};
 pub use transform::shrink;

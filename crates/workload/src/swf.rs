@@ -21,10 +21,27 @@
 //! the archive's own tooling does the same. When the requested time is
 //! unknown the actual run time is used as the estimate (a perfect
 //! estimate), matching common simulator practice.
+//!
+//! ## Reservation directives
+//!
+//! SWF has no reservation record, so this module carries advance
+//! reservations in comment lines (standard SWF readers ignore them):
+//!
+//! ```text
+//! ;RESERVATION <submit> <start> <duration> <width> [cancel_at]
+//! ```
+//!
+//! All times are integer seconds. [`read_swf_with_reservations`] parses
+//! these into a [`ReservationRequest`] stream interleaved with the jobs;
+//! the plain [`read_swf`] skips them like any other comment.
 
 use crate::job::{Job, JobId, JobSet};
+use crate::reservation::ReservationRequest;
 use dynp_des::{SimDuration, SimTime};
 use std::io::{self, BufRead, Write};
+
+/// Prefix marking a reservation directive comment line.
+const RESERVATION_TAG: &str = ";RESERVATION";
 
 /// Errors raised while parsing an SWF stream.
 #[derive(Debug)]
@@ -67,11 +84,90 @@ pub fn read_swf(
     name: impl Into<String>,
     machine_size: u32,
 ) -> Result<JobSet, SwfError> {
+    read_swf_impl(reader, name, machine_size, None)
+}
+
+/// Like [`read_swf`], but also parses `;RESERVATION` directive lines into
+/// an advance-reservation request stream (sorted by submission time, ids
+/// re-assigned densely in that order).
+pub fn read_swf_with_reservations(
+    reader: impl BufRead,
+    name: impl Into<String>,
+    machine_size: u32,
+) -> Result<(JobSet, Vec<ReservationRequest>), SwfError> {
+    let mut reservations = Vec::new();
+    let set = read_swf_impl(reader, name, machine_size, Some(&mut reservations))?;
+    Ok((set, reservations))
+}
+
+fn parse_reservation(
+    trimmed: &str,
+    machine_size: u32,
+    lineno: usize,
+) -> Result<ReservationRequest, SwfError> {
+    let fields: Vec<&str> = trimmed[RESERVATION_TAG.len()..]
+        .split_whitespace()
+        .collect();
+    if fields.len() < 4 || fields.len() > 5 {
+        return Err(SwfError::Malformed {
+            line: lineno + 1,
+            reason: format!(
+                "reservation directive needs 4-5 fields, got {}",
+                fields.len()
+            ),
+        });
+    }
+    let parse = |idx: usize| -> Result<u64, SwfError> {
+        fields[idx].parse::<u64>().map_err(|_| SwfError::Malformed {
+            line: lineno + 1,
+            reason: format!(
+                "reservation field {} is not a non-negative integer: {:?}",
+                idx + 1,
+                fields[idx]
+            ),
+        })
+    };
+    let submit = parse(0)?;
+    let start = parse(1)?;
+    let duration = parse(2)?;
+    let width = parse(3)? as u32;
+    let cancel_at = if fields.len() == 5 {
+        Some(SimTime::from_secs(parse(4)?))
+    } else {
+        None
+    };
+    if width == 0 || width > machine_size || duration == 0 || start < submit {
+        return Err(SwfError::Malformed {
+            line: lineno + 1,
+            reason: format!("unusable reservation directive: {trimmed:?}"),
+        });
+    }
+    Ok(ReservationRequest {
+        id: 0, // re-assigned after the submit-order sort
+        submit: SimTime::from_secs(submit),
+        start: SimTime::from_secs(start),
+        duration: SimDuration::from_secs(duration),
+        width,
+        cancel_at,
+    })
+}
+
+fn read_swf_impl(
+    reader: impl BufRead,
+    name: impl Into<String>,
+    machine_size: u32,
+    mut reservations: Option<&mut Vec<ReservationRequest>>,
+) -> Result<JobSet, SwfError> {
     let mut jobs = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with(';') {
+            if let Some(out) = reservations.as_deref_mut() {
+                if trimmed.starts_with(RESERVATION_TAG) {
+                    out.push(parse_reservation(trimmed, machine_size, lineno)?);
+                }
+            }
             continue;
         }
         let fields: Vec<&str> = trimmed.split_whitespace().collect();
@@ -114,15 +210,45 @@ pub fn read_swf(
             SimDuration::from_secs(actual),
         ));
     }
+    if let Some(out) = reservations {
+        out.sort_by_key(|r| r.submit);
+        for (i, r) in out.iter_mut().enumerate() {
+            r.id = i as u32;
+        }
+    }
     Ok(JobSet::new(name, machine_size, jobs))
 }
 
 /// Writes a job set as SWF. Fields this model does not carry (user, group,
 /// queue, …) are emitted as `-1`, as the format prescribes.
 pub fn write_swf(set: &JobSet, mut writer: impl Write) -> io::Result<()> {
+    write_swf_with_reservations(set, &[], &mut writer)
+}
+
+/// Writes a job set as SWF with the reservation stream as `;RESERVATION`
+/// directive lines in the header (ignored by plain SWF readers).
+pub fn write_swf_with_reservations(
+    set: &JobSet,
+    reservations: &[ReservationRequest],
+    mut writer: impl Write,
+) -> io::Result<()> {
     writeln!(writer, "; generated by dynp-workload")?;
     writeln!(writer, "; MaxProcs: {}", set.machine_size)?;
     writeln!(writer, "; Jobs: {}", set.len())?;
+    for r in reservations {
+        write!(
+            writer,
+            "{RESERVATION_TAG} {} {} {} {}",
+            r.submit.as_millis() / 1000,
+            r.start.as_millis() / 1000,
+            r.duration.as_millis() / 1000,
+            r.width,
+        )?;
+        match r.cancel_at {
+            Some(c) => writeln!(writer, " {}", c.as_millis() / 1000)?,
+            None => writeln!(writer)?,
+        }
+    }
     for job in set.jobs() {
         // job, submit, wait, run, alloc, cpu, mem, reqproc, reqtime,
         // reqmem, status, uid, gid, exe, queue, partition, prec, think
@@ -200,6 +326,70 @@ mod tests {
     fn non_numeric_field_is_an_error() {
         let bad = "1 abc 0 10 4 -1 -1 4 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
         assert!(read_swf(BufReader::new(bad.as_bytes()), "t", 4).is_err());
+    }
+
+    const SAMPLE_WITH_RES: &str = "\
+; Sample SWF header
+;RESERVATION 100 4000 1800 16
+;RESERVATION 40 7200 3600 8 1000
+1 0 10 100 4 -1 -1 4 200 -1 1 5 5 -1 1 -1 -1 -1
+";
+
+    #[test]
+    fn reservation_directives_parse_and_sort_by_submit() {
+        let (set, res) =
+            read_swf_with_reservations(BufReader::new(SAMPLE_WITH_RES.as_bytes()), "r", 128)
+                .unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(res.len(), 2);
+        // sorted by submit, ids re-assigned densely
+        assert_eq!(res[0].id, 0);
+        assert_eq!(res[0].submit, SimTime::from_secs(40));
+        assert_eq!(res[0].width, 8);
+        assert_eq!(res[0].cancel_at, Some(SimTime::from_secs(1000)));
+        assert_eq!(res[1].submit, SimTime::from_secs(100));
+        assert_eq!(res[1].start, SimTime::from_secs(4000));
+        assert_eq!(res[1].duration, SimDuration::from_secs(1800));
+        assert_eq!(res[1].cancel_at, None);
+    }
+
+    #[test]
+    fn plain_reader_ignores_reservation_directives() {
+        let set = read_swf(BufReader::new(SAMPLE_WITH_RES.as_bytes()), "r", 128).unwrap();
+        assert_eq!(set.len(), 1);
+        // even a malformed directive is just a comment to the plain reader
+        let bad = ";RESERVATION nonsense\n1 0 10 100 4 -1 -1 4 200 -1 1 5 5 -1 1 -1 -1 -1\n";
+        assert!(read_swf(BufReader::new(bad.as_bytes()), "r", 128).is_ok());
+        assert!(read_swf_with_reservations(BufReader::new(bad.as_bytes()), "r", 128).is_err());
+    }
+
+    #[test]
+    fn bad_reservation_directive_is_an_error() {
+        for bad in [
+            ";RESERVATION 10 5 60 4\n",    // starts before submission
+            ";RESERVATION 10 20 0 4\n",    // zero duration
+            ";RESERVATION 10 20 60 0\n",   // zero width
+            ";RESERVATION 10 20 60 999\n", // wider than the machine
+            ";RESERVATION 10 20 60\n",     // too few fields
+        ] {
+            assert!(
+                read_swf_with_reservations(BufReader::new(bad.as_bytes()), "r", 128).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reservations_round_trip() {
+        let (set, res) =
+            read_swf_with_reservations(BufReader::new(SAMPLE_WITH_RES.as_bytes()), "r", 128)
+                .unwrap();
+        let mut buf = Vec::new();
+        write_swf_with_reservations(&set, &res, &mut buf).unwrap();
+        let (set2, res2) =
+            read_swf_with_reservations(BufReader::new(buf.as_slice()), "r", 128).unwrap();
+        assert_eq!(set.len(), set2.len());
+        assert_eq!(res, res2);
     }
 
     #[test]

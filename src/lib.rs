@@ -44,8 +44,13 @@ pub use dynp_workload as workload;
 pub mod prelude {
     pub use dynp_core::{DecideOn, DeciderKind, DynPConfig, SelfTuningScheduler};
     pub use dynp_des::{SimDuration, SimTime};
-    pub use dynp_metrics::{Objective, SimMetrics};
-    pub use dynp_rms::{Policy, ReplanReason, RmsState, Scheduler, StaticScheduler};
-    pub use dynp_sim::{simulate, Experiment, SchedulerSpec};
-    pub use dynp_workload::{Job, JobId, JobSet, TraceModel};
+    pub use dynp_metrics::{Objective, ReservationStats, SimMetrics};
+    pub use dynp_rms::{
+        AdmissionConfig, AdmissionController, Policy, RejectReason, ReplanReason, Reservation,
+        RmsState, Scheduler, StaticScheduler,
+    };
+    pub use dynp_sim::{
+        simulate, simulate_with_reservations, Experiment, ReservationLoad, SchedulerSpec,
+    };
+    pub use dynp_workload::{Job, JobId, JobSet, ReservationModel, ReservationRequest, TraceModel};
 }

@@ -8,6 +8,7 @@
 //! trace models — and demand exact equality.
 
 use dynp_suite::prelude::*;
+use dynp_suite::sim::simulate_with_reservations;
 use dynp_suite::workload::{traces, transform};
 use proptest::prelude::*;
 
@@ -22,25 +23,51 @@ fn job(id: u32, submit_s: u64, width: u32, est_s: u64, actual_s: u64) -> Job {
 }
 
 /// Runs one full simulation with the given config, incrementally or in
-/// reference mode, and returns everything the run produced.
+/// reference mode, and returns everything the run produced. A non-empty
+/// `reqs` adds an advance-reservation stream, so both engines also plan
+/// around admitted windows.
+fn run_with(
+    set: &JobSet,
+    config: &DynPConfig,
+    reference: bool,
+    reqs: &[ReservationRequest],
+) -> (
+    SimMetrics,
+    dynp_suite::core::SwitchStats,
+    Policy,
+    ReservationStats,
+) {
+    let mut s = SelfTuningScheduler::new(config.clone());
+    s.set_reference_mode(reference);
+    let d = simulate_with_reservations(set, &mut s, reqs, AdmissionConfig::default());
+    (
+        d.result.metrics,
+        s.stats.clone(),
+        s.active_policy(),
+        d.reservations.stats,
+    )
+}
+
 fn run(
     set: &JobSet,
     config: &DynPConfig,
     reference: bool,
 ) -> (SimMetrics, dynp_suite::core::SwitchStats, Policy) {
-    let mut s = SelfTuningScheduler::new(config.clone());
-    s.set_reference_mode(reference);
-    let result = simulate(set, &mut s);
-    (result.metrics, s.stats.clone(), s.active_policy())
+    let (m, stats, active, _) = run_with(set, config, reference, &[]);
+    (m, stats, active)
 }
 
-fn assert_equivalent(set: &JobSet, config: &DynPConfig) {
-    let (m_inc, stats_inc, active_inc) = run(set, config, false);
-    let (m_ref, stats_ref, active_ref) = run(set, config, true);
+fn assert_equivalent_with(set: &JobSet, config: &DynPConfig, reqs: &[ReservationRequest]) {
+    let (m_inc, stats_inc, active_inc, res_inc) = run_with(set, config, false, reqs);
+    let (m_ref, stats_ref, active_ref, res_ref) = run_with(set, config, true, reqs);
     let ctx = format!(
-        "{} / {:?} / {:?}",
-        set.name, config.decider, config.decide_on
+        "{} / {:?} / {:?} / {} reservation requests",
+        set.name,
+        config.decider,
+        config.decide_on,
+        reqs.len()
     );
+    assert_eq!(res_inc, res_ref, "{ctx}");
     assert_eq!(m_inc.sldwa.to_bits(), m_ref.sldwa.to_bits(), "{ctx}");
     assert_eq!(
         m_inc.utilization.to_bits(),
@@ -51,6 +78,10 @@ fn assert_equivalent(set: &JobSet, config: &DynPConfig) {
     assert_eq!(m_inc.last_end_secs, m_ref.last_end_secs, "{ctx}");
     assert_eq!(stats_inc, stats_ref, "{ctx}");
     assert_eq!(active_inc, active_ref, "{ctx}");
+}
+
+fn assert_equivalent(set: &JobSet, config: &DynPConfig) {
+    assert_equivalent_with(set, config, &[]);
 }
 
 proptest! {
@@ -82,6 +113,49 @@ proptest! {
         }
         assert_equivalent(&set, &config);
     }
+
+    /// Reservation-bearing states: with a random request stream admitted
+    /// into the book, the incremental engine still matches the reference
+    /// bit-for-bit — including the admission verdicts themselves.
+    #[test]
+    fn incremental_equals_reference_with_reservations(
+        raw in proptest::collection::vec((0u64..2_000, 1u32..17, 1u64..600, 1u64..600), 1..25),
+        raw_reqs in proptest::collection::vec((0u64..2_000, 1u64..2_500, 30u64..600, 1u32..17), 1..10),
+        decider_pick in 0u8..3,
+        submissions_only in 0u8..2,
+    ) {
+        let jobs: Vec<Job> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, width, est, actual))| {
+                job(i as u32, submit, width, est, actual.min(est))
+            })
+            .collect();
+        let set = JobSet::new("proptest-res", 16, jobs);
+        let mut reqs: Vec<ReservationRequest> = raw_reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, lead, dur, width))| ReservationRequest {
+                id: i as u32,
+                submit: SimTime::from_secs(submit),
+                start: SimTime::from_secs(submit + lead),
+                duration: SimDuration::from_secs(dur),
+                width,
+                cancel_at: (i % 3 == 0).then(|| SimTime::from_secs(submit + lead / 2)),
+            })
+            .collect();
+        reqs.sort_by_key(|r| r.submit);
+        let decider = match decider_pick {
+            0 => DeciderKind::Simple,
+            1 => DeciderKind::Advanced,
+            _ => DeciderKind::Preferred { policy: Policy::Sjf, threshold: 0.0 },
+        };
+        let mut config = DynPConfig::paper(decider);
+        if submissions_only == 1 {
+            config.decide_on = DecideOn::SubmissionsOnly;
+        }
+        assert_equivalent_with(&set, &config, &reqs);
+    }
 }
 
 /// The paper's trace models: incremental and reference runs are
@@ -99,6 +173,19 @@ fn incremental_equals_reference_on_trace_models() {
         ] {
             assert_equivalent(&set, &DynPConfig::paper(decider));
         }
+    }
+}
+
+/// Trace models with a calibrated reservation stream riding along: the
+/// two engines agree bit-for-bit on both the job metrics and the
+/// admission outcome.
+#[test]
+fn incremental_equals_reference_on_trace_models_with_reservations() {
+    for model in traces::standard_models() {
+        let set = model.generate(150, 19);
+        let reqs = ReservationModel::typical(0.2).generate(&set, 3);
+        assert!(!reqs.is_empty());
+        assert_equivalent_with(&set, &DynPConfig::paper(DeciderKind::Advanced), &reqs);
     }
 }
 

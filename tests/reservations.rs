@@ -1,0 +1,232 @@
+//! Invariants of the advance-reservation admission subsystem.
+//!
+//! Admission promises two things about every run:
+//!
+//! 1. **No overlap / no overcommit** — at no instant do the started batch
+//!    jobs plus the honored reservation windows exceed the machine. An
+//!    admitted window really is held capacity: jobs are planned (and
+//!    started) around it.
+//! 2. **Deterministic verdicts** — the same request stream against the
+//!    same workload produces the same admit/reject sequence, with the
+//!    same reject reasons, every time.
+//!
+//! Checked over randomized workloads × randomized streams (proptest) and
+//! the paper's trace models.
+
+use dynp_suite::prelude::*;
+use dynp_suite::rms::CompletedJob;
+use dynp_suite::sim::{simulate_detailed, DetailedRun};
+use dynp_suite::workload::traces;
+use proptest::prelude::*;
+
+fn job(id: u32, submit_s: u64, width: u32, est_s: u64, actual_s: u64) -> Job {
+    Job::new(
+        JobId(id),
+        SimTime::from_secs(submit_s),
+        width,
+        SimDuration::from_secs(est_s),
+        SimDuration::from_secs(actual_s),
+    )
+}
+
+fn req(id: u32, submit_s: u64, start_s: u64, dur_s: u64, width: u32) -> ReservationRequest {
+    ReservationRequest {
+        id,
+        submit: SimTime::from_secs(submit_s),
+        start: SimTime::from_secs(start_s),
+        duration: SimDuration::from_secs(dur_s),
+        width,
+        cancel_at: None,
+    }
+}
+
+/// Asserts that at every instant the realized job spans plus the honored
+/// reservation windows fit the machine — evaluated at every span edge
+/// with half-open `[start, end)` occupancy.
+fn assert_no_overcommit(machine: u32, completed: &[CompletedJob], honored: &[Reservation]) {
+    let mut edges: Vec<SimTime> = completed
+        .iter()
+        .flat_map(|c| [c.start, c.end])
+        .chain(honored.iter().flat_map(|w| [w.start, w.end()]))
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    for &t in &edges {
+        let jobs: u32 = completed
+            .iter()
+            .filter(|c| c.start <= t && t < c.end)
+            .map(|c| c.job.width)
+            .sum();
+        let windows: u32 = honored
+            .iter()
+            .filter(|w| w.start <= t && t < w.end())
+            .map(|w| w.width)
+            .sum();
+        assert!(
+            jobs + windows <= machine,
+            "overcommit at t={t:?}: {jobs} job + {windows} window procs on a {machine}-proc machine"
+        );
+    }
+    // Every honored window must also be machine-feasible on its own.
+    for w in honored {
+        assert!(w.width <= machine);
+        assert!(!w.duration.is_zero());
+    }
+}
+
+fn detailed_with(
+    set: &JobSet,
+    scheduler: &mut dyn Scheduler,
+    reqs: &[ReservationRequest],
+) -> DetailedRun {
+    simulate_with_reservations(set, scheduler, reqs, AdmissionConfig::default())
+}
+
+proptest! {
+    /// Random workloads × random request streams, three scheduler kinds:
+    /// no started job ever overlaps an admitted window, and the machine is
+    /// never overcommitted.
+    #[test]
+    fn no_job_overlaps_an_admitted_window(
+        raw_jobs in proptest::collection::vec((0u64..1_500, 1u32..17, 1u64..500, 1u64..500), 1..30),
+        raw_reqs in proptest::collection::vec((0u64..1_500, 1u64..2_000, 30u64..600, 1u32..17), 0..12),
+        scheduler_pick in 0u8..3,
+    ) {
+        let jobs: Vec<Job> = raw_jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, width, est, actual))| {
+                job(i as u32, submit, width, est, actual.min(est))
+            })
+            .collect();
+        let set = JobSet::new("proptest", 16, jobs);
+        let mut reqs: Vec<ReservationRequest> = raw_reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, lead, dur, width))| {
+                req(i as u32, submit, submit + lead, dur, width)
+            })
+            .collect();
+        reqs.sort_by_key(|r| r.submit);
+
+        let mut scheduler: Box<dyn Scheduler> = match scheduler_pick {
+            0 => Box::new(StaticScheduler::new(Policy::Fcfs)),
+            1 => Box::new(SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced))),
+            _ => Box::new(dynp_suite::rms::EasyBackfillScheduler::new(Policy::Fcfs)),
+        };
+        let d = detailed_with(&set, scheduler.as_mut(), &reqs);
+        prop_assert_eq!(d.result.metrics.jobs, set.len());
+        assert_no_overcommit(16, &d.completed, &d.reservations.honored);
+
+        // Every admitted-and-not-cancelled window is honored, every
+        // request got exactly one verdict.
+        let st = &d.reservations.stats;
+        prop_assert_eq!(st.requests, reqs.len() as u64);
+        prop_assert_eq!(st.admitted, st.honored + st.cancelled);
+        prop_assert_eq!(st.admitted + st.rejected(), st.requests);
+    }
+
+    /// The admit/reject sequence is a pure function of (workload, stream,
+    /// scheduler): repeated runs agree verdict-for-verdict.
+    #[test]
+    fn verdicts_are_deterministic(
+        raw_reqs in proptest::collection::vec((0u64..1_000, 1u64..1_500, 30u64..400, 1u32..17), 1..10),
+        seed in 0u64..50,
+    ) {
+        let set = traces::kth().generate(60, seed);
+        // Rebase request times into the set's span so some requests
+        // actually contend with the jobs.
+        let t0 = set.first_submit().as_millis() / 1000;
+        let mut reqs: Vec<ReservationRequest> = raw_reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, lead, dur, width))| {
+                req(i as u32, t0 + submit, t0 + submit + lead, dur, width.min(set.machine_size))
+            })
+            .collect();
+        reqs.sort_by_key(|r| r.submit);
+
+        let once = || {
+            let mut s = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+            let d = detailed_with(&set, &mut s, &reqs);
+            (d.reservations.rejected.clone(), d.reservations.stats)
+        };
+        let (rej1, st1) = once();
+        let (rej2, st2) = once();
+        prop_assert_eq!(rej1, rej2);
+        prop_assert_eq!(st1, st2);
+    }
+}
+
+/// Trace-model workloads under heavy booking pressure: the invariant
+/// holds for every decider, and the stream really does get windows both
+/// admitted and rejected (the test would be vacuous otherwise).
+#[test]
+fn trace_models_hold_the_overlap_invariant_under_pressure() {
+    for model in traces::standard_models() {
+        let set = model.generate(150, 13);
+        let reqs = ReservationModel::typical(0.3).generate(&set, 5);
+        assert!(!reqs.is_empty());
+        let mut s = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+        let d = detailed_with(&set, &mut s, &reqs);
+        assert_no_overcommit(set.machine_size, &d.completed, &d.reservations.honored);
+        let st = &d.reservations.stats;
+        assert!(st.admitted > 0, "{}: nothing admitted", set.name);
+        assert!(st.rejected() > 0, "{}: nothing rejected", set.name);
+    }
+}
+
+/// A full-width window is exclusive: no job may run inside it, and jobs
+/// that would overlap wait for the window's end.
+#[test]
+fn full_width_window_excludes_all_jobs() {
+    let set = JobSet::new(
+        "t",
+        8,
+        vec![job(0, 0, 8, 500, 500), job(1, 10, 8, 500, 500)],
+    );
+    let reqs = [req(0, 5, 600, 300, 8)];
+    let mut s = StaticScheduler::new(Policy::Fcfs);
+    let d = detailed_with(&set, &mut s, &reqs);
+    assert_eq!(d.reservations.stats.admitted, 1);
+    assert_no_overcommit(8, &d.completed, &d.reservations.honored);
+    // Job 1 cannot fit between job 0's end (500) and the window (600):
+    // it runs after the window.
+    let j1 = d.completed.iter().find(|c| c.job.id.0 == 1).unwrap();
+    assert_eq!(j1.start, SimTime::from_secs(900));
+}
+
+/// The empty stream changes nothing: `simulate_with_reservations` with no
+/// requests is bit-identical to `simulate_detailed` for every scheduler
+/// in the line-up.
+#[test]
+fn empty_stream_is_bit_identical_for_every_scheduler() {
+    let set = traces::ctc().generate(120, 23);
+    let build: Vec<Box<dyn Fn() -> Box<dyn Scheduler>>> = vec![
+        Box::new(|| Box::new(StaticScheduler::new(Policy::Sjf))),
+        Box::new(|| Box::new(dynp_suite::rms::EasyBackfillScheduler::new(Policy::Fcfs))),
+        Box::new(|| {
+            Box::new(SelfTuningScheduler::new(DynPConfig::paper(
+                DeciderKind::Preferred {
+                    policy: Policy::Sjf,
+                    threshold: 0.0,
+                },
+            )))
+        }),
+    ];
+    for make in &build {
+        let mut a = make();
+        let mut b = make();
+        let plain = simulate_detailed(&set, a.as_mut());
+        let with = detailed_with(&set, b.as_mut(), &[]);
+        assert_eq!(
+            plain.result.metrics.sldwa.to_bits(),
+            with.result.metrics.sldwa.to_bits()
+        );
+        assert_eq!(
+            plain.result.metrics.utilization.to_bits(),
+            with.result.metrics.utilization.to_bits()
+        );
+        assert_eq!(plain.result.events, with.result.events);
+    }
+}
