@@ -39,26 +39,69 @@ fn min_score(scores: &[(Policy, f64)]) -> f64 {
     scores.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min)
 }
 
+/// Number of policies tied for the best score under ε.
+fn argmin_set_size(scores: &[(Policy, f64)], eps: f64) -> usize {
+    let best = min_score(scores);
+    scores
+        .iter()
+        .filter(|&&(_, v)| approx_le(v, best, eps))
+        .count()
+}
+
 /// The **simple decider** of the earlier dynP work: pure argmin with
 /// candidate-order tie-break, ignoring the old policy. Equivalent to the
 /// paper's three if-then-else constructs
 /// (`FCFS if vF ≤ vS ∧ vF ≤ vL, else SJF if vS ≤ vL, else LJF`) —
 /// and therefore wrong in the four tie cases of Table 1.
-pub fn simple_decide(scores: &[(Policy, f64)], _old: Policy, eps: f64) -> Policy {
-    scores[argmin(scores, eps)].0
+pub fn simple_decide(scores: &[(Policy, f64)], old: Policy, eps: f64) -> Policy {
+    simple_decide_explained(scores, old, eps).0
+}
+
+/// [`simple_decide`] plus the tie-break rule that fired — `"argmin"` for
+/// a unique minimum, `"tie-first-candidate"` when the candidate-order
+/// tie-break (the flaw Table 1 documents) picked among equals.
+pub fn simple_decide_explained(
+    scores: &[(Policy, f64)],
+    _old: Policy,
+    eps: f64,
+) -> (Policy, &'static str) {
+    let chosen = scores[argmin(scores, eps)].0;
+    if argmin_set_size(scores, eps) > 1 {
+        (chosen, "tie-first-candidate")
+    } else {
+        (chosen, "argmin")
+    }
 }
 
 /// The **advanced decider**: the "correct decision" column of Table 1.
 /// Stays with the old policy whenever it ties for best; otherwise picks
 /// the best policy (candidate-order tie-break among equals).
 pub fn advanced_decide(scores: &[(Policy, f64)], old: Policy, eps: f64) -> Policy {
+    advanced_decide_explained(scores, old, eps).0
+}
+
+/// [`advanced_decide`] plus the rule that fired: `"argmin"` (unique
+/// best, incumbent or not), `"stay-incumbent-tied"` (the incumbent tied
+/// for best and was kept — the Table 1 correction), or
+/// `"tie-first-candidate"` (incumbent out of the argmin set, which has a
+/// tie among the others).
+pub fn advanced_decide_explained(
+    scores: &[(Policy, f64)],
+    old: Policy,
+    eps: f64,
+) -> (Policy, &'static str) {
     let best = min_score(scores);
     if let Some(v_old) = score_of(scores, old) {
         if approx_le(v_old, best, eps) {
-            return old;
+            let rule = if argmin_set_size(scores, eps) > 1 {
+                "stay-incumbent-tied"
+            } else {
+                "argmin"
+            };
+            return (old, rule);
         }
     }
-    scores[argmin(scores, eps)].0
+    simple_decide_explained(scores, old, eps)
 }
 
 /// The **preferred decider** — the paper's contribution. "The new
@@ -80,36 +123,53 @@ pub fn preferred_decide(
     threshold: f64,
     eps: f64,
 ) -> Policy {
+    preferred_decide_explained(scores, old, preferred, threshold, eps).0
+}
+
+/// [`preferred_decide`] plus the rule that fired: `"preferred-best"`
+/// (the preferred policy ties for best), `"preferred-holds"` (it is
+/// active and no other policy is clearly better), `"clearly-better"`
+/// (another policy beat it past the threshold), `"switch-back-parity"`
+/// (a non-preferred policy was active and the preferred one matched it),
+/// `"advanced-fallback"` (preferred policy not among the candidates), or
+/// an advanced-decider rule when none of the unfair rules applied.
+pub fn preferred_decide_explained(
+    scores: &[(Policy, f64)],
+    old: Policy,
+    preferred: Policy,
+    threshold: f64,
+    eps: f64,
+) -> (Policy, &'static str) {
     let best = min_score(scores);
     let v_pref = match score_of(scores, preferred) {
         Some(v) => v,
         // Preferred policy not among the candidates: degenerate to the
         // advanced decider.
-        None => return advanced_decide(scores, old, eps),
+        None => return (advanced_decide(scores, old, eps), "advanced-fallback"),
     };
 
     // Preferred ties for best → use it (covers both "stay" and "switch
     // back on equal performance").
     if approx_le(v_pref, best, eps) {
-        return preferred;
+        return (preferred, "preferred-best");
     }
 
     if old == preferred {
         // Leave the preferred policy only for a CLEARLY better one.
         let margin = v_pref - v_pref.abs() * threshold;
         if approx_lt(best, margin, eps) {
-            return advanced_decide(scores, old, eps);
+            return (advanced_decide(scores, old, eps), "clearly-better");
         }
-        preferred
+        (preferred, "preferred-holds")
     } else {
         // A non-preferred policy is active. Switching back needs only
         // equal performance *against the active policy*.
         if let Some(v_old) = score_of(scores, old) {
             if approx_le(v_pref, v_old, eps) {
-                return preferred;
+                return (preferred, "switch-back-parity");
             }
         }
-        advanced_decide(scores, old, eps)
+        advanced_decide_explained(scores, old, eps)
     }
 }
 
@@ -134,11 +194,23 @@ pub enum DeciderKind {
 impl DeciderKind {
     /// Applies the decider.
     pub fn decide(self, scores: &[(Policy, f64)], old: Policy, eps: f64) -> Policy {
+        self.decide_explained(scores, old, eps).0
+    }
+
+    /// Applies the decider and also names the rule that produced the
+    /// verdict (for the decision audit trail; the label set is documented
+    /// on the `*_decide_explained` functions).
+    pub fn decide_explained(
+        self,
+        scores: &[(Policy, f64)],
+        old: Policy,
+        eps: f64,
+    ) -> (Policy, &'static str) {
         match self {
-            DeciderKind::Simple => simple_decide(scores, old, eps),
-            DeciderKind::Advanced => advanced_decide(scores, old, eps),
+            DeciderKind::Simple => simple_decide_explained(scores, old, eps),
+            DeciderKind::Advanced => advanced_decide_explained(scores, old, eps),
             DeciderKind::Preferred { policy, threshold } => {
-                preferred_decide(scores, old, policy, threshold, eps)
+                preferred_decide_explained(scores, old, policy, threshold, eps)
             }
         }
     }
@@ -280,6 +352,58 @@ mod tests {
             }
             .name(),
             "FCFS-preferred(th=0.05)"
+        );
+    }
+
+    #[test]
+    fn explained_rules_name_the_branch_taken() {
+        // Unique minimum: plain argmin for everyone.
+        let s = scores(3.0, 1.0, 2.0);
+        assert_eq!(simple_decide_explained(&s, Fcfs, EPSILON), (Sjf, "argmin"));
+        assert_eq!(
+            advanced_decide_explained(&s, Fcfs, EPSILON),
+            (Sjf, "argmin")
+        );
+
+        // Three-way tie: the simple decider's flawed tie-break vs the
+        // advanced decider's stay rule (Table 1 case 1).
+        let tie = scores(2.0, 2.0, 2.0);
+        assert_eq!(
+            simple_decide_explained(&tie, Ljf, EPSILON),
+            (Fcfs, "tie-first-candidate")
+        );
+        assert_eq!(
+            advanced_decide_explained(&tie, Ljf, EPSILON),
+            (Ljf, "stay-incumbent-tied")
+        );
+        // Incumbent out of a tied argmin set → the tie-break fires.
+        let pair = scores(2.0, 2.0, 3.0);
+        assert_eq!(
+            advanced_decide_explained(&pair, Ljf, EPSILON),
+            (Fcfs, "tie-first-candidate")
+        );
+
+        // Preferred-decider rules.
+        assert_eq!(
+            preferred_decide_explained(&tie, Ljf, Sjf, 0.0, EPSILON),
+            (Sjf, "preferred-best")
+        );
+        assert_eq!(
+            preferred_decide_explained(&scores(1.9, 2.0, 3.0), Sjf, Sjf, 0.10, EPSILON),
+            (Sjf, "preferred-holds")
+        );
+        assert_eq!(
+            preferred_decide_explained(&scores(1.6, 2.0, 3.0), Sjf, Sjf, 0.10, EPSILON),
+            (Fcfs, "clearly-better")
+        );
+        assert_eq!(
+            preferred_decide_explained(&scores(2.5, 2.0, 1.8), Fcfs, Sjf, 0.0, EPSILON),
+            (Sjf, "switch-back-parity")
+        );
+        let two = vec![(Fcfs, 2.0), (Ljf, 1.0)];
+        assert_eq!(
+            preferred_decide_explained(&two, Fcfs, Sjf, 0.0, EPSILON),
+            (Ljf, "advanced-fallback")
         );
     }
 

@@ -152,6 +152,7 @@ mod tests {
             decisions: entries.len() as u64,
             switches: entries.len() as u64,
             chosen: Default::default(),
+            switched_to: Default::default(),
             log: entries.iter().map(|&(s, p)| (t(s), p)).collect(),
         }
     }

@@ -4,6 +4,7 @@ use crate::compare::EPSILON;
 use crate::decider::DeciderKind;
 use dynp_des::SimTime;
 use dynp_metrics::Objective;
+use dynp_obs::{TraceClass, TraceEvent, Tracer};
 use dynp_rms::{
     Planner, Policy, QueueChange, ReferencePlanner, ReplanReason, RmsState, Schedule, Scheduler,
 };
@@ -66,6 +67,12 @@ pub struct SwitchStats {
     pub switches: u64,
     /// Decisions won per policy, indexed by [`Policy::index`].
     pub chosen: [u64; Policy::COUNT],
+    /// Switches *into* each policy, indexed by [`Policy::index`].
+    /// Sums to [`SwitchStats::switches`]; unlike counts re-derived from
+    /// a [`PolicyHistory`](crate::PolicyHistory), these are exact even
+    /// when several switches share one timestamp (history segments
+    /// collapse coincident switch times).
+    pub switched_to: [u64; Policy::COUNT],
     /// The switch log: (time, new policy), recorded only on change.
     pub log: Vec<(SimTime, Policy)>,
 }
@@ -77,6 +84,12 @@ impl SwitchStats {
             return 0.0;
         }
         self.chosen[policy.index()] as f64 / self.decisions as f64
+    }
+
+    /// Number of switches that installed the given policy (exact, from
+    /// the keyed counter — not re-derived from the switch log).
+    pub fn switches_into(&self, policy: Policy) -> u64 {
+        self.switched_to[policy.index()]
     }
 }
 
@@ -107,6 +120,8 @@ pub struct SelfTuningScheduler {
     plans: Vec<(Policy, Schedule, f64)>,
     /// Scratch score vector handed to the decider; reused across steps.
     scores: Vec<(Policy, f64)>,
+    /// Observability tracer (disabled by default: one branch per step).
+    tracer: Tracer,
     /// Decision bookkeeping.
     pub stats: SwitchStats,
 }
@@ -137,6 +152,7 @@ impl SelfTuningScheduler {
                 .map(|&p| (p, Schedule::default(), 0.0))
                 .collect(),
             scores: Vec::new(),
+            tracer: Tracer::disabled(),
             config,
             stats: SwitchStats::default(),
         }
@@ -203,8 +219,36 @@ impl SelfTuningScheduler {
         self.stats.chosen[next.index()] += 1;
         if next != self.active {
             self.stats.switches += 1;
+            self.stats.switched_to[next.index()] += 1;
             self.stats.log.push((now, next));
             self.active = next;
+        }
+    }
+
+    /// Emits the decision audit events (verdict + switch, if any). Must
+    /// run *before* [`record_decision`](Self::record_decision) installs
+    /// the verdict, while `self.active` is still the old policy.
+    fn trace_decision(&self, now: SimTime, next: Policy, rule: &'static str) {
+        if !self.tracer.wants(TraceClass::Decision) {
+            return;
+        }
+        self.tracer.record(
+            now,
+            TraceEvent::Decision {
+                old: self.active.name(),
+                verdict: next.name(),
+                rule,
+                scores: self.scores.iter().map(|&(p, v)| (p.name(), v)).collect(),
+            },
+        );
+        if next != self.active {
+            self.tracer.record(
+                now,
+                TraceEvent::PolicySwitch {
+                    from: self.active.name(),
+                    to: next.name(),
+                },
+            );
         }
     }
 
@@ -266,10 +310,12 @@ impl SelfTuningScheduler {
             self.scores.clear();
             self.scores
                 .extend(self.config.policies.iter().map(|&p| (p, 0.0)));
-            let next = self
-                .config
-                .decider
-                .decide(&self.scores, self.active, self.config.epsilon);
+            let (next, rule) = self.config.decider.decide_explained(
+                &self.scores,
+                self.active,
+                self.config.epsilon,
+            );
+            self.trace_decision(now, next, rule);
             self.record_decision(now, next);
             return Schedule::default();
         }
@@ -289,23 +335,43 @@ impl SelfTuningScheduler {
         // regardless of score (argmin of one; the advanced/preferred
         // variants degenerate likewise), so skip scoring and plan once.
         if let [policy] = self.config.policies[..] {
+            if self.tracer.wants(TraceClass::Decision) {
+                self.scores.clear();
+                self.scores.push((policy, 0.0));
+                self.trace_decision(now, policy, "single-candidate");
+            }
             self.record_decision(now, policy);
             return self.planner.plan_prepared(&self.orders[0]);
         }
 
+        let time_plans = self.tracer.wants(TraceClass::Span);
         for (i, &policy) in self.config.policies.iter().enumerate() {
             debug_assert_eq!(self.plans[i].0, policy);
+            let plan_start = if time_plans { self.tracer.now_ns() } else { 0 };
             self.planner
                 .plan_prepared_into(&self.orders[i], &mut self.plans[i].1);
             self.plans[i].2 = self.config.objective.evaluate(&self.plans[i].1, now);
+            if time_plans {
+                self.tracer.record_at(
+                    now,
+                    plan_start,
+                    TraceEvent::PlanBuilt {
+                        policy: policy.name(),
+                        queue_depth: self.orders[i].len() as u32,
+                        profile_points: self.planner.base_points() as u32,
+                        dur_ns: self.tracer.now_ns().saturating_sub(plan_start),
+                    },
+                );
+            }
         }
         self.scores.clear();
         self.scores
             .extend(self.plans.iter().map(|(p, _, v)| (*p, *v)));
-        let next = self
-            .config
-            .decider
-            .decide(&self.scores, self.active, self.config.epsilon);
+        let (next, rule) =
+            self.config
+                .decider
+                .decide_explained(&self.scores, self.active, self.config.epsilon);
+        self.trace_decision(now, next, rule);
         self.record_decision(now, next);
 
         let idx = self
@@ -329,10 +395,11 @@ impl SelfTuningScheduler {
         self.scores.clear();
         self.scores
             .extend(self.plans.iter().map(|(p, _, v)| (*p, *v)));
-        let next = self
-            .config
-            .decider
-            .decide(&self.scores, self.active, self.config.epsilon);
+        let (next, rule) =
+            self.config
+                .decider
+                .decide_explained(&self.scores, self.active, self.config.epsilon);
+        self.trace_decision(now, next, rule);
         self.record_decision(now, next);
 
         let idx = self
@@ -346,6 +413,7 @@ impl SelfTuningScheduler {
 
 impl Scheduler for SelfTuningScheduler {
     fn replan(&mut self, state: &RmsState, now: SimTime, reason: ReplanReason) -> Schedule {
+        let _span = self.tracer.span(now, "replan");
         match (self.config.decide_on, reason) {
             // SubmissionsOnly: completions and reservation-book changes
             // replan with the active policy, without reconsidering it.
@@ -363,6 +431,11 @@ impl Scheduler for SelfTuningScheduler {
 
     fn name(&self) -> String {
         format!("dynP[{}]", self.config.decider.name())
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.planner.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 }
 

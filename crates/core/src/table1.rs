@@ -116,6 +116,59 @@ pub fn table1_rows() -> Vec<Table1Row> {
     ]
 }
 
+/// The reverse lookup for the trace audit: classifies a live `(FCFS,
+/// SJF, LJF)` score triple plus the active policy into its Table 1 case
+/// label, so `trace_report` can replay the table against recorded
+/// decider inputs.
+///
+/// Ties use the same `epsilon` the deciders use. Cases 4b and 5
+/// describe the identical value pattern (FCFS = SJF with LJF strictly
+/// below), so that pattern reports as the combined label `"4b/5"`.
+/// Returns `None` when `old` is not one of the three basic policies —
+/// Table 1 only covers those.
+pub fn classify(values: (f64, f64, f64), old: Policy, epsilon: f64) -> Option<&'static str> {
+    let sub = |a: &'static str, b: &'static str, c: &'static str| match old {
+        Fcfs => Some(a),
+        Sjf => Some(b),
+        Ljf => Some(c),
+        _ => None,
+    };
+    if !Policy::BASIC.contains(&old) {
+        return None;
+    }
+    let (f, s, l) = values;
+    let eq = |a: f64, b: f64| (a - b).abs() <= epsilon;
+    if eq(f, s) && eq(s, l) && eq(f, l) {
+        Some("1")
+    } else if eq(f, s) {
+        if l < f {
+            Some("4b/5")
+        } else {
+            sub("6a", "6b", "6c")
+        }
+    } else if eq(f, l) {
+        if s < f {
+            Some("7")
+        } else {
+            sub("8a", "8b", "8c")
+        }
+    } else if eq(s, l) {
+        if f < s {
+            Some("9")
+        } else {
+            sub("10a", "10b", "10c")
+        }
+    } else if s < f && s < l {
+        Some("2")
+    } else if f < s && f < l {
+        Some("3")
+    } else if f < s {
+        Some("4a")
+    } else {
+        Some("4c")
+    }
+}
+
 /// Runs both deciders over every row and renders the table, flagging the
 /// rows where the simple decider errs (the paper prints them bold).
 pub fn render_table1() -> String {
@@ -258,6 +311,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// `classify` inverts the table: every row's value pattern + old
+    /// policy maps back to its own case label (4b and 5 share a pattern
+    /// and map to the combined label).
+    #[test]
+    fn classify_recovers_every_rows_case() {
+        for r in table1_rows() {
+            let got = classify(r.values, r.old, EPSILON).unwrap();
+            let expected = match r.case {
+                "4b" | "5" => "4b/5",
+                other => other,
+            };
+            assert_eq!(got, expected, "values {:?} old {}", r.values, r.old.name());
+        }
+    }
+
+    #[test]
+    fn classify_rejects_non_basic_policies() {
+        assert_eq!(classify((1.0, 2.0, 3.0), Policy::Saf, EPSILON), None);
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! The trace event taxonomy: what the simulator can record, and at which
+//! verbosity level each kind is captured.
+
+use dynp_des::SimTime;
+
+/// Verbosity of a [`Tracer`](crate::Tracer). Levels are cumulative: each
+/// level records everything the previous one does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Record nothing (the zero-overhead default).
+    #[default]
+    Off,
+    /// The semantic audit trail: decider verdicts, policy switches,
+    /// reservation admission verdicts.
+    Decisions,
+    /// Plus timing: per-policy plan construction and RAII phase spans
+    /// with wall-clock durations.
+    Spans,
+    /// Plus the firehose: every sim-event dispatch and every backfill
+    /// move.
+    All,
+}
+
+impl TraceLevel {
+    /// Parses a level name as accepted by `--trace-level`.
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(TraceLevel::Off),
+            "decisions" => Some(TraceLevel::Decisions),
+            "spans" => Some(TraceLevel::Spans),
+            "all" => Some(TraceLevel::All),
+            _ => None,
+        }
+    }
+
+    /// Display name (round-trips through [`TraceLevel::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Decisions => "decisions",
+            TraceLevel::Spans => "spans",
+            TraceLevel::All => "all",
+        }
+    }
+}
+
+/// The capture class of an event — which [`TraceLevel`] first records it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceClass {
+    /// Captured from [`TraceLevel::Decisions`] up.
+    Decision,
+    /// Captured from [`TraceLevel::Spans`] up.
+    Span,
+    /// Captured only at [`TraceLevel::All`].
+    Dispatch,
+}
+
+impl TraceClass {
+    /// True when `level` captures this class.
+    pub fn captured_at(self, level: TraceLevel) -> bool {
+        match self {
+            TraceClass::Decision => level >= TraceLevel::Decisions,
+            TraceClass::Span => level >= TraceLevel::Spans,
+            TraceClass::Dispatch => level >= TraceLevel::All,
+        }
+    }
+}
+
+/// One structured observation of the running simulation.
+///
+/// Policies, decider rules and admission verdicts cross the crate
+/// boundary as `&'static str` labels so this crate stays below `rms` and
+/// `core` in the dependency order (see the crate docs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A simulation event was dispatched by the driver loop. `kind` is
+    /// the driver's label (`"arrive"`, `"finish"`, `"res_request"`, …)
+    /// and `id` the job or request id it concerns.
+    SimEvent {
+        /// Driver event label.
+        kind: &'static str,
+        /// Job or request id the event concerns.
+        id: u64,
+    },
+    /// One per-policy plan was constructed during a self-tuning step.
+    PlanBuilt {
+        /// The candidate policy the queue was ordered by.
+        policy: &'static str,
+        /// Waiting-queue depth at planning time.
+        queue_depth: u32,
+        /// Number of points in the shared base capacity profile — the
+        /// size of the structure `earliest_fit` scans.
+        profile_points: u32,
+        /// Wall-clock nanoseconds the plan construction took.
+        dur_ns: u64,
+    },
+    /// A decider ran: its input vector, the incumbent, the verdict, and
+    /// which rule of the decider produced it.
+    Decision {
+        /// Policy active before the decision.
+        old: &'static str,
+        /// Policy the decider chose.
+        verdict: &'static str,
+        /// The decider rule that fired (e.g. `"argmin"`,
+        /// `"stay-incumbent-tied"`, `"preferred-holds"`).
+        rule: &'static str,
+        /// Per-policy scores handed to the decider (lower = better), in
+        /// candidate order.
+        scores: Vec<(&'static str, f64)>,
+    },
+    /// The active policy changed (recorded in addition to the
+    /// [`TraceEvent::Decision`] that caused it).
+    PolicySwitch {
+        /// Policy switched away from.
+        from: &'static str,
+        /// Policy switched to.
+        to: &'static str,
+    },
+    /// The admission controller decided a reservation request.
+    AdmissionVerdict {
+        /// Request id from the request stream.
+        request: u32,
+        /// `"admitted"` or a [`RejectReason`] label
+        /// (`"no-capacity"`, `"breaks-guarantee"`, …).
+        verdict: &'static str,
+    },
+    /// A job started while jobs submitted earlier stayed waiting — an
+    /// implicit-backfilling move.
+    BackfillMove {
+        /// The job that jumped ahead.
+        job: u32,
+        /// Its processor width.
+        width: u32,
+        /// How many earlier-submitted jobs it overtook.
+        overtaken: u32,
+    },
+    /// A named wall-clock phase measured by an RAII
+    /// [`SpanGuard`](crate::SpanGuard) (`"step"`, `"prepare"`,
+    /// `"admission"`, `"event"`, …).
+    Span {
+        /// Phase name.
+        name: &'static str,
+        /// Wall-clock nanoseconds the phase took.
+        dur_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The capture class of this event.
+    pub fn class(&self) -> TraceClass {
+        match self {
+            TraceEvent::Decision { .. }
+            | TraceEvent::PolicySwitch { .. }
+            | TraceEvent::AdmissionVerdict { .. } => TraceClass::Decision,
+            TraceEvent::PlanBuilt { .. } | TraceEvent::Span { .. } => TraceClass::Span,
+            TraceEvent::SimEvent { .. } | TraceEvent::BackfillMove { .. } => TraceClass::Dispatch,
+        }
+    }
+
+    /// Short type tag used by the JSONL sink (stable format contract).
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            TraceEvent::SimEvent { .. } => "sim_event",
+            TraceEvent::PlanBuilt { .. } => "plan",
+            TraceEvent::Decision { .. } => "decision",
+            TraceEvent::PolicySwitch { .. } => "switch",
+            TraceEvent::AdmissionVerdict { .. } => "admission",
+            TraceEvent::BackfillMove { .. } => "backfill",
+            TraceEvent::Span { .. } => "span",
+        }
+    }
+}
+
+/// A recorded event with its position on both clocks: the simulation
+/// clock (`sim`) and the host wall clock (`wall_ns`, nanoseconds since
+/// the tracer was created). For span-like events `wall_ns` is the span
+/// *start*; the duration lives in the event itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Monotone sequence number (records are totally ordered even at
+    /// equal timestamps).
+    pub seq: u64,
+    /// Simulation time the event happened at.
+    pub sim: SimTime,
+    /// Wall-clock nanoseconds since tracer creation (span start for
+    /// span-like events).
+    pub wall_ns: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_cumulative() {
+        assert!(TraceLevel::Off < TraceLevel::Decisions);
+        assert!(TraceLevel::Decisions < TraceLevel::Spans);
+        assert!(TraceLevel::Spans < TraceLevel::All);
+        assert!(!TraceClass::Decision.captured_at(TraceLevel::Off));
+        assert!(TraceClass::Decision.captured_at(TraceLevel::Decisions));
+        assert!(!TraceClass::Span.captured_at(TraceLevel::Decisions));
+        assert!(TraceClass::Span.captured_at(TraceLevel::Spans));
+        assert!(!TraceClass::Dispatch.captured_at(TraceLevel::Spans));
+        assert!(TraceClass::Dispatch.captured_at(TraceLevel::All));
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for level in [
+            TraceLevel::Off,
+            TraceLevel::Decisions,
+            TraceLevel::Spans,
+            TraceLevel::All,
+        ] {
+            assert_eq!(TraceLevel::parse(level.name()), Some(level));
+        }
+        assert_eq!(TraceLevel::parse("ALL"), Some(TraceLevel::All));
+        assert_eq!(TraceLevel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn classes_match_taxonomy() {
+        let decision = TraceEvent::Decision {
+            old: "FCFS",
+            verdict: "SJF",
+            rule: "argmin",
+            scores: vec![],
+        };
+        assert_eq!(decision.class(), TraceClass::Decision);
+        assert_eq!(decision.type_tag(), "decision");
+        let span = TraceEvent::Span {
+            name: "step",
+            dur_ns: 5,
+        };
+        assert_eq!(span.class(), TraceClass::Span);
+        let dispatch = TraceEvent::SimEvent {
+            kind: "arrive",
+            id: 0,
+        };
+        assert_eq!(dispatch.class(), TraceClass::Dispatch);
+    }
+}

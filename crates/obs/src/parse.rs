@@ -1,0 +1,611 @@
+//! A minimal JSON parser and the owned mirror types for reading a JSONL
+//! trace back in.
+//!
+//! The workspace vendors a no-op serde, so deserialization is hand-rolled
+//! too: [`Json`] is a small recursive-descent parser covering exactly the
+//! JSON the sinks emit (and, as a bonus, anything standard JSON —
+//! `trace_report` also uses it to validate the Chrome trace), and
+//! [`parse_jsonl`] lifts lines into typed [`ParsedRecord`]s.
+
+use std::str::Chars;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as f64 — all numbers the sinks emit fit).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order (keys the sinks emit are unique).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            chars: text.chars(),
+            peeked: None,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.peek().is_some() {
+            return Err("trailing characters after JSON value".into());
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as f64 (`Num`, or NaN for `Null` — the sinks encode
+    /// non-finite scores as `null`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as u64, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object field list.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Chars<'a>,
+    peeked: Option<char>,
+}
+
+impl Parser<'_> {
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        match self.peeked.take() {
+            Some(c) => Some(c),
+            None => self.chars.next(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(format!("expected '{c}', found '{got}'")),
+            None => Err(format!("expected '{c}', found end of input")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected character '{c}'")),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for expected in word.chars() {
+            match self.bump() {
+                Some(c) if c == expected => {}
+                _ => return Err(format!("invalid literal (expected '{word}')")),
+            }
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let mut text = String::new();
+        if self.peek() == Some('-') {
+            text.push(self.bump().unwrap());
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            text.push(self.bump().unwrap());
+        }
+        if self.peek() == Some('.') {
+            text.push(self.bump().unwrap());
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                text.push(self.bump().unwrap());
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            text.push(self.bump().unwrap());
+            if matches!(self.peek(), Some('+' | '-')) {
+                text.push(self.bump().unwrap());
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                text.push(self.bump().unwrap());
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number '{text}'"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("invalid \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err("invalid escape sequence".into()),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some(']') => return Ok(Json::Arr(items)),
+                _ => return Err("expected ',' or ']' in array".into()),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(Json::Obj(fields)),
+                _ => return Err("expected ',' or '}' in object".into()),
+            }
+        }
+    }
+}
+
+/// Owned mirror of [`TraceEvent`](crate::TraceEvent), as read back from
+/// JSONL (labels become `String`s).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParsedEvent {
+    /// Mirror of [`TraceEvent::SimEvent`](crate::TraceEvent::SimEvent).
+    SimEvent {
+        /// Driver event label.
+        kind: String,
+        /// Job or request id.
+        id: u64,
+    },
+    /// Mirror of [`TraceEvent::PlanBuilt`](crate::TraceEvent::PlanBuilt).
+    PlanBuilt {
+        /// Candidate policy name.
+        policy: String,
+        /// Waiting-queue depth at planning time.
+        queue_depth: u32,
+        /// Base-profile point count.
+        profile_points: u32,
+        /// Plan-construction wall time in nanoseconds.
+        dur_ns: u64,
+    },
+    /// Mirror of [`TraceEvent::Decision`](crate::TraceEvent::Decision).
+    Decision {
+        /// Policy active before the decision.
+        old: String,
+        /// Policy chosen.
+        verdict: String,
+        /// Decider rule that fired.
+        rule: String,
+        /// Per-policy scores (NaN where the sink wrote `null`).
+        scores: Vec<(String, f64)>,
+    },
+    /// Mirror of [`TraceEvent::PolicySwitch`](crate::TraceEvent::PolicySwitch).
+    PolicySwitch {
+        /// Policy switched away from.
+        from: String,
+        /// Policy switched to.
+        to: String,
+    },
+    /// Mirror of [`TraceEvent::AdmissionVerdict`](crate::TraceEvent::AdmissionVerdict).
+    AdmissionVerdict {
+        /// Request id.
+        request: u32,
+        /// `"admitted"` or a reject-reason label.
+        verdict: String,
+    },
+    /// Mirror of [`TraceEvent::BackfillMove`](crate::TraceEvent::BackfillMove).
+    BackfillMove {
+        /// Job that jumped ahead.
+        job: u32,
+        /// Its processor width.
+        width: u32,
+        /// Earlier-submitted jobs it overtook.
+        overtaken: u32,
+    },
+    /// Mirror of [`TraceEvent::Span`](crate::TraceEvent::Span).
+    Span {
+        /// Phase name.
+        name: String,
+        /// Wall-clock duration in nanoseconds.
+        dur_ns: u64,
+    },
+}
+
+impl ParsedEvent {
+    /// The JSONL type tag this event was parsed from.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            ParsedEvent::SimEvent { .. } => "sim_event",
+            ParsedEvent::PlanBuilt { .. } => "plan",
+            ParsedEvent::Decision { .. } => "decision",
+            ParsedEvent::PolicySwitch { .. } => "switch",
+            ParsedEvent::AdmissionVerdict { .. } => "admission",
+            ParsedEvent::BackfillMove { .. } => "backfill",
+            ParsedEvent::Span { .. } => "span",
+        }
+    }
+}
+
+/// Owned mirror of [`TraceRecord`](crate::TraceRecord) as read back from
+/// JSONL.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedRecord {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// Simulation time in milliseconds.
+    pub sim_ms: u64,
+    /// Wall-clock nanoseconds since tracer creation.
+    pub wall_ns: u64,
+    /// The event payload.
+    pub event: ParsedEvent,
+}
+
+fn field_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+fn field_u32(obj: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(field_u64(obj, key)?).map_err(|_| format!("field '{key}' out of u32 range"))
+}
+
+fn field_str(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+/// Parses one JSONL line into a [`ParsedRecord`]. Meta lines (`"type":
+/// "meta"`, emitted when the ring buffer dropped records) yield
+/// `Ok(None)`.
+pub fn parse_record(line: &str) -> Result<Option<ParsedRecord>, String> {
+    let obj = Json::parse(line)?;
+    let tag = field_str(&obj, "type")?;
+    if tag == "meta" {
+        return Ok(None);
+    }
+    let event = match tag.as_str() {
+        "sim_event" => ParsedEvent::SimEvent {
+            kind: field_str(&obj, "kind")?,
+            id: field_u64(&obj, "id")?,
+        },
+        "plan" => ParsedEvent::PlanBuilt {
+            policy: field_str(&obj, "policy")?,
+            queue_depth: field_u32(&obj, "queue_depth")?,
+            profile_points: field_u32(&obj, "profile_points")?,
+            dur_ns: field_u64(&obj, "dur_ns")?,
+        },
+        "decision" => {
+            let scores = obj
+                .get("scores")
+                .and_then(Json::as_object)
+                .ok_or("missing 'scores' object")?
+                .iter()
+                .map(|(policy, v)| {
+                    v.as_f64()
+                        .map(|score| (policy.clone(), score))
+                        .ok_or_else(|| format!("non-numeric score for '{policy}'"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            ParsedEvent::Decision {
+                old: field_str(&obj, "old")?,
+                verdict: field_str(&obj, "verdict")?,
+                rule: field_str(&obj, "rule")?,
+                scores,
+            }
+        }
+        "switch" => ParsedEvent::PolicySwitch {
+            from: field_str(&obj, "from")?,
+            to: field_str(&obj, "to")?,
+        },
+        "admission" => ParsedEvent::AdmissionVerdict {
+            request: field_u32(&obj, "request")?,
+            verdict: field_str(&obj, "verdict")?,
+        },
+        "backfill" => ParsedEvent::BackfillMove {
+            job: field_u32(&obj, "job")?,
+            width: field_u32(&obj, "width")?,
+            overtaken: field_u32(&obj, "overtaken")?,
+        },
+        "span" => ParsedEvent::Span {
+            name: field_str(&obj, "name")?,
+            dur_ns: field_u64(&obj, "dur_ns")?,
+        },
+        other => return Err(format!("unknown record type '{other}'")),
+    };
+    Ok(Some(ParsedRecord {
+        seq: field_u64(&obj, "seq")?,
+        sim_ms: field_u64(&obj, "sim_ms")?,
+        wall_ns: field_u64(&obj, "wall_ns")?,
+        event,
+    }))
+}
+
+/// Parses a whole JSONL trace (skipping meta lines and blank lines).
+/// Errors carry the 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<ParsedRecord>, String> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Ok(Some(rec)) => records.push(rec),
+            Ok(None) => {}
+            Err(e) => return Err(format!("line {}: {e}", idx + 1)),
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceEvent, TraceRecord};
+    use crate::sink::render_jsonl;
+    use crate::tracer::TraceSnapshot;
+    use dynp_des::SimTime;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = Json::parse(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\"y"},"d":null,"e":true}"#).unwrap();
+        let arr = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Json::as_str),
+            Some("x\"y")
+        );
+        assert!(v.get("d").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(v.get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn round_trips_every_event_kind() {
+        let events = vec![
+            TraceEvent::SimEvent {
+                kind: "arrive",
+                id: 17,
+            },
+            TraceEvent::PlanBuilt {
+                policy: "LJF",
+                queue_depth: 3,
+                profile_points: 12,
+                dur_ns: 4_321,
+            },
+            TraceEvent::Decision {
+                old: "FCFS",
+                verdict: "SJF",
+                rule: "argmin",
+                scores: vec![("FCFS", 2.75), ("SJF", 1.0), ("LJF", 2.75)],
+            },
+            TraceEvent::PolicySwitch {
+                from: "FCFS",
+                to: "SJF",
+            },
+            TraceEvent::AdmissionVerdict {
+                request: 9,
+                verdict: "breaks-guarantee",
+            },
+            TraceEvent::BackfillMove {
+                job: 5,
+                width: 4,
+                overtaken: 2,
+            },
+            TraceEvent::Span {
+                name: "step",
+                dur_ns: 999,
+            },
+        ];
+        let snapshot = TraceSnapshot {
+            records: events
+                .into_iter()
+                .enumerate()
+                .map(|(i, event)| TraceRecord {
+                    seq: i as u64,
+                    sim: SimTime::from_secs(10 + i as u64),
+                    wall_ns: 100 * i as u64,
+                    event,
+                })
+                .collect(),
+            dropped: 0,
+        };
+        let text = render_jsonl(&snapshot);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), snapshot.records.len());
+        for (parsed, original) in parsed.iter().zip(&snapshot.records) {
+            assert_eq!(parsed.seq, original.seq);
+            assert_eq!(parsed.sim_ms, original.sim.as_millis());
+            assert_eq!(parsed.wall_ns, original.wall_ns);
+            assert_eq!(parsed.event.type_tag(), original.event.type_tag());
+        }
+        // Spot-check a payload survived intact.
+        match &parsed[2].event {
+            ParsedEvent::Decision {
+                old,
+                verdict,
+                rule,
+                scores,
+            } => {
+                assert_eq!(old, "FCFS");
+                assert_eq!(verdict, "SJF");
+                assert_eq!(rule, "argmin");
+                assert_eq!(
+                    scores,
+                    &[
+                        ("FCFS".to_owned(), 2.75),
+                        ("SJF".to_owned(), 1.0),
+                        ("LJF".to_owned(), 2.75)
+                    ]
+                );
+            }
+            other => panic!("expected decision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn meta_lines_are_skipped() {
+        let mut snapshot = TraceSnapshot {
+            records: vec![TraceRecord {
+                seq: 8,
+                sim: SimTime::from_secs(1),
+                wall_ns: 5,
+                event: TraceEvent::PolicySwitch {
+                    from: "SJF",
+                    to: "LJF",
+                },
+            }],
+            dropped: 3,
+        };
+        let text = render_jsonl(&snapshot);
+        assert_eq!(text.lines().count(), 2);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].seq, 8);
+        snapshot.dropped = 0;
+        assert_eq!(parse_jsonl(&render_jsonl(&snapshot)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_jsonl("{\"seq\":0,\"sim_ms\":0,\"wall_ns\":0,\"type\":\"span\",\"name\":\"x\",\"dur_ns\":1}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn null_scores_parse_as_nan() {
+        let line = r#"{"seq":0,"sim_ms":0,"wall_ns":0,"type":"decision","old":"FCFS","verdict":"FCFS","rule":"argmin","scores":{"FCFS":null}}"#;
+        let rec = parse_record(line).unwrap().unwrap();
+        match rec.event {
+            ParsedEvent::Decision { scores, .. } => {
+                assert_eq!(scores.len(), 1);
+                assert!(scores[0].1.is_nan());
+            }
+            other => panic!("expected decision, got {other:?}"),
+        }
+    }
+}

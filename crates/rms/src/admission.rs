@@ -26,6 +26,7 @@ use crate::reservation::Reservation;
 use crate::schedule::Schedule;
 use crate::state::RmsState;
 use dynp_des::{SimDuration, SimTime};
+use dynp_obs::Tracer;
 use dynp_workload::Job;
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +86,7 @@ pub struct AdmissionController {
     trial_book: Vec<Reservation>,
     baseline: Schedule,
     trial: Schedule,
+    tracer: Tracer,
 }
 
 impl AdmissionController {
@@ -99,6 +101,16 @@ impl AdmissionController {
     /// The admission parameters in force.
     pub fn config(&self) -> &AdmissionConfig {
         &self.config
+    }
+
+    /// Installs an observability tracer; each [`evaluate`]
+    /// (feasibility probe + guarantee replan) is then measured as an
+    /// `"admission"` wall-clock span.
+    ///
+    /// [`evaluate`]: AdmissionController::evaluate
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.planner.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Decides one reservation request for the window
@@ -118,6 +130,7 @@ impl AdmissionController {
         duration: SimDuration,
         width: u32,
     ) -> Result<(), RejectReason> {
+        let _span = self.tracer.span(now, "admission");
         if width == 0 || width > state.machine_size() {
             return Err(RejectReason::InvalidWidth);
         }

@@ -41,6 +41,9 @@ pub struct Planner {
     spans: Vec<(SimTime, SimTime, u32)>,
     /// Scratch endpoint buffer for the sweep.
     events: Vec<(SimTime, i64)>,
+    /// Observability tracer (disabled by default); [`Planner::prepare`]
+    /// is measured as a `"prepare"` wall-clock span.
+    tracer: dynp_obs::Tracer,
 }
 
 /// Padding added after a running job's estimated end when the estimate
@@ -58,7 +61,15 @@ impl Planner {
             prepared_at: SimTime::ZERO,
             spans: Vec::new(),
             events: Vec::new(),
+            tracer: dynp_obs::Tracer::disabled(),
         }
+    }
+
+    /// Installs an observability tracer; each [`Planner::prepare`] (the
+    /// per-event base-profile rebuild) is then measured as a `"prepare"`
+    /// wall-clock span.
+    pub fn set_tracer(&mut self, tracer: dynp_obs::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Builds the shared base profile for one scheduling event: the
@@ -82,6 +93,7 @@ impl Planner {
         running: &[RunningJob],
         reservations: &[crate::reservation::Reservation],
     ) {
+        let _span = self.tracer.span(now, "prepare");
         self.spans.clear();
         for r in running {
             let end = r.estimated_end().max(now + RUNNING_PAD);
@@ -97,6 +109,13 @@ impl Planner {
         self.base
             .rebuild_from_spans(machine_size, now, &self.spans, &mut self.events);
         self.prepared_at = now;
+    }
+
+    /// Number of points in the prepared base profile — the size of the
+    /// structure every `earliest_fit` probe scans. Reported per plan in
+    /// trace events; queue depth × this bounds a planning pass's work.
+    pub fn base_points(&self) -> usize {
+        self.base.points().len()
     }
 
     /// True when the prepared base profile can absorb a *new* reservation

@@ -6,6 +6,7 @@ use crate::policy::Policy;
 use crate::schedule::Schedule;
 use crate::state::RmsState;
 use dynp_des::SimTime;
+use dynp_obs::Tracer;
 use dynp_workload::Job;
 
 /// Reasons the RMS asks for a new schedule. "Such a self-tuning dynP step
@@ -37,6 +38,12 @@ pub trait Scheduler {
 
     /// Display name, e.g. `"SJF"` or `"dynP(preferred=SJF)"`.
     fn name(&self) -> String;
+
+    /// Installs an observability tracer. Schedulers that emit trace
+    /// events (plan timings, decider verdicts, policy switches) override
+    /// this; the default ignores the tracer, so plain schedulers need no
+    /// changes and tracing can never alter scheduling behavior.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }
 
 /// The paper's baseline: a single fixed policy (with the implicit
@@ -79,6 +86,10 @@ impl Scheduler for StaticScheduler {
 
     fn name(&self) -> String {
         self.policy.name().to_string()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.planner.set_tracer(tracer);
     }
 }
 

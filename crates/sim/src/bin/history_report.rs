@@ -11,9 +11,9 @@
 use dynp_core::{DeciderKind, DynPConfig, PolicyHistory, SelfTuningScheduler};
 use dynp_des::{SimDuration, SimTime};
 use dynp_metrics::OutcomeDistributions;
-use dynp_rms::Policy;
+use dynp_rms::{AdmissionConfig, Policy};
 use dynp_sim::cli::CommonArgs;
-use dynp_sim::simulate_detailed;
+use dynp_sim::simulate_traced;
 use dynp_workload::transform;
 
 fn main() {
@@ -60,7 +60,14 @@ fn main() {
     );
 
     let mut scheduler = SelfTuningScheduler::new(DynPConfig::paper(decider));
-    let detail = simulate_detailed(&set, &mut scheduler);
+    let tracer = args.tracer();
+    let detail = simulate_traced(
+        &set,
+        &mut scheduler,
+        &[],
+        AdmissionConfig::default(),
+        tracer.clone(),
+    );
     let m = &detail.result.metrics;
     println!(
         "\n{}: SLDwA {:.2}, utilization {:.2} %, ARTwW {:.0} s",
@@ -84,11 +91,16 @@ fn main() {
         scheduler.stats.switches,
         scheduler.stats.switches as f64 / scheduler.stats.decisions.max(1) as f64 * 100.0
     );
+    // Switch counts come from the keyed SwitchStats counters, not from
+    // re-deriving them off the reconstructed history: history segments
+    // collapse switches that share a timestamp, so segment-derived counts
+    // undercount on busy traces.
     for policy in Policy::BASIC {
         println!(
-            "  {:<5} won {:>5.1} % of decisions",
+            "  {:<5} won {:>5.1} % of decisions, entered by {} switches",
             policy.name(),
-            scheduler.stats.share(policy) * 100.0
+            scheduler.stats.share(policy) * 100.0,
+            scheduler.stats.switches_into(policy)
         );
     }
 
@@ -100,7 +112,8 @@ fn main() {
         println!("  {name:<5} {:>5.1} %", share * 100.0);
     }
     println!(
-        "segments: {}, mean residence {:.0} s, flapping share (<5 min) {:.0} %",
+        "residence segments: {} (≤ switches + 1: coincident switch times collapse), \
+         mean residence {:.0} s, flapping share (<5 min) {:.0} %",
         history.segments().len(),
         history.mean_residence_secs(),
         history.flapping_share(SimDuration::from_secs(300)) * 100.0
@@ -129,5 +142,8 @@ fn main() {
         dynp_sim::svg::write_gantt(&detail.completed, set.machine_size, dir, "gantt")
             .expect("write gantt");
         eprintln!("wrote {}/gantt.svg", dir.display());
+    }
+    if let Some((jsonl, chrome)) = args.write_trace(&tracer).expect("write trace") {
+        eprintln!("wrote {} and {}", jsonl.display(), chrome.display());
     }
 }

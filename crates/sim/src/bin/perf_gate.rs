@@ -6,12 +6,19 @@
 //! cargo run --release -p dynp-sim --bin perf_gate -- BASELINE_DIR FRESH_DIR [--tolerance 0.10]
 //! ```
 //!
+//! The tolerance defaults to 10%, can be overridden with `--tolerance`,
+//! and — so CI can widen the band on noisy shared runners without a
+//! code change — with the `PERF_GATE_TOLERANCE` environment variable
+//! (a fraction, e.g. `0.15`). The flag wins over the environment.
+//!
 //! The committed numbers are medians from some past host; absolute times
 //! are not comparable across machines, but the incremental-vs-reference
 //! *speedup ratios* are host-independent to first order — that is the
 //! tracked quantity. A fresh speedup below `committed × (1 − tolerance)`
-//! on any row fails the gate (exit 1). Rows are matched positionally; a
-//! changed row count is an error so silently dropped cells can't pass.
+//! on any row fails the gate (exit 1) and prints a per-cell delta table
+//! so the offending rows are visible without re-running anything. Rows
+//! are matched positionally; a changed row count is an error so silently
+//! dropped cells can't pass.
 //!
 //! The reports are written by `perf_report` with hand-rolled JSON, and
 //! read here with a hand-rolled scanner to match (the workspace
@@ -57,27 +64,68 @@ fn read_speedups(dir: &Path, name: &str) -> Vec<f64> {
     v
 }
 
+/// One compared cell, kept for the failure delta table.
+struct Cell {
+    report: &'static str,
+    row: usize,
+    baseline: f64,
+    fresh: f64,
+    floor: f64,
+}
+
+impl Cell {
+    fn regressed(&self) -> bool {
+        self.fresh < self.floor
+    }
+
+    /// Relative change of the fresh speedup against the baseline.
+    fn delta_pct(&self) -> f64 {
+        (self.fresh / self.baseline - 1.0) * 100.0
+    }
+}
+
+/// The tolerance band: `--tolerance` beats `PERF_GATE_TOLERANCE` beats
+/// the 10% default.
+fn resolve_tolerance(flag: Option<f64>) -> f64 {
+    if let Some(t) = flag {
+        return t;
+    }
+    match std::env::var("PERF_GATE_TOLERANCE") {
+        Ok(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("PERF_GATE_TOLERANCE must be a fraction (e.g. 0.15), got {raw:?}");
+            std::process::exit(2);
+        }),
+        Err(_) => 0.10,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dirs: Vec<PathBuf> = Vec::new();
-    let mut tolerance = 0.10_f64;
+    let mut tolerance_flag: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
-            tolerance = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            let t = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                 eprintln!("--tolerance needs a number");
                 std::process::exit(2);
             });
+            tolerance_flag = Some(t);
         } else {
             dirs.push(PathBuf::from(a));
         }
     }
     if dirs.len() != 2 {
-        eprintln!("usage: perf_gate BASELINE_DIR FRESH_DIR [--tolerance 0.10]");
+        eprintln!(
+            "usage: perf_gate BASELINE_DIR FRESH_DIR [--tolerance 0.10]\n\
+             (or set PERF_GATE_TOLERANCE=0.15 in the environment)"
+        );
         std::process::exit(2);
     }
     let (baseline_dir, fresh_dir) = (&dirs[0], &dirs[1]);
+    let tolerance = resolve_tolerance(tolerance_flag);
 
+    let mut cells: Vec<Cell> = Vec::new();
     let mut failed = false;
     for name in REPORTS {
         let baseline = read_speedups(baseline_dir, name);
@@ -93,17 +141,40 @@ fn main() {
             continue;
         }
         for (i, (b, f)) in baseline.iter().zip(&fresh).enumerate() {
-            let floor = b * (1.0 - tolerance);
-            let verdict = if *f < floor { "REGRESSED" } else { "ok" };
+            let cell = Cell {
+                report: name,
+                row: i,
+                baseline: *b,
+                fresh: *f,
+                floor: b * (1.0 - tolerance),
+            };
+            let verdict = if cell.regressed() { "REGRESSED" } else { "ok" };
             println!(
-                "{name} row {i}: baseline {b:.2}x, fresh {f:.2}x, floor {floor:.2}x — {verdict}"
+                "{name} row {i}: baseline {b:.2}x, fresh {f:.2}x, floor {:.2}x — {verdict}",
+                cell.floor
             );
-            if *f < floor {
-                failed = true;
-            }
+            failed |= cell.regressed();
+            cells.push(cell);
         }
     }
     if failed {
+        // The full per-cell delta table: every compared cell with its
+        // relative change, regressions flagged, so a failure log carries
+        // the complete picture.
+        eprintln!("\nper-cell deltas (fresh vs baseline):");
+        eprintln!("  report               row  baseline   fresh   delta    floor  verdict");
+        for c in &cells {
+            eprintln!(
+                "  {:<20} {:>3} {:>8.2}x {:>6.2}x {:>+6.1}% {:>7.2}x  {}",
+                c.report,
+                c.row,
+                c.baseline,
+                c.fresh,
+                c.delta_pct(),
+                c.floor,
+                if c.regressed() { "REGRESSED" } else { "ok" }
+            );
+        }
         eprintln!("perf gate FAILED (tolerance {:.0}%)", tolerance * 100.0);
         std::process::exit(1);
     }

@@ -1,0 +1,282 @@
+//! trace_report — the analysis end of the observability toolchain.
+//!
+//! Post-processes one or more structured traces (`*.jsonl`, written via
+//! `--trace-out`) into:
+//!
+//! * a **switch timeline** — one horizontal band per trace showing which
+//!   policy was active over simulated time (SVG, with `--out DIR`);
+//! * **phase-time histograms** — wall-clock cost of every recorded span
+//!   and per-policy plan construction (requires `--trace-level spans`
+//!   or `all` at record time);
+//! * a **decision audit** — every recorded decider verdict classified
+//!   into its Table 1 case, with the tie-break rules that fired;
+//! * a **switch attribution check** — every policy switch must trace
+//!   back to a decider verdict recorded at the same instant. Exits
+//!   non-zero when a switch is unattributable (the audit invariant).
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin trace_report -- \
+//!     [--out DIR] run_a.jsonl [run_b.jsonl ...]
+//! ```
+
+use dynp_core::table1;
+use dynp_core::EPSILON;
+use dynp_des::{Histogram, OnlineStats};
+use dynp_obs::{parse_jsonl, ParsedEvent, ParsedRecord};
+use dynp_sim::cli::CommonArgs;
+use dynp_sim::svg::{write_switch_timeline, SwitchBand};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn main() {
+    let args = CommonArgs::parse();
+    if args.rest.is_empty() {
+        eprintln!("usage: trace_report [--out DIR] FILE.jsonl [FILE2.jsonl ...]");
+        std::process::exit(2);
+    }
+
+    let mut bands: Vec<SwitchBand> = Vec::new();
+    let mut end_secs = 0.0f64;
+    let mut unattributed_total = 0usize;
+
+    for path in &args.rest {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let records = match parse_jsonl(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let label = Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        println!("=== {label} ({} records) ===", records.len());
+        summarize(&records);
+        phase_histograms(&records);
+        decision_audit(&records);
+        unattributed_total += attribution_check(&records);
+
+        bands.push(switch_band(&label, &records));
+        let last = records.last().map_or(0.0, |r| r.sim_ms as f64 / 1000.0);
+        end_secs = end_secs.max(last);
+        println!();
+    }
+
+    if let Some(dir) = &args.out {
+        write_switch_timeline(&bands, end_secs, dir, "switch_timeline")
+            .expect("write switch timeline");
+        eprintln!("wrote {}/switch_timeline.svg", dir.display());
+    }
+    if unattributed_total > 0 {
+        eprintln!("error: {unattributed_total} switch(es) without a matching decider verdict");
+        std::process::exit(1);
+    }
+}
+
+/// Record counts by type, in taxonomy order.
+fn summarize(records: &[ParsedRecord]) {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for r in records {
+        *counts.entry(r.event.type_tag()).or_default() += 1;
+    }
+    let line: Vec<String> = counts.iter().map(|(t, n)| format!("{t} {n}")).collect();
+    println!("records: {}", line.join(", "));
+}
+
+/// Wall-clock histograms of every span name and per-policy plan build.
+fn phase_histograms(records: &[ParsedRecord]) {
+    // Key → (streaming stats, log-spaced histogram over microseconds).
+    let mut phases: BTreeMap<String, (OnlineStats, Histogram)> = BTreeMap::new();
+    let mut push = |key: String, dur_ns: u64| {
+        let us = dur_ns as f64 / 1_000.0;
+        let entry = phases
+            .entry(key)
+            // 0.1 µs … ~26 s in half-decade steps: covers a single event
+            // dispatch up to a full replan on a deep queue.
+            .or_insert_with(|| (OnlineStats::new(), Histogram::logarithmic(0.1, 3.0, 18)));
+        entry.0.push(us);
+        entry.1.push(us);
+    };
+    for r in records {
+        match &r.event {
+            ParsedEvent::Span { name, dur_ns } => push(name.clone(), *dur_ns),
+            ParsedEvent::PlanBuilt { policy, dur_ns, .. } => {
+                push(format!("plan:{policy}"), *dur_ns)
+            }
+            _ => {}
+        }
+    }
+    if phases.is_empty() {
+        println!("phase times: none recorded (need --trace-level spans|all)");
+        return;
+    }
+    println!("phase times [µs]:");
+    println!("  phase           count       mean     p50≤     p90≤     p99≤       max");
+    for (name, (stats, hist)) in &phases {
+        // quantile_bound is None when the quantile lands in the
+        // overflow bucket; the observed max bounds it from above.
+        let q = |q: f64| {
+            hist.quantile_bound(q)
+                .or(stats.max())
+                .map_or_else(|| "—".into(), |b| format!("{b:.1}"))
+        };
+        println!(
+            "  {:<14} {:>6} {:>10.1} {:>8} {:>8} {:>8} {:>9.1}",
+            name,
+            stats.count(),
+            stats.mean(),
+            q(0.5),
+            q(0.9),
+            q(0.99),
+            stats.max().unwrap_or(0.0)
+        );
+    }
+}
+
+/// Replays Table 1 over the recorded decider inputs: classifies each
+/// decision's score vector into its table case and tallies the rules
+/// that fired and the verdicts reached.
+fn decision_audit(records: &[ParsedRecord]) {
+    // case → (count, rule → count, verdict → count)
+    type Tally = (usize, BTreeMap<String, usize>, BTreeMap<String, usize>);
+    let mut cases: BTreeMap<&'static str, Tally> = BTreeMap::new();
+    let mut decisions = 0usize;
+    let mut unclassified = 0usize;
+    for r in records {
+        let ParsedEvent::Decision {
+            old,
+            verdict,
+            rule,
+            scores,
+        } = &r.event
+        else {
+            continue;
+        };
+        decisions += 1;
+        let Some(case) = classify_decision(old, scores) else {
+            unclassified += 1;
+            continue;
+        };
+        let entry = cases.entry(case).or_default();
+        entry.0 += 1;
+        *entry.1.entry(rule.clone()).or_default() += 1;
+        *entry.2.entry(verdict.clone()).or_default() += 1;
+    }
+    if decisions == 0 {
+        println!("decision audit: no decisions recorded");
+        return;
+    }
+    println!("decision audit ({decisions} decisions over Table 1 cases):");
+    println!("  case   count  rules fired                verdicts");
+    for (case, (count, rules, verdicts)) in &cases {
+        let fmt = |m: &BTreeMap<String, usize>| {
+            m.iter()
+                .map(|(k, v)| format!("{k}×{v}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "  {:<5} {:>6}  {:<26} {}",
+            case,
+            count,
+            fmt(rules),
+            fmt(verdicts)
+        );
+    }
+    if unclassified > 0 {
+        println!("  ({unclassified} decisions outside the basic FCFS/SJF/LJF table)");
+    }
+}
+
+/// Maps one recorded decision back onto Table 1, if its inputs are the
+/// three basic policies.
+fn classify_decision(old: &str, scores: &[(String, f64)]) -> Option<&'static str> {
+    use dynp_rms::Policy;
+    let old = Policy::BASIC.into_iter().find(|p| p.name() == old)?;
+    let score_of = |p: Policy| {
+        scores
+            .iter()
+            .find(|(name, _)| name == p.name())
+            .map(|(_, v)| *v)
+            .filter(|v| v.is_finite())
+    };
+    let values = (
+        score_of(Policy::Fcfs)?,
+        score_of(Policy::Sjf)?,
+        score_of(Policy::Ljf)?,
+    );
+    table1::classify(values, old, EPSILON)
+}
+
+/// The audit invariant: every `switch` record must be preceded by a
+/// `decision` record at the same simulated instant whose `old`/`verdict`
+/// match the switch's `from`/`to`. Returns the number of violations.
+fn attribution_check(records: &[ParsedRecord]) -> usize {
+    let mut last_decision: Option<&ParsedRecord> = None;
+    let mut switches = 0usize;
+    let mut bad = 0usize;
+    for r in records {
+        match &r.event {
+            ParsedEvent::Decision { .. } => last_decision = Some(r),
+            ParsedEvent::PolicySwitch { from, to } => {
+                switches += 1;
+                let attributed = matches!(
+                    last_decision,
+                    Some(ParsedRecord {
+                        sim_ms,
+                        event: ParsedEvent::Decision { old, verdict, .. },
+                        ..
+                    }) if *sim_ms == r.sim_ms && old == from && verdict == to
+                );
+                if !attributed {
+                    bad += 1;
+                    println!(
+                        "  UNATTRIBUTED switch {} -> {} at seq {} (sim {} ms)",
+                        from, to, r.seq, r.sim_ms
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    if bad == 0 {
+        println!("switch attribution: all {switches} switches trace to a decider verdict");
+    } else {
+        println!("switch attribution: {bad}/{switches} switches UNATTRIBUTED");
+    }
+    bad
+}
+
+/// Builds one timeline band from a trace's switch log. The initial
+/// policy comes from the first decision's `old` field (falling back to
+/// the first switch's `from`, then FCFS — the simulator's start policy).
+fn switch_band(label: &str, records: &[ParsedRecord]) -> SwitchBand {
+    let initial = records
+        .iter()
+        .find_map(|r| match &r.event {
+            ParsedEvent::Decision { old, .. } => Some(old.clone()),
+            ParsedEvent::PolicySwitch { from, .. } => Some(from.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| "FCFS".into());
+    let switches = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            ParsedEvent::PolicySwitch { to, .. } => Some((r.sim_ms as f64 / 1000.0, to.clone())),
+            _ => None,
+        })
+        .collect();
+    SwitchBand {
+        label: label.to_string(),
+        initial,
+        switches,
+    }
+}

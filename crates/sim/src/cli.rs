@@ -13,9 +13,14 @@
 //! --res-fraction F  offered booked-area fraction of a reservation
 //!                   stream riding on every run (default 0 = none)
 //! --res-slack S     admission guarantee slack in seconds (default 0)
+//! --trace-out BASE  write a structured trace of one run to BASE.jsonl
+//!                   (audit log) and BASE.trace.json (chrome://tracing)
+//! --trace-level L   off | decisions | spans | all (default: decisions
+//!                   when --trace-out is given, off otherwise)
 //! ```
 
 use crate::experiment::ReservationLoad;
+use dynp_obs::TraceLevel;
 use dynp_workload::{traces, TraceModel};
 use std::path::PathBuf;
 
@@ -39,6 +44,11 @@ pub struct CommonArgs {
     pub res_fraction: f64,
     /// Admission guarantee slack in seconds.
     pub res_slack_secs: u64,
+    /// Base path for structured trace output (`BASE.jsonl` +
+    /// `BASE.trace.json`), if tracing was requested.
+    pub trace_out: Option<PathBuf>,
+    /// Trace verbosity (`None` = not given on the command line).
+    pub trace_level: Option<TraceLevel>,
     /// Leftover (binary-specific) arguments.
     pub rest: Vec<String>,
 }
@@ -54,6 +64,8 @@ impl Default for CommonArgs {
             out: None,
             res_fraction: 0.0,
             res_slack_secs: 0,
+            trace_out: None,
+            trace_level: None,
             rest: Vec::new(),
         }
     }
@@ -69,7 +81,8 @@ impl CommonArgs {
                 eprintln!(
                     "usage: [--jobs N] [--sets K] [--quick] [--trace NAME]... \
                      [--seed S] [--workers W] [--out DIR] \
-                     [--res-fraction F] [--res-slack S]"
+                     [--res-fraction F] [--res-slack S] \
+                     [--trace-out BASE] [--trace-level off|decisions|spans|all]"
                 );
                 std::process::exit(2);
             }
@@ -130,6 +143,15 @@ impl CommonArgs {
                         .parse()
                         .map_err(|_| "--res-slack expects an integer".to_string())?;
                 }
+                "--trace-out" => {
+                    out.trace_out = Some(PathBuf::from(value("--trace-out")?));
+                }
+                "--trace-level" => {
+                    let name = value("--trace-level")?;
+                    out.trace_level = Some(TraceLevel::parse(&name).ok_or_else(|| {
+                        format!("--trace-level expects off|decisions|spans|all, got {name:?}")
+                    })?);
+                }
                 other => out.rest.push(other.to_string()),
             }
         }
@@ -140,6 +162,41 @@ impl CommonArgs {
             return Err("--jobs and --sets must be positive".to_string());
         }
         Ok(out)
+    }
+
+    /// The effective trace level: an explicit `--trace-level` wins;
+    /// `--trace-out` alone defaults to
+    /// [`TraceLevel::Decisions`]; neither means off.
+    pub fn effective_trace_level(&self) -> TraceLevel {
+        match (self.trace_level, &self.trace_out) {
+            (Some(level), _) => level,
+            (None, Some(_)) => TraceLevel::Decisions,
+            (None, None) => TraceLevel::Off,
+        }
+    }
+
+    /// The tracer the flags select (disabled unless tracing was
+    /// requested).
+    pub fn tracer(&self) -> dynp_obs::Tracer {
+        dynp_obs::Tracer::enabled(self.effective_trace_level())
+    }
+
+    /// Writes the recorded trace to `BASE.jsonl` (audit log) and
+    /// `BASE.trace.json` (Chrome trace-event format) when `--trace-out
+    /// BASE` was given. Returns the two paths written.
+    pub fn write_trace(
+        &self,
+        tracer: &dynp_obs::Tracer,
+    ) -> std::io::Result<Option<(PathBuf, PathBuf)>> {
+        let Some(base) = &self.trace_out else {
+            return Ok(None);
+        };
+        let snapshot = tracer.snapshot();
+        let jsonl = PathBuf::from(format!("{}.jsonl", base.display()));
+        let chrome = PathBuf::from(format!("{}.trace.json", base.display()));
+        dynp_obs::write_jsonl(&snapshot, &jsonl)?;
+        dynp_obs::write_chrome_trace(&snapshot, &chrome)?;
+        Ok(Some((jsonl, chrome)))
     }
 
     /// The reservation load the flags select, if any.
@@ -224,6 +281,27 @@ mod tests {
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--res-fraction", "1.5"]).is_err());
         assert!(parse(&["--res-fraction", "x"]).is_err());
+    }
+
+    #[test]
+    fn trace_flags_select_a_level() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.effective_trace_level(), TraceLevel::Off);
+        assert!(!a.tracer().is_enabled());
+
+        let a = parse(&["--trace-out", "/tmp/t"]).unwrap();
+        assert_eq!(a.effective_trace_level(), TraceLevel::Decisions);
+        assert!(a.tracer().is_enabled());
+
+        let a = parse(&["--trace-out", "/tmp/t", "--trace-level", "all"]).unwrap();
+        assert_eq!(a.effective_trace_level(), TraceLevel::All);
+
+        // An explicit off silences even with an output path.
+        let a = parse(&["--trace-out", "/tmp/t", "--trace-level", "off"]).unwrap();
+        assert!(!a.tracer().is_enabled());
+
+        assert!(parse(&["--trace-level", "verbose"]).is_err());
+        assert!(parse(&["--trace-out"]).is_err());
     }
 
     #[test]

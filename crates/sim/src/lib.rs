@@ -26,7 +26,7 @@ pub mod svg;
 
 pub use experiment::{Cell, CellResult, Experiment, ExperimentResult, ReservationLoad};
 pub use runner::{
-    simulate, simulate_detailed, simulate_with_reservations, DetailedRun, ReservationReport,
-    RunObservations, RunResult,
+    simulate, simulate_detailed, simulate_traced, simulate_with_reservations, DetailedRun,
+    ReservationReport, RunObservations, RunResult,
 };
 pub use spec::SchedulerSpec;

@@ -19,6 +19,7 @@
 
 use dynp_des::{Engine, TimeWeighted};
 use dynp_metrics::{ReservationStats, SimMetrics};
+use dynp_obs::{TraceClass, TraceEvent, Tracer};
 use dynp_rms::{
     AdmissionConfig, AdmissionController, CompletedJob, RejectReason, ReplanReason, Reservation,
     RmsState, Scheduler,
@@ -42,6 +43,20 @@ enum Event {
     ResEnd(u32),
     /// The user withdraws an admitted window (book id) before its start.
     ResCancel(u32),
+}
+
+impl Event {
+    /// Dispatch label and subject id for the trace (`sim_event` records).
+    fn trace_parts(&self) -> (&'static str, u64) {
+        match *self {
+            Event::Arrive(id) => ("arrive", id.0 as u64),
+            Event::Finish(id) => ("finish", id.0 as u64),
+            Event::ResRequest(i) => ("res_request", i as u64),
+            Event::ResStart(i) => ("res_start", i as u64),
+            Event::ResEnd(i) => ("res_end", i as u64),
+            Event::ResCancel(i) => ("res_cancel", i as u64),
+        }
+    }
 }
 
 /// The outcome of one simulation run.
@@ -140,8 +155,30 @@ pub fn simulate_with_reservations(
     requests: &[ReservationRequest],
     admission: AdmissionConfig,
 ) -> DetailedRun {
+    simulate_traced(set, scheduler, requests, admission, Tracer::disabled())
+}
+
+/// [`simulate_with_reservations`] with an observability [`Tracer`]
+/// threaded through the whole stack: the driver records event dispatches
+/// and backfill moves (at [`dynp_obs::TraceLevel::All`]) and admission
+/// verdicts; the scheduler and admission controller receive tracer
+/// clones for their own decision and span events.
+///
+/// The tracer only observes — a run with any tracer produces schedules,
+/// metrics and switch statistics bit-identical to a run with
+/// [`Tracer::disabled`] (pinned by a property test in the umbrella
+/// crate).
+pub fn simulate_traced(
+    set: &JobSet,
+    scheduler: &mut dyn Scheduler,
+    requests: &[ReservationRequest],
+    admission: AdmissionConfig,
+    tracer: Tracer,
+) -> DetailedRun {
     let mut state = RmsState::new(set.machine_size);
     let mut controller = AdmissionController::new(admission);
+    scheduler.set_tracer(tracer.clone());
+    controller.set_tracer(tracer.clone());
     let mut engine: Engine<Event> = Engine::new();
     for job in set.jobs() {
         engine.schedule_at(job.submit, Event::Arrive(job.id));
@@ -168,6 +205,11 @@ pub fn simulate_with_reservations(
 
     engine.run(|eng, event| {
         let now = eng.now();
+        if tracer.wants(TraceClass::Dispatch) {
+            let (kind, id) = event.trace_parts();
+            tracer.record(now, TraceEvent::SimEvent { kind, id });
+        }
+        let _span = tracer.span(now, "event");
         let reason = match event {
             Event::Arrive(id) => {
                 state.submit(*set.job(id));
@@ -193,6 +235,13 @@ pub fn simulate_with_reservations(
                     r.width,
                 ) {
                     Ok(()) => {
+                        tracer.record(
+                            now,
+                            TraceEvent::AdmissionVerdict {
+                                request: r.id,
+                                verdict: "admitted",
+                            },
+                        );
                         let book_id = state.admit_reservation(r.start, r.duration, r.width);
                         debug_assert_eq!(book_id as usize, admitted.len());
                         let res = Reservation {
@@ -214,6 +263,13 @@ pub fn simulate_with_reservations(
                         ReplanReason::Reservation
                     }
                     Err(why) => {
+                        tracer.record(
+                            now,
+                            TraceEvent::AdmissionVerdict {
+                                request: r.id,
+                                verdict: why.label(),
+                            },
+                        );
                         match why {
                             RejectReason::NoCapacity => report.stats.rejected_capacity += 1,
                             RejectReason::BreaksGuarantee => report.stats.rejected_guarantee += 1,
@@ -258,9 +314,30 @@ pub fn simulate_with_reservations(
             }
         };
         let schedule = scheduler.replan(&state, now, reason);
+        let trace_backfill = tracer.wants(TraceClass::Dispatch);
+        let mut started = Vec::new();
         for entry in schedule.due(now) {
             let run = state.start(entry.job.id, now);
             eng.schedule_at(run.actual_end(), Event::Finish(entry.job.id));
+            if trace_backfill {
+                started.push((entry.job.id, entry.job.width, entry.job.submit));
+            }
+        }
+        // A started job "backfilled" iff earlier-submitted jobs are still
+        // waiting after every due start was issued — the implicit
+        // backfilling a planning-based RMS performs.
+        for (id, width, submit) in started {
+            let overtaken = state.waiting().iter().filter(|w| w.submit < submit).count() as u32;
+            if overtaken > 0 {
+                tracer.record(
+                    now,
+                    TraceEvent::BackfillMove {
+                        job: id.0,
+                        width,
+                        overtaken,
+                    },
+                );
+            }
         }
         peak_queue = peak_queue.max(state.waiting().len());
         queue_tw.set(now, state.waiting().len() as f64);

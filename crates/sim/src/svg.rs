@@ -396,6 +396,173 @@ pub fn write_gantt(
     )
 }
 
+// ---------------------------------------------------------------------------
+// Policy-switch timeline (trace_report)
+// ---------------------------------------------------------------------------
+
+/// One horizontal band of a policy-switch timeline: which policy one
+/// (decider, run) pair had active over simulated time, reconstructed
+/// from the `switch` records of a structured trace.
+#[derive(Clone, Debug)]
+pub struct SwitchBand {
+    /// Band label drawn to the left (decider name or trace-file stem).
+    pub label: String,
+    /// Policy active at the start of the run.
+    pub initial: String,
+    /// Recorded switches as `(sim-seconds, new-policy)` pairs, in time
+    /// order.
+    pub switches: Vec<(f64, String)>,
+}
+
+/// The fixed policy color scheme shared by timeline segments and the
+/// legend; unknown policies render gray.
+fn policy_color(name: &str) -> &'static str {
+    match name {
+        "FCFS" => "#1f77b4",
+        "SJF" => "#d62728",
+        "LJF" => "#2ca02c",
+        "SAF" => "#9467bd",
+        "LAF" => "#8c564b",
+        _ => "#7f7f7f",
+    }
+}
+
+/// Renders per-decider switch timelines as stacked horizontal bands:
+/// time on the x-axis, one band per trace, segments colored by the
+/// active policy. Switch instants are the segment boundaries; hovering
+/// a segment shows policy and interval (SVG `<title>` tooltips).
+pub fn render_switch_timeline(bands: &[SwitchBand], end_secs: f64, width_px: f64) -> String {
+    const LABEL_W: f64 = 96.0;
+    const LEGEND_H: f64 = 26.0;
+    const BAND_H: f64 = 26.0;
+    const BAND_GAP: f64 = 10.0;
+    const AXIS_H: f64 = 34.0;
+
+    let height_px = LEGEND_H + bands.len() as f64 * (BAND_H + BAND_GAP) + AXIS_H;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height_px}\" \
+         font-family=\"sans-serif\" font-size=\"11\">"
+    );
+    if bands.is_empty() || end_secs <= 0.0 {
+        let _ = writeln!(svg, "<text x=\"10\" y=\"20\">no switches</text></svg>");
+        return svg;
+    }
+
+    let plot_w = width_px - LABEL_W - 12.0;
+    let x_of = |t: f64| LABEL_W + t.clamp(0.0, end_secs) / end_secs * plot_w;
+
+    // Legend: one swatch per policy that actually appears.
+    let mut legend: Vec<&str> = Vec::new();
+    for band in bands {
+        for name in std::iter::once(band.initial.as_str())
+            .chain(band.switches.iter().map(|(_, p)| p.as_str()))
+        {
+            if !legend.contains(&name) {
+                legend.push(name);
+            }
+        }
+    }
+    let mut lx = LABEL_W;
+    for name in &legend {
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{lx}\" y=\"6\" width=\"12\" height=\"12\" fill=\"{}\"/>",
+            policy_color(name)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"16\">{}</text>",
+            lx + 16.0,
+            escape(name)
+        );
+        lx += 16.0 + 10.0 * name.len() as f64 + 18.0;
+    }
+
+    for (bi, band) in bands.iter().enumerate() {
+        let y = LEGEND_H + bi as f64 * (BAND_H + BAND_GAP);
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>",
+            LABEL_W - 6.0,
+            y + BAND_H / 2.0 + 4.0,
+            escape(&band.label)
+        );
+        // Walk the switch log into contiguous residence segments.
+        let mut t = 0.0f64;
+        let mut active = band.initial.as_str();
+        let mut segments: Vec<(f64, f64, &str)> = Vec::new();
+        for (at, to) in &band.switches {
+            segments.push((t, *at, active));
+            t = *at;
+            active = to;
+        }
+        segments.push((t, end_secs, active));
+        for (t0, t1, policy) in segments {
+            if t1 <= t0 {
+                continue;
+            }
+            let x = x_of(t0);
+            let w = (x_of(t1) - x).max(0.5);
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{BAND_H}\" \
+                 fill=\"{}\" stroke=\"white\" stroke-width=\"0.4\">\
+                 <title>{} [{t0:.0}s, {t1:.0}s)</title></rect>",
+                policy_color(policy),
+                escape(policy)
+            );
+        }
+        // Tick marks at switch instants make rapid flapping visible even
+        // when segments collapse below a pixel.
+        for (at, _) in &band.switches {
+            let x = x_of(*at);
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"#333\"/>",
+                y + BAND_H,
+                y + BAND_H + 4.0
+            );
+        }
+    }
+
+    // Time axis: 5 evenly spaced ticks.
+    let axis_y = LEGEND_H + bands.len() as f64 * (BAND_H + BAND_GAP) + 4.0;
+    for i in 0..=4 {
+        let t = end_secs * i as f64 / 4.0;
+        let x = x_of(t);
+        let _ = writeln!(
+            svg,
+            "<text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            axis_y + 12.0,
+            format_tick(t)
+        );
+    }
+    let _ = writeln!(
+        svg,
+        "<text x=\"{}\" y=\"{:.1}\" text-anchor=\"middle\">time [s]</text>",
+        LABEL_W + plot_w / 2.0,
+        axis_y + 28.0
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Writes a switch timeline to `dir/<name>.svg`.
+pub fn write_switch_timeline(
+    bands: &[SwitchBand],
+    end_secs: f64,
+    dir: &Path,
+    name: &str,
+) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join(format!("{name}.svg")),
+        render_switch_timeline(bands, end_secs, 960.0),
+    )
+}
+
 fn format_tick(v: f64) -> String {
     if v == 0.0 {
         "0".into()
@@ -525,6 +692,56 @@ mod tests {
         fn empty_gantt_is_placeholder() {
             let svg = render_gantt(&[], 4, 800.0, 400.0);
             assert!(svg.contains("no jobs"));
+        }
+    }
+
+    mod timeline {
+        use super::super::*;
+
+        fn band() -> SwitchBand {
+            SwitchBand {
+                label: "advanced".into(),
+                initial: "FCFS".into(),
+                switches: vec![(100.0, "SJF".into()), (250.0, "LJF".into())],
+            }
+        }
+
+        #[test]
+        fn renders_one_segment_per_residence() {
+            let svg = render_switch_timeline(&[band()], 400.0, 960.0);
+            assert!(svg.starts_with("<svg"));
+            assert!(svg.ends_with("</svg>\n"));
+            // 3 residence segments + 3 legend swatches.
+            assert_eq!(svg.matches("<rect").count(), 6);
+            assert_eq!(svg.matches("<title>").count(), 3);
+            assert!(svg.contains("advanced"));
+            // One color per policy, used by both segment and legend.
+            for color in ["#1f77b4", "#d62728", "#2ca02c"] {
+                assert_eq!(svg.matches(color).count(), 2, "{color}");
+            }
+            // Switch instants get tick marks.
+            assert_eq!(svg.matches("<line").count(), 2);
+        }
+
+        #[test]
+        fn stacks_bands_and_shares_the_legend() {
+            let second = SwitchBand {
+                label: "simple".into(),
+                initial: "FCFS".into(),
+                switches: vec![],
+            };
+            let svg = render_switch_timeline(&[band(), second], 400.0, 960.0);
+            assert!(svg.contains("simple"));
+            // 3 + 1 segments, 3 legend swatches (FCFS not duplicated).
+            assert_eq!(svg.matches("<rect").count(), 7);
+        }
+
+        #[test]
+        fn empty_timeline_is_placeholder() {
+            let svg = render_switch_timeline(&[], 400.0, 960.0);
+            assert!(svg.contains("no switches"));
+            let svg = render_switch_timeline(&[band()], 0.0, 960.0);
+            assert!(svg.contains("no switches"));
         }
     }
 
