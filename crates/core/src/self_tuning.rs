@@ -264,7 +264,7 @@ impl SelfTuningScheduler {
         self.queue_buf.extend_from_slice(state.waiting());
         policy.sort_queue(&mut self.queue_buf);
         self.reference_planner.plan_with_reservations(
-            state.machine_size(),
+            state.plan_capacity(),
             now,
             state.running(),
             state.reservation_slice(),
@@ -280,7 +280,7 @@ impl SelfTuningScheduler {
         }
         self.sync_orders(state);
         self.planner.prepare(
-            state.machine_size(),
+            state.plan_capacity(),
             now,
             state.running(),
             state.reservation_slice(),
@@ -323,9 +323,10 @@ impl SelfTuningScheduler {
         // The base profile (running jobs + admitted reservation windows)
         // is identical for every candidate policy: build it once, restore
         // per policy. This is where the incremental endpoint sweep folds
-        // reservation endpoints in.
+        // reservation endpoints in. Capacity is the *usable* machine:
+        // down nodes shrink every candidate plan identically.
         self.planner.prepare(
-            state.machine_size(),
+            state.plan_capacity(),
             now,
             state.running(),
             state.reservation_slice(),
@@ -415,12 +416,12 @@ impl Scheduler for SelfTuningScheduler {
     fn replan(&mut self, state: &RmsState, now: SimTime, reason: ReplanReason) -> Schedule {
         let _span = self.tracer.span(now, "replan");
         match (self.config.decide_on, reason) {
-            // SubmissionsOnly: completions and reservation-book changes
-            // replan with the active policy, without reconsidering it.
+            // SubmissionsOnly: completions, reservation-book changes and
+            // fault events replan with the active policy, without
+            // reconsidering it (only submissions trigger a decision).
             (DecideOn::SubmissionsOnly, ReplanReason::Completion)
-            | (DecideOn::SubmissionsOnly, ReplanReason::Reservation) => {
-                self.plan_active(state, now)
-            }
+            | (DecideOn::SubmissionsOnly, ReplanReason::Reservation)
+            | (DecideOn::SubmissionsOnly, ReplanReason::Fault) => self.plan_active(state, now),
             _ => self.self_tuning_step(state, now),
         }
     }

@@ -20,10 +20,13 @@
 //! * [`combine`] — the paper's multi-set result combiner: drop the best
 //!   and worst of the K runs, average the rest,
 //! * [`reservations`] — advance-reservation admission counters (acceptance
-//!   rate, booked-area utilization).
+//!   rate, booked-area utilization),
+//! * [`faults`] — fault-injection counters (outages, evictions, retries,
+//!   lost jobs, downtime).
 
 pub mod aggregate;
 pub mod combine;
+pub mod faults;
 pub mod job_metrics;
 pub mod objective;
 pub mod percentiles;
@@ -32,6 +35,7 @@ pub mod timeline;
 
 pub use aggregate::SimMetrics;
 pub use combine::{combine_drop_extremes, CombinedMetrics};
+pub use faults::FaultStats;
 pub use job_metrics::{bounded_slowdown, slowdown, JobOutcome};
 pub use objective::Objective;
 pub use percentiles::{OutcomeDistributions, QuantileStats};

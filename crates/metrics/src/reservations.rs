@@ -27,6 +27,13 @@ pub struct ReservationStats {
     pub cancelled: u64,
     /// Admitted windows that ran to completion (started and ended).
     pub honored: u64,
+    /// Admitted windows shrunk (best-effort) by schedule repair after a
+    /// capacity loss. A downgraded window still counts as honored if it
+    /// runs to completion at its reduced width.
+    pub downgraded: u64,
+    /// Admitted windows cancelled *by the system* because schedule repair
+    /// found no width at which they still fit the degraded machine.
+    pub revoked: u64,
     /// Processor-seconds requested across all requests.
     pub requested_area: f64,
     /// Processor-seconds across admitted windows.
@@ -79,6 +86,8 @@ impl ReservationStats {
         self.rejected_invalid += other.rejected_invalid;
         self.cancelled += other.cancelled;
         self.honored += other.honored;
+        self.downgraded += other.downgraded;
+        self.revoked += other.revoked;
         self.requested_area += other.requested_area;
         self.admitted_area += other.admitted_area;
     }

@@ -143,6 +143,52 @@ pub enum TraceEvent {
         /// Wall-clock nanoseconds the phase took.
         dur_ns: u64,
     },
+    /// A node failed and left the usable machine.
+    NodeDown {
+        /// Node (processor) index that went down.
+        node: u32,
+    },
+    /// A failed node was repaired and rejoined the usable machine.
+    NodeUp {
+        /// Node (processor) index that came back.
+        node: u32,
+    },
+    /// A running job attempt failed (`"node-loss"`, `"crash"`,
+    /// `"overrun"`) and was evicted from the machine.
+    JobFault {
+        /// The failed job.
+        job: u32,
+        /// Which attempt failed (1 = first execution).
+        attempt: u32,
+        /// Failure cause label.
+        reason: &'static str,
+    },
+    /// A failed job was requeued for another attempt after backoff.
+    JobRetry {
+        /// The retried job.
+        job: u32,
+        /// The attempt that just failed.
+        attempt: u32,
+        /// Backoff delay before the resubmission, in milliseconds.
+        delay_ms: u64,
+    },
+    /// A failed job exhausted its retry budget and left the system.
+    JobLost {
+        /// The lost job.
+        job: u32,
+        /// How many attempts were made in total.
+        attempts: u32,
+    },
+    /// Schedule repair changed an admitted reservation window after a
+    /// capacity loss (`"downgraded"` or `"revoked"`).
+    ReservationRepair {
+        /// Book id of the repaired window.
+        reservation: u32,
+        /// What repair did to it.
+        action: &'static str,
+        /// Width after the repair (0 when revoked).
+        width: u32,
+    },
 }
 
 impl TraceEvent {
@@ -151,9 +197,16 @@ impl TraceEvent {
         match self {
             TraceEvent::Decision { .. }
             | TraceEvent::PolicySwitch { .. }
-            | TraceEvent::AdmissionVerdict { .. } => TraceClass::Decision,
+            | TraceEvent::AdmissionVerdict { .. }
+            | TraceEvent::JobFault { .. }
+            | TraceEvent::JobRetry { .. }
+            | TraceEvent::JobLost { .. }
+            | TraceEvent::ReservationRepair { .. } => TraceClass::Decision,
             TraceEvent::PlanBuilt { .. } | TraceEvent::Span { .. } => TraceClass::Span,
-            TraceEvent::SimEvent { .. } | TraceEvent::BackfillMove { .. } => TraceClass::Dispatch,
+            TraceEvent::SimEvent { .. }
+            | TraceEvent::BackfillMove { .. }
+            | TraceEvent::NodeDown { .. }
+            | TraceEvent::NodeUp { .. } => TraceClass::Dispatch,
         }
     }
 
@@ -167,6 +220,12 @@ impl TraceEvent {
             TraceEvent::AdmissionVerdict { .. } => "admission",
             TraceEvent::BackfillMove { .. } => "backfill",
             TraceEvent::Span { .. } => "span",
+            TraceEvent::NodeDown { .. } => "node_down",
+            TraceEvent::NodeUp { .. } => "node_up",
+            TraceEvent::JobFault { .. } => "job_fault",
+            TraceEvent::JobRetry { .. } => "job_retry",
+            TraceEvent::JobLost { .. } => "job_lost",
+            TraceEvent::ReservationRepair { .. } => "res_repair",
         }
     }
 }

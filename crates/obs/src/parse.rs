@@ -322,6 +322,51 @@ pub enum ParsedEvent {
         /// Wall-clock duration in nanoseconds.
         dur_ns: u64,
     },
+    /// Mirror of [`TraceEvent::NodeDown`](crate::TraceEvent::NodeDown).
+    NodeDown {
+        /// Node index that went down.
+        node: u32,
+    },
+    /// Mirror of [`TraceEvent::NodeUp`](crate::TraceEvent::NodeUp).
+    NodeUp {
+        /// Node index that came back.
+        node: u32,
+    },
+    /// Mirror of [`TraceEvent::JobFault`](crate::TraceEvent::JobFault).
+    JobFault {
+        /// The failed job.
+        job: u32,
+        /// Which attempt failed.
+        attempt: u32,
+        /// Failure cause label.
+        reason: String,
+    },
+    /// Mirror of [`TraceEvent::JobRetry`](crate::TraceEvent::JobRetry).
+    JobRetry {
+        /// The retried job.
+        job: u32,
+        /// The attempt that just failed.
+        attempt: u32,
+        /// Backoff delay in milliseconds.
+        delay_ms: u64,
+    },
+    /// Mirror of [`TraceEvent::JobLost`](crate::TraceEvent::JobLost).
+    JobLost {
+        /// The lost job.
+        job: u32,
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// Mirror of
+    /// [`TraceEvent::ReservationRepair`](crate::TraceEvent::ReservationRepair).
+    ReservationRepair {
+        /// Book id of the repaired window.
+        reservation: u32,
+        /// `"downgraded"` or `"revoked"`.
+        action: String,
+        /// Width after the repair (0 when revoked).
+        width: u32,
+    },
 }
 
 impl ParsedEvent {
@@ -335,6 +380,12 @@ impl ParsedEvent {
             ParsedEvent::AdmissionVerdict { .. } => "admission",
             ParsedEvent::BackfillMove { .. } => "backfill",
             ParsedEvent::Span { .. } => "span",
+            ParsedEvent::NodeDown { .. } => "node_down",
+            ParsedEvent::NodeUp { .. } => "node_up",
+            ParsedEvent::JobFault { .. } => "job_fault",
+            ParsedEvent::JobRetry { .. } => "job_retry",
+            ParsedEvent::JobLost { .. } => "job_lost",
+            ParsedEvent::ReservationRepair { .. } => "res_repair",
         }
     }
 }
@@ -425,6 +476,31 @@ pub fn parse_record(line: &str) -> Result<Option<ParsedRecord>, String> {
         "span" => ParsedEvent::Span {
             name: field_str(&obj, "name")?,
             dur_ns: field_u64(&obj, "dur_ns")?,
+        },
+        "node_down" => ParsedEvent::NodeDown {
+            node: field_u32(&obj, "node")?,
+        },
+        "node_up" => ParsedEvent::NodeUp {
+            node: field_u32(&obj, "node")?,
+        },
+        "job_fault" => ParsedEvent::JobFault {
+            job: field_u32(&obj, "job")?,
+            attempt: field_u32(&obj, "attempt")?,
+            reason: field_str(&obj, "reason")?,
+        },
+        "job_retry" => ParsedEvent::JobRetry {
+            job: field_u32(&obj, "job")?,
+            attempt: field_u32(&obj, "attempt")?,
+            delay_ms: field_u64(&obj, "delay_ms")?,
+        },
+        "job_lost" => ParsedEvent::JobLost {
+            job: field_u32(&obj, "job")?,
+            attempts: field_u32(&obj, "attempts")?,
+        },
+        "res_repair" => ParsedEvent::ReservationRepair {
+            reservation: field_u32(&obj, "reservation")?,
+            action: field_str(&obj, "action")?,
+            width: field_u32(&obj, "width")?,
         },
         other => return Err(format!("unknown record type '{other}'")),
     };
@@ -520,6 +596,27 @@ mod tests {
                 name: "step",
                 dur_ns: 999,
             },
+            TraceEvent::NodeDown { node: 3 },
+            TraceEvent::NodeUp { node: 3 },
+            TraceEvent::JobFault {
+                job: 7,
+                attempt: 2,
+                reason: "crash",
+            },
+            TraceEvent::JobRetry {
+                job: 7,
+                attempt: 2,
+                delay_ms: 600_000,
+            },
+            TraceEvent::JobLost {
+                job: 8,
+                attempts: 4,
+            },
+            TraceEvent::ReservationRepair {
+                reservation: 1,
+                action: "revoked",
+                width: 0,
+            },
         ];
         let snapshot = TraceSnapshot {
             records: events
@@ -564,6 +661,19 @@ mod tests {
                 );
             }
             other => panic!("expected decision, got {other:?}"),
+        }
+        // And a fault payload.
+        match &parsed[9].event {
+            ParsedEvent::JobFault {
+                job,
+                attempt,
+                reason,
+            } => {
+                assert_eq!(*job, 7);
+                assert_eq!(*attempt, 2);
+                assert_eq!(reason, "crash");
+            }
+            other => panic!("expected job_fault, got {other:?}"),
         }
     }
 

@@ -120,6 +120,39 @@ pub fn render_jsonl_line(rec: &TraceRecord) -> String {
             push_str(&mut out, name);
             let _ = write!(out, ",\"dur_ns\":{dur_ns}");
         }
+        TraceEvent::NodeDown { node } | TraceEvent::NodeUp { node } => {
+            let _ = write!(out, ",\"node\":{node}");
+        }
+        TraceEvent::JobFault {
+            job,
+            attempt,
+            reason,
+        } => {
+            let _ = write!(out, ",\"job\":{job},\"attempt\":{attempt},\"reason\":");
+            push_str(&mut out, reason);
+        }
+        TraceEvent::JobRetry {
+            job,
+            attempt,
+            delay_ms,
+        } => {
+            let _ = write!(
+                out,
+                ",\"job\":{job},\"attempt\":{attempt},\"delay_ms\":{delay_ms}"
+            );
+        }
+        TraceEvent::JobLost { job, attempts } => {
+            let _ = write!(out, ",\"job\":{job},\"attempts\":{attempts}");
+        }
+        TraceEvent::ReservationRepair {
+            reservation,
+            action,
+            width,
+        } => {
+            let _ = write!(out, ",\"reservation\":{reservation},\"action\":");
+            push_str(&mut out, action);
+            let _ = write!(out, ",\"width\":{width}");
+        }
     }
     out.push('}');
     out
@@ -251,6 +284,72 @@ pub fn render_chrome_trace(snapshot: &TraceSnapshot) -> String {
                     rec.sim.as_millis()
                 );
             }
+            TraceEvent::NodeDown { node } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"node_down:n{node}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":1,\
+                     \"args\":{{\"sim_ms\":{},\"node\":{node}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::NodeUp { node } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"node_up:n{node}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":1,\
+                     \"args\":{{\"sim_ms\":{},\"node\":{node}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::JobFault {
+                job,
+                attempt,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"fault:{reason}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"job\":{job},\"attempt\":{attempt}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::JobRetry {
+                job,
+                attempt,
+                delay_ms,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"retry:j{job}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"attempt\":{attempt},\"delay_ms\":{delay_ms}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::JobLost { job, attempts } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"lost:j{job}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"attempts\":{attempts}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::ReservationRepair {
+                reservation,
+                action,
+                width,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"repair:{action}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"reservation\":{reservation},\"width\":{width}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
         }
     }
     out.push_str("\n]}\n");
@@ -340,6 +439,39 @@ mod tests {
                         dur_ns: 12_345,
                     },
                 ),
+                rec(7, TraceEvent::NodeDown { node: 5 }),
+                rec(8, TraceEvent::NodeUp { node: 5 }),
+                rec(
+                    9,
+                    TraceEvent::JobFault {
+                        job: 11,
+                        attempt: 1,
+                        reason: "node-loss",
+                    },
+                ),
+                rec(
+                    10,
+                    TraceEvent::JobRetry {
+                        job: 11,
+                        attempt: 1,
+                        delay_ms: 300_000,
+                    },
+                ),
+                rec(
+                    11,
+                    TraceEvent::JobLost {
+                        job: 12,
+                        attempts: 4,
+                    },
+                ),
+                rec(
+                    12,
+                    TraceEvent::ReservationRepair {
+                        reservation: 3,
+                        action: "downgraded",
+                        width: 2,
+                    },
+                ),
             ],
             dropped: 0,
         }
@@ -348,10 +480,14 @@ mod tests {
     #[test]
     fn jsonl_has_one_line_per_record() {
         let text = render_jsonl(&sample());
-        assert_eq!(text.lines().count(), 7);
+        assert_eq!(text.lines().count(), 13);
         assert!(text.contains("\"type\":\"decision\""));
         assert!(text.contains("\"scores\":{\"FCFS\":3.5,\"SJF\":1.25,\"LJF\":2}"));
         assert!(text.contains("\"verdict\":\"no-capacity\""));
+        assert!(text.contains("\"type\":\"node_down\""));
+        assert!(text.contains("\"reason\":\"node-loss\""));
+        assert!(text.contains("\"delay_ms\":300000"));
+        assert!(text.contains("\"action\":\"downgraded\""));
     }
 
     #[test]
@@ -369,17 +505,20 @@ mod tests {
         assert!(text.trim_end().ends_with("]}"));
         // Two span-like records → two complete events.
         assert_eq!(text.matches("\"ph\":\"X\"").count(), 2);
-        // Five instants.
-        assert_eq!(text.matches("\"ph\":\"i\"").count(), 5);
+        // Everything else is an instant.
+        assert_eq!(text.matches("\"ph\":\"i\"").count(), 11);
         assert!(text.contains("\"name\":\"plan:SJF\""));
         assert!(text.contains("\"name\":\"switch FCFS->SJF\""));
+        assert!(text.contains("\"name\":\"node_down:n5\""));
+        assert!(text.contains("\"name\":\"fault:node-loss\""));
+        assert!(text.contains("\"name\":\"repair:downgraded\""));
         // Parses back as JSON (the parser doubles as a validator).
         let parsed = crate::parse::Json::parse(&text).expect("chrome trace must be valid JSON");
         let events = parsed
             .get("traceEvents")
             .and_then(crate::parse::Json::as_array)
             .expect("traceEvents array");
-        assert_eq!(events.len(), 7);
+        assert_eq!(events.len(), 13);
     }
 
     #[test]
@@ -414,7 +553,7 @@ mod tests {
         write_jsonl(&snap, &dir.join("t.jsonl")).unwrap();
         write_chrome_trace(&snap, &dir.join("t.trace.json")).unwrap();
         let jsonl = std::fs::read_to_string(dir.join("t.jsonl")).unwrap();
-        assert_eq!(jsonl.lines().count(), 7);
+        assert_eq!(jsonl.lines().count(), 13);
         let chrome = std::fs::read_to_string(dir.join("t.trace.json")).unwrap();
         assert!(chrome.contains("traceEvents"));
         let _ = std::fs::remove_dir_all(&dir);

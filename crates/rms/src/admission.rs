@@ -131,7 +131,10 @@ impl AdmissionController {
         width: u32,
     ) -> Result<(), RejectReason> {
         let _span = self.tracer.span(now, "admission");
-        if width == 0 || width > state.machine_size() {
+        // Width is judged against the *currently usable* machine: while
+        // nodes are down, a window as wide as the nominal machine cannot
+        // be guaranteed.
+        if width == 0 || width > state.plan_capacity() {
             return Err(RejectReason::InvalidWidth);
         }
         if duration.is_zero() || start < now {
@@ -142,7 +145,7 @@ impl AdmissionController {
         // already admitted windows) as-is — admitted reservations are
         // guarantees and can never be displaced by a newcomer.
         self.planner.prepare(
-            state.machine_size(),
+            state.plan_capacity(),
             now,
             state.running(),
             state.reservation_slice(),
@@ -171,8 +174,12 @@ impl AdmissionController {
             duration,
             width,
         });
-        self.planner
-            .prepare(state.machine_size(), now, state.running(), &self.trial_book);
+        self.planner.prepare(
+            state.plan_capacity(),
+            now,
+            state.running(),
+            &self.trial_book,
+        );
         self.planner
             .plan_prepared_into(&self.queue_buf, &mut self.trial);
 

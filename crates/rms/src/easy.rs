@@ -89,6 +89,7 @@ impl EasyBackfillScheduler {
     /// with the classic one (free capacity only grows as running jobs
     /// drain), but the classic path is kept verbatim for them anyway.
     fn replan_with_windows(&mut self, state: &RmsState, now: SimTime) -> Schedule {
+        let capacity = state.plan_capacity();
         self.spans.clear();
         for r in state.running() {
             let end = r.estimated_end().max(now + RUNNING_PAD);
@@ -99,15 +100,19 @@ impl EasyBackfillScheduler {
                 .push((res.start.max(now + RUNNING_PAD), res.end(), res.width));
         }
         self.profile
-            .rebuild_from_spans(state.machine_size(), now, &self.spans, &mut self.events);
+            .rebuild_from_spans(capacity, now, &self.spans, &mut self.events);
 
         let mut entries: Vec<PlannedJob> = Vec::new();
         let mut idx = 0;
 
-        // Phase 1: start head jobs while their whole run fits now.
+        // Phase 1: start head jobs while their whole run fits now. A job
+        // wider than the degraded machine gets stuck here (it cannot run
+        // until node repair).
         while idx < self.queue_buf.len() {
             let job = self.queue_buf[idx];
-            if self.profile.earliest_fit(now, job.estimate, job.width) != now {
+            if job.width > capacity
+                || self.profile.earliest_fit(now, job.estimate, job.width) != now
+            {
                 break;
             }
             self.profile.allocate(now, job.estimate, job.width);
@@ -119,15 +124,20 @@ impl EasyBackfillScheduler {
         }
 
         // Phase 2: shadow reservation for the stuck head at its earliest
-        // profile fit.
+        // profile fit. An over-wide head has no feasible fit at any time
+        // and therefore imposes no shadow constraint.
         let head = self.queue_buf[idx];
-        let _shadow = self
-            .profile
-            .allocate_earliest(now, head.estimate, head.width);
+        if head.width <= capacity {
+            let _shadow = self
+                .profile
+                .allocate_earliest(now, head.estimate, head.width);
+        }
 
         // Phase 3: backfill later jobs that still fit now.
         for job in &self.queue_buf[idx + 1..] {
-            if self.profile.earliest_fit(now, job.estimate, job.width) == now {
+            if job.width <= capacity
+                && self.profile.earliest_fit(now, job.estimate, job.width) == now
+            {
                 self.profile.allocate(now, job.estimate, job.width);
                 entries.push(PlannedJob {
                     job: *job,
@@ -170,34 +180,38 @@ impl Scheduler for EasyBackfillScheduler {
 
         // Phase 2: reservation for the non-fitting head job. Walk the
         // running jobs (and the jobs just started above) by estimated
-        // end; the shadow time is when enough processors accumulate.
+        // end; the shadow time is when enough processors accumulate. A
+        // head wider than the degraded machine never fits, so it imposes
+        // no shadow constraint (it waits for node repair regardless).
         let head = self.queue_buf[idx];
-        let mut ends: Vec<(SimTime, u32)> = state
-            .running()
-            .iter()
-            .map(|r| (r.estimated_end(), r.job.width))
-            .chain(
-                entries
-                    .iter()
-                    .map(|e| (e.start.saturating_add(e.job.estimate), e.job.width)),
-            )
-            .collect();
-        ends.sort_by_key(|&(t, _)| t);
-        let mut avail = free;
         let mut shadow = SimTime::MAX;
         let mut extra = 0u32;
-        for (end, width) in ends {
-            avail += width;
-            if avail >= head.width {
-                shadow = end;
-                extra = avail - head.width;
-                break;
+        if head.width <= state.plan_capacity() {
+            let mut ends: Vec<(SimTime, u32)> = state
+                .running()
+                .iter()
+                .map(|r| (r.estimated_end(), r.job.width))
+                .chain(
+                    entries
+                        .iter()
+                        .map(|e| (e.start.saturating_add(e.job.estimate), e.job.width)),
+                )
+                .collect();
+            ends.sort_by_key(|&(t, _)| t);
+            let mut avail = free;
+            for (end, width) in ends {
+                avail += width;
+                if avail >= head.width {
+                    shadow = end;
+                    extra = avail - head.width;
+                    break;
+                }
             }
+            debug_assert!(
+                shadow != SimTime::MAX,
+                "head job must fit once everything drains"
+            );
         }
-        debug_assert!(
-            shadow != SimTime::MAX,
-            "head job must fit once everything drains"
-        );
 
         // Phase 3: backfill the remaining queue in order.
         for job in &self.queue_buf[idx + 1..] {

@@ -43,7 +43,7 @@ pub use easy::EasyBackfillScheduler;
 pub use planner::{Planner, ReferencePlanner};
 pub use policy::Policy;
 pub use profile::Profile;
-pub use reservation::{Reservation, ReservationBook};
+pub use reservation::{RepairAction, Reservation, ReservationBook};
 pub use schedule::{PlannedJob, Schedule};
 pub use scheduler::{ReplanReason, Scheduler, StaticScheduler};
-pub use state::{CompletedJob, QueueChange, RmsState, RunningJob};
+pub use state::{CompletedJob, LostJob, QueueChange, RmsState, RunningJob};

@@ -165,6 +165,12 @@ impl Planner {
         out.entries.clear();
         out.entries.reserve(queue.len());
         for job in queue {
+            // A job wider than the (possibly degraded) machine has no
+            // feasible start at any time: leave it out of the plan — it
+            // stays waiting until node repair restores enough capacity.
+            if job.width > self.profile.capacity() {
+                continue;
+            }
             let earliest = now.max(job.submit);
             let start = self
                 .profile
@@ -278,6 +284,12 @@ impl ReferencePlanner {
         }
         let mut entries = Vec::with_capacity(queue.len());
         for job in queue {
+            // Same over-wide rule as the incremental path: unplaceable
+            // jobs stay out of the plan (bit-identity requires the two
+            // planners to skip identically).
+            if job.width > machine_size {
+                continue;
+            }
             let earliest = now.max(job.submit);
             let start = self
                 .profile
@@ -448,6 +460,22 @@ mod tests {
             let slow = reference.plan(4, t(10), &running, &q);
             assert_eq!(fast.entries, slow.entries, "{policy:?} diverged");
         }
+    }
+
+    #[test]
+    fn over_wide_jobs_are_left_out_of_the_plan() {
+        // Machine degraded to 3 usable processors: the width-4 job has no
+        // feasible start and must stay waiting, while the narrow job
+        // plans normally. Both planners skip it identically.
+        let q = [j(0, 0, 4, 100), j(1, 0, 2, 50)];
+        let mut p = Planner::new();
+        let s = p.plan(3, t(0), &[], &q);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.entries[0].job.id, JobId(1));
+        assert_eq!(s.entries[0].start, t(0));
+        let mut r = ReferencePlanner::new();
+        let s2 = r.plan(3, t(0), &[], &q);
+        assert_eq!(s.entries, s2.entries);
     }
 
     #[test]
@@ -647,9 +675,12 @@ mod tests {
             submits in proptest::collection::vec(0u64..100, 1..40),
             n_running in 0usize..5,
             now_s in 0u64..200,
+            // Degraded capacities (node outages shrink the plannable
+            // machine): widths up to 7 make some jobs over-wide, which
+            // both planners must skip identically.
+            machine in 2u32..9,
         ) {
             let n = widths.len().min(ests.len()).min(submits.len());
-            let machine = 8u32;
             let now = t(now_s);
             let mut running = Vec::new();
             let mut used = 0u32;

@@ -40,6 +40,28 @@ impl Reservation {
     }
 }
 
+/// What schedule repair did to one admitted window after a capacity loss
+/// (see `RmsState::repair_reservations`). Carried into the reservation
+/// statistics and the trace so guarantee erosion is attributable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairAction {
+    /// The window no longer fit at its promised width and was shrunk to
+    /// the widest width that still fits (best effort).
+    Downgraded {
+        /// Book id of the window.
+        id: u32,
+        /// Promised width before the repair.
+        from_width: u32,
+        /// Width the window was shrunk to.
+        to_width: u32,
+    },
+    /// The window fit at no width and was cancelled by the system.
+    Revoked {
+        /// Book id of the window.
+        id: u32,
+    },
+}
+
 /// A collection of advance reservations with id-based bookkeeping.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ReservationBook {
@@ -77,6 +99,24 @@ impl ReservationBook {
         let before = self.reservations.len();
         self.reservations.retain(|r| r.id != id);
         before != self.reservations.len()
+    }
+
+    /// Shrinks an admitted window to `new_width` *in place* — the id and
+    /// interval are preserved (unlike cancel + re-add, which would assign
+    /// a fresh id). Returns whether the window existed.
+    ///
+    /// # Panics
+    /// Panics on zero width or on widening (repair only ever shrinks).
+    pub fn downgrade(&mut self, id: u32, new_width: u32) -> bool {
+        assert!(new_width > 0, "reservation needs processors");
+        match self.reservations.iter_mut().find(|r| r.id == id) {
+            Some(r) => {
+                assert!(new_width < r.width, "downgrade must shrink the window");
+                r.width = new_width;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Drops reservations that ended at or before `now`; returns how many
@@ -159,5 +199,28 @@ mod tests {
     #[should_panic(expected = "needs processors")]
     fn zero_width_is_rejected() {
         ReservationBook::new().add(t(0), d(10), 0);
+    }
+
+    #[test]
+    fn downgrade_shrinks_in_place_and_keeps_the_id() {
+        let mut book = ReservationBook::new();
+        let a = book.add(t(100), d(50), 8);
+        let b = book.add(t(300), d(50), 4);
+        assert!(book.downgrade(a, 3));
+        assert!(!book.downgrade(99, 1));
+        let w = book.all().iter().find(|r| r.id == a).unwrap();
+        assert_eq!(w.width, 3);
+        assert_eq!(w.start, t(100));
+        // The other window and the id counter are untouched.
+        assert_eq!(book.all().iter().find(|r| r.id == b).unwrap().width, 4);
+        assert_eq!(book.add(t(500), d(10), 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must shrink")]
+    fn downgrade_cannot_widen() {
+        let mut book = ReservationBook::new();
+        let a = book.add(t(100), d(50), 2);
+        book.downgrade(a, 5);
     }
 }

@@ -23,6 +23,10 @@ pub enum ReplanReason {
     /// The reservation book changed (a window was admitted, ended or was
     /// cancelled) — capacity shifted without any job event.
     Reservation,
+    /// A fault event changed the machine itself: a node went down or came
+    /// back, or a running job failed and was evicted. Capacity (and
+    /// possibly the queue) shifted, so the schedule must be repaired.
+    Fault,
 }
 
 /// A scheduler: turns the current RMS state into a full schedule.
@@ -72,7 +76,7 @@ impl Scheduler for StaticScheduler {
         self.queue_buf.extend_from_slice(state.waiting());
         self.policy.sort_queue(&mut self.queue_buf);
         self.planner.plan_with_reservations(
-            state.machine_size(),
+            state.plan_capacity(),
             now,
             state.running(),
             state.reservation_slice(),

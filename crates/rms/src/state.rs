@@ -1,12 +1,24 @@
 //! The RMS job life-cycle state machine: waiting → running → completed.
 //!
-//! [`RmsState`] owns the three job pools and the processor accounting;
-//! it is deliberately policy-free — *which* waiting job starts next is
-//! the scheduler's decision (see [`crate::scheduler`]), the state machine
+//! [`RmsState`] owns the job pools and the processor accounting; it is
+//! deliberately policy-free — *which* waiting job starts next is the
+//! scheduler's decision (see [`crate::scheduler`]), the state machine
 //! only enforces physics: processors are finite, a job runs exactly its
 //! actual run time, transitions are checked.
+//!
+//! Processors are tracked as individual *nodes* (one processor = one
+//! node): each node is either up or down, and either idle or assigned to
+//! one running job. Fault injection drives the node axis — a down node
+//! is withheld from every plan ([`RmsState::plan_capacity`]), its
+//! occupant is evicted ([`RmsState::fail`]) and either resubmitted
+//! ([`RmsState::resubmit`]) or, once its retry budget is spent, moved to
+//! the typed [`LostJob`] terminal pool. On a fault-free run no node ever
+//! goes down and the accounting below reduces exactly to the historical
+//! free-counter arithmetic.
 
-use crate::reservation::{Reservation, ReservationBook};
+use crate::planner::RUNNING_PAD;
+use crate::profile::Profile;
+use crate::reservation::{RepairAction, Reservation, ReservationBook};
 use dynp_des::{SimDuration, SimTime};
 use dynp_workload::{Job, JobId};
 
@@ -57,6 +69,19 @@ impl CompletedJob {
     }
 }
 
+/// A job that exhausted its retry budget — the typed terminal state of
+/// the fault model. Lost jobs leave the system without completing; job
+/// conservation becomes `completed + lost == submitted`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LostJob {
+    /// The job.
+    pub job: Job,
+    /// When the final failed attempt was given up.
+    pub at: SimTime,
+    /// Execution attempts spent (initial attempt + retries).
+    pub attempts: u32,
+}
+
 /// One change to the waiting queue, in occurrence order. The append-only
 /// log of these lets incremental schedulers replay exact queue deltas
 /// instead of re-scanning (or re-sorting) the whole queue every event.
@@ -72,13 +97,20 @@ pub enum QueueChange {
 #[derive(Clone, Debug)]
 pub struct RmsState {
     machine_size: u32,
+    /// Unoccupied *up* nodes — down nodes are never free.
     free: u32,
     waiting: Vec<Job>,
     running: Vec<RunningJob>,
     completed: Vec<CompletedJob>,
+    lost: Vec<LostJob>,
     submitted: usize,
     queue_log: Vec<QueueChange>,
     reservations: ReservationBook,
+    /// Per-node occupancy: which running job holds each node.
+    nodes: Vec<Option<JobId>>,
+    /// Per-node availability.
+    down: Vec<bool>,
+    down_count: u32,
 }
 
 impl RmsState {
@@ -91,9 +123,13 @@ impl RmsState {
             waiting: Vec::new(),
             running: Vec::new(),
             completed: Vec::new(),
+            lost: Vec::new(),
             submitted: 0,
             queue_log: Vec::new(),
             reservations: ReservationBook::new(),
+            nodes: vec![None; machine_size as usize],
+            down: vec![false; machine_size as usize],
+            down_count: 0,
         }
     }
 
@@ -102,9 +138,40 @@ impl RmsState {
         self.machine_size
     }
 
-    /// Currently idle processors.
+    /// Currently idle *up* processors.
     pub fn free_processors(&self) -> u32 {
         self.free
+    }
+
+    /// Processors the planner may use: the up nodes. Equal to
+    /// [`RmsState::machine_size`] whenever no node is down, so fault-free
+    /// plans are built against the full machine exactly as before.
+    pub fn plan_capacity(&self) -> u32 {
+        self.machine_size - self.down_count
+    }
+
+    /// Number of currently down nodes.
+    pub fn down_nodes(&self) -> u32 {
+        self.down_count
+    }
+
+    /// Whether a node is currently down.
+    pub fn is_node_down(&self, node: u32) -> bool {
+        self.down[node as usize]
+    }
+
+    /// The nodes currently assigned to a running job, in index order.
+    pub fn nodes_of(&self, id: JobId) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(n, slot)| (*slot == Some(id)).then_some(n as u32))
+            .collect()
+    }
+
+    /// Jobs that exhausted their retry budget, in loss order.
+    pub fn lost(&self) -> &[LostJob] {
+        &self.lost
     }
 
     /// The waiting queue (unordered — policies order copies of it).
@@ -219,6 +286,19 @@ impl RmsState {
             self.free
         );
         self.free -= job.width;
+        // Assign the lowest-numbered idle up nodes; a down node is never
+        // handed out (the chaos invariant the fault tests pin).
+        let mut needed = job.width;
+        for (n, slot) in self.nodes.iter_mut().enumerate() {
+            if needed == 0 {
+                break;
+            }
+            if slot.is_none() && !self.down[n] {
+                *slot = Some(id);
+                needed -= 1;
+            }
+        }
+        assert_eq!(needed, 0, "free-processor accounting out of sync");
         self.queue_log.push(QueueChange::Left(job));
         let run = RunningJob { job, start: now };
         self.running.push(run);
@@ -244,6 +324,8 @@ impl RmsState {
         );
         self.free += run.job.width;
         debug_assert!(self.free <= self.machine_size);
+        let released = self.release_nodes(id);
+        debug_assert_eq!(released, run.job.width, "node occupancy out of sync");
         let done = CompletedJob {
             job: run.job,
             start: run.start,
@@ -251,6 +333,172 @@ impl RmsState {
         };
         self.completed.push(done);
         done
+    }
+
+    /// Clears every node slot held by `id`; returns how many *up* nodes
+    /// were released (down nodes stay unavailable).
+    fn release_nodes(&mut self, id: JobId) -> u32 {
+        let mut released = 0;
+        for (n, slot) in self.nodes.iter_mut().enumerate() {
+            if *slot == Some(id) {
+                *slot = None;
+                if !self.down[n] {
+                    released += 1;
+                }
+            }
+        }
+        released
+    }
+
+    /// Takes a node out of service. Returns the occupant, if any — the
+    /// caller must immediately [`RmsState::fail`] it (a job cannot keep
+    /// running on a lost node).
+    ///
+    /// # Panics
+    /// Panics if the node is already down, or if taking it would leave no
+    /// usable capacity (the planner requires at least one processor; the
+    /// fault generator never emits such a trace).
+    pub fn node_down(&mut self, node: u32) -> Option<JobId> {
+        let n = node as usize;
+        assert!(!self.down[n], "node {node} is already down");
+        assert!(
+            self.down_count + 1 < self.machine_size,
+            "cannot take the last usable node down"
+        );
+        self.down[n] = true;
+        self.down_count += 1;
+        if self.nodes[n].is_none() {
+            self.free -= 1;
+        }
+        self.nodes[n]
+    }
+
+    /// Returns a repaired node to service.
+    ///
+    /// # Panics
+    /// Panics if the node is not down.
+    pub fn node_up(&mut self, node: u32) {
+        let n = node as usize;
+        assert!(self.down[n], "node {node} is not down");
+        debug_assert!(
+            self.nodes[n].is_none(),
+            "down node {node} still has an occupant"
+        );
+        self.down[n] = false;
+        self.down_count -= 1;
+        if self.nodes[n].is_none() {
+            self.free += 1;
+        }
+    }
+
+    /// Evicts a running job after a failure (node loss, crash, walltime
+    /// kill), releasing its surviving nodes. Unlike
+    /// [`RmsState::complete`] this may happen at any instant before the
+    /// job's actual end. Returns the interrupted run record; the caller
+    /// decides between [`RmsState::resubmit`] and [`RmsState::mark_lost`].
+    ///
+    /// # Panics
+    /// Panics if the job is not running.
+    pub fn fail(&mut self, id: JobId, now: SimTime) -> RunningJob {
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.job.id == id)
+            .unwrap_or_else(|| panic!("job {id} is not running"));
+        let run = self.running.swap_remove(idx);
+        // A walltime kill fires at start + estimate, which is at or after
+        // the actual end (the overrunning attempt never completes on its
+        // own) — hence the bound is the estimated end, not the actual one.
+        debug_assert!(
+            now <= run.estimated_end(),
+            "failure after the walltime limit"
+        );
+        self.free += self.release_nodes(id);
+        debug_assert!(self.free <= self.machine_size);
+        run
+    }
+
+    /// Requeues a previously failed job for another attempt. The job
+    /// keeps its original submission time, so waiting metrics measure
+    /// from the first submission. Does *not* count towards
+    /// [`RmsState::submitted`] — conservation counts jobs, not attempts.
+    pub fn resubmit(&mut self, job: Job) {
+        assert!(
+            job.width <= self.machine_size,
+            "job {} wider than machine",
+            job.id
+        );
+        self.waiting.push(job);
+        self.queue_log.push(QueueChange::Entered(job));
+    }
+
+    /// Moves a job whose retry budget is exhausted into the terminal
+    /// lost pool.
+    pub fn mark_lost(&mut self, job: Job, now: SimTime, attempts: u32) {
+        self.lost.push(LostJob {
+            job,
+            at: now,
+            attempts,
+        });
+    }
+
+    /// Repairs the reservation book after a capacity loss: every booked
+    /// window is re-validated against a trial profile of the degraded
+    /// machine (running jobs padded exactly as
+    /// [`crate::Planner::prepare`] pads them), in admission order. A
+    /// window that no longer fits at its promised width is *downgraded*
+    /// to the widest width that still fits (best effort); a window that
+    /// does not fit at any width is *revoked*. Returns the actions taken,
+    /// in book order — empty whenever everything still fits, and never
+    /// called on a fault-free run.
+    pub fn repair_reservations(&mut self, now: SimTime) -> Vec<RepairAction> {
+        let capacity = self.plan_capacity();
+        let pad_end = now.saturating_add(RUNNING_PAD);
+        let mut profile = Profile::new(capacity, now);
+        for run in &self.running {
+            let end = run.estimated_end().max(pad_end);
+            profile.allocate(now, end.saturating_since(now), run.job.width);
+        }
+        let mut actions = Vec::new();
+        let windows: Vec<Reservation> = self.reservations.all().to_vec();
+        for r in windows {
+            if !r.active_at(now) {
+                continue;
+            }
+            let clip = r.start.max(pad_end);
+            if r.end() <= clip {
+                // Clipped to nothing: the planner ignores it either way.
+                continue;
+            }
+            let duration = r.end().saturating_since(clip);
+            let mut fit = None;
+            let mut w = r.width.min(capacity);
+            while w >= 1 {
+                if profile.earliest_fit(clip, duration, w) == clip {
+                    fit = Some(w);
+                    break;
+                }
+                w -= 1;
+            }
+            match fit {
+                Some(w) => {
+                    profile.allocate(clip, duration, w);
+                    if w != r.width {
+                        self.reservations.downgrade(r.id, w);
+                        actions.push(RepairAction::Downgraded {
+                            id: r.id,
+                            from_width: r.width,
+                            to_width: w,
+                        });
+                    }
+                }
+                None => {
+                    self.reservations.cancel(r.id);
+                    actions.push(RepairAction::Revoked { id: r.id });
+                }
+            }
+        }
+        actions
     }
 
     /// Consumes the state and returns the completed jobs.
@@ -375,5 +623,152 @@ mod tests {
     fn admit_rejects_oversized_reservation() {
         let mut s = RmsState::new(4);
         s.admit_reservation(SimTime::ZERO, SimDuration::from_secs(10), 5);
+    }
+
+    #[test]
+    fn node_loss_shrinks_capacity_and_evicts_the_occupant() {
+        let mut s = RmsState::new(4);
+        s.submit(j(0, 0, 2, 100, 60));
+        s.start(JobId(0), SimTime::ZERO);
+        assert_eq!(s.nodes_of(JobId(0)), vec![0, 1]);
+        assert_eq!(s.free_processors(), 2);
+        assert_eq!(s.plan_capacity(), 4);
+
+        // An idle node goes down: free and capacity both shrink.
+        let evicted = s.node_down(3);
+        assert_eq!(evicted, None);
+        assert_eq!(s.free_processors(), 1);
+        assert_eq!(s.plan_capacity(), 3);
+        assert!(s.is_node_down(3));
+
+        // An occupied node goes down: the occupant is reported and must
+        // be failed; its surviving node (1) is released.
+        let evicted = s.node_down(0);
+        assert_eq!(evicted, Some(JobId(0)));
+        let run = s.fail(JobId(0), SimTime::from_secs(30));
+        assert_eq!(run.job.id, JobId(0));
+        assert_eq!(run.start, SimTime::ZERO);
+        assert_eq!(s.free_processors(), 2); // nodes 1 and 2
+        assert_eq!(s.plan_capacity(), 2);
+        assert!(s.nodes_of(JobId(0)).is_empty());
+
+        // Repairs restore both counters.
+        s.node_up(0);
+        s.node_up(3);
+        assert_eq!(s.free_processors(), 4);
+        assert_eq!(s.plan_capacity(), 4);
+
+        // The failed job retries and completes normally.
+        s.resubmit(run.job);
+        assert_eq!(s.submitted(), 1, "resubmission is not a new job");
+        s.start(JobId(0), SimTime::from_secs(40));
+        s.complete(JobId(0), SimTime::from_secs(100));
+        assert_eq!(s.completed().len(), 1);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn start_skips_down_nodes() {
+        let mut s = RmsState::new(4);
+        s.node_down(0);
+        s.node_down(2);
+        s.submit(j(0, 0, 2, 10, 10));
+        s.start(JobId(0), SimTime::ZERO);
+        assert_eq!(s.nodes_of(JobId(0)), vec![1, 3]);
+        assert_eq!(s.free_processors(), 0);
+    }
+
+    #[test]
+    fn lost_jobs_leave_the_system() {
+        let mut s = RmsState::new(2);
+        s.submit(j(0, 0, 1, 10, 10));
+        s.start(JobId(0), SimTime::ZERO);
+        let run = s.fail(JobId(0), SimTime::from_secs(5));
+        s.mark_lost(run.job, SimTime::from_secs(5), 4);
+        assert!(s.is_idle());
+        assert_eq!(s.lost().len(), 1);
+        assert_eq!(s.lost()[0].attempts, 4);
+        assert_eq!(s.completed().len(), 0);
+        assert_eq!(s.submitted(), 1);
+        assert_eq!(s.free_processors(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "last usable node")]
+    fn the_last_node_cannot_go_down() {
+        let mut s = RmsState::new(2);
+        s.node_down(0);
+        s.node_down(1);
+    }
+
+    #[test]
+    fn repair_leaves_fitting_windows_alone() {
+        let mut s = RmsState::new(8);
+        s.admit_reservation(SimTime::from_secs(100), SimDuration::from_secs(50), 4);
+        s.node_down(7);
+        let actions = s.repair_reservations(SimTime::from_secs(10));
+        assert!(actions.is_empty());
+        assert_eq!(s.reservation_slice()[0].width, 4);
+    }
+
+    #[test]
+    fn repair_downgrades_then_revokes() {
+        let mut s = RmsState::new(4);
+        let a = s.admit_reservation(SimTime::from_secs(100), SimDuration::from_secs(50), 4);
+        let b = s.admit_reservation(SimTime::from_secs(120), SimDuration::from_secs(50), 3);
+        s.node_down(0);
+        s.node_down(1);
+        s.node_down(2);
+        // Capacity 1: window a (admitted first) is downgraded to width 1;
+        // window b overlaps it and fits at no width — revoked.
+        let actions = s.repair_reservations(SimTime::from_secs(10));
+        assert_eq!(
+            actions,
+            vec![
+                RepairAction::Downgraded {
+                    id: a,
+                    from_width: 4,
+                    to_width: 1
+                },
+                RepairAction::Revoked { id: b },
+            ]
+        );
+        assert_eq!(s.reservation_slice().len(), 1);
+        assert_eq!(s.reservation_slice()[0].width, 1);
+    }
+
+    #[test]
+    fn repair_accounts_for_running_jobs() {
+        let mut s = RmsState::new(4);
+        // A width-2 job runs until its estimate at t=100.
+        s.submit(j(0, 0, 2, 100, 100));
+        s.start(JobId(0), SimTime::ZERO);
+        // A full-width window right after the job's estimated end.
+        s.admit_reservation(SimTime::from_secs(100), SimDuration::from_secs(50), 4);
+        // One node lost: the window overlaps nothing but capacity is 3.
+        s.node_down(3);
+        let actions = s.repair_reservations(SimTime::from_secs(10));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            RepairAction::Downgraded {
+                from_width: 4,
+                to_width: 3,
+                ..
+            }
+        ));
+        // A second loss forces the window below the running job's width
+        // headroom: capacity 2, job holds 2 until 100 — the window starts
+        // at 100 so it still fits at width 2.
+        s.node_down(2);
+        let actions = s.repair_reservations(SimTime::from_secs(20));
+        assert!(matches!(
+            actions[0],
+            RepairAction::Downgraded {
+                from_width: 3,
+                to_width: 2,
+                ..
+            }
+        ));
     }
 }

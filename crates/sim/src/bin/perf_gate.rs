@@ -132,11 +132,26 @@ fn main() {
         let fresh = read_speedups(fresh_dir, name);
         if baseline.len() != fresh.len() {
             eprintln!(
-                "{name}: row count changed ({} baseline vs {} fresh) — \
-                 regenerate the committed baseline",
+                "{name}: row count changed ({} baseline vs {} fresh)",
                 baseline.len(),
                 fresh.len()
             );
+            if baseline.len() < fresh.len() {
+                eprintln!(
+                    "hint: the fresh report carries {} cell(s) the committed baseline lacks — \
+                     a bench cell was probably added (e.g. the fault-injection cell). \
+                     Regenerate the baseline on a quiet host with\n\
+                     \x20 cargo run --release -p dynp-sim --bin perf_report -- --out-dir <baseline dir>\n\
+                     and commit the refreshed BENCH_*.json files.",
+                    fresh.len() - baseline.len()
+                );
+            } else {
+                eprintln!(
+                    "hint: the fresh report dropped {} cell(s) — silently losing coverage is \
+                     an error; restore the cells or regenerate the committed baseline.",
+                    baseline.len() - fresh.len()
+                );
+            }
             failed = true;
             continue;
         }

@@ -22,9 +22,10 @@
 
 use dynp_core::{DeciderKind, DynPConfig, SelfTuningScheduler};
 use dynp_des::{SimDuration, SimTime};
+use dynp_obs::Tracer;
 use dynp_rms::{AdmissionConfig, Planner, Policy, ReferencePlanner, RunningJob};
-use dynp_sim::simulate_with_reservations;
-use dynp_workload::{traces, transform, Job, JobId, ReservationModel};
+use dynp_sim::simulate_chaos;
+use dynp_workload::{traces, transform, FaultModel, FaultPlan, Job, JobId, ReservationModel};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -223,28 +224,38 @@ fn planner_report(out_dir: &std::path::Path, quick: bool) {
 }
 
 /// The end-to-end grid: full dynP simulations, incremental vs reference.
-/// The last cell carries a reservation-heavy request stream — the
-/// admission path and window-aware planning under load — and asserts the
-/// two modes still agree bit-for-bit on SLDwA.
+/// The fourth cell carries a reservation-heavy request stream — the
+/// admission path and window-aware planning under load — and the fifth
+/// is fault-heavy (seeded node outages plus job crashes), exercising
+/// eviction, retry and schedule repair. Every cell asserts the two
+/// modes still agree bit-for-bit on SLDwA — under faults too.
 fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
     let (jobs, reps) = if quick { (400, 1) } else { (1_500, 7) };
+    // (trace, shrink factor, reservation fraction, per-node MTBF seconds;
+    // 0 = fault-free).
     let grid = [
-        ("CTC", 0.7, 0.0),
-        ("SDSC", 0.7, 0.0),
-        ("KTH", 0.8, 0.0),
-        ("KTH", 0.8, 0.15),
+        ("CTC", 0.7, 0.0, 0.0),
+        ("SDSC", 0.7, 0.0, 0.0),
+        ("KTH", 0.8, 0.0, 0.0),
+        ("KTH", 0.8, 0.15, 0.0),
+        ("KTH", 0.8, 0.0, 20_000.0),
     ];
     let config = DynPConfig::paper(DeciderKind::Advanced);
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
 
-    for (trace, factor, res_fraction) in grid {
+    for (trace, factor, res_fraction, mtbf) in grid {
         let model = traces::by_name(trace).expect("known trace");
         let set = transform::shrink(&model.generate(jobs, 11), factor);
         let reqs = if res_fraction > 0.0 {
             ReservationModel::typical(res_fraction).generate(&set, 11)
         } else {
             Vec::new()
+        };
+        let plan = if mtbf > 0.0 {
+            FaultModel::typical(mtbf, 3_600.0, 0.05).generate(&set, 11)
+        } else {
+            FaultPlan::none()
         };
 
         let run = |reference: bool| {
@@ -253,7 +264,14 @@ fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
             let (events, sldwa) = {
                 let mut s = SelfTuningScheduler::new(config.clone());
                 s.set_reference_mode(reference);
-                let d = simulate_with_reservations(&set, &mut s, &reqs, AdmissionConfig::default());
+                let d = simulate_chaos(
+                    &set,
+                    &mut s,
+                    &reqs,
+                    AdmissionConfig::default(),
+                    &plan,
+                    Tracer::disabled(),
+                );
                 (d.result.events, d.result.metrics.sldwa)
             };
             let mut allocs = 0;
@@ -261,7 +279,14 @@ fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
                 let mut s = SelfTuningScheduler::new(config.clone());
                 s.set_reference_mode(reference);
                 let before = allocations();
-                let d = simulate_with_reservations(&set, &mut s, &reqs, AdmissionConfig::default());
+                let d = simulate_chaos(
+                    &set,
+                    &mut s,
+                    &reqs,
+                    AdmissionConfig::default(),
+                    &plan,
+                    Tracer::disabled(),
+                );
                 allocs = allocations() - before;
                 std::hint::black_box(&d);
             });
@@ -272,18 +297,20 @@ fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
         assert_eq!(
             inc_sldwa.to_bits(),
             ref_sldwa.to_bits(),
-            "incremental and reference modes diverged on {trace}@{factor} res={res_fraction}"
+            "incremental and reference modes diverged on {trace}@{factor} res={res_fraction} mtbf={mtbf}"
         );
         let speedup = ref_ns as f64 / inc_ns.max(1) as f64;
         speedups.push(speedup);
 
+        let mut tags = String::new();
+        if res_fraction > 0.0 {
+            let _ = write!(tags, " res={res_fraction}");
+        }
+        if mtbf > 0.0 {
+            let _ = write!(tags, " mtbf={mtbf}s");
+        }
         println!(
-            "{trace}@{factor}{} jobs={jobs}: incremental {:.2} ms, reference {:.2} ms, speedup {speedup:.2}x, allocs {inc_allocs} vs {ref_allocs}",
-            if res_fraction > 0.0 {
-                format!(" res={res_fraction}")
-            } else {
-                String::new()
-            },
+            "{trace}@{factor}{tags} jobs={jobs}: incremental {:.2} ms, reference {:.2} ms, speedup {speedup:.2}x, allocs {inc_allocs} vs {ref_allocs}",
             inc_ns as f64 / 1e6,
             ref_ns as f64 / 1e6,
         );
@@ -292,6 +319,7 @@ fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
                 .str("trace", trace)
                 .num("factor", factor)
                 .num("res_fraction", res_fraction)
+                .num("mtbf_secs", mtbf)
                 .int("jobs", jobs as u64)
                 .int("events", events)
                 .int("incremental_ns", inc_ns)

@@ -91,7 +91,9 @@ fn main() {
     exp.base_seed = args.seed;
     exp.workers = args.workers;
     exp.reservations = args.reservation_load();
+    exp.faults = args.fault_load();
     let with_reservations = exp.reservations.is_some();
+    let with_faults = exp.faults.is_some();
     eprintln!(
         "sweep: {} traces × {} factors × {} schedulers × {} sets = {} runs",
         exp.traces.len(),
@@ -107,6 +109,10 @@ fn main() {
     headers.extend(names.iter().map(|n| format!("util% {n}")));
     if with_reservations {
         headers.extend(names.iter().map(|n| format!("res-acc% {n}")));
+    }
+    if with_faults {
+        headers.extend(names.iter().map(|n| format!("lost {n}")));
+        headers.extend(names.iter().map(|n| format!("retries {n}")));
     }
     let mut table = Table::new(
         format!("sweep ({} jobs × {} sets)", args.jobs, args.sets),
@@ -127,6 +133,20 @@ fn main() {
                         .get(&model.name, factor, n)
                         .map_or(f64::NAN, |c| c.reservations.acceptance_rate());
                     row.push(num(acc * 100.0, 1));
+                }
+            }
+            if with_faults {
+                for n in &names {
+                    let lost = result
+                        .get(&model.name, factor, n)
+                        .map_or(0, |c| c.faults.lost);
+                    row.push(format!("{lost}"));
+                }
+                for n in &names {
+                    let retries = result
+                        .get(&model.name, factor, n)
+                        .map_or(0, |c| c.faults.retries);
+                    row.push(format!("{retries}"));
                 }
             }
             table.push_row(row);

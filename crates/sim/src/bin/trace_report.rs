@@ -12,7 +12,14 @@
 //!   into its Table 1 case, with the tie-break rules that fired;
 //! * a **switch attribution check** — every policy switch must trace
 //!   back to a decider verdict recorded at the same instant. Exits
-//!   non-zero when a switch is unattributable (the audit invariant).
+//!   non-zero when a switch is unattributable (the audit invariant);
+//! * a **fault attribution** section — node outages (with per-node
+//!   downtime), job faults by cause, retry backoff paid, lost jobs and
+//!   reservation repairs, so SLDwA loss under chaos can be split into
+//!   outage damage vs. scheduling.
+//!
+//! Empty or unreadable trace files are a clear error (exit 2), never a
+//! panic.
 //!
 //! ```text
 //! cargo run --release -p dynp-sim --bin trace_report -- \
@@ -54,6 +61,12 @@ fn main() {
                 std::process::exit(2);
             }
         };
+        if records.is_empty() {
+            eprintln!(
+                "error: {path}: trace is empty (no records) — was it written with --trace-out?"
+            );
+            std::process::exit(2);
+        }
         let label = Path::new(path)
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
@@ -62,6 +75,7 @@ fn main() {
         summarize(&records);
         phase_histograms(&records);
         decision_audit(&records);
+        fault_attribution(&records);
         unattributed_total += attribution_check(&records);
 
         bands.push(switch_band(&label, &records));
@@ -214,6 +228,97 @@ fn classify_decision(old: &str, scores: &[(String, f64)]) -> Option<&'static str
         score_of(Policy::Ljf)?,
     );
     table1::classify(values, old, EPSILON)
+}
+
+/// Fault attribution: splits what the trace says about chaos into the
+/// outage side (per-node downtime) and the job side (faults by cause,
+/// retry backoff paid, lost jobs, reservation repairs) — the part of
+/// the SLDwA that scheduling cannot win back.
+fn fault_attribution(records: &[ParsedRecord]) {
+    // node → (accumulated downtime ms, open down_at if currently down).
+    let mut nodes: BTreeMap<u32, (u64, Option<u64>)> = BTreeMap::new();
+    let mut reasons: BTreeMap<String, usize> = BTreeMap::new();
+    let mut retries = 0usize;
+    let mut backoff_ms = 0u64;
+    let mut lost: Vec<(u32, u32)> = Vec::new();
+    let mut repairs: BTreeMap<String, usize> = BTreeMap::new();
+    let mut end_ms = 0u64;
+    for r in records {
+        end_ms = end_ms.max(r.sim_ms);
+        match &r.event {
+            ParsedEvent::NodeDown { node } => {
+                nodes.entry(*node).or_default().1 = Some(r.sim_ms);
+            }
+            ParsedEvent::NodeUp { node } => {
+                let entry = nodes.entry(*node).or_default();
+                if let Some(down_at) = entry.1.take() {
+                    entry.0 += r.sim_ms.saturating_sub(down_at);
+                }
+            }
+            ParsedEvent::JobFault { reason, .. } => {
+                *reasons.entry(reason.clone()).or_default() += 1;
+            }
+            ParsedEvent::JobRetry { delay_ms, .. } => {
+                retries += 1;
+                backoff_ms += delay_ms;
+            }
+            ParsedEvent::JobLost { job, attempts } => lost.push((*job, *attempts)),
+            ParsedEvent::ReservationRepair { action, .. } => {
+                *repairs.entry(action.clone()).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+    if nodes.is_empty() && reasons.is_empty() && lost.is_empty() && repairs.is_empty() {
+        println!("fault attribution: fault-free trace");
+        return;
+    }
+    println!("fault attribution:");
+    if !nodes.is_empty() {
+        // A node still down at the last record contributes up to there.
+        let total_ms: u64 = nodes
+            .values()
+            .map(|(acc, open)| acc + open.map_or(0, |d| end_ms.saturating_sub(d)))
+            .sum();
+        println!(
+            "  outages: {} node(s) affected, {:.0} s total downtime",
+            nodes.len(),
+            total_ms as f64 / 1000.0
+        );
+        for (node, (acc, open)) in &nodes {
+            let ms = acc + open.map_or(0, |d| end_ms.saturating_sub(d));
+            println!(
+                "    node {node}: {:.0} s down{}",
+                ms as f64 / 1000.0,
+                if open.is_some() {
+                    " (still down at trace end)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    if !reasons.is_empty() {
+        let line: Vec<String> = reasons.iter().map(|(k, v)| format!("{k}×{v}")).collect();
+        println!("  job faults by cause: {}", line.join(", "));
+    }
+    if retries > 0 {
+        println!(
+            "  retries: {retries}, {:.0} s backoff paid",
+            backoff_ms as f64 / 1000.0
+        );
+    }
+    if !lost.is_empty() {
+        let ids: Vec<String> = lost
+            .iter()
+            .map(|(j, a)| format!("#{j} ({a} attempts)"))
+            .collect();
+        println!("  lost jobs: {} — {}", lost.len(), ids.join(", "));
+    }
+    if !repairs.is_empty() {
+        let line: Vec<String> = repairs.iter().map(|(k, v)| format!("{k}×{v}")).collect();
+        println!("  reservation repairs: {}", line.join(", "));
+    }
 }
 
 /// The audit invariant: every `switch` record must be preceded by a

@@ -13,13 +13,18 @@
 //! --res-fraction F  offered booked-area fraction of a reservation
 //!                   stream riding on every run (default 0 = none)
 //! --res-slack S     admission guarantee slack in seconds (default 0)
+//! --mtbf S          per-node mean time between failures in seconds
+//!                   (default 0 = no node outages)
+//! --mttr S          mean node repair time in seconds (default 3600)
+//! --crash-prob P    first-attempt job crash probability (overruns ride
+//!                   along at P/2; default 0 = none)
 //! --trace-out BASE  write a structured trace of one run to BASE.jsonl
 //!                   (audit log) and BASE.trace.json (chrome://tracing)
 //! --trace-level L   off | decisions | spans | all (default: decisions
 //!                   when --trace-out is given, off otherwise)
 //! ```
 
-use crate::experiment::ReservationLoad;
+use crate::experiment::{FaultLoad, ReservationLoad};
 use dynp_obs::TraceLevel;
 use dynp_workload::{traces, TraceModel};
 use std::path::PathBuf;
@@ -44,6 +49,12 @@ pub struct CommonArgs {
     pub res_fraction: f64,
     /// Admission guarantee slack in seconds.
     pub res_slack_secs: u64,
+    /// Per-node mean time between failures in seconds (0 = no outages).
+    pub mtbf_secs: f64,
+    /// Mean node repair time in seconds.
+    pub mttr_secs: f64,
+    /// First-attempt job crash probability (0 = none).
+    pub crash_prob: f64,
     /// Base path for structured trace output (`BASE.jsonl` +
     /// `BASE.trace.json`), if tracing was requested.
     pub trace_out: Option<PathBuf>,
@@ -64,6 +75,9 @@ impl Default for CommonArgs {
             out: None,
             res_fraction: 0.0,
             res_slack_secs: 0,
+            mtbf_secs: 0.0,
+            mttr_secs: 3_600.0,
+            crash_prob: 0.0,
             trace_out: None,
             trace_level: None,
             rest: Vec::new(),
@@ -82,6 +96,7 @@ impl CommonArgs {
                     "usage: [--jobs N] [--sets K] [--quick] [--trace NAME]... \
                      [--seed S] [--workers W] [--out DIR] \
                      [--res-fraction F] [--res-slack S] \
+                     [--mtbf S] [--mttr S] [--crash-prob P] \
                      [--trace-out BASE] [--trace-level off|decisions|spans|all]"
                 );
                 std::process::exit(2);
@@ -142,6 +157,30 @@ impl CommonArgs {
                     out.res_slack_secs = value("--res-slack")?
                         .parse()
                         .map_err(|_| "--res-slack expects an integer".to_string())?;
+                }
+                "--mtbf" => {
+                    out.mtbf_secs = value("--mtbf")?
+                        .parse()
+                        .map_err(|_| "--mtbf expects a number of seconds".to_string())?;
+                    if out.mtbf_secs < 0.0 {
+                        return Err("--mtbf must be non-negative".to_string());
+                    }
+                }
+                "--mttr" => {
+                    out.mttr_secs = value("--mttr")?
+                        .parse()
+                        .map_err(|_| "--mttr expects a number of seconds".to_string())?;
+                    if out.mttr_secs <= 0.0 {
+                        return Err("--mttr must be positive".to_string());
+                    }
+                }
+                "--crash-prob" => {
+                    out.crash_prob = value("--crash-prob")?
+                        .parse()
+                        .map_err(|_| "--crash-prob expects a probability".to_string())?;
+                    if !(0.0..=0.5).contains(&out.crash_prob) {
+                        return Err("--crash-prob must be in [0, 0.5]".to_string());
+                    }
                 }
                 "--trace-out" => {
                     out.trace_out = Some(PathBuf::from(value("--trace-out")?));
@@ -205,6 +244,19 @@ impl CommonArgs {
             Some(ReservationLoad {
                 booked_fraction: self.res_fraction,
                 guarantee_slack_secs: self.res_slack_secs,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The fault-injection load the flags select, if any.
+    pub fn fault_load(&self) -> Option<FaultLoad> {
+        if self.mtbf_secs > 0.0 || self.crash_prob > 0.0 {
+            Some(FaultLoad {
+                mtbf_secs: self.mtbf_secs,
+                mttr_secs: self.mttr_secs,
+                crash_prob: self.crash_prob,
             })
         } else {
             None
@@ -312,5 +364,30 @@ mod tests {
         let load = a.reservation_load().unwrap();
         assert_eq!(load.booked_fraction, 0.2);
         assert_eq!(load.guarantee_slack_secs, 600);
+    }
+
+    #[test]
+    fn fault_flags_select_a_load() {
+        let a = parse(&[]).unwrap();
+        assert!(a.fault_load().is_none());
+
+        let a = parse(&["--mtbf", "50000", "--mttr", "1800", "--crash-prob", "0.05"]).unwrap();
+        let load = a.fault_load().unwrap();
+        assert_eq!(load.mtbf_secs, 50_000.0);
+        assert_eq!(load.mttr_secs, 1_800.0);
+        assert_eq!(load.crash_prob, 0.05);
+        assert!(!load.model().is_disabled());
+
+        // Either knob alone enables the load.
+        assert!(parse(&["--crash-prob", "0.1"])
+            .unwrap()
+            .fault_load()
+            .is_some());
+        assert!(parse(&["--mtbf", "90000"]).unwrap().fault_load().is_some());
+
+        assert!(parse(&["--mtbf", "-1"]).is_err());
+        assert!(parse(&["--mttr", "0"]).is_err());
+        assert!(parse(&["--crash-prob", "0.9"]).is_err());
+        assert!(parse(&["--crash-prob", "x"]).is_err());
     }
 }

@@ -9,12 +9,15 @@
 //! run is independent and deterministic, so the sweep result does not
 //! depend on scheduling order or worker count.
 
-use crate::runner::{simulate, simulate_with_reservations};
+use crate::runner::simulate_chaos;
 use crate::spec::SchedulerSpec;
 use dynp_des::SimDuration;
-use dynp_metrics::{CombinedMetrics, ReservationStats, SimMetrics};
+use dynp_metrics::{CombinedMetrics, FaultStats, ReservationStats, SimMetrics};
+use dynp_obs::Tracer;
 use dynp_rms::AdmissionConfig;
-use dynp_workload::{transform, JobSet, ReservationModel, TraceModel};
+use dynp_workload::{
+    transform, FaultModel, FaultPlan, JobSet, ReservationModel, ReservationRequest, TraceModel,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +45,9 @@ pub struct CellResult {
     /// drop-min/max convention applies to job metrics only). All zeros
     /// when the sweep carries no reservation load.
     pub reservations: ReservationStats,
+    /// Fault/recovery counters summed over all K job sets. All zeros
+    /// when the sweep carries no fault load.
+    pub faults: FaultStats,
 }
 
 /// The full sweep result.
@@ -128,6 +134,28 @@ impl ReservationLoad {
     }
 }
 
+/// A fault-injection load riding on every run of a sweep (see
+/// [`FaultModel::typical`] for the distribution mix the three knobs
+/// select).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultLoad {
+    /// Mean time between per-node failures, in seconds (`<= 0` disables
+    /// node outages).
+    pub mtbf_secs: f64,
+    /// Mean node repair time in seconds.
+    pub mttr_secs: f64,
+    /// Probability a job crashes or overruns on its first attempt (the
+    /// typical mix: crash at this rate, overrun at half of it).
+    pub crash_prob: f64,
+}
+
+impl FaultLoad {
+    /// The seeded fault-trace generator this load selects.
+    pub fn model(&self) -> FaultModel {
+        FaultModel::typical(self.mtbf_secs, self.mttr_secs, self.crash_prob)
+    }
+}
+
 /// A sweep definition.
 #[derive(Clone, Debug)]
 pub struct Experiment {
@@ -149,6 +177,9 @@ pub struct Experiment {
     /// keeps the sweep on the plain job-only path (bit-identical to the
     /// pre-reservation harness).
     pub reservations: Option<ReservationLoad>,
+    /// Optional fault-injection load applied to every run. `None` keeps
+    /// every run fault-free (bit-identical to the pre-fault harness).
+    pub faults: Option<FaultLoad>,
 }
 
 impl Experiment {
@@ -169,6 +200,7 @@ impl Experiment {
             base_seed: 0x5EED,
             workers: 0,
             reservations: None,
+            faults: None,
         }
     }
 
@@ -210,7 +242,7 @@ impl Experiment {
             }
         }
 
-        let results: Mutex<Vec<Option<(SimMetrics, ReservationStats)>>> =
+        let results: Mutex<Vec<Option<(SimMetrics, ReservationStats, FaultStats)>>> =
             Mutex::new(vec![None; tasks.len()]);
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
@@ -232,25 +264,33 @@ impl Experiment {
                     let base = &base_sets[task.trace][task.set];
                     let set = transform::shrink(base, self.factors[task.factor]);
                     let mut scheduler = self.schedulers[task.sched].build();
-                    let outcome = match &self.reservations {
-                        None => (
-                            simulate(&set, scheduler.as_mut()).metrics,
-                            ReservationStats::default(),
-                        ),
-                        Some(load) => {
-                            let model = ReservationModel::typical(load.booked_fraction);
-                            let reqs =
-                                model.generate(&set, self.base_seed.wrapping_add(task.set as u64));
-                            let d = simulate_with_reservations(
-                                &set,
-                                scheduler.as_mut(),
-                                &reqs,
+                    // Every run goes through the single chaos driver:
+                    // empty request/fault inputs are bit-identical to the
+                    // historical plain paths (pinned by runner tests).
+                    let run_seed = self.base_seed.wrapping_add(task.set as u64);
+                    let (reqs, admission): (Vec<ReservationRequest>, AdmissionConfig) =
+                        match &self.reservations {
+                            None => (Vec::new(), AdmissionConfig::default()),
+                            Some(load) => (
+                                ReservationModel::typical(load.booked_fraction)
+                                    .generate(&set, run_seed),
                                 load.admission(),
-                            );
-                            (d.result.metrics, d.reservations.stats)
-                        }
+                            ),
+                        };
+                    let plan = match &self.faults {
+                        None => FaultPlan::none(),
+                        Some(load) => load.model().generate(&set, run_seed),
                     };
-                    results.lock().unwrap()[i] = Some(outcome);
+                    let d = simulate_chaos(
+                        &set,
+                        scheduler.as_mut(),
+                        &reqs,
+                        admission,
+                        &plan,
+                        Tracer::disabled(),
+                    );
+                    results.lock().unwrap()[i] =
+                        Some((d.result.metrics, d.reservations.stats, d.faults));
                     let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                     progress(d, total);
                 });
@@ -268,10 +308,12 @@ impl Experiment {
                         ((t * self.factors.len() + f) * self.schedulers.len() + s) * sets;
                     let mut runs = Vec::with_capacity(sets);
                     let mut res_stats = ReservationStats::default();
+                    let mut fault_stats = FaultStats::default();
                     for k in 0..sets {
-                        let (m, r) = metrics[base_idx + k].expect("missing run result");
+                        let (m, r, fs) = metrics[base_idx + k].expect("missing run result");
                         runs.push(m);
                         res_stats.merge(&r);
+                        fault_stats.merge(&fs);
                     }
                     cells.push(CellResult {
                         cell: Cell {
@@ -281,6 +323,7 @@ impl Experiment {
                         },
                         combined: CombinedMetrics::combine(&runs),
                         reservations: res_stats,
+                        faults: fault_stats,
                     });
                 }
             }
@@ -367,7 +410,7 @@ mod tests {
             assert!(c.reservations.requests > 0, "{:?} saw no requests", c.cell);
             assert_eq!(
                 c.reservations.admitted,
-                c.reservations.honored + c.reservations.cancelled
+                c.reservations.honored + c.reservations.cancelled + c.reservations.revoked
             );
         }
         // The plain sweep stays untouched: all-zero counters and the
@@ -375,6 +418,32 @@ mod tests {
         let plain = tiny_experiment(2).run();
         for (with, without) in r.cells.iter().zip(&plain.cells) {
             assert_eq!(without.reservations, ReservationStats::default());
+            assert_eq!(with.cell, without.cell);
+        }
+    }
+
+    #[test]
+    fn fault_load_rides_on_every_run() {
+        let mut e = tiny_experiment(2);
+        e.faults = Some(FaultLoad {
+            mtbf_secs: 20_000.0,
+            mttr_secs: 3_600.0,
+            crash_prob: 0.05,
+        });
+        let r = e.run();
+        for c in &r.cells {
+            assert!(
+                !c.faults.is_empty(),
+                "{:?} saw no fault activity at all",
+                c.cell
+            );
+            assert_eq!(c.faults.down_node_allocations, 0, "{:?}", c.cell);
+            assert_eq!(c.faults.node_downs, c.faults.node_ups);
+        }
+        // The fault-free sweep stays untouched: all-zero counters.
+        let plain = tiny_experiment(2).run();
+        for (with, without) in r.cells.iter().zip(&plain.cells) {
+            assert_eq!(without.faults, FaultStats::default());
             assert_eq!(with.cell, without.cell);
         }
     }

@@ -24,9 +24,9 @@ pub mod runner;
 pub mod spec;
 pub mod svg;
 
-pub use experiment::{Cell, CellResult, Experiment, ExperimentResult, ReservationLoad};
+pub use experiment::{Cell, CellResult, Experiment, ExperimentResult, FaultLoad, ReservationLoad};
 pub use runner::{
-    simulate, simulate_detailed, simulate_traced, simulate_with_reservations, DetailedRun,
-    ReservationReport, RunObservations, RunResult,
+    simulate, simulate_chaos, simulate_detailed, simulate_traced, simulate_with_reservations,
+    DetailedRun, ReservationReport, RunObservations, RunResult,
 };
 pub use spec::SchedulerSpec;

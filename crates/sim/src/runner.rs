@@ -16,15 +16,26 @@
 //! and window start/end/cancel become events of their own. With an empty
 //! request stream the event sequence — and therefore every schedule and
 //! metric — is bit-identical to [`simulate_detailed`].
+//!
+//! [`simulate_chaos`] finally adds the fault axis: a deterministic
+//! [`FaultPlan`] injects node outages and per-job first-attempt failures.
+//! A node loss shrinks the plannable capacity, evicts the node's
+//! occupant, and triggers schedule repair of the reservation book
+//! (downgrade or revoke windows that no longer fit the degraded
+//! machine); failed attempts are retried with exponential backoff until
+//! the retry budget is spent and the job becomes `Lost`. Job conservation
+//! generalizes to `completed + lost == submitted`. With the empty
+//! [`FaultPlan::none`] the run is bit-identical to [`simulate_traced`] —
+//! all three entry points are the same driver loop.
 
-use dynp_des::{Engine, TimeWeighted};
-use dynp_metrics::{ReservationStats, SimMetrics};
+use dynp_des::{Engine, SimDuration, SimTime, TimeWeighted};
+use dynp_metrics::{FaultStats, ReservationStats, SimMetrics};
 use dynp_obs::{TraceClass, TraceEvent, Tracer};
 use dynp_rms::{
-    AdmissionConfig, AdmissionController, CompletedJob, RejectReason, ReplanReason, Reservation,
-    RmsState, Scheduler,
+    AdmissionConfig, AdmissionController, CompletedJob, RejectReason, RepairAction, ReplanReason,
+    Reservation, RmsState, Scheduler,
 };
-use dynp_workload::{JobId, JobSet, ReservationRequest};
+use dynp_workload::{FaultKind, FaultPlan, JobId, JobSet, ReservationRequest, RetryPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Events of the RMS simulation.
@@ -32,8 +43,10 @@ use serde::{Deserialize, Serialize};
 enum Event {
     /// A job reaches the system.
     Arrive(JobId),
-    /// A running job's actual run time elapses.
-    Finish(JobId),
+    /// A running job's actual run time elapses. Tagged with the execution
+    /// attempt it belongs to, so a completion scheduled for an attempt
+    /// that was later evicted by a node loss is recognized as stale.
+    Finish(JobId, u32),
     /// A reservation request (index into the request stream) reaches the
     /// admission controller.
     ResRequest(u32),
@@ -43,6 +56,16 @@ enum Event {
     ResEnd(u32),
     /// The user withdraws an admitted window (book id) before its start.
     ResCancel(u32),
+    /// A node fails and leaves the usable machine.
+    NodeDown(u32),
+    /// A failed node is repaired and rejoins the machine.
+    NodeUp(u32),
+    /// A planned first-attempt failure (crash or walltime overrun) kills
+    /// the given execution attempt; stale if that attempt was already
+    /// evicted by a node loss.
+    Kill(JobId, u32),
+    /// A failed job's retry backoff elapses and it re-enters the queue.
+    Resubmit(JobId),
 }
 
 impl Event {
@@ -50,11 +73,15 @@ impl Event {
     fn trace_parts(&self) -> (&'static str, u64) {
         match *self {
             Event::Arrive(id) => ("arrive", id.0 as u64),
-            Event::Finish(id) => ("finish", id.0 as u64),
+            Event::Finish(id, _) => ("finish", id.0 as u64),
             Event::ResRequest(i) => ("res_request", i as u64),
             Event::ResStart(i) => ("res_start", i as u64),
             Event::ResEnd(i) => ("res_end", i as u64),
             Event::ResCancel(i) => ("res_cancel", i as u64),
+            Event::NodeDown(n) => ("node_down", n as u64),
+            Event::NodeUp(n) => ("node_up", n as u64),
+            Event::Kill(id, _) => ("kill", id.0 as u64),
+            Event::Resubmit(id) => ("resubmit", id.0 as u64),
         }
     }
 }
@@ -112,6 +139,8 @@ pub struct DetailedRun {
     /// Reservation-stream outcome (all zeros/empty for reservation-free
     /// runs).
     pub reservations: ReservationReport,
+    /// Fault and recovery counters (all zeros for fault-free runs).
+    pub faults: FaultStats,
 }
 
 /// Simulates `set` under `scheduler` until every job has completed.
@@ -175,6 +204,100 @@ pub fn simulate_traced(
     admission: AdmissionConfig,
     tracer: Tracer,
 ) -> DetailedRun {
+    simulate_chaos(
+        set,
+        scheduler,
+        requests,
+        admission,
+        &FaultPlan::none(),
+        tracer,
+    )
+}
+
+/// Resolves one failed execution attempt at `now`: evicts the job from
+/// the machine and either retries it (returning the resubmission instant
+/// the caller must schedule) or, once the retry budget is spent, moves it
+/// to the typed `Lost` terminal pool. `failures` is the 1-based count of
+/// failed attempts including this one.
+#[allow(clippy::too_many_arguments)]
+fn resolve_failure(
+    state: &mut RmsState,
+    fstats: &mut FaultStats,
+    tracer: &Tracer,
+    retry: &RetryPolicy,
+    now: SimTime,
+    id: JobId,
+    failures: u32,
+    reason: &'static str,
+) -> Option<SimTime> {
+    let run = state.fail(id, now);
+    tracer.record(
+        now,
+        TraceEvent::JobFault {
+            job: id.0,
+            attempt: failures,
+            reason,
+        },
+    );
+    if retry.exhausted(failures) {
+        fstats.lost += 1;
+        tracer.record(
+            now,
+            TraceEvent::JobLost {
+                job: id.0,
+                attempts: failures,
+            },
+        );
+        state.mark_lost(run.job, now, failures);
+        None
+    } else {
+        fstats.retries += 1;
+        let delay = retry.delay_after(failures);
+        tracer.record(
+            now,
+            TraceEvent::JobRetry {
+                job: id.0,
+                attempt: failures,
+                delay_ms: delay.as_millis(),
+            },
+        );
+        Some(now.saturating_add(delay))
+    }
+}
+
+/// [`simulate_traced`] with a deterministic fault trace injected: node
+/// outages from `faults.outages` become `NodeDown`/`NodeUp` events, and
+/// each job's planned first-attempt failure (crash or walltime overrun)
+/// kills that attempt mid-run. This is the single driver loop behind
+/// every `simulate*` entry point — with [`FaultPlan::none`] the event
+/// sequence, schedules, metrics and traces are bit-identical to
+/// [`simulate_traced`].
+///
+/// Fault semantics:
+///
+/// * a `NodeDown` shrinks [`RmsState::plan_capacity`], evicts the node's
+///   occupant (if any) and repairs the reservation book — windows that no
+///   longer fit the degraded machine are downgraded to the widest width
+///   that still fits or revoked outright;
+/// * failed attempts are resubmitted after exponential backoff
+///   (`faults.retry`) until the budget is spent; the job then leaves the
+///   system in the typed `Lost` state;
+/// * faults strike *first* attempts only (a transient-failure model):
+///   every retry runs clean, so a retried job is lost only to repeated
+///   node losses.
+///
+/// # Panics
+/// Panics if the run ends violating job conservation
+/// (`completed + lost == submitted`) or with a non-empty reservation
+/// book — either would be a driver bug.
+pub fn simulate_chaos(
+    set: &JobSet,
+    scheduler: &mut dyn Scheduler,
+    requests: &[ReservationRequest],
+    admission: AdmissionConfig,
+    faults: &FaultPlan,
+    tracer: Tracer,
+) -> DetailedRun {
     let mut state = RmsState::new(set.machine_size);
     let mut controller = AdmissionController::new(admission);
     scheduler.set_tracer(tracer.clone());
@@ -188,6 +311,18 @@ pub fn simulate_traced(
     for (i, r) in requests.iter().enumerate() {
         engine.schedule_at(r.submit, Event::ResRequest(i as u32));
     }
+    // Outages are sorted by down_at, and a node's repair precedes its next
+    // failure, so same-instant NodeUp/NodeDown pairs on one node dispatch
+    // in FIFO (up-then-down) order and never double-fail a node.
+    for o in &faults.outages {
+        engine.schedule_at(o.down_at, Event::NodeDown(o.node));
+        engine.schedule_at(o.up_at, Event::NodeUp(o.node));
+    }
+    // Execution attempts spent per job (dense ids); a pending Finish/Kill
+    // whose attempt tag no longer matches is stale and ignored.
+    let mut attempts: Vec<u32> = vec![0; set.len()];
+    let mut fstats = FaultStats::default();
+    let retry = faults.retry;
     // Observation clocks start at the first event of either stream — a
     // reservation request may precede the first job submission.
     let t0 = requests
@@ -215,9 +350,111 @@ pub fn simulate_traced(
                 state.submit(*set.job(id));
                 ReplanReason::Submission
             }
-            Event::Finish(id) => {
+            Event::Finish(id, attempt) => {
+                // Stale when the attempt it was scheduled for has been
+                // evicted by a node loss (the job is waiting out a retry
+                // backoff, running a later attempt, or lost).
+                if attempts[id.0 as usize] != attempt
+                    || !state.running().iter().any(|r| r.job.id == id)
+                {
+                    return;
+                }
                 state.complete(id, now);
                 ReplanReason::Completion
+            }
+            Event::NodeDown(node) => {
+                fstats.node_downs += 1;
+                tracer.record(now, TraceEvent::NodeDown { node });
+                if let Some(id) = state.node_down(node) {
+                    fstats.evictions += 1;
+                    let failures = attempts[id.0 as usize];
+                    if let Some(at) = resolve_failure(
+                        &mut state,
+                        &mut fstats,
+                        &tracer,
+                        &retry,
+                        now,
+                        id,
+                        failures,
+                        "node-loss",
+                    ) {
+                        eng.schedule_at(at, Event::Resubmit(id));
+                    }
+                }
+                // The machine shrank: re-validate every admitted window
+                // against the degraded capacity before anyone replans
+                // around a promise that can no longer be kept.
+                for action in state.repair_reservations(now) {
+                    match action {
+                        RepairAction::Downgraded { id, to_width, .. } => {
+                            report.stats.downgraded += 1;
+                            // Keep the realized record honest: the window
+                            // runs (and is honored) at its reduced width.
+                            admitted[id as usize].0.width = to_width;
+                            tracer.record(
+                                now,
+                                TraceEvent::ReservationRepair {
+                                    reservation: id,
+                                    action: "downgraded",
+                                    width: to_width,
+                                },
+                            );
+                        }
+                        RepairAction::Revoked { id } => {
+                            report.stats.revoked += 1;
+                            admitted[id as usize].1 = true;
+                            tracer.record(
+                                now,
+                                TraceEvent::ReservationRepair {
+                                    reservation: id,
+                                    action: "revoked",
+                                    width: 0,
+                                },
+                            );
+                        }
+                    }
+                }
+                ReplanReason::Fault
+            }
+            Event::NodeUp(node) => {
+                fstats.node_ups += 1;
+                tracer.record(now, TraceEvent::NodeUp { node });
+                state.node_up(node);
+                ReplanReason::Fault
+            }
+            Event::Kill(id, attempt) => {
+                // Stale when a node loss already evicted this attempt.
+                if attempts[id.0 as usize] != attempt
+                    || !state.running().iter().any(|r| r.job.id == id)
+                {
+                    return;
+                }
+                let kind = faults
+                    .fault_of(id.0)
+                    .expect("kill event without a planned fault");
+                match kind {
+                    FaultKind::Crash { .. } => fstats.crashes += 1,
+                    FaultKind::Overrun => fstats.overruns += 1,
+                }
+                if let Some(at) = resolve_failure(
+                    &mut state,
+                    &mut fstats,
+                    &tracer,
+                    &retry,
+                    now,
+                    id,
+                    attempt,
+                    kind.label(),
+                ) {
+                    eng.schedule_at(at, Event::Resubmit(id));
+                }
+                ReplanReason::Fault
+            }
+            Event::Resubmit(id) => {
+                // The job keeps its original submission time: waiting
+                // metrics measure from the first submission.
+                state.resubmit(*set.job(id));
+                ReplanReason::Submission
             }
             Event::ResRequest(idx) => {
                 let r = &requests[idx as usize];
@@ -303,6 +540,11 @@ pub fn simulate_traced(
                 ReplanReason::Reservation
             }
             Event::ResCancel(book_id) => {
+                // Nothing left to withdraw when schedule repair already
+                // revoked the window after a capacity loss.
+                if admitted[book_id as usize].1 {
+                    return;
+                }
                 let existed = state.cancel_reservation(book_id);
                 debug_assert!(
                     existed,
@@ -317,10 +559,41 @@ pub fn simulate_traced(
         let trace_backfill = tracer.wants(TraceClass::Dispatch);
         let mut started = Vec::new();
         for entry in schedule.due(now) {
-            let run = state.start(entry.job.id, now);
-            eng.schedule_at(run.actual_end(), Event::Finish(entry.job.id));
+            let id = entry.job.id;
+            let run = state.start(id, now);
+            attempts[id.0 as usize] += 1;
+            let attempt = attempts[id.0 as usize];
+            // The fault model strikes first attempts only.
+            let planned = if attempt == 1 {
+                faults.fault_of(id.0)
+            } else {
+                None
+            };
+            match planned {
+                Some(FaultKind::Crash { fraction }) => {
+                    let actual = run.actual_end().saturating_since(run.start);
+                    let offset = actual.scale(fraction).max(SimDuration::from_millis(1));
+                    eng.schedule_at(run.start.saturating_add(offset), Event::Kill(id, attempt));
+                }
+                Some(FaultKind::Overrun) => {
+                    // The attempt would exceed its estimate; the planning
+                    // RMS walltime-kills it exactly at start + estimate.
+                    eng.schedule_at(run.estimated_end(), Event::Kill(id, attempt));
+                }
+                None => eng.schedule_at(run.actual_end(), Event::Finish(id, attempt)),
+            }
+            if state.down_nodes() > 0 {
+                // Chaos invariant, counted rather than asserted so the
+                // harness can verify it end to end: a start never lands
+                // on a down node.
+                fstats.down_node_allocations += state
+                    .nodes_of(id)
+                    .iter()
+                    .filter(|&&n| state.is_node_down(n))
+                    .count() as u64;
+            }
             if trace_backfill {
-                started.push((entry.job.id, entry.job.width, entry.job.submit));
+                started.push((id, entry.job.width, entry.job.submit));
             }
         }
         // A started job "backfilled" iff earlier-submitted jobs are still
@@ -351,20 +624,26 @@ pub fn simulate_traced(
         state.running().len()
     );
     assert_eq!(
-        state.completed().len(),
+        state.completed().len() + state.lost().len(),
         set.len(),
         "job conservation violated"
     );
+    debug_assert_eq!(state.lost().len() as u64, fstats.lost);
     assert!(
         state.reservations().all().is_empty(),
         "simulation drained with {} windows still booked",
         state.reservations().all().len()
     );
     debug_assert_eq!(
-        report.stats.honored + report.stats.cancelled,
+        report.stats.honored + report.stats.cancelled + report.stats.revoked,
         report.stats.admitted,
-        "admitted windows must end or be cancelled"
+        "admitted windows must end, be cancelled, or be revoked by repair"
     );
+    fstats.downtime_secs = faults
+        .outages
+        .iter()
+        .map(|o| o.downtime().as_secs_f64())
+        .sum();
 
     let end = engine.now();
     let result = RunResult {
@@ -382,6 +661,7 @@ pub fn simulate_traced(
         },
         completed: state.into_completed(),
         reservations: report,
+        faults: fstats,
     }
 }
 
@@ -680,6 +960,192 @@ mod tests {
         assert_eq!(ra.metrics.sldwa, rb.metrics.sldwa);
         assert_eq!(ra.metrics.utilization, rb.metrics.utilization);
         assert_eq!(ra.events, rb.events);
+    }
+
+    fn chaos(set: &JobSet, scheduler: &mut dyn Scheduler, faults: &FaultPlan) -> DetailedRun {
+        simulate_chaos(
+            set,
+            scheduler,
+            &[],
+            AdmissionConfig::default(),
+            faults,
+            Tracer::disabled(),
+        )
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plain_run() {
+        let set = dynp_workload::traces::ctc().generate(200, 5);
+        let mut a = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+        let mut b = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+        let plain = simulate_detailed(&set, &mut a);
+        let with = chaos(&set, &mut b, &FaultPlan::none());
+        assert_eq!(
+            plain.result.metrics.sldwa.to_bits(),
+            with.result.metrics.sldwa.to_bits()
+        );
+        assert_eq!(plain.result.events, with.result.events);
+        assert!(with.faults.is_empty());
+    }
+
+    #[test]
+    fn node_loss_evicts_and_retries_the_occupant() {
+        // Machine 2: job 0 (width 1) starts at t=0 on node 0. Node 0 dies
+        // at t=50 → eviction, retry after the 300 s default backoff →
+        // resubmitted at 350, runs clean 350..450.
+        let set = JobSet::new("t", 2, vec![j(0, 0, 1, 100, 100)]);
+        let faults = FaultPlan {
+            outages: vec![dynp_workload::NodeOutage {
+                node: 0,
+                down_at: SimTime::from_secs(50),
+                up_at: SimTime::from_secs(60),
+            }],
+            ..FaultPlan::none()
+        };
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let d = chaos(&set, &mut s, &faults);
+        assert_eq!(d.completed.len(), 1);
+        assert_eq!(d.faults.node_downs, 1);
+        assert_eq!(d.faults.node_ups, 1);
+        assert_eq!(d.faults.evictions, 1);
+        assert_eq!(d.faults.retries, 1);
+        assert_eq!(d.faults.lost, 0);
+        assert_eq!(d.faults.down_node_allocations, 0);
+        // Wait is measured from the ORIGINAL submission: start 350.
+        assert!((d.result.metrics.avg_wait_secs - 350.0).abs() < 1e-9);
+        assert!((d.faults.downtime_secs - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_fault_kills_mid_run_and_the_retry_completes() {
+        let set = JobSet::new("t", 2, vec![j(0, 0, 1, 100, 80)]);
+        let faults = FaultPlan {
+            job_faults: vec![(0, FaultKind::Crash { fraction: 0.5 })],
+            ..FaultPlan::none()
+        };
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let d = chaos(&set, &mut s, &faults);
+        assert_eq!(d.faults.crashes, 1);
+        assert_eq!(d.faults.retries, 1);
+        assert_eq!(d.completed.len(), 1);
+        // Crash at 40 (half of actual 80), resubmit at 40+300, clean run
+        // of 80 → completion at 420.
+        assert_eq!(d.completed[0].end, SimTime::from_secs(420));
+    }
+
+    #[test]
+    fn overrun_fault_is_walltime_killed_at_the_estimate() {
+        let set = JobSet::new("t", 2, vec![j(0, 0, 1, 100, 60)]);
+        let faults = FaultPlan {
+            job_faults: vec![(0, FaultKind::Overrun)],
+            ..FaultPlan::none()
+        };
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let d = chaos(&set, &mut s, &faults);
+        assert_eq!(d.faults.overruns, 1);
+        // Killed at start + estimate = 100, resubmitted at 400, runs its
+        // actual 60 → completion at 460.
+        assert_eq!(d.completed[0].end, SimTime::from_secs(460));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_loses_the_job_but_conserves_it() {
+        let set = JobSet::new("t", 2, vec![j(0, 0, 1, 100, 80), j(1, 0, 1, 50, 50)]);
+        let faults = FaultPlan {
+            job_faults: vec![(0, FaultKind::Crash { fraction: 0.25 })],
+            retry: dynp_workload::RetryPolicy {
+                max_retries: 0,
+                backoff: SimDuration::from_secs(300),
+                factor: 2.0,
+            },
+            ..FaultPlan::none()
+        };
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let d = chaos(&set, &mut s, &faults);
+        // Job 0 is lost on its first failure; job 1 completes. The run
+        // drains without tripping the conservation assert.
+        assert_eq!(d.faults.lost, 1);
+        assert_eq!(d.faults.retries, 0);
+        assert_eq!(d.completed.len(), 1);
+        assert_eq!(d.completed[0].job.id, JobId(1));
+        assert_eq!(d.result.metrics.jobs, 1);
+    }
+
+    #[test]
+    fn capacity_loss_downgrades_or_revokes_admitted_windows() {
+        // Machine 3: a width-2 window [100, 200) is admitted at t=0, then
+        // a width-1 job (estimate 300) starts at t=1 beside it. Nodes 2
+        // and 1 die at t=10 and t=11: the first loss shrinks capacity to
+        // 2 and downgrades the window to width 1; the second leaves only
+        // the node under the running job, so the window fits at no width
+        // and is revoked.
+        let set = JobSet::new("t", 3, vec![j(0, 1, 1, 300, 300)]);
+        let reqs = [req(0, 0, 100, 100, 2, None)];
+        let outage = |node, down_s, up_s| dynp_workload::NodeOutage {
+            node,
+            down_at: SimTime::from_secs(down_s),
+            up_at: SimTime::from_secs(up_s),
+        };
+        let faults = FaultPlan {
+            outages: vec![outage(2, 10, 400), outage(1, 11, 401)],
+            ..FaultPlan::none()
+        };
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let d = simulate_chaos(
+            &set,
+            &mut s,
+            &reqs,
+            AdmissionConfig::default(),
+            &faults,
+            Tracer::disabled(),
+        );
+        assert_eq!(d.reservations.stats.admitted, 1);
+        assert_eq!(d.reservations.stats.downgraded, 1);
+        assert_eq!(d.reservations.stats.revoked, 1);
+        assert_eq!(d.reservations.stats.honored, 0);
+        assert!(d.reservations.honored.is_empty());
+        assert_eq!(d.faults.evictions, 0);
+
+        // Machine 2 with no job running during the window: losing the
+        // idle node still forces a downgrade to width 1, and the window
+        // is honored at the reduced width.
+        let set = JobSet::new("t", 2, vec![j(0, 500, 1, 10, 10)]);
+        let reqs = [req(0, 0, 100, 100, 2, None)];
+        let faults = FaultPlan {
+            outages: vec![outage(1, 10, 300)],
+            ..FaultPlan::none()
+        };
+        let mut s = StaticScheduler::new(Policy::Fcfs);
+        let d = simulate_chaos(
+            &set,
+            &mut s,
+            &reqs,
+            AdmissionConfig::default(),
+            &faults,
+            Tracer::disabled(),
+        );
+        assert_eq!(d.reservations.stats.downgraded, 1);
+        assert_eq!(d.reservations.stats.revoked, 0);
+        assert_eq!(d.reservations.stats.honored, 1);
+        assert_eq!(d.reservations.honored[0].width, 1);
+    }
+
+    #[test]
+    fn chaos_dynp_run_conserves_jobs_under_heavy_faults() {
+        let set = dynp_workload::traces::kth().generate(250, 11);
+        let model = dynp_workload::FaultModel::typical(30_000.0, 3_600.0, 0.1);
+        let faults = model.generate(&set, 7);
+        assert!(!faults.is_empty());
+        let mut s = SelfTuningScheduler::new(DynPConfig::paper(DeciderKind::Advanced));
+        let d = chaos(&set, &mut s, &faults);
+        assert_eq!(
+            d.completed.len() as u64 + d.faults.lost,
+            set.len() as u64,
+            "conservation"
+        );
+        assert_eq!(d.faults.down_node_allocations, 0);
+        assert_eq!(d.faults.node_downs, faults.outages.len() as u64);
+        assert_eq!(d.faults.node_ups, faults.outages.len() as u64);
     }
 
     #[test]

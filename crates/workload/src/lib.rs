@@ -23,11 +23,15 @@
 //! * [`reservation`] — advance-reservation request streams: a synthetic
 //!   Poisson generator calibrated to a target booked-area fraction, plus
 //!   SWF `;RESERVATION` directive support in [`swf`];
+//! * [`fault`] — deterministic fault-injection traces: seeded node
+//!   outage renewal processes plus per-job crash/overrun draws and the
+//!   retry/backoff policy the RMS applies to failed attempts;
 //! * [`transform`] — the shrinking-factor workload scaling of §4.2 plus
 //!   job-set utilities;
 //! * [`stats`] — trace statistics (regenerates Table 2 for our inputs).
 
 pub mod dist;
+pub mod fault;
 pub mod job;
 pub mod lublin;
 pub mod model;
@@ -38,6 +42,7 @@ pub mod swf;
 pub mod traces;
 pub mod transform;
 
+pub use fault::{FaultKind, FaultModel, FaultPlan, NodeOutage, RetryPolicy};
 pub use job::{Job, JobId, JobSet};
 pub use model::TraceModel;
 pub use reservation::{ReservationModel, ReservationRequest};

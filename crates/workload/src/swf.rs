@@ -43,6 +43,11 @@ use std::io::{self, BufRead, Write};
 /// Prefix marking a reservation directive comment line.
 const RESERVATION_TAG: &str = ";RESERVATION";
 
+/// Largest seconds value that survives the scale to millisecond ticks.
+/// Anything beyond is a corrupt field, not a real timestamp — accepting
+/// it would overflow the `SimTime` multiply.
+const MAX_SECS: u64 = u64::MAX / 1000;
+
 /// Errors raised while parsing an SWF stream.
 #[derive(Debug)]
 pub enum SwfError {
@@ -127,12 +132,25 @@ fn parse_reservation(
             ),
         })
     };
-    let submit = parse(0)?;
-    let start = parse(1)?;
-    let duration = parse(2)?;
-    let width = parse(3)? as u32;
+    let secs = |idx: usize| -> Result<u64, SwfError> {
+        let v = parse(idx)?;
+        if v > MAX_SECS {
+            return Err(SwfError::Malformed {
+                line: lineno + 1,
+                reason: format!("reservation field {} out of range: {v}", idx + 1),
+            });
+        }
+        Ok(v)
+    };
+    let submit = secs(0)?;
+    let start = secs(1)?;
+    let duration = secs(2)?;
+    let width = u32::try_from(parse(3)?).map_err(|_| SwfError::Malformed {
+        line: lineno + 1,
+        reason: format!("reservation width out of range: {:?}", fields[3]),
+    })?;
     let cancel_at = if fields.len() == 5 {
-        Some(SimTime::from_secs(parse(4)?))
+        Some(SimTime::from_secs(secs(4)?))
     } else {
         None
     };
@@ -202,10 +220,25 @@ fn read_swf_impl(
         } else {
             actual
         };
+        for (what, value) in [
+            ("submit time", submit as u64),
+            ("run time", actual),
+            ("requested time", estimate),
+        ] {
+            if value > MAX_SECS {
+                return Err(SwfError::Malformed {
+                    line: lineno + 1,
+                    reason: format!("{what} out of range: {value}"),
+                });
+            }
+        }
+        // Clamp before narrowing: a field wider than the machine (or
+        // even u32) is the documented clamp case, never a silent wrap.
+        let width = (width as u64).min(machine_size as u64) as u32;
         jobs.push(Job::new(
             JobId(jobs.len() as u32),
             SimTime::from_secs(submit as u64),
-            (width as u32).min(machine_size),
+            width,
             SimDuration::from_secs(estimate),
             SimDuration::from_secs(actual),
         ));

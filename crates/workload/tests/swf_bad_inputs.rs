@@ -1,0 +1,76 @@
+//! SWF parser robustness corpus: every fixture under `tests/fixtures/`
+//! is a hostile or degenerate input, and the parser must answer each
+//! with a typed [`SwfError`] (carrying the offending line number) or a
+//! documented skip — never a panic, wrap, or silent mis-parse.
+
+use dynp_workload::swf::{read_swf, read_swf_with_reservations, SwfError};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> BufReader<File> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    BufReader::new(File::open(&path).unwrap_or_else(|e| panic!("open {}: {e}", path.display())))
+}
+
+/// Asserts the fixture fails with `Malformed` at the given 1-based line.
+fn assert_malformed_at(name: &str, line: usize) {
+    match read_swf(fixture(name), name, 128) {
+        Err(SwfError::Malformed { line: l, reason }) => {
+            assert_eq!(l, line, "{name}: wrong line in {reason:?}")
+        }
+        other => panic!("{name}: expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_record_reports_its_line() {
+    assert_malformed_at("truncated_record.swf", 2);
+}
+
+#[test]
+fn non_numeric_field_reports_its_line() {
+    assert_malformed_at("non_numeric_field.swf", 1);
+}
+
+#[test]
+fn out_of_range_timestamps_are_rejected_not_wrapped() {
+    // Values that would overflow the seconds → milliseconds scale.
+    assert_malformed_at("huge_timestamp.swf", 2);
+    assert_malformed_at("huge_estimate.swf", 1);
+}
+
+#[test]
+fn reservation_directive_corpus_is_rejected_with_line_numbers() {
+    for name in [
+        "reservation_width_overflow.swf",
+        "reservation_huge_time.swf",
+        "reservation_too_few_fields.swf",
+        "reservation_non_numeric.swf",
+    ] {
+        match read_swf_with_reservations(fixture(name), name, 128) {
+            Err(SwfError::Malformed { line, .. }) => assert_eq!(line, 1, "{name}"),
+            other => panic!("{name}: expected Malformed, got {other:?}"),
+        }
+        // The plain reader treats directives as comments: same file, no
+        // reservations requested, no error.
+        assert!(read_swf(fixture(name), name, 128).is_ok(), "{name}");
+    }
+}
+
+#[test]
+fn invalid_utf8_is_a_typed_io_error() {
+    match read_swf(fixture("binary_garbage.swf"), "garbage", 128) {
+        Err(SwfError::Io(_)) => {}
+        other => panic!("expected Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn well_formed_but_unusable_records_are_skipped_not_errors() {
+    let set =
+        read_swf(fixture("all_records_skipped.swf"), "skips", 128).expect("skips are not errors");
+    assert_eq!(set.len(), 0);
+}
