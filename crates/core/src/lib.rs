@@ -34,4 +34,6 @@ pub mod table1;
 pub use compare::{approx_eq, approx_le, EPSILON};
 pub use decider::{advanced_decide, preferred_decide, simple_decide, DeciderKind};
 pub use history::{PolicyHistory, PolicySegment};
-pub use self_tuning::{DecideOn, DynPConfig, SelfTuningScheduler, SwitchStats};
+pub use self_tuning::{
+    resolve_planner_threads, DecideOn, DynPConfig, SelfTuningScheduler, SwitchStats,
+};

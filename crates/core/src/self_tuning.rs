@@ -6,7 +6,8 @@ use dynp_des::SimTime;
 use dynp_metrics::Objective;
 use dynp_obs::{TraceClass, TraceEvent, Tracer};
 use dynp_rms::{
-    Planner, Policy, QueueChange, ReferencePlanner, ReplanReason, RmsState, Schedule, Scheduler,
+    PlanTiming, Planner, Policy, QueueChange, ReferencePlanner, ReplanReason, RmsState, Schedule,
+    Scheduler,
 };
 use dynp_workload::Job;
 use serde::{Deserialize, Serialize};
@@ -40,6 +41,13 @@ pub struct DynPConfig {
     pub epsilon: f64,
     /// Which events trigger a decision.
     pub decide_on: DecideOn,
+    /// Worker threads for the per-policy plan fan-out. `0` (the default)
+    /// resolves to the `DYNP_PLANNER_THREADS` environment variable if
+    /// set, else to the host's available parallelism. Whatever the
+    /// resolved count, schedules are bit-identical to a single-threaded
+    /// run — each candidate policy plans independently against the same
+    /// immutable base profile, and results merge in policy order.
+    pub planner_threads: usize,
 }
 
 impl DynPConfig {
@@ -54,8 +62,27 @@ impl DynPConfig {
             initial_policy: Policy::Fcfs,
             epsilon: EPSILON,
             decide_on: DecideOn::AllEvents,
+            planner_threads: 0,
         }
     }
+}
+
+/// Resolves a configured thread count: explicit config wins, then the
+/// `DYNP_PLANNER_THREADS` environment variable (how `cargo test` runs
+/// opt in, since libtest swallows custom flags), then the host's
+/// available parallelism.
+pub fn resolve_planner_threads(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(raw) = std::env::var("DYNP_PLANNER_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Bookkeeping of the decisions a dynP run made.
@@ -116,8 +143,18 @@ pub struct SelfTuningScheduler {
     orders: Vec<Vec<Job>>,
     /// How far into the state's queue change log the orders are synced.
     log_cursor: usize,
-    /// Per-policy plan of the current step; reused across steps.
-    plans: Vec<(Policy, Schedule, f64)>,
+    /// Per-policy schedule of the current step (parallel to
+    /// `config.policies`); reused across steps.
+    plan_schedules: Vec<Schedule>,
+    /// Per-policy objective score of the current step.
+    plan_scores: Vec<f64>,
+    /// Per-policy wall-clock timing of the current step's planning pass
+    /// (filled by the batch fan-out when span tracing is on).
+    plan_timings: Vec<PlanTiming>,
+    /// Resolved worker cap for the plan fan-out (≥ 1).
+    max_workers: usize,
+    /// Total queue depth below which planning stays sequential.
+    parallel_min_depth: usize,
     /// Scratch score vector handed to the decider; reused across steps.
     scores: Vec<(Policy, f64)>,
     /// Observability tracer (disabled by default: one branch per step).
@@ -138,24 +175,40 @@ impl SelfTuningScheduler {
             config.policies.contains(&config.initial_policy),
             "initial policy must be a candidate"
         );
+        let n = config.policies.len();
         SelfTuningScheduler {
             active: config.initial_policy,
             planner: Planner::new(),
             reference_planner: ReferencePlanner::new(),
             reference_mode: false,
             queue_buf: Vec::new(),
-            orders: vec![Vec::new(); config.policies.len()],
+            orders: vec![Vec::new(); n],
             log_cursor: 0,
-            plans: config
-                .policies
-                .iter()
-                .map(|&p| (p, Schedule::default(), 0.0))
-                .collect(),
+            plan_schedules: vec![Schedule::default(); n],
+            plan_scores: vec![0.0; n],
+            plan_timings: vec![PlanTiming::default(); n],
+            max_workers: resolve_planner_threads(config.planner_threads),
+            parallel_min_depth: dynp_rms::PARALLEL_MIN_DEPTH,
             scores: Vec::new(),
             tracer: Tracer::disabled(),
             config,
             stats: SwitchStats::default(),
         }
+    }
+
+    /// Overrides the resolved fan-out worker cap (tests force specific
+    /// counts; production resolution happens in [`SelfTuningScheduler::new`]
+    /// from the config / environment / host parallelism).
+    pub fn set_planner_threads(&mut self, workers: usize) {
+        self.max_workers = workers.max(1);
+    }
+
+    /// Overrides the queue depth below which planning stays sequential.
+    /// Equivalence tests set `0` so tiny queues still exercise the
+    /// threaded path; production keeps
+    /// [`dynp_rms::PARALLEL_MIN_DEPTH`].
+    pub fn set_parallel_min_depth(&mut self, depth: usize) {
+        self.parallel_min_depth = depth;
     }
 
     /// The scheduler's configuration.
@@ -345,29 +398,48 @@ impl SelfTuningScheduler {
             return self.planner.plan_prepared(&self.orders[0]);
         }
 
-        let time_plans = self.tracer.wants(TraceClass::Span);
-        for (i, &policy) in self.config.policies.iter().enumerate() {
-            debug_assert_eq!(self.plans[i].0, policy);
-            let plan_start = if time_plans { self.tracer.now_ns() } else { 0 };
-            self.planner
-                .plan_prepared_into(&self.orders[i], &mut self.plans[i].1);
-            self.plans[i].2 = self.config.objective.evaluate(&self.plans[i].1, now);
-            if time_plans {
+        // Fan the independent per-policy planning passes across workers
+        // once the queue is deep enough to amortize thread hand-off.
+        // Schedules land in policy order regardless of worker count, and
+        // scoring stays on this thread in that same order, so the step
+        // is bit-identical for every `max_workers`.
+        let workers = if state.waiting().len() >= self.parallel_min_depth {
+            self.max_workers
+        } else {
+            1
+        };
+        let workers_used = self.planner.plan_prepared_batch(
+            &self.orders,
+            &mut self.plan_schedules,
+            &mut self.plan_timings,
+            workers,
+        );
+        for i in 0..self.config.policies.len() {
+            self.plan_scores[i] = self.config.objective.evaluate(&self.plan_schedules[i], now);
+        }
+        if self.tracer.wants(TraceClass::Span) {
+            for (i, &policy) in self.config.policies.iter().enumerate() {
                 self.tracer.record_at(
                     now,
-                    plan_start,
+                    self.plan_timings[i].start_ns,
                     TraceEvent::PlanBuilt {
                         policy: policy.name(),
                         queue_depth: self.orders[i].len() as u32,
                         profile_points: self.planner.base_points() as u32,
-                        dur_ns: self.tracer.now_ns().saturating_sub(plan_start),
+                        workers: workers_used as u32,
+                        dur_ns: self.plan_timings[i].dur_ns,
                     },
                 );
             }
         }
         self.scores.clear();
-        self.scores
-            .extend(self.plans.iter().map(|(p, _, v)| (*p, *v)));
+        self.scores.extend(
+            self.config
+                .policies
+                .iter()
+                .zip(&self.plan_scores)
+                .map(|(&p, &v)| (p, v)),
+        );
         let (next, rule) =
             self.config
                 .decider
@@ -376,26 +448,31 @@ impl SelfTuningScheduler {
         self.record_decision(now, next);
 
         let idx = self
-            .plans
+            .config
+            .policies
             .iter()
-            .position(|(p, _, _)| *p == next)
+            .position(|&p| p == next)
             .expect("decider returned a non-candidate policy");
-        std::mem::take(&mut self.plans[idx].1)
+        std::mem::take(&mut self.plan_schedules[idx])
     }
 
     /// The pre-incremental step: re-sort every queue, rebuild every
     /// profile, score, decide. Kept verbatim as the correctness oracle.
     fn self_tuning_step_reference(&mut self, state: &RmsState, now: SimTime) -> Schedule {
         let policies = self.config.policies.clone();
-        self.plans.clear();
-        for policy in policies {
+        for (i, policy) in policies.into_iter().enumerate() {
             let schedule = self.plan_policy_reference(policy, state, now);
-            let score = self.config.objective.evaluate(&schedule, now);
-            self.plans.push((policy, schedule, score));
+            self.plan_scores[i] = self.config.objective.evaluate(&schedule, now);
+            self.plan_schedules[i] = schedule;
         }
         self.scores.clear();
-        self.scores
-            .extend(self.plans.iter().map(|(p, _, v)| (*p, *v)));
+        self.scores.extend(
+            self.config
+                .policies
+                .iter()
+                .zip(&self.plan_scores)
+                .map(|(&p, &v)| (p, v)),
+        );
         let (next, rule) =
             self.config
                 .decider
@@ -404,11 +481,12 @@ impl SelfTuningScheduler {
         self.record_decision(now, next);
 
         let idx = self
-            .plans
+            .config
+            .policies
             .iter()
-            .position(|(p, _, _)| *p == next)
+            .position(|&p| p == next)
             .expect("decider returned a non-candidate policy");
-        std::mem::take(&mut self.plans[idx].1)
+        std::mem::take(&mut self.plan_schedules[idx])
     }
 }
 

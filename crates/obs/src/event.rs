@@ -89,8 +89,13 @@ pub enum TraceEvent {
         /// Waiting-queue depth at planning time.
         queue_depth: u32,
         /// Number of points in the shared base capacity profile — the
-        /// size of the structure `earliest_fit` scans.
+        /// size of the structure `earliest_fit` descends.
         profile_points: u32,
+        /// Worker threads the step's plan fan-out ran on (1 when the
+        /// batch stayed sequential). Per-policy `dur_ns` values overlap
+        /// in wall time when this exceeds 1, so phase attribution must
+        /// divide by it.
+        workers: u32,
         /// Wall-clock nanoseconds the plan construction took.
         dur_ns: u64,
     },

@@ -278,6 +278,9 @@ pub enum ParsedEvent {
         queue_depth: u32,
         /// Base-profile point count.
         profile_points: u32,
+        /// Worker threads of the step's plan fan-out (1 = sequential;
+        /// also 1 for traces written before the field existed).
+        workers: u32,
         /// Plan-construction wall time in nanoseconds.
         dur_ns: u64,
     },
@@ -439,6 +442,8 @@ pub fn parse_record(line: &str) -> Result<Option<ParsedRecord>, String> {
             policy: field_str(&obj, "policy")?,
             queue_depth: field_u32(&obj, "queue_depth")?,
             profile_points: field_u32(&obj, "profile_points")?,
+            // Absent in traces from before the plan fan-out: sequential.
+            workers: field_u32(&obj, "workers").unwrap_or(1),
             dur_ns: field_u64(&obj, "dur_ns")?,
         },
         "decision" => {
@@ -571,6 +576,7 @@ mod tests {
                 policy: "LJF",
                 queue_depth: 3,
                 profile_points: 12,
+                workers: 4,
                 dur_ns: 4_321,
             },
             TraceEvent::Decision {

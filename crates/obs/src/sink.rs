@@ -63,13 +63,14 @@ pub fn render_jsonl_line(rec: &TraceRecord) -> String {
             policy,
             queue_depth,
             profile_points,
+            workers,
             dur_ns,
         } => {
             out.push_str(",\"policy\":");
             push_str(&mut out, policy);
             let _ = write!(
                 out,
-                ",\"queue_depth\":{queue_depth},\"profile_points\":{profile_points},\"dur_ns\":{dur_ns}"
+                ",\"queue_depth\":{queue_depth},\"profile_points\":{profile_points},\"workers\":{workers},\"dur_ns\":{dur_ns}"
             );
         }
         TraceEvent::Decision {
@@ -222,13 +223,15 @@ pub fn render_chrome_trace(snapshot: &TraceSnapshot) -> String {
                 policy,
                 queue_depth,
                 profile_points,
+                workers,
                 dur_ns,
             } => {
                 let _ = write!(
                     out,
                     "{{\"name\":\"plan:{policy}\",\"cat\":\"plan\",\"ph\":\"X\",\"ts\":{ts_us},\
                      \"dur\":{},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
-                     \"queue_depth\":{queue_depth},\"profile_points\":{profile_points}}}}}",
+                     \"queue_depth\":{queue_depth},\"profile_points\":{profile_points},\
+                     \"workers\":{workers}}}}}",
                     *dur_ns as f64 / 1_000.0,
                     rec.sim.as_millis()
                 );
@@ -398,6 +401,7 @@ mod tests {
                         policy: "SJF",
                         queue_depth: 4,
                         profile_points: 9,
+                        workers: 2,
                         dur_ns: 777,
                     },
                 ),

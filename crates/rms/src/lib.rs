@@ -9,8 +9,10 @@
 //!
 //! This crate provides that substrate from scratch:
 //!
-//! * [`profile`] — the free-capacity timeline over future time, the data
-//!   structure planners search for start-time slots;
+//! * [`profile`] — the free-capacity timeline over future time, the
+//!   capacity-indexed structure planners search for start-time slots in
+//!   O(log n) ([`naive`] retains the linear-scan variant as the
+//!   reference oracle);
 //! * [`policy`] — the queue-ordering policies: FCFS, SJF, LJF (the
 //!   paper's three) plus SAF/LAF extensions;
 //! * [`schedule`] — a full schedule (planned start time for every waiting
@@ -30,6 +32,7 @@
 
 pub mod admission;
 pub mod easy;
+pub mod naive;
 pub mod planner;
 pub mod policy;
 pub mod profile;
@@ -40,7 +43,8 @@ pub mod state;
 
 pub use admission::{AdmissionConfig, AdmissionController, RejectReason};
 pub use easy::EasyBackfillScheduler;
-pub use planner::{Planner, ReferencePlanner};
+pub use naive::NaiveProfile;
+pub use planner::{PlanTiming, Planner, ReferencePlanner, PARALLEL_MIN_DEPTH};
 pub use policy::Policy;
 pub use profile::Profile;
 pub use reservation::{RepairAction, Reservation, ReservationBook};

@@ -8,6 +8,7 @@
 //! job's reservation, "backfilling is done implicitly" — no separate
 //! backfill pass exists, exactly as in planning-based systems like CCS.
 
+use crate::naive::NaiveProfile;
 use crate::profile::Profile;
 use crate::schedule::{PlannedJob, Schedule};
 use crate::state::RunningJob;
@@ -41,10 +42,32 @@ pub struct Planner {
     spans: Vec<(SimTime, SimTime, u32)>,
     /// Scratch endpoint buffer for the sweep.
     events: Vec<(SimTime, i64)>,
+    /// Per-worker working profiles for [`Planner::plan_prepared_batch`],
+    /// persistent across events so the parallel path allocates nothing
+    /// steady-state.
+    work: Vec<Profile>,
     /// Observability tracer (disabled by default); [`Planner::prepare`]
     /// is measured as a `"prepare"` wall-clock span.
     tracer: dynp_obs::Tracer,
 }
+
+/// Wall-clock observability of one per-policy planning pass inside
+/// [`Planner::plan_prepared_batch`]: when the pass started (tracer
+/// epoch-relative) and how long it ran. Zeroed when tracing is off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanTiming {
+    /// Start of the pass, nanoseconds since the tracer epoch.
+    pub start_ns: u64,
+    /// Duration of the pass in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Queue depth below which [`Planner::plan_prepared_batch`] stays
+/// sequential regardless of the requested worker count: per-policy
+/// planning passes at shallow depths finish in microseconds, so thread
+/// hand-off would cost more than it saves. Callers sum the candidate
+/// queue depths and compare against this.
+pub const PARALLEL_MIN_DEPTH: usize = 512;
 
 /// Padding added after a running job's estimated end when the estimate
 /// has already elapsed at planning time: the job still physically holds
@@ -61,6 +84,7 @@ impl Planner {
             prepared_at: SimTime::ZERO,
             spans: Vec::new(),
             events: Vec::new(),
+            work: Vec::new(),
             tracer: dynp_obs::Tracer::disabled(),
         }
     }
@@ -112,10 +136,11 @@ impl Planner {
     }
 
     /// Number of points in the prepared base profile — the size of the
-    /// structure every `earliest_fit` probe scans. Reported per plan in
-    /// trace events; queue depth × this bounds a planning pass's work.
+    /// structure every `earliest_fit` probe descends. Reported per plan
+    /// in trace events; queue depth × log(this) bounds a planning pass's
+    /// probe work.
     pub fn base_points(&self) -> usize {
-        self.base.points().len()
+        self.base.len()
     }
 
     /// True when the prepared base profile can absorb a *new* reservation
@@ -160,23 +185,117 @@ impl Planner {
     /// its entry buffer (the self-tuning step keeps one schedule per
     /// candidate policy alive across events).
     pub fn plan_prepared_into(&mut self, queue: &[Job], out: &mut Schedule) {
-        let now = self.prepared_at;
-        self.profile.restore_from(&self.base);
+        Self::plan_queue(&self.base, &mut self.profile, self.prepared_at, queue, out);
+    }
+
+    /// The per-policy planning pass: restores `profile` to the `base`
+    /// watermark and places `queue` (already in policy order) job by job.
+    /// A free function over explicit profiles so the batch fan-out can
+    /// run it on per-worker buffers; the result depends only on
+    /// `(base, now, queue)`, which is what makes the fan-out
+    /// deterministic regardless of worker assignment.
+    fn plan_queue(
+        base: &Profile,
+        profile: &mut Profile,
+        now: SimTime,
+        queue: &[Job],
+        out: &mut Schedule,
+    ) {
+        profile.restore_from(base);
         out.entries.clear();
         out.entries.reserve(queue.len());
         for job in queue {
             // A job wider than the (possibly degraded) machine has no
             // feasible start at any time: leave it out of the plan — it
             // stays waiting until node repair restores enough capacity.
-            if job.width > self.profile.capacity() {
+            if job.width > profile.capacity() {
                 continue;
             }
             let earliest = now.max(job.submit);
-            let start = self
-                .profile
-                .allocate_earliest(earliest, job.estimate, job.width);
+            let start = profile.allocate_earliest(earliest, job.estimate, job.width);
             out.entries.push(PlannedJob { job: *job, start });
         }
+    }
+
+    /// Plans every queue in `queues` against the prepared base — the
+    /// per-policy fan-out of the self-tuning step. With `workers <= 1`
+    /// (or a single queue) this is exactly a [`Planner::plan_prepared_into`]
+    /// loop; otherwise the queues are split into contiguous runs across
+    /// `std::thread::scope` workers, each planning on its own persistent
+    /// working profile. Returns the worker count actually used.
+    ///
+    /// Every queue's schedule depends only on the shared immutable base
+    /// and its own queue order, and results land in the caller's `outs`
+    /// slot for that queue — so schedules are bit-identical for every
+    /// worker count, and the merge order is the caller's policy order by
+    /// construction. `timings[i]` records the wall clock of pass `i`
+    /// when span tracing is enabled (zeroed otherwise).
+    pub fn plan_prepared_batch(
+        &mut self,
+        queues: &[Vec<Job>],
+        outs: &mut [Schedule],
+        timings: &mut [PlanTiming],
+        workers: usize,
+    ) -> usize {
+        let n = queues.len();
+        assert_eq!(n, outs.len(), "one output schedule per queue");
+        assert_eq!(n, timings.len(), "one timing slot per queue");
+        let time_plans = self.tracer.wants(dynp_obs::TraceClass::Span);
+        let workers = workers.clamp(1, n.max(1));
+        if workers <= 1 {
+            for i in 0..n {
+                let start_ns = if time_plans { self.tracer.now_ns() } else { 0 };
+                self.plan_prepared_into(&queues[i], &mut outs[i]);
+                timings[i] = PlanTiming {
+                    start_ns,
+                    dur_ns: if time_plans {
+                        self.tracer.now_ns().saturating_sub(start_ns)
+                    } else {
+                        0
+                    },
+                };
+            }
+            return 1;
+        }
+        while self.work.len() < workers {
+            self.work.push(Profile::new(1, SimTime::ZERO));
+        }
+        let base = &self.base;
+        let now = self.prepared_at;
+        let tracer = &self.tracer;
+        let per = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            let mut outs_rest = outs;
+            let mut timings_rest = timings;
+            let mut work_rest = &mut self.work[..];
+            let mut idx = 0;
+            while idx < n {
+                let take = per.min(n - idx);
+                let (outs_chunk, r) = outs_rest.split_at_mut(take);
+                outs_rest = r;
+                let (tim_chunk, r) = timings_rest.split_at_mut(take);
+                timings_rest = r;
+                let (work_profile, r) = work_rest.split_first_mut().expect("worker profile");
+                work_rest = r;
+                let queue_chunk = &queues[idx..idx + take];
+                s.spawn(move || {
+                    for ((queue, out), tim) in queue_chunk.iter().zip(outs_chunk).zip(tim_chunk) {
+                        let start_ns = if time_plans { tracer.now_ns() } else { 0 };
+                        Self::plan_queue(base, work_profile, now, queue, out);
+                        *tim = PlanTiming {
+                            start_ns,
+                            dur_ns: if time_plans {
+                                tracer.now_ns().saturating_sub(start_ns)
+                            } else {
+                                0
+                            },
+                        };
+                    }
+                });
+                idx += take;
+            }
+        });
+        workers
     }
 
     /// Builds the full schedule for `queue` (already in policy order) at
@@ -225,9 +344,11 @@ impl Default for Planner {
 }
 
 /// The retained from-scratch planner: rebuilds the whole profile with
-/// one [`Profile::allocate`] per running job and reservation on every
-/// call — exactly the algorithm [`Planner`] used before the shared-base
-/// refactor.
+/// one allocate per running job and reservation on every call — exactly
+/// the algorithm [`Planner`] used before the shared-base refactor, on
+/// the retained linear-scan [`NaiveProfile`] it used at the time (so
+/// benchmarked speedups compare the capacity-indexed profile against
+/// the real pre-index code path, not against itself).
 ///
 /// It exists as the correctness oracle (property tests assert its
 /// schedules are bit-identical to the incremental path's) and as the
@@ -235,14 +356,14 @@ impl Default for Planner {
 /// not used on any production path.
 #[derive(Debug)]
 pub struct ReferencePlanner {
-    profile: Profile,
+    profile: NaiveProfile,
 }
 
 impl ReferencePlanner {
     /// Creates a reference planner.
     pub fn new() -> Self {
         ReferencePlanner {
-            profile: Profile::new(1, SimTime::ZERO),
+            profile: NaiveProfile::new(1, SimTime::ZERO),
         }
     }
 
@@ -476,6 +597,37 @@ mod tests {
         let mut r = ReferencePlanner::new();
         let s2 = r.plan(3, t(0), &[], &q);
         assert_eq!(s.entries, s2.entries);
+    }
+
+    #[test]
+    fn batch_planning_matches_sequential_for_every_worker_count() {
+        let running = [RunningJob {
+            job: j(9, 0, 3, 100),
+            start: t(0),
+        }];
+        // Three differently ordered queues, like the self-tuning step's
+        // per-policy orders.
+        let base: Vec<Job> = (0..40)
+            .map(|i| j(i, i as u64 % 7, 1 + i % 4, 10 + (i as u64 * 13) % 300))
+            .collect();
+        let mut queues = vec![base.clone(), base.clone(), base];
+        Policy::Sjf.sort_queue(&mut queues[1]);
+        Policy::Ljf.sort_queue(&mut queues[2]);
+
+        let mut p = Planner::new();
+        p.prepare(8, t(5), &running, &[]);
+        let expected: Vec<Schedule> = queues.iter().map(|q| p.plan_prepared(q)).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let mut outs = vec![Schedule::default(); 3];
+            let mut timings = vec![PlanTiming::default(); 3];
+            let used = p.plan_prepared_batch(&queues, &mut outs, &mut timings, workers);
+            assert!(used >= 1 && used <= workers.max(1));
+            for (got, want) in outs.iter().zip(&expected) {
+                assert_eq!(got.entries, want.entries, "workers={workers} diverged");
+            }
+            // Tracing is off: timings must stay zeroed.
+            assert!(timings.iter().all(|tm| *tm == PlanTiming::default()));
+        }
     }
 
     #[test]

@@ -1,16 +1,73 @@
 //! The free-capacity profile: how many processors are free at every
 //! future instant.
 //!
-//! A profile is a piecewise-constant function of time, stored as a sorted
-//! vector of `(time, free)` break points; the free value of the last
-//! point extends to infinity. The planner queries it with
-//! [`Profile::earliest_fit`] and narrows it with [`Profile::allocate`].
+//! A profile is a piecewise-constant function of time. The planner
+//! queries it with [`Profile::earliest_fit`] and narrows it with
+//! [`Profile::allocate`] / [`Profile::allocate_earliest`].
+//!
+//! # Capacity-indexed representation
+//!
+//! The break points are stored in fixed-size *chunks* (a paged sorted
+//! array). Three flat arrays, indexed by chunk position, summarise each
+//! chunk: its first point's time (`first_time`, the binary-search key)
+//! and the minimum / maximum `free` over its segments (`min_free` /
+//! `max_free`). [`Profile::earliest_fit`] answers "first instant ≥ t
+//! where `width` processors stay free for `duration`" with a fused
+//! two-state sweep: a single forward pass that alternates between
+//! *verifying* the current candidate start (scanning for a segment with
+//! `free < width` inside the window — if the window closes first, the
+//! candidate settles) and *seeking* the next segment with
+//! `free >= width` after a blocker (the next candidate). The summary
+//! arrays let either state skip a whole chunk in O(1): a verify skips
+//! chunks with `min_free >= width` (and settles as soon as
+//! `first_time >= end`), a seek skips chunks with `max_free < width`.
+//!
+//! The summaries are deliberately plain arrays rather than a search
+//! tree: measured scan dynamics on planner workloads show verify/seek
+//! runs of only a handful of points (the profile alternates tight and
+//! free segments at exactly the widths being placed), so tree descents
+//! or finger structures cannot amortise — while a forward sweep over
+//! contiguous 4-byte entries lets hardware prefetch do the work, and
+//! every update stays O(1) per touched chunk.
+//!
+//! What *does* go sublinear is the query stream, via a **dominance
+//! memo** on [`Profile::allocate_earliest`] (see its doc comment):
+//! earliest-fit is monotone in width and duration, and a planning pass
+//! only narrows the profile, so the answer to a previous query is a
+//! sound scan lower bound for any later query it dominates. Policy
+//! passes sort by duration (SJF/LJF) or carry long runs of duplicate
+//! estimates, so most queries start their scan where the previous one
+//! answered instead of at `now` — turning the pass's quadratic rescans
+//! into near-linear work at deep queues.
+//!
+//! The update path reuses the fit's position: [`Profile::allocate_earliest`]
+//! threads the (chunk, index) of the found segment straight into a
+//! single forward walk that inserts the two break points, decrements the
+//! covered segments, and refreshes summaries as it goes — a fully
+//! covered chunk shifts its summary by `width` without rescanning its
+//! points. Chunk splits append the upper half to the arena (no
+//! kilobyte-sized memmove of sibling chunks) and shift only the small
+//! per-chunk array entries. `restore_from` stays a flat `memcpy` of the
+//! chunk storage and summary arrays, preserving the shared-base-profile
+//! watermark-restore trick of the incremental planner. A profile that
+//! fits one chunk degenerates to the plain linear scan, so small
+//! profiles pay (almost) nothing for the index.
+//!
+//! The linear-scan implementation this replaced is retained verbatim as
+//! [`NaiveProfile`](crate::naive::NaiveProfile) — the property-test
+//! oracle and the `ReferencePlanner`'s profile, so measured speedups
+//! compare against the real pre-index algorithm. `earliest_fit`'s answer
+//! is the unique minimal feasible start, so the two implementations
+//! agree bit-for-bit even where their probe orders differ.
 //!
 //! Invariants (checked in debug builds and by property tests):
 //! * point times are strictly increasing;
 //! * `0 <= free <= capacity` everywhere;
 //! * the final point's free value equals the full capacity (every
-//!   reservation ends eventually).
+//!   reservation ends eventually);
+//! * every chunk holds at least one point; `first_time[c]` equals the
+//!   chunk's first point time, and `min_free[c]` / `max_free[c]` equal
+//!   the min/max free over its points.
 
 use dynp_des::{SimDuration, SimTime};
 
@@ -24,11 +81,104 @@ pub struct ProfilePoint {
     pub free: u32,
 }
 
-/// Piecewise-constant free-capacity timeline.
-#[derive(Clone, Debug)]
+/// Points per chunk: small enough that an in-chunk scan stays within a
+/// few cache lines, large enough that the summary arrays stay short.
+const CHUNK_CAP: usize = 64;
+
+/// One page of the point list, stored struct-of-arrays: the fit probes
+/// scan only free values (contiguous 4-byte lanes the compiler can
+/// vectorise) and touch a time only at a hit, instead of dragging
+/// 16-byte (time, free) pairs through the cache on every step. The
+/// chunk's capacity summary lives in the profile's flat `min_free` /
+/// `max_free` arrays, keyed by chunk *position*, so whole-chunk skips
+/// touch contiguous memory too.
+#[derive(Clone, Copy, Debug)]
+struct Chunk {
+    /// Number of valid entries in `times` / `frees`.
+    len: u32,
+    /// Break-point instants, strictly increasing.
+    times: [SimTime; CHUNK_CAP],
+    /// Free processors from the matching instant to the next.
+    frees: [u32; CHUNK_CAP],
+}
+
+impl Chunk {
+    fn of(pt: ProfilePoint) -> Self {
+        let mut ch = Chunk {
+            len: 1,
+            times: [SimTime::ZERO; CHUNK_CAP],
+            frees: [0; CHUNK_CAP],
+        };
+        ch.times[0] = pt.time;
+        ch.frees[0] = pt.free;
+        ch
+    }
+
+    fn times(&self) -> &[SimTime] {
+        &self.times[..self.len as usize]
+    }
+
+    fn frees(&self) -> &[u32] {
+        &self.frees[..self.len as usize]
+    }
+
+    fn point(&self, i: usize) -> ProfilePoint {
+        ProfilePoint {
+            time: self.times[i],
+            free: self.frees[i],
+        }
+    }
+}
+
+/// One entry of the per-width-class dominance memo (see
+/// [`Profile::allocate_earliest`]): the last query answered for the
+/// class, as the lower bound it proves for later, harder queries.
+/// `width == 0` marks an empty slot.
+#[derive(Clone, Copy, Debug)]
+struct MemoSlot {
+    width: u32,
+    duration: SimDuration,
+    /// Start of the interval the slot's scan proved free of fits: the
+    /// memo only says "no fit in `[after, answer)`", so it bounds later
+    /// queries constrained to start at or after `after`, not earlier
+    /// ones.
+    after: SimTime,
+    answer: SimTime,
+}
+
+const MEMO_EMPTY: MemoSlot = MemoSlot {
+    width: 0,
+    duration: SimDuration::ZERO,
+    after: SimTime::ZERO,
+    answer: SimTime::ZERO,
+};
+
+/// Piecewise-constant free-capacity timeline, indexed by capacity (see
+/// the module docs for the chunk + summary-array layout).
+#[derive(Clone)]
 pub struct Profile {
-    points: Vec<ProfilePoint>,
     capacity: u32,
+    /// Total break points across all chunks.
+    n_points: usize,
+    /// Chunk storage; `order` gives the time order. Chunk splits append
+    /// here so a split never moves kilobytes of sibling chunks.
+    arena: Vec<Chunk>,
+    /// Arena indices of the live chunks, in time order.
+    order: Vec<u32>,
+    /// Per chunk position: time of the chunk's first point — the
+    /// binary-search key for `seg_pos` and the gap test of the
+    /// allocation walk.
+    first_time: Vec<SimTime>,
+    /// Per chunk position: minimum `free` over the chunk's points.
+    min_free: Vec<u32>,
+    /// Per chunk position: maximum `free` over the chunk's points.
+    max_free: Vec<u32>,
+    /// Per width class (`ilog2(width)`): the last
+    /// [`Profile::allocate_earliest`] query and its answer. Valid as a
+    /// scan lower bound for any later query that dominates it, because
+    /// allocation only narrows the profile (see `allocate_earliest`).
+    /// Cleared whenever the profile is rebuilt or restored.
+    memo: [MemoSlot; 32],
 }
 
 impl Profile {
@@ -36,34 +186,52 @@ impl Profile {
     /// `origin` onwards.
     pub fn new(capacity: u32, origin: SimTime) -> Self {
         assert!(capacity >= 1, "profile needs at least one processor");
-        Profile {
-            points: vec![ProfilePoint {
-                time: origin,
-                free: capacity,
-            }],
+        let mut p = Profile {
             capacity,
-        }
+            n_points: 0,
+            arena: Vec::new(),
+            order: Vec::new(),
+            first_time: Vec::new(),
+            min_free: Vec::new(),
+            max_free: Vec::new(),
+            memo: [MEMO_EMPTY; 32],
+        };
+        p.init_single(capacity, origin);
+        p
     }
 
     /// Resets to the fully-free state at `origin`, reusing the
-    /// allocation — the planner rebuilds the profile at every event.
+    /// allocations — the planner rebuilds the profile at every event.
     pub fn reset(&mut self, capacity: u32, origin: SimTime) {
         assert!(capacity >= 1);
-        self.points.clear();
-        self.points.push(ProfilePoint {
+        self.init_single(capacity, origin);
+    }
+
+    fn init_single(&mut self, capacity: u32, origin: SimTime) {
+        self.capacity = capacity;
+        self.n_points = 1;
+        self.memo = [MEMO_EMPTY; 32];
+        self.arena.clear();
+        self.arena.push(Chunk::of(ProfilePoint {
             time: origin,
             free: capacity,
-        });
-        self.capacity = capacity;
+        }));
+        self.order.clear();
+        self.order.push(0);
+        self.first_time.clear();
+        self.first_time.push(origin);
+        self.min_free.clear();
+        self.min_free.push(capacity);
+        self.max_free.clear();
+        self.max_free.push(capacity);
     }
 
     /// Rebuilds the whole profile from `(start, end, width)` spans in one
     /// endpoint sweep: O((S + R) log R) for R spans producing S points,
-    /// instead of the O(R·P) of repeated [`Profile::allocate`] calls
-    /// (each of which `Vec::insert`s into the point list). Spans starting
-    /// before `origin` are clipped to it; empty and zero-width spans are
-    /// ignored. `events` is caller-provided scratch so the per-event hot
-    /// path allocates nothing.
+    /// instead of the O(R·P) of repeated [`Profile::allocate`] calls.
+    /// Spans starting before `origin` are clipped to it; empty and
+    /// zero-width spans are ignored. `events` is caller-provided scratch
+    /// so the per-event hot path allocates nothing.
     ///
     /// The resulting profile is the canonical minimal representation of
     /// the same piecewise-constant function the allocate-loop produces,
@@ -82,12 +250,7 @@ impl Profile {
         events: &mut Vec<(SimTime, i64)>,
     ) {
         assert!(capacity >= 1, "profile needs at least one processor");
-        self.capacity = capacity;
-        self.points.clear();
-        self.points.push(ProfilePoint {
-            time: origin,
-            free: capacity,
-        });
+        self.init_single(capacity, origin);
         events.clear();
         for &(start, end, width) in spans {
             if width == 0 {
@@ -119,25 +282,54 @@ impl Profile {
                 "overcommit: {used} processors reserved at {time:?}, capacity {capacity}"
             );
             let free = capacity - used as u32;
-            let last = self.points.last_mut().expect("origin point present");
-            if last.time == time {
-                last.free = free;
+            // Append (or coalesce into) the last point.
+            let last_id = *self.order.last().expect("origin chunk present") as usize;
+            let ch = &mut self.arena[last_id];
+            let len = ch.len as usize;
+            if ch.times[len - 1] == time {
+                ch.frees[len - 1] = free;
+            } else if len < CHUNK_CAP {
+                ch.times[len] = time;
+                ch.frees[len] = free;
+                ch.len += 1;
+                self.n_points += 1;
             } else {
-                self.points.push(ProfilePoint { time, free });
+                let id = self.arena.len() as u32;
+                self.arena.push(Chunk::of(ProfilePoint { time, free }));
+                self.order.push(id);
+                self.first_time.push(time);
+                self.min_free.push(0);
+                self.max_free.push(0);
+                self.n_points += 1;
             }
+        }
+        for c in 0..self.n_chunks() {
+            self.refresh_summary(c);
         }
         self.assert_invariants();
     }
 
-    /// Makes this profile a copy of `base` without reallocating (one
-    /// `memcpy` of the point list). This is the per-policy "restore to
-    /// watermark" step: the planner builds the running-jobs base once
-    /// per event and every policy's planning pass starts from a restored
-    /// copy instead of rebuilding it.
+    /// Makes this profile a copy of `base` without reallocating (flat
+    /// `memcpy`s of the chunk storage, order and summary arrays). This is
+    /// the per-policy "restore to watermark" step: the planner builds the
+    /// running-jobs base once per event and every policy's planning pass
+    /// starts from a restored copy instead of rebuilding it.
     pub fn restore_from(&mut self, base: &Profile) {
         self.capacity = base.capacity;
-        self.points.clear();
-        self.points.extend_from_slice(&base.points);
+        self.n_points = base.n_points;
+        self.arena.clear();
+        self.arena.extend_from_slice(&base.arena);
+        self.order.clear();
+        self.order.extend_from_slice(&base.order);
+        self.first_time.clear();
+        self.first_time.extend_from_slice(&base.first_time);
+        self.min_free.clear();
+        self.min_free.extend_from_slice(&base.min_free);
+        self.max_free.clear();
+        self.max_free.extend_from_slice(&base.max_free);
+        // The restored state has more capacity than this profile had
+        // after its last pass, so memoised bounds no longer hold.
+        self.memo = [MEMO_EMPTY; 32];
     }
 
     /// Total processors of the machine.
@@ -145,41 +337,381 @@ impl Profile {
         self.capacity
     }
 
-    /// The break points (for inspection and plotting).
-    pub fn points(&self) -> &[ProfilePoint] {
-        &self.points
+    /// Number of break points.
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    /// A profile always has at least its origin point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The break points in time order (for inspection, plotting and the
+    /// property-test oracles). Allocates; not for hot paths.
+    pub fn to_points(&self) -> Vec<ProfilePoint> {
+        self.iter_points().collect()
+    }
+
+    /// Iterates the break points in time order.
+    pub fn iter_points(&self) -> impl Iterator<Item = ProfilePoint> + '_ {
+        self.order.iter().flat_map(move |&id| {
+            let ch = &self.arena[id as usize];
+            ch.times()
+                .iter()
+                .zip(ch.frees())
+                .map(|(&time, &free)| ProfilePoint { time, free })
+        })
     }
 
     /// Start of the profile (its first break point).
     pub fn origin(&self) -> SimTime {
-        self.points[0].time
+        self.first_time[0]
     }
 
-    /// Free processors at instant `t` (clamped to the origin on the left).
+    /// Free processors at instant `t` (clamped to the origin on the
+    /// left). Two binary searches: chunk first-times, then in-chunk.
     pub fn free_at(&self, t: SimTime) -> u32 {
-        self.points[self.seg_index(t)].free
+        let (c, i) = self.seg_pos(t);
+        self.chunk(c).frees[i]
     }
 
-    /// Index of the segment containing `t` (the last point with
-    /// `time <= t`, or segment 0 for earlier instants).
-    fn seg_index(&self, t: SimTime) -> usize {
-        self.points
-            .partition_point(|p| p.time <= t)
-            .saturating_sub(1)
+    fn chunk(&self, c: usize) -> &Chunk {
+        &self.arena[self.order[c] as usize]
     }
 
-    /// Ensures a break point exists exactly at `t` (splitting the
-    /// containing segment) and returns its index. `t` must not precede
-    /// the origin.
-    fn split_at(&mut self, t: SimTime) -> usize {
-        debug_assert!(t >= self.origin(), "split before profile origin");
-        let i = self.seg_index(t);
-        if self.points[i].time == t {
-            return i;
+    fn chunk_mut(&mut self, c: usize) -> &mut Chunk {
+        &mut self.arena[self.order[c] as usize]
+    }
+
+    fn n_chunks(&self) -> usize {
+        self.order.len()
+    }
+
+    /// (chunk position, in-chunk index) of the segment containing `t`:
+    /// the last point with `time <= t`, or `(0, 0)` for earlier instants.
+    fn seg_pos(&self, t: SimTime) -> (usize, usize) {
+        let c = self
+            .first_time
+            .partition_point(|&ft| ft <= t)
+            .saturating_sub(1);
+        let ch = self.chunk(c);
+        let i = ch
+            .times()
+            .partition_point(|&time| time <= t)
+            .saturating_sub(1);
+        (c, i)
+    }
+
+    /// Recomputes the summary-array entry of chunk position `c` from its
+    /// points (one vectorisable min/max sweep over at most `CHUNK_CAP`
+    /// 4-byte entries).
+    fn refresh_summary(&mut self, c: usize) {
+        let ch = &self.arena[self.order[c] as usize];
+        let mut lo = u32::MAX;
+        let mut hi = 0;
+        for &f in ch.frees() {
+            lo = lo.min(f);
+            hi = hi.max(f);
         }
-        let free = self.points[i].free;
-        self.points.insert(i + 1, ProfilePoint { time: t, free });
-        i + 1
+        self.min_free[c] = lo;
+        self.max_free[c] = hi;
+    }
+
+    // ------------------------------------------------------------------
+    // Queries.
+
+    /// The earliest fit together with the (chunk, index) of the segment
+    /// containing it — the position seeds the allocation walk so
+    /// [`Profile::allocate_earliest`] never re-searches for its start.
+    ///
+    /// One forward sweep alternating the blocker and jump probes of the
+    /// module docs. A clean chunk (`min_free >= width`) needs no point
+    /// access at all: if any of its points reaches past the window's
+    /// close, the next scanned point's time check settles the window,
+    /// because times increase strictly across chunks.
+    fn fit_pos(
+        &self,
+        after: SimTime,
+        duration: SimDuration,
+        width: u32,
+    ) -> (usize, usize, SimTime) {
+        assert!(
+            width <= self.capacity,
+            "job width {width} exceeds capacity {}",
+            self.capacity
+        );
+        let candidate = after.max(self.origin());
+        if width == 0 || duration.is_zero() {
+            // Trivial fit at the bound; callers skip the allocation walk,
+            // so the position is unused.
+            return (0, 0, candidate);
+        }
+        let n = self.n_chunks();
+        let (mut c, mut i) = self.seg_pos(candidate);
+        // Segment containing the current candidate.
+        let (mut sc, mut si) = (c, i);
+        let mut candidate = candidate;
+        let mut end = candidate.saturating_add(duration);
+        // The sweep alternates two states without re-deriving chunk
+        // context: *verifying* (scanning the candidate window for a
+        // blocker, i.e. free < width) and *seeking* (scanning past a
+        // blocker for the next segment with free >= width, the next
+        // candidate). Only free values are scanned — pure 4-byte sweeps
+        // the compiler can vectorise; a hit's time decides between
+        // "blocker" and "window settled", which is sound because times
+        // increase strictly: a point skipped on free alone that lay past
+        // `end` forces every later point past `end` too, so the next
+        // low-free hit's time check still settles the window.
+        let mut seeking = false;
+        loop {
+            if c >= n {
+                // Horizon. Seeking cannot run past it: the final segment
+                // is fully free, so a next candidate always exists.
+                debug_assert!(!seeking, "seek ran past the horizon");
+                return (sc, si, candidate);
+            }
+            // Whole-chunk skips via the contiguous summary arrays.
+            if seeking {
+                if self.max_free[c] < width {
+                    c += 1;
+                    i = 0;
+                    continue;
+                }
+            } else {
+                if self.first_time[c] >= end {
+                    return (sc, si, candidate);
+                }
+                if self.min_free[c] >= width {
+                    c += 1;
+                    i = 0;
+                    continue;
+                }
+            }
+            let ch = self.chunk(c);
+            let len = ch.len as usize;
+            let frees = &ch.frees[..len];
+            let mut k = i;
+            while k < len {
+                if seeking {
+                    while k < len && frees[k] < width {
+                        k += 1;
+                    }
+                    if k >= len {
+                        break;
+                    }
+                    candidate = ch.times[k];
+                    end = candidate.saturating_add(duration);
+                    sc = c;
+                    si = k;
+                    seeking = false;
+                } else {
+                    while k < len && frees[k] >= width {
+                        k += 1;
+                    }
+                    if k >= len {
+                        break;
+                    }
+                    if ch.times[k] >= end {
+                        return (sc, si, candidate);
+                    }
+                    seeking = true;
+                }
+                k += 1;
+            }
+            c += 1;
+            i = 0;
+        }
+    }
+
+    /// The earliest instant `t >= after` at which `width` processors stay
+    /// free for the whole span `[t, t + duration)`.
+    ///
+    /// Always succeeds because the profile returns to full capacity after
+    /// its last break point. The answer is the unique minimal feasible
+    /// start, so it is bit-identical to the retained linear scan's.
+    ///
+    /// # Panics
+    /// Panics if `width` exceeds the machine capacity.
+    pub fn earliest_fit(&self, after: SimTime, duration: SimDuration, width: u32) -> SimTime {
+        self.fit_pos(after, duration, width).2
+    }
+
+    // ------------------------------------------------------------------
+    // Updates.
+
+    /// Inserts `pt` at in-chunk index `i` of chunk position `c`
+    /// (`0 <= i <= len`), splitting the chunk first when full. Returns
+    /// the final (chunk position, in-chunk index) of the inserted point.
+    /// The target chunk's summary is left stale for the caller to
+    /// refresh (split siblings are refreshed in `split_chunk`).
+    fn insert_point(&mut self, mut c: usize, mut i: usize, pt: ProfilePoint) -> (usize, usize) {
+        const HALF: usize = CHUNK_CAP / 2;
+        if self.chunk(c).len as usize == CHUNK_CAP {
+            self.split_chunk(c);
+            if i > HALF {
+                c += 1;
+                i -= HALF;
+            }
+        }
+        let ch = self.chunk_mut(c);
+        let len = ch.len as usize;
+        debug_assert!(i <= len && len < CHUNK_CAP);
+        ch.times.copy_within(i..len, i + 1);
+        ch.frees.copy_within(i..len, i + 1);
+        ch.times[i] = pt.time;
+        ch.frees[i] = pt.free;
+        ch.len += 1;
+        self.n_points += 1;
+        if i == 0 {
+            self.first_time[c] = pt.time;
+        }
+        (c, i)
+    }
+
+    /// Splits the full chunk at position `c` into two half chunks. The
+    /// upper half is appended to the arena (no kilobyte-sized memmove of
+    /// sibling chunks); only the 4-byte order and summary entries shift,
+    /// and both halves' summaries are refreshed here.
+    fn split_chunk(&mut self, c: usize) {
+        const HALF: usize = CHUNK_CAP / 2;
+        let id = self.order[c] as usize;
+        let mut hi = Chunk {
+            len: (CHUNK_CAP - HALF) as u32,
+            times: [SimTime::ZERO; CHUNK_CAP],
+            frees: [0; CHUNK_CAP],
+        };
+        hi.times[..CHUNK_CAP - HALF].copy_from_slice(&self.arena[id].times[HALF..]);
+        hi.frees[..CHUNK_CAP - HALF].copy_from_slice(&self.arena[id].frees[HALF..]);
+        let hi_first = hi.times[0];
+        self.arena[id].len = HALF as u32;
+        let new_id = self.arena.len() as u32;
+        self.arena.push(hi);
+        self.order.insert(c + 1, new_id);
+        self.first_time.insert(c + 1, hi_first);
+        self.min_free.insert(c + 1, 0);
+        self.max_free.insert(c + 1, 0);
+        self.refresh_summary(c);
+        self.refresh_summary(c + 1);
+    }
+
+    /// Carves `width` processors out of `[start, end)`, given the
+    /// position `(c, i)` of the segment containing `start` (from
+    /// `fit_pos` or `seg_pos`). One forward walk: the bounding break
+    /// points are inserted as encountered, covered segments are
+    /// decremented, and chunk summaries refresh in place — a fully
+    /// covered chunk shifts its summary by `width` without rescanning
+    /// its points.
+    ///
+    /// # Panics
+    /// Panics if any covered segment has fewer than `width` free.
+    fn allocate_span(&mut self, c: usize, i: usize, start: SimTime, end: SimTime, width: u32) {
+        let seg = self.chunk(c).point(i);
+        debug_assert!(seg.time <= start, "position does not contain start");
+        let (mut c, mut i) = if seg.time == start {
+            (c, i)
+        } else {
+            // Split the segment: the new point keeps the segment's free
+            // value until the decrement loop below reaches it.
+            self.insert_point(
+                c,
+                i + 1,
+                ProfilePoint {
+                    time: start,
+                    free: seg.free,
+                },
+            )
+        };
+        // The chunk the walk starts in is always rescanned: the insert
+        // above may have left its summary stale, and the walk may cover
+        // it only partially.
+        let start_chunk = c;
+        // Pre-decrement free value of the last covered segment — the
+        // value the profile returns to when the reservation ends.
+        let mut prev_free = 0;
+        loop {
+            let ch = self.chunk_mut(c);
+            let len = ch.len as usize;
+            let entered_at = i;
+            while i < len && ch.times[i] < end {
+                let f = ch.frees[i];
+                assert!(
+                    f >= width,
+                    "overcommit: segment at {:?} has {f} free, needs {width}",
+                    ch.times[i]
+                );
+                prev_free = f;
+                ch.frees[i] = f - width;
+                i += 1;
+            }
+            if i < len {
+                // A point at or past `end` stops the walk in this chunk.
+                if self.chunk(c).times[i] > end {
+                    let (c2, _) = self.insert_point(
+                        c,
+                        i,
+                        ProfilePoint {
+                            time: end,
+                            free: prev_free,
+                        },
+                    );
+                    self.refresh_summary(c2);
+                    if c2 != c {
+                        self.refresh_summary(c);
+                    }
+                } else {
+                    self.refresh_summary(c);
+                }
+                return;
+            }
+            // Chunk consumed to its end.
+            if entered_at == 0 && c != start_chunk {
+                // Fully covered and untouched by inserts: both summary
+                // extremes drop by exactly `width`.
+                self.min_free[c] -= width;
+                self.max_free[c] -= width;
+            } else {
+                self.refresh_summary(c);
+            }
+            c += 1;
+            if c == self.n_chunks() {
+                // Ran past the horizon: close the reservation with a new
+                // final point restoring the pre-decrement free value (the
+                // full capacity, by the horizon invariant).
+                let lc = c - 1;
+                let li = self.chunk(lc).len as usize;
+                let (c2, _) = self.insert_point(
+                    lc,
+                    li,
+                    ProfilePoint {
+                        time: end,
+                        free: prev_free,
+                    },
+                );
+                self.refresh_summary(c2);
+                if c2 != lc {
+                    self.refresh_summary(lc);
+                }
+                return;
+            }
+            if self.first_time[c] >= end {
+                if self.first_time[c] > end {
+                    // `end` falls in the gap before this chunk: the
+                    // closing point becomes its new first point.
+                    let (c2, _) = self.insert_point(
+                        c,
+                        0,
+                        ProfilePoint {
+                            time: end,
+                            free: prev_free,
+                        },
+                    );
+                    self.refresh_summary(c2);
+                }
+                return;
+            }
+            i = 0;
+        }
     }
 
     /// Reserves `width` processors over `[start, start + duration)`.
@@ -195,177 +727,129 @@ impl Profile {
         }
         assert!(start >= self.origin(), "allocation before profile origin");
         let end = start.saturating_add(duration);
-        let s = self.split_at(start);
-        let e = self.split_at(end);
-        for p in &mut self.points[s..e] {
-            assert!(
-                p.free >= width,
-                "overcommit: segment at {:?} has {} free, needs {width}",
-                p.time,
-                p.free
-            );
-            p.free -= width;
-        }
+        let (c, i) = self.seg_pos(start);
+        self.allocate_span(c, i, start, end, width);
         self.assert_invariants();
     }
 
-    /// The earliest instant `t >= after` at which `width` processors stay
-    /// free for the whole span `[t, t + duration)`.
-    ///
-    /// Always succeeds because the profile returns to full capacity after
-    /// its last break point.
-    ///
-    /// # Panics
-    /// Panics if `width` exceeds the machine capacity.
-    pub fn earliest_fit(&self, after: SimTime, duration: SimDuration, width: u32) -> SimTime {
-        self.earliest_fit_indexed(after, duration, width).0
-    }
-
-    /// [`Profile::earliest_fit`] plus the index of the segment containing
-    /// the returned instant, so callers that allocate right away need not
-    /// re-search.
-    fn earliest_fit_indexed(
-        &self,
-        after: SimTime,
-        duration: SimDuration,
-        width: u32,
-    ) -> (SimTime, usize) {
-        assert!(
-            width <= self.capacity,
-            "job width {width} exceeds capacity {}",
-            self.capacity
-        );
-        let mut candidate = after.max(self.origin());
-        let mut i = self.seg_index(candidate);
-        if width == 0 || duration.is_zero() {
-            return (candidate, i);
-        }
-        'outer: loop {
-            let end = candidate.saturating_add(duration);
-            // Scan segments overlapping [candidate, end) for a blocker.
-            let mut j = i;
-            while j < self.points.len() && self.points[j].time < end {
-                if self.points[j].free < width {
-                    let seg_end = self.points.get(j + 1).map_or(SimTime::MAX, |p| p.time);
-                    if seg_end > candidate {
-                        // Blocked: jump past this segment to the next
-                        // instant with enough capacity.
-                        let mut k = j + 1;
-                        while k < self.points.len() && self.points[k].free < width {
-                            k += 1;
-                        }
-                        debug_assert!(k < self.points.len(), "profile must end at full capacity");
-                        candidate = self.points[k].time;
-                        i = k;
-                        continue 'outer;
-                    }
-                }
-                j += 1;
-            }
-            return (candidate, i);
-        }
-    }
-
     /// Finds the earliest fit and allocates it in one step; returns the
-    /// chosen start time. Equivalent to [`Profile::earliest_fit`] followed
-    /// by [`Profile::allocate`], but reuses the fit's segment index and
-    /// inserts both new break points with a single tail shift instead of
-    /// two `Vec::insert`s — this is the planner's hot path (once per
-    /// queued job per policy per event).
+    /// chosen start time. Equivalent to [`Profile::earliest_fit`]
+    /// followed by [`Profile::allocate`] — this is the planner's hot
+    /// path (once per queued job per policy per event). The fit's
+    /// position feeds the allocation walk directly, so the start is
+    /// never searched for twice.
+    ///
+    /// Successive calls are accelerated by a per-width-class *dominance
+    /// memo*. Earliest-fit is monotone two ways: a query with larger
+    /// width or duration can never fit earlier than an easier one, and
+    /// allocation only ever narrows the profile, so an answer computed
+    /// earlier in a pass can only move later, never earlier. Therefore
+    /// the answer `a` of a previous `(w, d)` query is a sound scan lower
+    /// bound for any later `(w', d')` query with `w' >= w` and
+    /// `d' >= d`: no fit for the harder query can exist before `a`. One
+    /// slot per `ilog2(width)` class keeps the last query; a planning
+    /// pass places many same-width jobs (and SJF/LJF passes walk
+    /// duration monotonically), so most queries skip the packed prefix
+    /// entirely and scan only near the frontier. The memo never changes
+    /// any answer — only where the scan starts — and is cleared on
+    /// rebuild/restore/reset, the only operations that widen capacity.
+    ///
+    /// A memoised answer proves only that `[slot.after, slot.answer)`
+    /// holds no fit for the slot's query, so a later query may use it
+    /// only when additionally constrained to start no earlier
+    /// (`after >= slot.after`) — otherwise the skipped prefix could hide
+    /// a legitimate earlier fit.
     pub fn allocate_earliest(
         &mut self,
         after: SimTime,
         duration: SimDuration,
         width: u32,
     ) -> SimTime {
-        let (start, s_seg) = self.earliest_fit_indexed(after, duration, width);
         if duration.is_zero() || width == 0 {
-            return start;
+            return self.fit_pos(after, duration, width).2;
         }
-        debug_assert!(self.points[s_seg].time <= start);
+        let class = (31 - width.leading_zeros()) as usize;
+        let mut from = after;
+        let slot = self.memo[class];
+        if slot.width != 0
+            && width >= slot.width
+            && duration >= slot.duration
+            && after >= slot.after
+        {
+            from = from.max(slot.answer);
+        }
+        let (c, i, start) = self.fit_pos(from, duration, width);
+        // The slot records `after`, not `from`: on a hit the old slot
+        // already proved `[after, from)` fit-free for this (dominating)
+        // query, and the scan just proved `[from, start)`, so the union
+        // `[after, start)` is established.
+        self.memo[class] = MemoSlot {
+            width,
+            duration,
+            after,
+            answer: start,
+        };
         let end = start.saturating_add(duration);
-
-        // First segment index whose point time is >= end, scanning
-        // forward from the fit segment (the span rarely covers many).
-        let mut e_seg = s_seg;
-        while e_seg < self.points.len() && self.points[e_seg].time < end {
-            e_seg += 1;
-        }
-        // Break points to materialize: one at `start` (unless a point
-        // sits there already), one at `end` (ditto). Their free values
-        // are those of the segments they split.
-        let need_s = self.points[s_seg].time != start;
-        let need_e = e_seg >= self.points.len() || self.points[e_seg].time != end;
-        let free_at_end = self.points[e_seg - 1].free;
-        let grow = usize::from(need_s) + usize::from(need_e);
-        let old_len = self.points.len();
-        if grow > 0 {
-            self.points.resize(
-                old_len + grow,
-                ProfilePoint {
-                    time: SimTime::MAX,
-                    free: self.capacity,
-                },
-            );
-            // One shift of the tail [e_seg..] by the full growth, then —
-            // when both points are new — one shift of the covered middle
-            // (s_seg+1..e_seg) by one.
-            self.points.copy_within(e_seg..old_len, e_seg + grow);
-            if need_e {
-                self.points[e_seg + usize::from(need_s)] = ProfilePoint {
-                    time: end,
-                    free: free_at_end,
-                };
-            }
-            if need_s {
-                self.points.copy_within(s_seg + 1..e_seg, s_seg + 2);
-                self.points[s_seg + 1] = ProfilePoint {
-                    time: start,
-                    free: self.points[s_seg].free,
-                };
-            }
-        }
-        // Narrow every segment covering [start, end).
-        let first = s_seg + usize::from(need_s);
-        let last = e_seg + usize::from(need_s);
-        for p in &mut self.points[first..last] {
-            assert!(
-                p.free >= width,
-                "overcommit: segment at {:?} has {} free, needs {width}",
-                p.time,
-                p.free
-            );
-            p.free -= width;
-        }
+        self.allocate_span(c, i, start, end, width);
         self.assert_invariants();
         start
     }
 
     /// Debug-build invariant check: strictly increasing times, free in
-    /// range, full capacity at the horizon.
+    /// range, full capacity at the horizon, fresh summary arrays.
     fn assert_invariants(&self) {
         #[cfg(debug_assertions)]
         {
+            let pts = self.to_points();
+            assert_eq!(pts.len(), self.n_points, "stale point count");
             assert!(
-                self.points.windows(2).all(|w| w[0].time < w[1].time),
+                pts.windows(2).all(|w| w[0].time < w[1].time),
                 "profile times not strictly increasing"
             );
             assert!(
-                self.points.iter().all(|p| p.free <= self.capacity),
+                pts.iter().all(|p| p.free <= self.capacity),
                 "free exceeds capacity"
             );
             assert_eq!(
-                self.points.last().unwrap().free,
+                pts.last().unwrap().free,
                 self.capacity,
                 "profile must end at full capacity"
             );
+            assert_eq!(self.first_time.len(), self.n_chunks());
+            assert_eq!(self.min_free.len(), self.n_chunks());
+            assert_eq!(self.max_free.len(), self.n_chunks());
+            for c in 0..self.n_chunks() {
+                let ch = self.chunk(c);
+                assert!(ch.len >= 1, "empty chunk");
+                assert_eq!(
+                    self.first_time[c], ch.times[0],
+                    "stale first-time on chunk {c}"
+                );
+                let lo = ch.frees().iter().copied().min().unwrap();
+                let hi = ch.frees().iter().copied().max().unwrap();
+                assert_eq!(
+                    (self.min_free[c], self.max_free[c]),
+                    (lo, hi),
+                    "stale summary on chunk {c}"
+                );
+            }
         }
+    }
+}
+
+impl std::fmt::Debug for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profile")
+            .field("capacity", &self.capacity)
+            .field("points", &self.to_points())
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::naive::NaiveProfile;
     use proptest::prelude::*;
 
     fn t(secs: u64) -> SimTime {
@@ -465,7 +949,7 @@ mod tests {
         p.reset(20, t(5));
         assert_eq!(p.capacity(), 20);
         assert_eq!(p.free_at(t(5)), 20);
-        assert_eq!(p.points().len(), 1);
+        assert_eq!(p.len(), 1);
     }
 
     #[test]
@@ -521,7 +1005,7 @@ mod tests {
         assert_eq!(p.free_at(t(100)), 2);
         assert_eq!(p.free_at(t(149)), 2);
         assert_eq!(p.free_at(t(150)), 4);
-        assert_eq!(p.points().len(), 2);
+        assert_eq!(p.len(), 2);
     }
 
     #[test]
@@ -539,7 +1023,7 @@ mod tests {
         let mut work = Profile::new(1, t(999));
         work.restore_from(&base);
         assert_eq!(work.capacity(), 8);
-        assert_eq!(work.points(), base.points());
+        assert_eq!(work.to_points(), base.to_points());
         // Narrowing the copy leaves the base untouched.
         work.allocate(t(10), d(20), 3);
         assert_eq!(work.free_at(t(15)), 0);
@@ -547,6 +1031,41 @@ mod tests {
         // A second restore really is a reset to the watermark.
         work.restore_from(&base);
         assert_eq!(work.free_at(t(15)), 3);
+    }
+
+    /// Enough disjoint allocations to force many chunk splits, so the
+    /// summary-skip probes cross chunk boundaries on every query.
+    #[test]
+    fn deep_profile_spans_many_chunks_and_answers_like_the_oracle() {
+        let capacity = 64;
+        let mut p = Profile::new(capacity, t(0));
+        let mut oracle = NaiveProfile::new(capacity, t(0));
+        // A comb of busy teeth: [20k, 20k+10) at width 63 — only 1 free.
+        for k in 0..400u64 {
+            p.allocate(t(20 * k), d(10), 63);
+            oracle.allocate(t(20 * k), d(10), 63);
+        }
+        assert!(p.n_chunks() > 4, "expected chunk splits, got 1 chunk");
+        assert_eq!(p.to_points(), oracle.points());
+        for (after, dur, w) in [
+            (0u64, 5u64, 1u32),
+            (0, 5, 2),
+            (0, 15, 2),
+            (3, 7, 2),
+            (3, 7, 63),
+            (1_000, 9, 40),
+            (3_999, 11, 64),
+            (7_990, 10, 2),
+            (8_005, 4, 2),
+            (9_000, 1_000, 64),
+        ] {
+            assert_eq!(
+                p.earliest_fit(t(after), d(dur), w),
+                oracle.earliest_fit(t(after), d(dur), w),
+                "fit differs for after={after} dur={dur} w={w}"
+            );
+            assert_eq!(p.free_at(t(after)), oracle.free_at(t(after)));
+        }
     }
 
     proptest! {
@@ -650,6 +1169,133 @@ mod tests {
                     by_alloc.earliest_fit(t(after), d(dur), w)
                 );
             }
+        }
+
+        /// The indexed profile against the retained linear-scan oracle:
+        /// long random interleavings of allocate_earliest / allocate /
+        /// earliest_fit / free_at / restore_from agree bit-for-bit on
+        /// every answer and on the full point list. Sequences are long
+        /// enough (up to 300 ops on a tight horizon) to force chunk
+        /// splits, so the summary-skip paths are exercised across chunks.
+        #[test]
+        fn indexed_profile_matches_naive_oracle(
+            ops in proptest::collection::vec(
+                (0u8..5, 1u32..17, 0u64..4_000, 1u64..700),
+                1..300,
+            ),
+            origin in 0u64..50,
+        ) {
+            let capacity = 16u32;
+            let mut p = Profile::new(capacity, t(origin));
+            let mut oracle = NaiveProfile::new(capacity, t(origin));
+            // Watermark bases for restore_from, captured mid-sequence.
+            let mut base = Profile::new(capacity, t(origin));
+            let mut oracle_base = NaiveProfile::new(capacity, t(origin));
+            for (kind, w, after, dur) in ops {
+                match kind {
+                    0 | 1 => {
+                        // allocate_earliest is the planner hot path — give
+                        // it double weight.
+                        let a = p.allocate_earliest(t(after), d(dur), w);
+                        let b = oracle.allocate_earliest(t(after), d(dur), w);
+                        prop_assert_eq!(a, b, "allocate_earliest diverged");
+                    }
+                    2 => {
+                        let a = p.earliest_fit(t(after), d(dur), w);
+                        let b = oracle.earliest_fit(t(after), d(dur), w);
+                        prop_assert_eq!(a, b, "earliest_fit diverged");
+                        // Allocate at the agreed fit so states keep evolving.
+                        p.allocate(a, d(dur), w);
+                        oracle.allocate(a, d(dur), w);
+                    }
+                    3 => {
+                        prop_assert_eq!(p.free_at(t(after)), oracle.free_at(t(after)));
+                        // Capture the current state as the new watermark.
+                        base.restore_from(&p);
+                        oracle_base.restore_from(&oracle);
+                    }
+                    _ => {
+                        // Roll both back to the watermark.
+                        p.restore_from(&base);
+                        oracle.restore_from(&oracle_base);
+                    }
+                }
+                prop_assert_eq!(p.capacity(), oracle.capacity());
+                prop_assert_eq!(p.len(), oracle.points().len());
+            }
+            prop_assert_eq!(p.to_points(), oracle.points().to_vec());
+        }
+
+        /// Boundary-instant windows: fits queried exactly at break
+        /// points, one tick before and after, with zero-width /
+        /// zero-duration / full-capacity extremes — indexed and naive
+        /// answers match everywhere.
+        #[test]
+        fn indexed_fit_matches_naive_at_boundaries(
+            spans in proptest::collection::vec((1u32..9, 0u64..500, 1u64..120), 1..40),
+            durs in proptest::collection::vec(1u64..200, 1..6),
+        ) {
+            let capacity = 16u32;
+            let mut p = Profile::new(capacity, t(0));
+            let mut oracle = NaiveProfile::new(capacity, t(0));
+            for &(w, start, dur) in &spans {
+                let s = oracle.earliest_fit(t(start), d(dur), w);
+                oracle.allocate(s, d(dur), w);
+                let s2 = p.earliest_fit(t(start), d(dur), w);
+                prop_assert_eq!(s2, s);
+                p.allocate(s, d(dur), w);
+            }
+            // Probe exactly at every break point and ±1s around it.
+            let probes: Vec<u64> = oracle
+                .points()
+                .iter()
+                .flat_map(|pt| {
+                    let s = pt.time.as_millis() / 1000;
+                    [s.saturating_sub(1), s, s + 1]
+                })
+                .collect();
+            for &probe in &probes {
+                prop_assert_eq!(p.free_at(t(probe)), oracle.free_at(t(probe)));
+                for &dur in &durs {
+                    for w in [0u32, 1, 8, capacity] {
+                        prop_assert_eq!(
+                            p.earliest_fit(t(probe), d(dur), w),
+                            oracle.earliest_fit(t(probe), d(dur), w),
+                            "diverged at probe={} dur={} w={}", probe, dur, w
+                        );
+                    }
+                    prop_assert_eq!(
+                        p.earliest_fit(t(probe), SimDuration::ZERO, capacity),
+                        oracle.earliest_fit(t(probe), SimDuration::ZERO, capacity)
+                    );
+                }
+            }
+        }
+
+        /// rebuild_from_spans parity: sweeping the same span set into an
+        /// indexed and a naive profile yields identical point lists.
+        #[test]
+        fn indexed_sweep_matches_naive_sweep(
+            raw in proptest::collection::vec((1u32..5, 0u64..2_000, 1u64..300), 0..120),
+            origin in 0u64..100,
+        ) {
+            let capacity = 16u32;
+            // Greedily keep the span set feasible.
+            let mut feas = NaiveProfile::new(capacity, t(0));
+            let mut spans: Vec<(SimTime, SimTime, u32)> = Vec::new();
+            for (w, start, dur) in raw {
+                let fits = (start..start + dur).all(|sec| feas.free_at(t(sec)) >= w);
+                if fits {
+                    feas.allocate(t(start), d(dur), w);
+                    spans.push((t(start), t(start + dur), w));
+                }
+            }
+            let mut scratch = Vec::new();
+            let mut p = Profile::new(1, t(3));
+            p.rebuild_from_spans(capacity, t(origin), &spans, &mut scratch);
+            let mut oracle = NaiveProfile::new(1, t(3));
+            oracle.rebuild_from_spans(capacity, t(origin), &spans, &mut scratch);
+            prop_assert_eq!(p.to_points(), oracle.points().to_vec());
         }
     }
 }

@@ -50,7 +50,7 @@ fn main() {
         let mut exp = Experiment::new(args.traces.clone(), specs.clone(), args.jobs, args.sets);
         exp.factors = vec![1.0];
         exp.base_seed = args.seed;
-        exp.workers = args.workers;
+        args.configure_sweep(&mut exp);
         exp.faults = (mtbf > 0.0 || args.crash_prob > 0.0).then_some(FaultLoad {
             mtbf_secs: mtbf,
             mttr_secs: args.mttr_secs,

@@ -30,7 +30,7 @@ fn main() {
 
     let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
     exp.base_seed = args.seed;
-    exp.workers = args.workers;
+    args.configure_sweep(&mut exp);
     eprintln!("Ablation A1 (preferred policy): {} runs", exp.total_runs());
     let result = exp.run_with_progress(CommonArgs::progress_printer(exp.total_runs()));
 

@@ -37,7 +37,7 @@ fn main() {
 
     let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
     exp.base_seed = args.seed;
-    exp.workers = args.workers;
+    args.configure_sweep(&mut exp);
     eprintln!(
         "Ablation A4 (queueing vs planning): {} runs",
         exp.total_runs()

@@ -42,7 +42,7 @@ fn main() {
         let mut exp = Experiment::new(args.traces.clone(), specs.clone(), args.jobs, args.sets);
         exp.factors = vec![1.0];
         exp.base_seed = args.seed;
-        exp.workers = args.workers;
+        args.configure_sweep(&mut exp);
         exp.reservations = (fraction > 0.0).then_some(ReservationLoad {
             booked_fraction: fraction,
             guarantee_slack_secs: args.res_slack_secs,

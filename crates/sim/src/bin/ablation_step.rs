@@ -80,7 +80,7 @@ fn main() {
             args.sets,
         );
         exp.base_seed = args.seed;
-        exp.workers = args.workers;
+        args.configure_sweep(&mut exp);
         eprintln!("A3 variant {label:?}: {} runs", exp.total_runs());
         let result = exp.run();
         for model in &exp.traces {

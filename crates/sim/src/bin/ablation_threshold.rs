@@ -34,7 +34,7 @@ fn main() {
 
     let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
     exp.base_seed = args.seed;
-    exp.workers = args.workers;
+    args.configure_sweep(&mut exp);
     eprintln!(
         "Ablation A2 (clearly-better threshold): {} runs",
         exp.total_runs()

@@ -28,35 +28,70 @@ use std::path::{Path, PathBuf};
 
 const REPORTS: [&str; 2] = ["BENCH_planner.json", "BENCH_end_to_end.json"];
 
-/// Extracts every `"speedup": <number>` value, in file order.
-fn speedups(text: &str) -> Vec<f64> {
-    let needle = "\"speedup\":";
+/// Raw value of `"key": <value>` inside one row line, if present.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let pos = line.find(&needle)?;
+    let rest = line[pos + needle.len()..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Human-readable coordinates of a row, from whichever grid keys it
+/// carries: planner rows are (queue_depth, running_jobs), end-to-end
+/// rows are trace@factor plus any reservation/fault load tags.
+fn row_label(line: &str) -> String {
+    if let Some(d) = field(line, "queue_depth") {
+        let r = field(line, "running_jobs").unwrap_or("?");
+        return format!("depth={d} running={r}");
+    }
+    if let Some(t) = field(line, "trace") {
+        let mut s = format!(
+            "{}@{}",
+            t.trim_matches('"'),
+            field(line, "factor").unwrap_or("?")
+        );
+        if let Some(rf) = field(line, "res_fraction") {
+            if rf.parse::<f64>().is_ok_and(|v| v > 0.0) {
+                let _ = std::fmt::Write::write_fmt(&mut s, format_args!(" res={rf}"));
+            }
+        }
+        if let Some(m) = field(line, "mtbf_secs") {
+            if m.parse::<f64>().is_ok_and(|v| v > 0.0) {
+                let _ = std::fmt::Write::write_fmt(&mut s, format_args!(" mtbf={m}s"));
+            }
+        }
+        return s;
+    }
+    String::new()
+}
+
+/// Extracts every row's `"speedup"` value with its grid label, in file
+/// order. The reports put one row object per line, so a line scan is
+/// enough to pair each speedup with the coordinates next to it.
+fn speedup_rows(text: &str) -> Vec<(f64, String)> {
     let mut out = Vec::new();
-    let mut rest = text;
-    while let Some(pos) = rest.find(needle) {
-        rest = &rest[pos + needle.len()..];
-        let end = rest
-            .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c) || c == ' '))
-            .unwrap_or(rest.len());
-        let token = rest[..end].trim();
+    for line in text.lines() {
+        let Some(token) = field(line, "speedup") else {
+            continue;
+        };
         match token.parse::<f64>() {
-            Ok(v) => out.push(v),
+            Ok(v) => out.push((v, row_label(line))),
             Err(_) => {
                 eprintln!("warning: unparsable speedup value {token:?}");
             }
         }
-        rest = &rest[end..];
     }
     out
 }
 
-fn read_speedups(dir: &Path, name: &str) -> Vec<f64> {
+fn read_speedups(dir: &Path, name: &str) -> Vec<(f64, String)> {
     let path = dir.join(name);
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("cannot read {}: {e}", path.display());
         std::process::exit(2);
     });
-    let v = speedups(&text);
+    let v = speedup_rows(&text);
     if v.is_empty() {
         eprintln!("no speedup entries in {}", path.display());
         std::process::exit(2);
@@ -68,6 +103,9 @@ fn read_speedups(dir: &Path, name: &str) -> Vec<f64> {
 struct Cell {
     report: &'static str,
     row: usize,
+    /// Grid coordinates of the row ("depth=4096 running=64",
+    /// "KTH@0.8 res=0.15", …), from the fresh report.
+    label: String,
     baseline: f64,
     fresh: f64,
     floor: f64,
@@ -155,18 +193,28 @@ fn main() {
             failed = true;
             continue;
         }
-        for (i, (b, f)) in baseline.iter().zip(&fresh).enumerate() {
+        for (i, ((b, b_label), (f, f_label))) in baseline.iter().zip(&fresh).enumerate() {
+            // Labels come from the fresh report (the baseline may
+            // predate them); when both sides carry one they must agree,
+            // or the positional match is comparing different cells.
+            if !b_label.is_empty() && b_label != f_label {
+                eprintln!(
+                    "{name} row {i}: coordinates changed ({b_label:?} baseline vs {f_label:?} fresh)"
+                );
+                failed = true;
+            }
             let cell = Cell {
                 report: name,
                 row: i,
+                label: f_label.clone(),
                 baseline: *b,
                 fresh: *f,
                 floor: b * (1.0 - tolerance),
             };
             let verdict = if cell.regressed() { "REGRESSED" } else { "ok" };
             println!(
-                "{name} row {i}: baseline {b:.2}x, fresh {f:.2}x, floor {:.2}x — {verdict}",
-                cell.floor
+                "{name} row {i} [{}]: baseline {b:.2}x, fresh {f:.2}x, floor {:.2}x — {verdict}",
+                cell.label, cell.floor
             );
             failed |= cell.regressed();
             cells.push(cell);
@@ -177,12 +225,15 @@ fn main() {
         // relative change, regressions flagged, so a failure log carries
         // the complete picture.
         eprintln!("\nper-cell deltas (fresh vs baseline):");
-        eprintln!("  report               row  baseline   fresh   delta    floor  verdict");
+        eprintln!(
+            "  report               row  cell                      baseline   fresh   delta    floor  verdict"
+        );
         for c in &cells {
             eprintln!(
-                "  {:<20} {:>3} {:>8.2}x {:>6.2}x {:>+6.1}% {:>7.2}x  {}",
+                "  {:<20} {:>3} {:<25} {:>8.2}x {:>6.2}x {:>+6.1}% {:>7.2}x  {}",
                 c.report,
                 c.row,
+                c.label,
                 c.baseline,
                 c.fresh,
                 c.delta_pct(),

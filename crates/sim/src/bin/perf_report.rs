@@ -20,10 +20,12 @@
 //! Everything is seeded and single-threaded; numbers vary with the host,
 //! the *ratios* are the tracked quantity.
 
-use dynp_core::{DeciderKind, DynPConfig, SelfTuningScheduler};
+use dynp_core::{resolve_planner_threads, DeciderKind, DynPConfig, SelfTuningScheduler};
 use dynp_des::{SimDuration, SimTime};
 use dynp_obs::Tracer;
-use dynp_rms::{AdmissionConfig, Planner, Policy, ReferencePlanner, RunningJob};
+use dynp_rms::{
+    AdmissionConfig, PlanTiming, Planner, Policy, ReferencePlanner, RunningJob, PARALLEL_MIN_DEPTH,
+};
 use dynp_sim::simulate_chaos;
 use dynp_workload::{traces, transform, FaultModel, FaultPlan, Job, JobId, ReservationModel};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -58,17 +60,26 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-/// Median wall time in nanoseconds over `reps` runs of `f`.
-fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
-    let mut samples: Vec<u64> = (0..reps)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_nanos() as u64
-        })
-        .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+/// Median wall times of two competing workloads, sampled interleaved
+/// (`a b a b …`) instead of as two back-to-back blocks. The reports only
+/// ever publish the *ratio* of the two medians, and on hosts whose clock
+/// frequency drifts (thermal throttling, shared runners) block-wise
+/// sampling biases that ratio by whatever the host did between the
+/// blocks; interleaving gives both sides the same drift so it cancels.
+fn median_pair_ns<A: FnMut(), B: FnMut()>(reps: usize, mut a: A, mut b: B) -> (u64, u64) {
+    let mut sa: Vec<u64> = Vec::with_capacity(reps);
+    let mut sb: Vec<u64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        a();
+        sa.push(t0.elapsed().as_nanos() as u64);
+        let t0 = Instant::now();
+        b();
+        sb.push(t0.elapsed().as_nanos() as u64);
+    }
+    sa.sort_unstable();
+    sb.sort_unstable();
+    (sa[sa.len() / 2], sb[sb.len() / 2])
 }
 
 fn json_escape(s: &str) -> String {
@@ -148,13 +159,41 @@ fn machine_for(running: &[RunningJob]) -> u32 {
 }
 
 /// The planner microbenchmark: one dynP step's planning work (three
-/// policy-ordered plans of the same queue against the same running set).
-fn planner_report(out_dir: &std::path::Path, quick: bool) {
-    let reps = if quick { 5 } else { 51 };
+/// policy-ordered plans of the same queue against the same running set),
+/// through the same batched fan-out entry point production uses. The
+/// deep-queue rows (4096, 16384) are where the capacity-indexed profile
+/// has to show sublinear behaviour; they run fewer reps because the
+/// reference side is quadratic there.
+fn planner_report(out_dir: &std::path::Path, quick: bool, threads: usize) {
+    let base_reps = if quick { 5 } else { 51 };
     let now = SimTime::from_secs(100_000);
     let mut rows = Vec::new();
 
-    for &(depth, nrun) in &[(64usize, 16usize), (256, 64), (1024, 64), (1024, 256)] {
+    for &(depth, nrun) in &[
+        (64usize, 16usize),
+        (256, 64),
+        (1024, 64),
+        (1024, 256),
+        (4096, 64),
+        (16384, 64),
+    ] {
+        let reps = match depth {
+            d if d >= 16384 => {
+                if quick {
+                    1
+                } else {
+                    3
+                }
+            }
+            d if d >= 4096 => {
+                if quick {
+                    2
+                } else {
+                    11
+                }
+            }
+            _ => base_reps,
+        };
         let queue: Vec<Job> = transform::shrink(&traces::kth().generate(depth, 7), 1.0)
             .into_jobs()
             .into_iter()
@@ -174,38 +213,62 @@ fn planner_report(out_dir: &std::path::Path, quick: bool) {
             })
             .collect();
 
-        // Incremental: one prepare, three watermark-restored plans.
+        // Incremental: one prepare, then the batched three-plan fan-out,
+        // with the same depth gate production applies.
+        let workers = if depth >= PARALLEL_MIN_DEPTH {
+            threads
+        } else {
+            1
+        };
         let mut planner = Planner::new();
         let mut schedules = vec![Default::default(); Policy::BASIC.len()];
-        let inc_ns = median_ns(reps, || {
-            planner.prepare(machine, now, &running, &[]);
-            for (order, out) in orders.iter().zip(schedules.iter_mut()) {
-                planner.plan_prepared_into(order, out);
-            }
-        });
+        let mut timings = vec![PlanTiming::default(); Policy::BASIC.len()];
 
         // Reference: three from-scratch plans, each copying the unsorted
         // queue and sorting it (exactly the pre-incremental per-event
-        // work).
+        // work). Both sides are sampled interleaved so clock drift
+        // cancels in the speedup ratio, and shallow depths batch several
+        // steps per sample so no sample falls to timer-noise scale.
+        let inner = (1024 / depth).max(1) as u64;
         let mut reference = ReferencePlanner::new();
         let mut queue_buf = Vec::new();
-        let ref_ns = median_ns(reps, || {
-            for policy in Policy::BASIC {
-                queue_buf.clear();
-                queue_buf.extend_from_slice(&queue);
-                policy.sort_queue(&mut queue_buf);
-                let s = reference.plan(machine, now, &running, &queue_buf);
-                std::hint::black_box(&s);
-            }
-        });
+        let (inc_ns, ref_ns) = median_pair_ns(
+            reps,
+            || {
+                for _ in 0..inner {
+                    planner.prepare(machine, now, &running, &[]);
+                    planner.plan_prepared_batch(&orders, &mut schedules, &mut timings, workers);
+                }
+            },
+            || {
+                for _ in 0..inner {
+                    for policy in Policy::BASIC {
+                        queue_buf.clear();
+                        queue_buf.extend_from_slice(&queue);
+                        policy.sort_queue(&mut queue_buf);
+                        let s = reference.plan(machine, now, &running, &queue_buf);
+                        std::hint::black_box(&s);
+                    }
+                }
+            },
+        );
+        let (inc_ns, ref_ns) = (inc_ns / inner, ref_ns / inner);
 
+        let speedup = ref_ns as f64 / inc_ns.max(1) as f64;
+        println!(
+            "planner depth={depth} running={nrun} threads={workers}: incremental {:.3} ms, reference {:.3} ms, speedup {speedup:.2}x",
+            inc_ns as f64 / 1e6,
+            ref_ns as f64 / 1e6,
+        );
         rows.push(
             Row(Vec::new())
                 .int("queue_depth", depth as u64)
                 .int("running_jobs", nrun as u64)
+                .int("threads", workers as u64)
+                .int("reps", reps as u64)
                 .int("incremental_ns_per_step", inc_ns)
                 .int("reference_ns_per_step", ref_ns)
-                .num("speedup", ref_ns as f64 / inc_ns.max(1) as f64),
+                .num("speedup", speedup),
         );
     }
 
@@ -217,7 +280,8 @@ fn planner_report(out_dir: &std::path::Path, quick: bool) {
                 "unit",
                 "\"ns per 3-policy planning step, median\"".to_string(),
             ),
-            ("reps", reps.to_string()),
+            ("reps", base_reps.to_string()),
+            ("threads", threads.to_string()),
         ],
         &rows,
     );
@@ -229,7 +293,7 @@ fn planner_report(out_dir: &std::path::Path, quick: bool) {
 /// is fault-heavy (seeded node outages plus job crashes), exercising
 /// eviction, retry and schedule repair. Every cell asserts the two
 /// modes still agree bit-for-bit on SLDwA — under faults too.
-fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
+fn end_to_end_report(out_dir: &std::path::Path, quick: bool, threads: usize) {
     let (jobs, reps) = if quick { (400, 1) } else { (1_500, 7) };
     // (trace, shrink factor, reservation fraction, per-node MTBF seconds;
     // 0 = fault-free).
@@ -240,7 +304,8 @@ fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
         ("KTH", 0.8, 0.15, 0.0),
         ("KTH", 0.8, 0.0, 20_000.0),
     ];
-    let config = DynPConfig::paper(DeciderKind::Advanced);
+    let mut config = DynPConfig::paper(DeciderKind::Advanced);
+    config.planner_threads = threads;
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
 
@@ -258,42 +323,44 @@ fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
             FaultPlan::none()
         };
 
-        let run = |reference: bool| {
-            // Warm-up run, then timed runs; allocation proxy from the
-            // last run only (counts are deterministic per run).
-            let (events, sldwa) = {
-                let mut s = SelfTuningScheduler::new(config.clone());
-                s.set_reference_mode(reference);
-                let d = simulate_chaos(
-                    &set,
-                    &mut s,
-                    &reqs,
-                    AdmissionConfig::default(),
-                    &plan,
-                    Tracer::disabled(),
-                );
-                (d.result.events, d.result.metrics.sldwa)
-            };
-            let mut allocs = 0;
-            let ns = median_ns(reps, || {
-                let mut s = SelfTuningScheduler::new(config.clone());
-                s.set_reference_mode(reference);
-                let before = allocations();
-                let d = simulate_chaos(
-                    &set,
-                    &mut s,
-                    &reqs,
-                    AdmissionConfig::default(),
-                    &plan,
-                    Tracer::disabled(),
-                );
-                allocs = allocations() - before;
-                std::hint::black_box(&d);
-            });
-            (ns, events, allocs, sldwa)
+        // Warm-up run per mode doubles as the source of the event count,
+        // SLDwA divergence check and allocation proxy (all deterministic
+        // per run); the timed reps are then sampled interleaved so clock
+        // drift cancels in the speedup ratio.
+        let warm = |reference: bool| {
+            let mut s = SelfTuningScheduler::new(config.clone());
+            s.set_reference_mode(reference);
+            let before = allocations();
+            let d = simulate_chaos(
+                &set,
+                &mut s,
+                &reqs,
+                AdmissionConfig::default(),
+                &plan,
+                Tracer::disabled(),
+            );
+            (
+                d.result.events,
+                allocations() - before,
+                d.result.metrics.sldwa,
+            )
         };
-        let (inc_ns, events, inc_allocs, inc_sldwa) = run(false);
-        let (ref_ns, _, ref_allocs, ref_sldwa) = run(true);
+        let (events, inc_allocs, inc_sldwa) = warm(false);
+        let (_, ref_allocs, ref_sldwa) = warm(true);
+        let timed = |reference: bool| {
+            let mut s = SelfTuningScheduler::new(config.clone());
+            s.set_reference_mode(reference);
+            let d = simulate_chaos(
+                &set,
+                &mut s,
+                &reqs,
+                AdmissionConfig::default(),
+                &plan,
+                Tracer::disabled(),
+            );
+            std::hint::black_box(&d);
+        };
+        let (inc_ns, ref_ns) = median_pair_ns(reps, || timed(false), || timed(true));
         assert_eq!(
             inc_sldwa.to_bits(),
             ref_sldwa.to_bits(),
@@ -345,6 +412,7 @@ fn end_to_end_report(out_dir: &std::path::Path, quick: bool) {
                 "\"dynP[advanced], FCFS/SJF/LJF candidates\"".to_string(),
             ),
             ("reps", reps.to_string()),
+            ("threads", threads.to_string()),
             ("geomean_speedup", format!("{geomean}")),
         ],
         &rows,
@@ -362,6 +430,17 @@ fn main() {
         .unwrap_or_else(|| std::path::PathBuf::from("."));
     std::fs::create_dir_all(&out_dir).expect("create out dir");
 
-    planner_report(&out_dir, quick);
-    end_to_end_report(&out_dir, quick);
+    // Plan fan-out worker count; 0 (the default) resolves like
+    // production: DYNP_PLANNER_THREADS, then available parallelism.
+    let threads = resolve_planner_threads(
+        args.iter()
+            .position(|a| a == "--planner-threads")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().expect("--planner-threads expects an integer"))
+            .unwrap_or(0),
+    );
+    println!("plan fan-out: {threads} worker thread(s)");
+
+    planner_report(&out_dir, quick, threads);
+    end_to_end_report(&out_dir, quick, threads);
 }

@@ -89,7 +89,7 @@ fn main() {
 
     let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
     exp.base_seed = args.seed;
-    exp.workers = args.workers;
+    args.configure_sweep(&mut exp);
     exp.reservations = args.reservation_load();
     exp.faults = args.fault_load();
     let with_reservations = exp.reservations.is_some();

@@ -22,7 +22,7 @@ fn main() {
     ];
     let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
     exp.base_seed = args.seed;
-    exp.workers = args.workers;
+    args.configure_sweep(&mut exp);
 
     eprintln!(
         "Table 4 / Figures 1–2: {} traces × {} factors × 3 policies × {} sets of {} jobs = {} runs",

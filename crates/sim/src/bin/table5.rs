@@ -29,7 +29,7 @@ fn main() {
     ];
     let mut exp = Experiment::new(args.traces.clone(), specs, args.jobs, args.sets);
     exp.base_seed = args.seed;
-    exp.workers = args.workers;
+    args.configure_sweep(&mut exp);
 
     eprintln!(
         "Table 5 / Figures 3–4: {} traces × {} factors × 3 schedulers × {} sets of {} jobs = {} runs",

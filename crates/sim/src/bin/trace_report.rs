@@ -119,11 +119,24 @@ fn phase_histograms(records: &[ParsedRecord]) {
         entry.0.push(us);
         entry.1.push(us);
     };
+    // How many plan builds ran at each fan-out worker count: per-policy
+    // `plan:*` durations overlap in wall time when workers > 1, so the
+    // extra `plan:wall` phase divides each build by its worker count —
+    // that is the series whose sum is attributable wall clock.
+    let mut plan_workers: BTreeMap<u32, usize> = BTreeMap::new();
     for r in records {
         match &r.event {
             ParsedEvent::Span { name, dur_ns } => push(name.clone(), *dur_ns),
-            ParsedEvent::PlanBuilt { policy, dur_ns, .. } => {
-                push(format!("plan:{policy}"), *dur_ns)
+            ParsedEvent::PlanBuilt {
+                policy,
+                workers,
+                dur_ns,
+                ..
+            } => {
+                let w = (*workers).max(1);
+                *plan_workers.entry(w).or_default() += 1;
+                push(format!("plan:{policy}"), *dur_ns);
+                push("plan:wall".into(), *dur_ns / w as u64);
             }
             _ => {}
         }
@@ -131,6 +144,16 @@ fn phase_histograms(records: &[ParsedRecord]) {
     if phases.is_empty() {
         println!("phase times: none recorded (need --trace-level spans|all)");
         return;
+    }
+    if !plan_workers.is_empty() {
+        let line: Vec<String> = plan_workers
+            .iter()
+            .map(|(w, n)| format!("{n} build(s) on {w} worker(s)"))
+            .collect();
+        println!(
+            "plan fan-out: {} (plan:wall = per-build time / workers)",
+            line.join(", ")
+        );
     }
     println!("phase times [µs]:");
     println!("  phase           count       mean     p50≤     p90≤     p99≤       max");

@@ -9,6 +9,8 @@
 //! --trace NAME   restrict to one trace (repeatable; default: all four)
 //! --seed S       base RNG seed                 (default 0x5EED)
 //! --workers W    worker threads                (default: one per core)
+//! --planner-threads T  plan fan-out threads inside each dynP step
+//!                      (default 0 = auto; see DynPConfig::planner_threads)
 //! --out DIR      also write CSV tables and gnuplot .dat files to DIR
 //! --res-fraction F  offered booked-area fraction of a reservation
 //!                   stream riding on every run (default 0 = none)
@@ -42,6 +44,10 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Worker threads (0 = auto).
     pub workers: usize,
+    /// Plan fan-out threads inside each dynP step (0 = auto: the
+    /// `DYNP_PLANNER_THREADS` environment variable, then available
+    /// parallelism).
+    pub planner_threads: usize,
     /// Output directory for CSV/.dat files.
     pub out: Option<PathBuf>,
     /// Offered booked-area fraction of the reservation stream (0 = no
@@ -72,6 +78,7 @@ impl Default for CommonArgs {
             traces: traces::standard_models(),
             seed: 0x5EED,
             workers: 0,
+            planner_threads: 0,
             out: None,
             res_fraction: 0.0,
             res_slack_secs: 0,
@@ -94,7 +101,7 @@ impl CommonArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--jobs N] [--sets K] [--quick] [--trace NAME]... \
-                     [--seed S] [--workers W] [--out DIR] \
+                     [--seed S] [--workers W] [--planner-threads T] [--out DIR] \
                      [--res-fraction F] [--res-slack S] \
                      [--mtbf S] [--mttr S] [--crash-prob P] \
                      [--trace-out BASE] [--trace-level off|decisions|spans|all]"
@@ -141,6 +148,11 @@ impl CommonArgs {
                     out.workers = value("--workers")?
                         .parse()
                         .map_err(|_| "--workers expects an integer".to_string())?;
+                }
+                "--planner-threads" => {
+                    out.planner_threads = value("--planner-threads")?
+                        .parse()
+                        .map_err(|_| "--planner-threads expects an integer".to_string())?;
                 }
                 "--out" => {
                     out.out = Some(PathBuf::from(value("--out")?));
@@ -238,6 +250,17 @@ impl CommonArgs {
         Ok(Some((jsonl, chrome)))
     }
 
+    /// Applies the shared parallelism flags to a sweep. The per-step
+    /// plan fan-out stays sequential by default (the sweep already fans
+    /// runs across `--workers`); an explicit `--planner-threads` opts
+    /// in.
+    pub fn configure_sweep(&self, exp: &mut crate::experiment::Experiment) {
+        exp.workers = self.workers;
+        if self.planner_threads > 0 {
+            exp.planner_threads = self.planner_threads;
+        }
+    }
+
     /// The reservation load the flags select, if any.
     pub fn reservation_load(&self) -> Option<ReservationLoad> {
         if self.res_fraction > 0.0 {
@@ -315,6 +338,16 @@ mod tests {
         assert_eq!(a.sets, 3);
         assert_eq!(a.seed, 7);
         assert_eq!(a.workers, 2);
+    }
+
+    #[test]
+    fn planner_threads_flag_parses() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.planner_threads, 0);
+        let a = parse(&["--planner-threads", "4"]).unwrap();
+        assert_eq!(a.planner_threads, 4);
+        assert!(parse(&["--planner-threads"]).is_err());
+        assert!(parse(&["--planner-threads", "x"]).is_err());
     }
 
     #[test]

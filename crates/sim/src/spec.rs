@@ -54,6 +54,13 @@ impl SchedulerSpec {
     /// Instantiates a fresh scheduler (schedulers are stateful, one per
     /// run).
     pub fn build(&self) -> Box<dyn Scheduler> {
+        self.build_with_threads(0)
+    }
+
+    /// Like [`SchedulerSpec::build`], but pins the dynP plan fan-out to
+    /// `threads` workers (0 = auto). Static and EASY schedulers don't
+    /// plan per policy, so the knob is a no-op for them.
+    pub fn build_with_threads(&self, threads: usize) -> Box<dyn Scheduler> {
         match self {
             SchedulerSpec::Static(policy) => Box::new(StaticScheduler::new(*policy)),
             SchedulerSpec::DynP {
@@ -64,6 +71,7 @@ impl SchedulerSpec {
                 let mut config = DynPConfig::paper(*decider);
                 config.objective = *objective;
                 config.decide_on = *decide_on;
+                config.planner_threads = threads;
                 Box::new(SelfTuningScheduler::new(config))
             }
             SchedulerSpec::Easy(policy) => Box::new(EasyBackfillScheduler::new(*policy)),

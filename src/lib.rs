@@ -36,6 +36,7 @@
 pub use dynp_core as core;
 pub use dynp_des as des;
 pub use dynp_metrics as metrics;
+pub use dynp_obs as obs;
 pub use dynp_rms as rms;
 pub use dynp_sim as sim;
 pub use dynp_workload as workload;

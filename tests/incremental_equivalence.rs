@@ -9,8 +9,13 @@
 
 use dynp_suite::prelude::*;
 use dynp_suite::sim::simulate_with_reservations;
-use dynp_suite::workload::{traces, transform};
+use dynp_suite::workload::{traces, transform, FaultModel, FaultPlan};
 use proptest::prelude::*;
+
+/// Plan fan-out worker counts every equivalence claim is checked at.
+/// 1 is the sequential path, 2 and 8 exercise the `std::thread::scope`
+/// fan-out (8 > the 3 candidate policies, so some workers go idle).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
 fn job(id: u32, submit_s: u64, width: u32, est_s: u64, actual_s: u64) -> Job {
     Job::new(
@@ -22,6 +27,19 @@ fn job(id: u32, submit_s: u64, width: u32, est_s: u64, actual_s: u64) -> Job {
     )
 }
 
+/// Builds the scheduler for one run: reference or incremental, the
+/// latter with a forced fan-out worker count (min-depth 0 so even tiny
+/// test queues take the threaded path when `threads > 1`).
+fn scheduler_with(config: &DynPConfig, reference: bool, threads: usize) -> SelfTuningScheduler {
+    let mut s = SelfTuningScheduler::new(config.clone());
+    s.set_reference_mode(reference);
+    s.set_planner_threads(threads);
+    if threads > 1 {
+        s.set_parallel_min_depth(0);
+    }
+    s
+}
+
 /// Runs one full simulation with the given config, incrementally or in
 /// reference mode, and returns everything the run produced. A non-empty
 /// `reqs` adds an advance-reservation stream, so both engines also plan
@@ -31,14 +49,14 @@ fn run_with(
     config: &DynPConfig,
     reference: bool,
     reqs: &[ReservationRequest],
+    threads: usize,
 ) -> (
     SimMetrics,
     dynp_suite::core::SwitchStats,
     Policy,
     ReservationStats,
 ) {
-    let mut s = SelfTuningScheduler::new(config.clone());
-    s.set_reference_mode(reference);
+    let mut s = scheduler_with(config, reference, threads);
     let d = simulate_with_reservations(set, &mut s, reqs, AdmissionConfig::default());
     (
         d.result.metrics,
@@ -48,36 +66,29 @@ fn run_with(
     )
 }
 
-fn run(
-    set: &JobSet,
-    config: &DynPConfig,
-    reference: bool,
-) -> (SimMetrics, dynp_suite::core::SwitchStats, Policy) {
-    let (m, stats, active, _) = run_with(set, config, reference, &[]);
-    (m, stats, active)
-}
-
 fn assert_equivalent_with(set: &JobSet, config: &DynPConfig, reqs: &[ReservationRequest]) {
-    let (m_inc, stats_inc, active_inc, res_inc) = run_with(set, config, false, reqs);
-    let (m_ref, stats_ref, active_ref, res_ref) = run_with(set, config, true, reqs);
-    let ctx = format!(
-        "{} / {:?} / {:?} / {} reservation requests",
-        set.name,
-        config.decider,
-        config.decide_on,
-        reqs.len()
-    );
-    assert_eq!(res_inc, res_ref, "{ctx}");
-    assert_eq!(m_inc.sldwa.to_bits(), m_ref.sldwa.to_bits(), "{ctx}");
-    assert_eq!(
-        m_inc.utilization.to_bits(),
-        m_ref.utilization.to_bits(),
-        "{ctx}"
-    );
-    assert_eq!(m_inc.artww.to_bits(), m_ref.artww.to_bits(), "{ctx}");
-    assert_eq!(m_inc.last_end_secs, m_ref.last_end_secs, "{ctx}");
-    assert_eq!(stats_inc, stats_ref, "{ctx}");
-    assert_eq!(active_inc, active_ref, "{ctx}");
+    let (m_ref, stats_ref, active_ref, res_ref) = run_with(set, config, true, reqs, 1);
+    for threads in THREAD_COUNTS {
+        let (m_inc, stats_inc, active_inc, res_inc) = run_with(set, config, false, reqs, threads);
+        let ctx = format!(
+            "{} / {:?} / {:?} / {} reservation requests / {threads} planner threads",
+            set.name,
+            config.decider,
+            config.decide_on,
+            reqs.len()
+        );
+        assert_eq!(res_inc, res_ref, "{ctx}");
+        assert_eq!(m_inc.sldwa.to_bits(), m_ref.sldwa.to_bits(), "{ctx}");
+        assert_eq!(
+            m_inc.utilization.to_bits(),
+            m_ref.utilization.to_bits(),
+            "{ctx}"
+        );
+        assert_eq!(m_inc.artww.to_bits(), m_ref.artww.to_bits(), "{ctx}");
+        assert_eq!(m_inc.last_end_secs, m_ref.last_end_secs, "{ctx}");
+        assert_eq!(stats_inc, stats_ref, "{ctx}");
+        assert_eq!(active_inc, active_ref, "{ctx}");
+    }
 }
 
 fn assert_equivalent(set: &JobSet, config: &DynPConfig) {
@@ -189,21 +200,95 @@ fn incremental_equals_reference_on_trace_models_with_reservations() {
     }
 }
 
+/// Fault-bearing runs: with a calibrated chaos trace injected (node
+/// outages, crashes, overruns, retries), the incremental engine still
+/// matches the reference bit-for-bit at every fan-out worker count —
+/// the fault replans go through the same batched planning path.
+#[test]
+fn incremental_equals_reference_under_faults() {
+    use dynp_suite::sim::simulate_chaos;
+    for model in traces::standard_models() {
+        let set = transform::shrink(&model.generate(150, 23), 0.8);
+        let plan = FaultModel::typical(20_000.0, 3_600.0, 0.05).generate(&set, 13);
+        assert!(!plan.is_empty(), "fault model injected nothing");
+        let config = DynPConfig::paper(DeciderKind::Advanced);
+        let chaos_run = |reference: bool, threads: usize| {
+            let mut s = scheduler_with(&config, reference, threads);
+            let d = simulate_chaos(
+                &set,
+                &mut s,
+                &[],
+                AdmissionConfig::default(),
+                &plan,
+                dynp_suite::obs::Tracer::disabled(),
+            );
+            (d.result.metrics, s.stats.clone(), s.active_policy())
+        };
+        let (m_ref, stats_ref, active_ref) = chaos_run(true, 1);
+        for threads in THREAD_COUNTS {
+            let (m_inc, stats_inc, active_inc) = chaos_run(false, threads);
+            let ctx = format!("{} / faults / {threads} planner threads", set.name);
+            assert_eq!(m_inc.sldwa.to_bits(), m_ref.sldwa.to_bits(), "{ctx}");
+            assert_eq!(
+                m_inc.utilization.to_bits(),
+                m_ref.utilization.to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(m_inc.last_end_secs, m_ref.last_end_secs, "{ctx}");
+            assert_eq!(stats_inc, stats_ref, "{ctx}");
+            assert_eq!(active_inc, active_ref, "{ctx}");
+        }
+    }
+}
+
+/// A fault-free chaos plan pins the identity: `simulate_chaos` with
+/// `FaultPlan::none` must equal the plain reservation run bit-for-bit,
+/// sequential and fanned out alike.
+#[test]
+fn fault_free_chaos_equals_plain_run_across_thread_counts() {
+    use dynp_suite::sim::simulate_chaos;
+    let set = transform::shrink(&traces::ctc().generate(200, 31), 0.8);
+    let config = DynPConfig::paper(DeciderKind::Advanced);
+    let plain = run_with(&set, &config, false, &[], 1);
+    for threads in THREAD_COUNTS {
+        let mut s = scheduler_with(&config, false, threads);
+        let d = simulate_chaos(
+            &set,
+            &mut s,
+            &[],
+            AdmissionConfig::default(),
+            &FaultPlan::none(),
+            dynp_suite::obs::Tracer::disabled(),
+        );
+        assert_eq!(
+            d.result.metrics.sldwa.to_bits(),
+            plain.0.sldwa.to_bits(),
+            "{threads} planner threads"
+        );
+        assert_eq!(s.stats, plain.1, "{threads} planner threads");
+        assert_eq!(s.active_policy(), plain.2);
+    }
+}
+
 /// Seeded determinism regression: the incremental engine reproduces its
-/// own run exactly — identical metrics *and* identical switch statistics.
+/// own run exactly — identical metrics *and* identical switch statistics
+/// — at every fan-out worker count, and all worker counts agree.
 #[test]
 fn incremental_run_is_deterministic() {
     let model = traces::ctc();
     let config = DynPConfig::paper(DeciderKind::Advanced);
-    let once = || {
+    let once = |threads: usize| {
         let set = transform::shrink(&model.generate(300, 41), 0.8);
-        run(&set, &config, false)
+        let (m, stats, active, _) = run_with(&set, &config, false, &[], threads);
+        (m, stats, active)
     };
-    let (m1, stats1, active1) = once();
-    let (m2, stats2, active2) = once();
-    assert_eq!(m1.sldwa.to_bits(), m2.sldwa.to_bits());
-    assert_eq!(m1.utilization.to_bits(), m2.utilization.to_bits());
-    assert_eq!(stats1, stats2);
-    assert_eq!(active1, active2);
+    let (m1, stats1, active1) = once(1);
+    for threads in THREAD_COUNTS {
+        let (m2, stats2, active2) = once(threads);
+        assert_eq!(m1.sldwa.to_bits(), m2.sldwa.to_bits());
+        assert_eq!(m1.utilization.to_bits(), m2.utilization.to_bits());
+        assert_eq!(&stats1, &stats2);
+        assert_eq!(active1, active2);
+    }
     assert!(stats1.decisions > 0);
 }
