@@ -35,5 +35,6 @@ pub use compare::{approx_eq, approx_le, EPSILON};
 pub use decider::{advanced_decide, preferred_decide, simple_decide, DeciderKind};
 pub use history::{PolicyHistory, PolicySegment};
 pub use self_tuning::{
-    resolve_planner_threads, DecideOn, DynPConfig, SelfTuningScheduler, SwitchStats,
+    resolve_planner_threads, try_resolve_planner_threads, DecideOn, DynPConfig,
+    PlannerThreadsError, SelfTuningScheduler, SwitchStats,
 };

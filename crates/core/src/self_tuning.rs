@@ -67,22 +67,53 @@ impl DynPConfig {
     }
 }
 
+/// A malformed `DYNP_PLANNER_THREADS` environment variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannerThreadsError {
+    /// The raw value that failed to parse as a thread count.
+    pub raw: String,
+}
+
+impl std::fmt::Display for PlannerThreadsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DYNP_PLANNER_THREADS must be a non-negative integer, got {:?}",
+            self.raw
+        )
+    }
+}
+
+impl std::error::Error for PlannerThreadsError {}
+
 /// Resolves a configured thread count: explicit config wins, then the
 /// `DYNP_PLANNER_THREADS` environment variable (how `cargo test` runs
 /// opt in, since libtest swallows custom flags), then the host's
-/// available parallelism.
-pub fn resolve_planner_threads(configured: usize) -> usize {
+/// available parallelism. `0` — configured or in the environment —
+/// means auto. A `DYNP_PLANNER_THREADS` value that doesn't parse is an
+/// error, not a silent fallback.
+pub fn try_resolve_planner_threads(configured: usize) -> Result<usize, PlannerThreadsError> {
     if configured > 0 {
-        return configured;
+        return Ok(configured);
     }
     if let Ok(raw) = std::env::var("DYNP_PLANNER_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return Ok(n),
+            Ok(_) => {} // 0 = auto, same as the config default
+            Err(_) => return Err(PlannerThreadsError { raw }),
         }
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    Ok(std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Like [`try_resolve_planner_threads`], but panics on a malformed
+/// environment variable — for call sites with no error channel
+/// (scheduler construction).
+pub fn resolve_planner_threads(configured: usize) -> usize {
+    match try_resolve_planner_threads(configured) {
+        Ok(n) => n,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Bookkeeping of the decisions a dynP run made.

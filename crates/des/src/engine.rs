@@ -78,6 +78,28 @@ impl<E, Q: EventQueue<E>> Engine<E, Q> {
         self.queue.push(t, event);
     }
 
+    /// Schedules `event` at `time` with an explicit tie-break `rank` that
+    /// beats every dynamically scheduled event at the same instant (see
+    /// [`EventQueue::push_seeded`]). Exogenous streams injected in chunks
+    /// keep the FIFO position they would have had if seeded up front.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past or `rank` is outside the seeded
+    /// sequence space.
+    pub fn schedule_seeded(&mut self, time: SimTime, rank: u64, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time:?} < now {:?}",
+            self.now
+        );
+        self.queue.push_seeded(time, rank, event);
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Pops the next event, advancing the clock to its timestamp.
     /// Returns `None` when the simulation has run dry.
     pub fn step(&mut self) -> Option<(SimTime, E)> {

@@ -39,6 +39,6 @@ pub mod stats;
 pub mod time;
 
 pub use engine::Engine;
-pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
+pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, SEEDED_SEQ_LIMIT};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};

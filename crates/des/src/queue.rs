@@ -16,11 +16,26 @@
 
 use crate::time::SimTime;
 
+/// First sequence number handed to ordinary [`EventQueue::push`] calls.
+/// Ranks below this are reserved for [`EventQueue::push_seeded`]: an
+/// exogenous event stream (job arrivals, reservation requests, outages)
+/// can be injected in chunks — e.g. one federation epoch at a time — and
+/// still tie-break against handler-scheduled events exactly as if the
+/// whole stream had been seeded up front.
+pub const SEEDED_SEQ_LIMIT: u64 = 1 << 32;
+
 /// A priority queue of timestamped events, delivering events in
 /// nondecreasing time order and FIFO order among equal times.
 pub trait EventQueue<E> {
     /// Inserts `event` to fire at `time`.
     fn push(&mut self, time: SimTime, event: E);
+    /// Inserts `event` to fire at `time` with an explicit tie-break rank
+    /// below every [`EventQueue::push`]-assigned one. Ranks must be
+    /// unique per (time, rank) pair — the caller owns that invariant.
+    ///
+    /// # Panics
+    /// Panics if `rank >= SEEDED_SEQ_LIMIT`.
+    fn push_seeded(&mut self, time: SimTime, rank: u64, event: E);
     /// Removes and returns the earliest event, if any.
     fn pop(&mut self) -> Option<(SimTime, E)>;
     /// The timestamp of the earliest pending event, if any.
@@ -81,7 +96,7 @@ impl<E> BinaryHeapQueue<E> {
     pub fn new() -> Self {
         BinaryHeapQueue {
             heap: BinaryHeap::new(),
-            next_seq: 0,
+            next_seq: SEEDED_SEQ_LIMIT,
         }
     }
 
@@ -89,7 +104,7 @@ impl<E> BinaryHeapQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         BinaryHeapQueue {
             heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
+            next_seq: SEEDED_SEQ_LIMIT,
         }
     }
 }
@@ -105,6 +120,18 @@ impl<E> EventQueue<E> for BinaryHeapQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(HeapEntry { time, seq, event });
+    }
+
+    fn push_seeded(&mut self, time: SimTime, rank: u64, event: E) {
+        assert!(
+            rank < SEEDED_SEQ_LIMIT,
+            "seeded rank {rank} collides with the dynamic sequence space"
+        );
+        self.heap.push(HeapEntry {
+            time,
+            seq: rank,
+            event,
+        });
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -172,7 +199,7 @@ impl<E> CalendarQueue<E> {
             bucket_top: bucket_width_ms.max(1),
             last_time: 0,
             len: 0,
-            next_seq: 0,
+            next_seq: SEEDED_SEQ_LIMIT,
             resize_enabled: true,
         }
     }
@@ -260,6 +287,19 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.insert_entry(CalEntry { time, seq, event });
+        self.maybe_grow();
+    }
+
+    fn push_seeded(&mut self, time: SimTime, rank: u64, event: E) {
+        assert!(
+            rank < SEEDED_SEQ_LIMIT,
+            "seeded rank {rank} collides with the dynamic sequence space"
+        );
+        self.insert_entry(CalEntry {
+            time,
+            seq: rank,
+            event,
+        });
         self.maybe_grow();
     }
 
@@ -370,6 +410,33 @@ mod tests {
         }
         let order: Vec<u32> = drain(&mut q).into_iter().map(|(_, e)| e).collect();
         assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_ranks_win_equal_time_ties() {
+        // A seeded event injected *after* dynamic pushes still drains
+        // first at its instant — exactly as if it had been seeded before
+        // the simulation started.
+        let mut heap = BinaryHeapQueue::new();
+        let mut cal = CalendarQueue::new();
+        for q in [&mut heap as &mut dyn EventQueue<u32>, &mut cal] {
+            q.push(SimTime::from_millis(5), 10u32);
+            q.push(SimTime::from_millis(5), 11);
+            q.push_seeded(SimTime::from_millis(5), 1, 1);
+            q.push_seeded(SimTime::from_millis(5), 0, 0);
+            let mut order = Vec::new();
+            while let Some((_, e)) = q.pop() {
+                order.push(e);
+            }
+            assert_eq!(order, vec![0, 1, 10, 11]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with the dynamic sequence space")]
+    fn seeded_rank_must_stay_below_limit() {
+        let mut q: BinaryHeapQueue<u32> = BinaryHeapQueue::new();
+        q.push_seeded(SimTime::ZERO, SEEDED_SEQ_LIMIT, 0);
     }
 
     #[test]

@@ -22,11 +22,14 @@
 //! * [`reservations`] — advance-reservation admission counters (acceptance
 //!   rate, booked-area utilization),
 //! * [`faults`] — fault-injection counters (outages, evictions, retries,
-//!   lost jobs, downtime).
+//!   lost jobs, downtime),
+//! * [`federation`] — multi-cluster aggregation: per-cluster reports and
+//!   the area-weighted federation-wide combine.
 
 pub mod aggregate;
 pub mod combine;
 pub mod faults;
+pub mod federation;
 pub mod job_metrics;
 pub mod objective;
 pub mod percentiles;
@@ -36,6 +39,7 @@ pub mod timeline;
 pub use aggregate::SimMetrics;
 pub use combine::{combine_drop_extremes, CombinedMetrics};
 pub use faults::FaultStats;
+pub use federation::{ClusterReport, FederatedMetrics};
 pub use job_metrics::{bounded_slowdown, slowdown, JobOutcome};
 pub use objective::Objective;
 pub use percentiles::{OutcomeDistributions, QuantileStats};

@@ -194,6 +194,37 @@ pub enum TraceEvent {
         /// Width after the repair (0 when revoked).
         width: u32,
     },
+    /// The federation router dispatched an arriving job to a cluster.
+    JobRouted {
+        /// The routed job (global dense id).
+        job: u32,
+        /// Cluster the job was submitted at.
+        from: u32,
+        /// Cluster the job was dispatched to.
+        to: u32,
+        /// Transfer latency paid (0 when routed locally), milliseconds.
+        transfer_ms: u64,
+    },
+    /// A waiting job was withdrawn from this cluster's queue for
+    /// migration (recorded on the *origin* cluster's tracer).
+    MigrateDepart {
+        /// The migrating job (global dense id).
+        job: u32,
+        /// Origin cluster.
+        from: u32,
+        /// Destination cluster.
+        to: u32,
+    },
+    /// A migrated job arrived and entered this cluster's queue (recorded
+    /// on the *destination* cluster's tracer).
+    MigrateArrive {
+        /// The migrated job (global dense id).
+        job: u32,
+        /// Origin cluster.
+        from: u32,
+        /// Destination cluster.
+        to: u32,
+    },
 }
 
 impl TraceEvent {
@@ -206,7 +237,10 @@ impl TraceEvent {
             | TraceEvent::JobFault { .. }
             | TraceEvent::JobRetry { .. }
             | TraceEvent::JobLost { .. }
-            | TraceEvent::ReservationRepair { .. } => TraceClass::Decision,
+            | TraceEvent::ReservationRepair { .. }
+            | TraceEvent::JobRouted { .. }
+            | TraceEvent::MigrateDepart { .. }
+            | TraceEvent::MigrateArrive { .. } => TraceClass::Decision,
             TraceEvent::PlanBuilt { .. } | TraceEvent::Span { .. } => TraceClass::Span,
             TraceEvent::SimEvent { .. }
             | TraceEvent::BackfillMove { .. }
@@ -231,6 +265,9 @@ impl TraceEvent {
             TraceEvent::JobRetry { .. } => "job_retry",
             TraceEvent::JobLost { .. } => "job_lost",
             TraceEvent::ReservationRepair { .. } => "res_repair",
+            TraceEvent::JobRouted { .. } => "route",
+            TraceEvent::MigrateDepart { .. } => "migrate_depart",
+            TraceEvent::MigrateArrive { .. } => "migrate_arrive",
         }
     }
 }

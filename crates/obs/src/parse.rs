@@ -370,6 +370,37 @@ pub enum ParsedEvent {
         /// Width after the repair (0 when revoked).
         width: u32,
     },
+    /// Mirror of [`TraceEvent::JobRouted`](crate::TraceEvent::JobRouted).
+    JobRouted {
+        /// The routed job (global dense id).
+        job: u32,
+        /// Cluster the job was submitted at.
+        from: u32,
+        /// Cluster the job was dispatched to.
+        to: u32,
+        /// Transfer latency paid (0 when routed locally), milliseconds.
+        transfer_ms: u64,
+    },
+    /// Mirror of
+    /// [`TraceEvent::MigrateDepart`](crate::TraceEvent::MigrateDepart).
+    MigrateDepart {
+        /// The migrating job (global dense id).
+        job: u32,
+        /// Origin cluster.
+        from: u32,
+        /// Destination cluster.
+        to: u32,
+    },
+    /// Mirror of
+    /// [`TraceEvent::MigrateArrive`](crate::TraceEvent::MigrateArrive).
+    MigrateArrive {
+        /// The migrated job (global dense id).
+        job: u32,
+        /// Origin cluster.
+        from: u32,
+        /// Destination cluster.
+        to: u32,
+    },
 }
 
 impl ParsedEvent {
@@ -389,6 +420,9 @@ impl ParsedEvent {
             ParsedEvent::JobRetry { .. } => "job_retry",
             ParsedEvent::JobLost { .. } => "job_lost",
             ParsedEvent::ReservationRepair { .. } => "res_repair",
+            ParsedEvent::JobRouted { .. } => "route",
+            ParsedEvent::MigrateDepart { .. } => "migrate_depart",
+            ParsedEvent::MigrateArrive { .. } => "migrate_arrive",
         }
     }
 }
@@ -507,6 +541,22 @@ pub fn parse_record(line: &str) -> Result<Option<ParsedRecord>, String> {
             action: field_str(&obj, "action")?,
             width: field_u32(&obj, "width")?,
         },
+        "route" => ParsedEvent::JobRouted {
+            job: field_u32(&obj, "job")?,
+            from: field_u32(&obj, "from")?,
+            to: field_u32(&obj, "to")?,
+            transfer_ms: field_u64(&obj, "transfer_ms")?,
+        },
+        "migrate_depart" => ParsedEvent::MigrateDepart {
+            job: field_u32(&obj, "job")?,
+            from: field_u32(&obj, "from")?,
+            to: field_u32(&obj, "to")?,
+        },
+        "migrate_arrive" => ParsedEvent::MigrateArrive {
+            job: field_u32(&obj, "job")?,
+            from: field_u32(&obj, "from")?,
+            to: field_u32(&obj, "to")?,
+        },
         other => return Err(format!("unknown record type '{other}'")),
     };
     Ok(Some(ParsedRecord {
@@ -622,6 +672,22 @@ mod tests {
                 reservation: 1,
                 action: "revoked",
                 width: 0,
+            },
+            TraceEvent::JobRouted {
+                job: 30,
+                from: 0,
+                to: 3,
+                transfer_ms: 2_000,
+            },
+            TraceEvent::MigrateDepart {
+                job: 31,
+                from: 2,
+                to: 0,
+            },
+            TraceEvent::MigrateArrive {
+                job: 31,
+                from: 2,
+                to: 0,
             },
         ];
         let snapshot = TraceSnapshot {

@@ -154,6 +154,21 @@ pub fn render_jsonl_line(rec: &TraceRecord) -> String {
             push_str(&mut out, action);
             let _ = write!(out, ",\"width\":{width}");
         }
+        TraceEvent::JobRouted {
+            job,
+            from,
+            to,
+            transfer_ms,
+        } => {
+            let _ = write!(
+                out,
+                ",\"job\":{job},\"from\":{from},\"to\":{to},\"transfer_ms\":{transfer_ms}"
+            );
+        }
+        TraceEvent::MigrateDepart { job, from, to }
+        | TraceEvent::MigrateArrive { job, from, to } => {
+            let _ = write!(out, ",\"job\":{job},\"from\":{from},\"to\":{to}");
+        }
     }
     out.push('}');
     out
@@ -353,6 +368,38 @@ pub fn render_chrome_trace(snapshot: &TraceSnapshot) -> String {
                     rec.sim.as_millis()
                 );
             }
+            TraceEvent::JobRouted {
+                job,
+                from,
+                to,
+                transfer_ms,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"route:j{job}\",\"cat\":\"federation\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"from\":{from},\"to\":{to},\"transfer_ms\":{transfer_ms}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::MigrateDepart { job, from, to } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"migrate_depart:j{job}\",\"cat\":\"federation\",\"ph\":\"i\",\
+                     \"s\":\"t\",\"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"from\":{from},\"to\":{to}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::MigrateArrive { job, from, to } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"migrate_arrive:j{job}\",\"cat\":\"federation\",\"ph\":\"i\",\
+                     \"s\":\"t\",\"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"from\":{from},\"to\":{to}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
         }
     }
     out.push_str("\n]}\n");
@@ -476,6 +523,31 @@ mod tests {
                         width: 2,
                     },
                 ),
+                rec(
+                    13,
+                    TraceEvent::JobRouted {
+                        job: 20,
+                        from: 0,
+                        to: 2,
+                        transfer_ms: 1_500,
+                    },
+                ),
+                rec(
+                    14,
+                    TraceEvent::MigrateDepart {
+                        job: 21,
+                        from: 1,
+                        to: 0,
+                    },
+                ),
+                rec(
+                    15,
+                    TraceEvent::MigrateArrive {
+                        job: 21,
+                        from: 1,
+                        to: 0,
+                    },
+                ),
             ],
             dropped: 0,
         }
@@ -484,7 +556,7 @@ mod tests {
     #[test]
     fn jsonl_has_one_line_per_record() {
         let text = render_jsonl(&sample());
-        assert_eq!(text.lines().count(), 13);
+        assert_eq!(text.lines().count(), 16);
         assert!(text.contains("\"type\":\"decision\""));
         assert!(text.contains("\"scores\":{\"FCFS\":3.5,\"SJF\":1.25,\"LJF\":2}"));
         assert!(text.contains("\"verdict\":\"no-capacity\""));
@@ -510,19 +582,22 @@ mod tests {
         // Two span-like records → two complete events.
         assert_eq!(text.matches("\"ph\":\"X\"").count(), 2);
         // Everything else is an instant.
-        assert_eq!(text.matches("\"ph\":\"i\"").count(), 11);
+        assert_eq!(text.matches("\"ph\":\"i\"").count(), 14);
         assert!(text.contains("\"name\":\"plan:SJF\""));
         assert!(text.contains("\"name\":\"switch FCFS->SJF\""));
         assert!(text.contains("\"name\":\"node_down:n5\""));
         assert!(text.contains("\"name\":\"fault:node-loss\""));
         assert!(text.contains("\"name\":\"repair:downgraded\""));
+        assert!(text.contains("\"name\":\"route:j20\""));
+        assert!(text.contains("\"name\":\"migrate_depart:j21\""));
+        assert!(text.contains("\"name\":\"migrate_arrive:j21\""));
         // Parses back as JSON (the parser doubles as a validator).
         let parsed = crate::parse::Json::parse(&text).expect("chrome trace must be valid JSON");
         let events = parsed
             .get("traceEvents")
             .and_then(crate::parse::Json::as_array)
             .expect("traceEvents array");
-        assert_eq!(events.len(), 13);
+        assert_eq!(events.len(), 16);
     }
 
     #[test]
@@ -557,7 +632,7 @@ mod tests {
         write_jsonl(&snap, &dir.join("t.jsonl")).unwrap();
         write_chrome_trace(&snap, &dir.join("t.trace.json")).unwrap();
         let jsonl = std::fs::read_to_string(dir.join("t.jsonl")).unwrap();
-        assert_eq!(jsonl.lines().count(), 13);
+        assert_eq!(jsonl.lines().count(), 16);
         let chrome = std::fs::read_to_string(dir.join("t.trace.json")).unwrap();
         assert!(chrome.contains("traceEvents"));
         let _ = std::fs::remove_dir_all(&dir);

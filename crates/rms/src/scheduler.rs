@@ -33,7 +33,10 @@ pub enum ReplanReason {
 ///
 /// Called by the driver after every event; the driver then starts every
 /// job whose planned start is due and keeps the rest waiting.
-pub trait Scheduler {
+///
+/// `Send` so a federation can move each cluster's scheduler onto a shard
+/// worker thread; every scheduler in the workspace is plain owned data.
+pub trait Scheduler: Send {
     /// Computes a full schedule for the waiting queue at `now`.
     fn replan(&mut self, state: &RmsState, now: SimTime, reason: ReplanReason) -> Schedule;
 

@@ -264,6 +264,24 @@ impl RmsState {
         self.queue_log.push(QueueChange::Entered(job));
     }
 
+    /// Removes a waiting job from the queue without running it — the
+    /// federation migration path: the job leaves this cluster's queue and
+    /// is resubmitted elsewhere. Returns the withdrawn job.
+    ///
+    /// # Panics
+    /// Panics if the job is not waiting — the router must only migrate
+    /// jobs it observed in the queue.
+    pub fn withdraw(&mut self, id: JobId) -> Job {
+        let idx = self
+            .waiting
+            .iter()
+            .position(|j| j.id == id)
+            .unwrap_or_else(|| panic!("job {id} is not waiting"));
+        let job = self.waiting.swap_remove(idx);
+        self.queue_log.push(QueueChange::Left(job));
+        job
+    }
+
     /// Starts a waiting job at `now`, consuming processors. Returns the
     /// running record (whose [`RunningJob::actual_end`] is the completion
     /// event time the caller must schedule).

@@ -1,0 +1,219 @@
+//! Federated multi-cluster simulation driver.
+//!
+//! Runs one synthetic workload per cluster through the sharded
+//! federation executor and reports per-cluster and federation-wide
+//! metrics plus the cross-shard traffic (remote routes, migrations).
+//!
+//! ```text
+//! cargo run --release -p dynp-sim --bin federation -- \
+//!     --quick --clusters 4 --shard-threads 2 --route-policy least-loaded
+//! ```
+//!
+//! Federation flags (on top of the shared ones in `dynp_sim::cli`):
+//!
+//! ```text
+//! --clusters N          clusters in the federation (default 4)
+//! --shard-threads T     epoch executor worker threads (default 1;
+//!                       results are bit-identical for every value)
+//! --route-policy P      least-loaded | locality | random | random:SEED
+//! --migration-factor F  migrate a waiting job when the busiest/idlest
+//!                       relative backlog ratio exceeds F (default: off)
+//! --link-latency S      inter-cluster link latency in seconds, which is
+//!                       also the epoch width (default 30)
+//! ```
+//!
+//! With `--trace-out BASE`, each cluster's trace lands in
+//! `BASE.cluster{i}.jsonl` — one audit log per shard ring.
+
+use dynp_core::DeciderKind;
+use dynp_des::SimDuration;
+use dynp_sim::cli::CommonArgs;
+use dynp_sim::{
+    run_federation, ClusterSpec, FederationConfig, LinkModel, RoutePolicy, SchedulerSpec,
+};
+use dynp_workload::{JobSet, MultiClusterWorkload};
+
+struct FedArgs {
+    clusters: usize,
+    shard_threads: usize,
+    route: RoutePolicy,
+    migration_factor: Option<u64>,
+    link_latency_secs: u64,
+}
+
+fn parse_fed_args(rest: &[String]) -> Result<FedArgs, String> {
+    let mut out = FedArgs {
+        clusters: 4,
+        shard_threads: 1,
+        route: RoutePolicy::LeastLoaded,
+        migration_factor: None,
+        link_latency_secs: 30,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--clusters" => {
+                out.clusters = value("--clusters")?
+                    .parse()
+                    .map_err(|_| "--clusters expects an integer".to_string())?;
+                if out.clusters == 0 {
+                    return Err("--clusters must be positive".to_string());
+                }
+            }
+            "--shard-threads" => {
+                out.shard_threads = value("--shard-threads")?
+                    .parse()
+                    .map_err(|_| "--shard-threads expects an integer".to_string())?;
+            }
+            "--route-policy" => {
+                let name = value("--route-policy")?;
+                out.route = RoutePolicy::parse(name).ok_or_else(|| {
+                    format!(
+                        "--route-policy expects least-loaded|locality|random[:SEED], got {name:?}"
+                    )
+                })?;
+            }
+            "--migration-factor" => {
+                let factor: u64 = value("--migration-factor")?
+                    .parse()
+                    .map_err(|_| "--migration-factor expects an integer".to_string())?;
+                if factor == 0 {
+                    return Err("--migration-factor must be positive".to_string());
+                }
+                out.migration_factor = Some(factor);
+            }
+            "--link-latency" => {
+                out.link_latency_secs = value("--link-latency")?
+                    .parse()
+                    .map_err(|_| "--link-latency expects a number of seconds".to_string())?;
+                if out.link_latency_secs == 0 {
+                    return Err("--link-latency must be positive".to_string());
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let fed_args = match parse_fed_args(&args.rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "federation flags: [--clusters N] [--shard-threads T] \
+                 [--route-policy least-loaded|locality|random[:SEED]] \
+                 [--migration-factor F] [--link-latency S]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let model = &args.traces[0];
+    let sets: Vec<JobSet> = (0..fed_args.clusters)
+        .map(|c| model.generate(args.jobs, args.seed + c as u64))
+        .collect();
+    let workload =
+        MultiClusterWorkload::merge(format!("{}×{}", model.name, fed_args.clusters), &sets);
+
+    let specs: Vec<ClusterSpec> = sets
+        .iter()
+        .map(|set| {
+            let mut spec =
+                ClusterSpec::new(set.machine_size, SchedulerSpec::dynp(DeciderKind::Advanced));
+            spec.planner_threads = args.planner_threads;
+            spec.tracer = args.tracer();
+            spec
+        })
+        .collect();
+    let tracers: Vec<_> = specs.iter().map(|s| s.tracer.clone()).collect();
+
+    let config = FederationConfig {
+        route: fed_args.route,
+        link: LinkModel::Constant {
+            latency: SimDuration::from_secs(fed_args.link_latency_secs),
+        },
+        shard_threads: fed_args.shard_threads,
+        migration_factor: fed_args.migration_factor,
+    };
+
+    println!(
+        "federation: {} clusters × {} jobs ({}), route={}, shard-threads={}, \
+         link={}s, migration={}",
+        fed_args.clusters,
+        args.jobs,
+        model.name,
+        config.route.name(),
+        config.shard_threads,
+        fed_args.link_latency_secs,
+        fed_args
+            .migration_factor
+            .map_or("off".to_string(), |f| format!("factor {f}")),
+    );
+
+    let wall = std::time::Instant::now();
+    let fed = run_federation(&workload, specs, &config);
+    let elapsed = wall.elapsed();
+
+    println!(
+        "\n{:>7} {:>8} {:>8} {:>8} {:>10} {:>9} {:>9} {:>9} {:>6}",
+        "cluster", "jobs", "sldwa", "util", "avg-wait", "routed", "remote", "migr±", "lost"
+    );
+    for r in &fed.reports {
+        println!(
+            "{:>7} {:>8} {:>8.3} {:>8.3} {:>9.0}s {:>9} {:>9} {:>4}/{:<4} {:>6}",
+            r.cluster,
+            r.metrics.jobs,
+            r.metrics.sldwa,
+            r.metrics.utilization,
+            r.metrics.avg_wait_secs,
+            r.routed_in,
+            r.remote_in,
+            r.migrated_in,
+            r.migrated_out,
+            r.lost,
+        );
+    }
+    let f = &fed.federated;
+    println!(
+        "\nfederated: jobs={} sldwa={:.3} util={:.3} avg-wait={:.0}s \
+         remote-routes={} migrations={} lost={}",
+        f.jobs, f.sldwa, f.utilization, f.avg_wait_secs, f.remote_routes, f.migrations, f.lost
+    );
+    println!(
+        "executor: {} epochs, {} events, {:.2}s wall, {:.0} events/sec",
+        fed.epochs,
+        fed.events,
+        elapsed.as_secs_f64(),
+        fed.events as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+
+    if let Some(base) = &args.trace_out {
+        for (i, tracer) in tracers.iter().enumerate() {
+            if !tracer.is_enabled() {
+                continue;
+            }
+            let path = std::path::PathBuf::from(format!("{}.cluster{i}.jsonl", base.display()));
+            let snapshot = tracer.snapshot();
+            match dynp_obs::write_jsonl(&snapshot, &path) {
+                Ok(()) => println!(
+                    "trace: cluster {i} → {} ({} records, {} dropped)",
+                    path.display(),
+                    snapshot.records.len(),
+                    snapshot.dropped
+                ),
+                Err(e) => {
+                    eprintln!("error: writing {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Perf-trajectory gate: compares freshly measured `BENCH_planner.json` /
-//! `BENCH_end_to_end.json` reports against the committed baselines and
-//! fails if any speedup regressed by more than the tolerance band.
+//! `BENCH_end_to_end.json` / `BENCH_federation.json` reports against the
+//! committed baselines and fails if any speedup regressed by more than
+//! the tolerance band.
 //!
 //! ```text
 //! cargo run --release -p dynp-sim --bin perf_gate -- BASELINE_DIR FRESH_DIR [--tolerance 0.10]
@@ -26,7 +27,11 @@
 
 use std::path::{Path, PathBuf};
 
-const REPORTS: [&str; 2] = ["BENCH_planner.json", "BENCH_end_to_end.json"];
+const REPORTS: [&str; 3] = [
+    "BENCH_planner.json",
+    "BENCH_end_to_end.json",
+    "BENCH_federation.json",
+];
 
 /// Raw value of `"key": <value>` inside one row line, if present.
 fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -39,11 +44,16 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 
 /// Human-readable coordinates of a row, from whichever grid keys it
 /// carries: planner rows are (queue_depth, running_jobs), end-to-end
-/// rows are trace@factor plus any reservation/fault load tags.
+/// rows are trace@factor plus any reservation/fault load tags, and
+/// federation rows are (clusters, shard_threads).
 fn row_label(line: &str) -> String {
     if let Some(d) = field(line, "queue_depth") {
         let r = field(line, "running_jobs").unwrap_or("?");
         return format!("depth={d} running={r}");
+    }
+    if let Some(t) = field(line, "shard_threads") {
+        let c = field(line, "clusters").unwrap_or("?");
+        return format!("clusters={c} shard-threads={t}");
     }
     if let Some(t) = field(line, "trace") {
         let mut s = format!(

@@ -1,12 +1,13 @@
 //! Perf-trajectory harness: times a fixed reduced-scale grid and writes
-//! machine-readable `BENCH_planner.json` / `BENCH_end_to_end.json` so
-//! subsequent changes can be checked against the recorded trajectory.
+//! machine-readable `BENCH_planner.json` / `BENCH_end_to_end.json` /
+//! `BENCH_federation.json` so subsequent changes can be checked against
+//! the recorded trajectory.
 //!
 //! ```text
 //! cargo run --release -p dynp-sim --bin perf_report [-- --quick] [--out-dir DIR]
 //! ```
 //!
-//! Two reports:
+//! Three reports:
 //!
 //! * **planner** — microbenchmark of one self-tuning step's planning work
 //!   (3 policy plans over the same base profile) comparing the incremental
@@ -15,19 +16,24 @@
 //! * **end_to_end** — full simulations of dynP (3 candidate policies,
 //!   advanced decider) per grid cell, incremental vs the from-scratch
 //!   reference mode, with wall time, events/sec, an allocation-count
-//!   proxy, and the resulting speedup.
+//!   proxy, and the resulting speedup;
+//! * **federation** — one fixed multi-cluster workload through the
+//!   sharded federation executor at 1/2/4/8 shard threads, with the
+//!   sequential run as timing reference and bit-identity oracle.
 //!
 //! Everything is seeded and single-threaded; numbers vary with the host,
 //! the *ratios* are the tracked quantity.
 
-use dynp_core::{resolve_planner_threads, DeciderKind, DynPConfig, SelfTuningScheduler};
+use dynp_core::{try_resolve_planner_threads, DeciderKind, DynPConfig, SelfTuningScheduler};
 use dynp_des::{SimDuration, SimTime};
 use dynp_obs::Tracer;
 use dynp_rms::{
     AdmissionConfig, PlanTiming, Planner, Policy, ReferencePlanner, RunningJob, PARALLEL_MIN_DEPTH,
 };
-use dynp_sim::simulate_chaos;
-use dynp_workload::{traces, transform, FaultModel, FaultPlan, Job, JobId, ReservationModel};
+use dynp_sim::{run_federation, simulate_chaos, ClusterSpec, FederationConfig, RoutePolicy};
+use dynp_workload::{
+    traces, transform, FaultModel, FaultPlan, Job, JobId, MultiClusterWorkload, ReservationModel,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -419,6 +425,105 @@ fn end_to_end_report(out_dir: &std::path::Path, quick: bool, threads: usize) {
     );
 }
 
+/// The federation executor benchmark: one fixed multi-cluster workload
+/// through `run_federation` at increasing `shard_threads`, with the
+/// sequential run (1 thread) as both the timing reference and the
+/// bit-identity oracle — every threaded run must reproduce its federated
+/// SLDwA exactly. The published `speedup` is wall(1 thread) / wall(t
+/// threads): federated throughput scaling, ~1× on a single-core host.
+fn federation_report(out_dir: &std::path::Path, quick: bool) {
+    let clusters = 4usize;
+    let (jobs, reps) = if quick { (150, 1) } else { (500, 9) };
+    let sets: Vec<dynp_workload::JobSet> = (0..clusters)
+        .map(|c| traces::kth().generate(jobs, 17 + c as u64))
+        .collect();
+    let workload = MultiClusterWorkload::merge(format!("KTH×{clusters}"), &sets);
+    let specs = || -> Vec<ClusterSpec> {
+        sets.iter()
+            .map(|set| {
+                let mut spec = ClusterSpec::new(
+                    set.machine_size,
+                    dynp_sim::SchedulerSpec::dynp(DeciderKind::Advanced),
+                );
+                spec.planner_threads = 1;
+                spec
+            })
+            .collect()
+    };
+    // A wide link latency coarsens the conservative epochs (Δ = link
+    // min latency), so each epoch carries enough events for the pool
+    // hand-off to be worth measuring rather than barrier overhead.
+    let config = |threads: usize| FederationConfig {
+        route: RoutePolicy::LeastLoaded,
+        shard_threads: threads,
+        migration_factor: Some(3),
+        link: dynp_sim::LinkModel::Constant {
+            latency: SimDuration::from_secs(600),
+        },
+    };
+
+    let reference = run_federation(&workload, specs(), &config(1));
+    // Sample each threaded run interleaved with a fresh sequential run
+    // (the same a-b-a-b discipline as `median_pair_ns` everywhere else):
+    // the published number is the ratio, and interleaving cancels host
+    // drift that block sampling would bake into it.
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let fed = run_federation(&workload, specs(), &config(threads));
+        assert_eq!(
+            fed.federated.sldwa.to_bits(),
+            reference.federated.sldwa.to_bits(),
+            "federation executor diverged at {threads} shard threads"
+        );
+        let (base_ns, wall_ns) = median_pair_ns(
+            reps,
+            || {
+                std::hint::black_box(run_federation(&workload, specs(), &config(1)));
+            },
+            || {
+                std::hint::black_box(run_federation(&workload, specs(), &config(threads)));
+            },
+        );
+        rows.push((threads, base_ns, wall_ns, fed.events, fed.epochs));
+    }
+
+    let mut out_rows = Vec::new();
+    for (threads, base_ns, wall_ns, events, epochs) in rows {
+        let speedup = base_ns as f64 / wall_ns.max(1) as f64;
+        let events_per_sec = events as f64 / (wall_ns as f64 / 1e9);
+        println!(
+            "federation clusters={clusters} shard-threads={threads}: {:.2} ms, {events_per_sec:.0} events/sec, speedup {speedup:.2}x",
+            wall_ns as f64 / 1e6,
+        );
+        out_rows.push(
+            Row(Vec::new())
+                .int("clusters", clusters as u64)
+                .int("shard_threads", threads as u64)
+                .int("jobs_per_cluster", jobs as u64)
+                .int("events", events)
+                .int("epochs", epochs)
+                .int("wall_ns", wall_ns)
+                .num("events_per_sec", events_per_sec)
+                .num("speedup", speedup),
+        );
+    }
+    write_report(
+        &out_dir.join("BENCH_federation.json"),
+        &[
+            ("report", "\"federation\"".to_string()),
+            ("route", "\"least-loaded\"".to_string()),
+            ("clusters", clusters.to_string()),
+            ("reps", reps.to_string()),
+            (
+                "unit",
+                "\"wall ns per federation run, interleaved medians; speedup = wall(1 thread)/wall(t)\""
+                    .to_string(),
+            ),
+        ],
+        &out_rows,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -432,15 +537,17 @@ fn main() {
 
     // Plan fan-out worker count; 0 (the default) resolves like
     // production: DYNP_PLANNER_THREADS, then available parallelism.
-    let threads = resolve_planner_threads(
-        args.iter()
-            .position(|a| a == "--planner-threads")
-            .and_then(|i| args.get(i + 1))
-            .map(|v| v.parse().expect("--planner-threads expects an integer"))
-            .unwrap_or(0),
-    );
+    let configured = dynp_sim::cli::planner_threads_arg(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let threads = try_resolve_planner_threads(configured).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     println!("plan fan-out: {threads} worker thread(s)");
 
     planner_report(&out_dir, quick, threads);
     end_to_end_report(&out_dir, quick, threads);
+    federation_report(&out_dir, quick);
 }

@@ -16,7 +16,13 @@
 //! * a **fault attribution** section — node outages (with per-node
 //!   downtime), job faults by cause, retry backoff paid, lost jobs and
 //!   reservation repairs, so SLDwA loss under chaos can be split into
-//!   outage damage vs. scheduling.
+//!   outage damage vs. scheduling;
+//! * a **migration attribution** section — when the inputs are the
+//!   per-cluster traces of one federation run (`BASE.cluster{i}.jsonl`),
+//!   cross-shard traffic is audited across the files: every
+//!   `migrate_depart` must pair with a `migrate_arrive` for the same job
+//!   and cluster pair (and vice versa). Exits non-zero on an unpaired
+//!   migration half.
 //!
 //! Empty or unreadable trace files are a clear error (exit 2), never a
 //! panic.
@@ -25,6 +31,9 @@
 //! cargo run --release -p dynp-sim --bin trace_report -- \
 //!     [--out DIR] run_a.jsonl [run_b.jsonl ...]
 //! ```
+//!
+//! With a federation's per-cluster files, each cluster gets its own
+//! switch-timeline panel in the shared SVG.
 
 use dynp_core::table1;
 use dynp_core::EPSILON;
@@ -45,6 +54,7 @@ fn main() {
     let mut bands: Vec<SwitchBand> = Vec::new();
     let mut end_secs = 0.0f64;
     let mut unattributed_total = 0usize;
+    let mut federation = FederationTraffic::default();
 
     for path in &args.rest {
         let text = match std::fs::read_to_string(path) {
@@ -77,6 +87,7 @@ fn main() {
         decision_audit(&records);
         fault_attribution(&records);
         unattributed_total += attribution_check(&records);
+        federation.collect(&records);
 
         bands.push(switch_band(&label, &records));
         let last = records.last().map_or(0.0, |r| r.sim_ms as f64 / 1000.0);
@@ -84,6 +95,7 @@ fn main() {
         println!();
     }
 
+    let unpaired_migrations = federation.report();
     if let Some(dir) = &args.out {
         write_switch_timeline(&bands, end_secs, dir, "switch_timeline")
             .expect("write switch timeline");
@@ -91,7 +103,79 @@ fn main() {
     }
     if unattributed_total > 0 {
         eprintln!("error: {unattributed_total} switch(es) without a matching decider verdict");
+    }
+    if unpaired_migrations > 0 {
+        eprintln!("error: {unpaired_migrations} migration half(s) without a matching partner");
+    }
+    if unattributed_total > 0 || unpaired_migrations > 0 {
         std::process::exit(1);
+    }
+}
+
+/// Cross-file federation traffic: remote routes and migration halves
+/// accumulated over every input trace (a federation writes one trace
+/// per cluster, and a migration's depart/arrive land in different
+/// files, so pairing only makes sense across the whole set).
+#[derive(Default)]
+struct FederationTraffic {
+    remote_routes: usize,
+    transfer_ms: u64,
+    /// (job, from, to) → (depart count, arrive count).
+    halves: BTreeMap<(u32, u32, u32), (usize, usize)>,
+}
+
+impl FederationTraffic {
+    fn collect(&mut self, records: &[ParsedRecord]) {
+        for r in records {
+            match &r.event {
+                ParsedEvent::JobRouted { transfer_ms, .. } => {
+                    self.remote_routes += 1;
+                    self.transfer_ms += transfer_ms;
+                }
+                ParsedEvent::MigrateDepart { job, from, to } => {
+                    self.halves.entry((*job, *from, *to)).or_default().0 += 1;
+                }
+                ParsedEvent::MigrateArrive { job, from, to } => {
+                    self.halves.entry((*job, *from, *to)).or_default().1 += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Prints the migration-attribution section (when any federation
+    /// traffic was traced) and returns the number of unpaired halves:
+    /// every `migrate_depart` must pair with a `migrate_arrive` for the
+    /// same job and cluster pair, and vice versa.
+    fn report(&self) -> usize {
+        if self.remote_routes == 0 && self.halves.is_empty() {
+            return 0;
+        }
+        println!("=== migration attribution (all files) ===");
+        if self.remote_routes > 0 {
+            println!(
+                "remote routes: {}, {:.0} s total transfer latency",
+                self.remote_routes,
+                self.transfer_ms as f64 / 1000.0
+            );
+        }
+        let mut unpaired = 0usize;
+        let paired: usize = self.halves.values().map(|(dep, arr)| dep.min(arr)).sum();
+        for ((job, from, to), (departs, arrives)) in &self.halves {
+            if departs != arrives {
+                unpaired += departs.abs_diff(*arrives);
+                println!(
+                    "  UNPAIRED migration job #{job} c{from}->c{to}: \
+                     {departs} depart(s) vs {arrives} arrive(s)"
+                );
+            }
+        }
+        if unpaired == 0 {
+            println!("migrations: all {paired} depart/arrive pair(s) matched across clusters");
+        } else {
+            println!("migrations: {paired} paired, {unpaired} UNPAIRED half(s)");
+        }
+        unpaired
     }
 }
 

@@ -24,6 +24,8 @@
 //!                   (audit log) and BASE.trace.json (chrome://tracing)
 //! --trace-level L   off | decisions | spans | all (default: decisions
 //!                   when --trace-out is given, off otherwise)
+//! --trace-ring N    tracer ring-buffer capacity in records (default:
+//!                   the tracer's built-in capacity)
 //! ```
 
 use crate::experiment::{FaultLoad, ReservationLoad};
@@ -66,6 +68,9 @@ pub struct CommonArgs {
     pub trace_out: Option<PathBuf>,
     /// Trace verbosity (`None` = not given on the command line).
     pub trace_level: Option<TraceLevel>,
+    /// Tracer ring-buffer capacity in records (`None` = the tracer's
+    /// default).
+    pub trace_ring: Option<usize>,
     /// Leftover (binary-specific) arguments.
     pub rest: Vec<String>,
 }
@@ -87,6 +92,7 @@ impl Default for CommonArgs {
             crash_prob: 0.0,
             trace_out: None,
             trace_level: None,
+            trace_ring: None,
             rest: Vec::new(),
         }
     }
@@ -104,7 +110,8 @@ impl CommonArgs {
                      [--seed S] [--workers W] [--planner-threads T] [--out DIR] \
                      [--res-fraction F] [--res-slack S] \
                      [--mtbf S] [--mttr S] [--crash-prob P] \
-                     [--trace-out BASE] [--trace-level off|decisions|spans|all]"
+                     [--trace-out BASE] [--trace-level off|decisions|spans|all] \
+                     [--trace-ring N]"
                 );
                 std::process::exit(2);
             }
@@ -150,9 +157,7 @@ impl CommonArgs {
                         .map_err(|_| "--workers expects an integer".to_string())?;
                 }
                 "--planner-threads" => {
-                    out.planner_threads = value("--planner-threads")?
-                        .parse()
-                        .map_err(|_| "--planner-threads expects an integer".to_string())?;
+                    out.planner_threads = parse_planner_threads(&value("--planner-threads")?)?;
                 }
                 "--out" => {
                     out.out = Some(PathBuf::from(value("--out")?));
@@ -203,6 +208,15 @@ impl CommonArgs {
                         format!("--trace-level expects off|decisions|spans|all, got {name:?}")
                     })?);
                 }
+                "--trace-ring" => {
+                    let capacity: usize = value("--trace-ring")?
+                        .parse()
+                        .map_err(|_| "--trace-ring expects an integer".to_string())?;
+                    if capacity == 0 {
+                        return Err("--trace-ring must be positive".to_string());
+                    }
+                    out.trace_ring = Some(capacity);
+                }
                 other => out.rest.push(other.to_string()),
             }
         }
@@ -227,9 +241,13 @@ impl CommonArgs {
     }
 
     /// The tracer the flags select (disabled unless tracing was
-    /// requested).
+    /// requested). `--trace-ring` bounds its ring buffer.
     pub fn tracer(&self) -> dynp_obs::Tracer {
-        dynp_obs::Tracer::enabled(self.effective_trace_level())
+        let level = self.effective_trace_level();
+        match self.trace_ring {
+            Some(capacity) => dynp_obs::Tracer::with_capacity(level, capacity),
+            None => dynp_obs::Tracer::enabled(level),
+        }
     }
 
     /// Writes the recorded trace to `BASE.jsonl` (audit log) and
@@ -297,6 +315,32 @@ impl CommonArgs {
     }
 }
 
+/// Parses a `--planner-threads` value: a non-negative integer, where
+/// `0` means auto. The single parser behind [`CommonArgs`] and the raw
+/// argument lists of the bespoke binaries ([`planner_threads_arg`]).
+pub fn parse_planner_threads(value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("--planner-threads expects a non-negative integer, got {value:?}"))
+}
+
+/// Extracts and validates `--planner-threads` from a raw argument list,
+/// for binaries that don't parse through [`CommonArgs`]. Returns the
+/// configured count (`0` = auto, also the default when the flag is
+/// absent) *without* consulting the environment — feed the result to
+/// [`dynp_core::try_resolve_planner_threads`] for that.
+pub fn planner_threads_arg(args: &[String]) -> Result<usize, String> {
+    match args.iter().position(|a| a == "--planner-threads") {
+        None => Ok(0),
+        Some(i) => {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| "--planner-threads needs a value".to_string())?;
+            parse_planner_threads(value)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +392,48 @@ mod tests {
         assert_eq!(a.planner_threads, 4);
         assert!(parse(&["--planner-threads"]).is_err());
         assert!(parse(&["--planner-threads", "x"]).is_err());
+    }
+
+    #[test]
+    fn raw_planner_threads_helper_matches_the_flag() {
+        let raw = |args: &[&str]| {
+            planner_threads_arg(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        assert_eq!(raw(&[]), Ok(0));
+        assert_eq!(raw(&["--quick", "--planner-threads", "4"]), Ok(4));
+        assert_eq!(raw(&["--planner-threads", "0"]), Ok(0));
+        assert!(raw(&["--planner-threads"]).is_err());
+        assert!(raw(&["--planner-threads", "many"]).is_err());
+    }
+
+    #[test]
+    fn trace_ring_bounds_the_tracer() {
+        let a = parse(&[
+            "--trace-out",
+            "/tmp/t",
+            "--trace-level",
+            "all",
+            "--trace-ring",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(a.trace_ring, Some(2));
+        let tracer = a.tracer();
+        for i in 0..5u32 {
+            tracer.record(
+                dynp_des::SimTime::from_secs(u64::from(i)),
+                dynp_obs::TraceEvent::SimEvent {
+                    kind: "arrive",
+                    id: u64::from(i),
+                },
+            );
+        }
+        let snap = tracer.snapshot();
+        assert_eq!(snap.records.len(), 2);
+        assert_eq!(snap.dropped, 3);
+        assert!(parse(&["--trace-ring", "0"]).is_err());
+        assert!(parse(&["--trace-ring", "x"]).is_err());
+        assert!(parse(&["--trace-ring"]).is_err());
     }
 
     #[test]

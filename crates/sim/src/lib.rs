@@ -18,13 +18,18 @@
 
 pub mod cli;
 pub mod experiment;
+pub mod federation;
 pub mod paper_ref;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 pub mod svg;
 
 pub use experiment::{Cell, CellResult, Experiment, ExperimentResult, FaultLoad, ReservationLoad};
+pub use federation::{
+    run_federation, ClusterSpec, FederationConfig, FederationResult, LinkModel, RoutePolicy,
+};
 pub use runner::{
     simulate, simulate_chaos, simulate_detailed, simulate_traced, simulate_with_reservations,
     DetailedRun, ReservationReport, RunObservations, RunResult,

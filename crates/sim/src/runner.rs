@@ -28,63 +28,13 @@
 //! [`FaultPlan::none`] the run is bit-identical to [`simulate_traced`] —
 //! all three entry points are the same driver loop.
 
-use dynp_des::{Engine, SimDuration, SimTime, TimeWeighted};
+use crate::shard::{Event, ShardCore};
+use dynp_des::Engine;
 use dynp_metrics::{FaultStats, ReservationStats, SimMetrics};
-use dynp_obs::{TraceClass, TraceEvent, Tracer};
-use dynp_rms::{
-    AdmissionConfig, AdmissionController, CompletedJob, RejectReason, RepairAction, ReplanReason,
-    Reservation, RmsState, Scheduler,
-};
-use dynp_workload::{FaultKind, FaultPlan, JobId, JobSet, ReservationRequest, RetryPolicy};
+use dynp_obs::Tracer;
+use dynp_rms::{AdmissionConfig, CompletedJob, RejectReason, Reservation, Scheduler};
+use dynp_workload::{FaultPlan, JobSet, ReservationRequest};
 use serde::{Deserialize, Serialize};
-
-/// Events of the RMS simulation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Event {
-    /// A job reaches the system.
-    Arrive(JobId),
-    /// A running job's actual run time elapses. Tagged with the execution
-    /// attempt it belongs to, so a completion scheduled for an attempt
-    /// that was later evicted by a node loss is recognized as stale.
-    Finish(JobId, u32),
-    /// A reservation request (index into the request stream) reaches the
-    /// admission controller.
-    ResRequest(u32),
-    /// An admitted window (book id) begins.
-    ResStart(u32),
-    /// An admitted window (book id) ends and leaves the book.
-    ResEnd(u32),
-    /// The user withdraws an admitted window (book id) before its start.
-    ResCancel(u32),
-    /// A node fails and leaves the usable machine.
-    NodeDown(u32),
-    /// A failed node is repaired and rejoins the machine.
-    NodeUp(u32),
-    /// A planned first-attempt failure (crash or walltime overrun) kills
-    /// the given execution attempt; stale if that attempt was already
-    /// evicted by a node loss.
-    Kill(JobId, u32),
-    /// A failed job's retry backoff elapses and it re-enters the queue.
-    Resubmit(JobId),
-}
-
-impl Event {
-    /// Dispatch label and subject id for the trace (`sim_event` records).
-    fn trace_parts(&self) -> (&'static str, u64) {
-        match *self {
-            Event::Arrive(id) => ("arrive", id.0 as u64),
-            Event::Finish(id, _) => ("finish", id.0 as u64),
-            Event::ResRequest(i) => ("res_request", i as u64),
-            Event::ResStart(i) => ("res_start", i as u64),
-            Event::ResEnd(i) => ("res_end", i as u64),
-            Event::ResCancel(i) => ("res_cancel", i as u64),
-            Event::NodeDown(n) => ("node_down", n as u64),
-            Event::NodeUp(n) => ("node_up", n as u64),
-            Event::Kill(id, _) => ("kill", id.0 as u64),
-            Event::Resubmit(id) => ("resubmit", id.0 as u64),
-        }
-    }
-}
 
 /// The outcome of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -214,57 +164,6 @@ pub fn simulate_traced(
     )
 }
 
-/// Resolves one failed execution attempt at `now`: evicts the job from
-/// the machine and either retries it (returning the resubmission instant
-/// the caller must schedule) or, once the retry budget is spent, moves it
-/// to the typed `Lost` terminal pool. `failures` is the 1-based count of
-/// failed attempts including this one.
-#[allow(clippy::too_many_arguments)]
-fn resolve_failure(
-    state: &mut RmsState,
-    fstats: &mut FaultStats,
-    tracer: &Tracer,
-    retry: &RetryPolicy,
-    now: SimTime,
-    id: JobId,
-    failures: u32,
-    reason: &'static str,
-) -> Option<SimTime> {
-    let run = state.fail(id, now);
-    tracer.record(
-        now,
-        TraceEvent::JobFault {
-            job: id.0,
-            attempt: failures,
-            reason,
-        },
-    );
-    if retry.exhausted(failures) {
-        fstats.lost += 1;
-        tracer.record(
-            now,
-            TraceEvent::JobLost {
-                job: id.0,
-                attempts: failures,
-            },
-        );
-        state.mark_lost(run.job, now, failures);
-        None
-    } else {
-        fstats.retries += 1;
-        let delay = retry.delay_after(failures);
-        tracer.record(
-            now,
-            TraceEvent::JobRetry {
-                job: id.0,
-                attempt: failures,
-                delay_ms: delay.as_millis(),
-            },
-        );
-        Some(now.saturating_add(delay))
-    }
-}
-
 /// [`simulate_traced`] with a deterministic fault trace injected: node
 /// outages from `faults.outages` become `NodeDown`/`NodeUp` events, and
 /// each job's planned first-attempt failure (crash or walltime overrun)
@@ -298,10 +197,7 @@ pub fn simulate_chaos(
     faults: &FaultPlan,
     tracer: Tracer,
 ) -> DetailedRun {
-    let mut state = RmsState::new(set.machine_size);
-    let mut controller = AdmissionController::new(admission);
     scheduler.set_tracer(tracer.clone());
-    controller.set_tracer(tracer.clone());
     let mut engine: Engine<Event> = Engine::new();
     for job in set.jobs() {
         engine.schedule_at(job.submit, Event::Arrive(job.id));
@@ -318,351 +214,32 @@ pub fn simulate_chaos(
         engine.schedule_at(o.down_at, Event::NodeDown(o.node));
         engine.schedule_at(o.up_at, Event::NodeUp(o.node));
     }
-    // Execution attempts spent per job (dense ids); a pending Finish/Kill
-    // whose attempt tag no longer matches is stale and ignored.
-    let mut attempts: Vec<u32> = vec![0; set.len()];
-    let mut fstats = FaultStats::default();
-    let retry = faults.retry;
-    // Observation clocks start at the first event of either stream — a
-    // reservation request may precede the first job submission.
+    // Observation clocks start at the first event of any stream — a
+    // reservation request or a node failure may precede the first job
+    // submission.
     let t0 = requests
         .iter()
         .map(|r| r.submit)
+        .chain(faults.outages.iter().map(|o| o.down_at))
         .fold(set.first_submit(), |a, b| a.min(b));
-    let mut queue_tw = TimeWeighted::new(t0, 0.0);
-    let mut busy_tw = TimeWeighted::new(t0, 0.0);
-    let mut peak_queue = 0usize;
-
-    let mut report = ReservationReport::default();
-    // Admitted windows by book id (ids are dense: the book assigns them
-    // sequentially and only this loop admits).
-    let mut admitted: Vec<(Reservation, bool)> = Vec::new();
-
-    engine.run(|eng, event| {
-        let now = eng.now();
-        if tracer.wants(TraceClass::Dispatch) {
-            let (kind, id) = event.trace_parts();
-            tracer.record(now, TraceEvent::SimEvent { kind, id });
-        }
-        let _span = tracer.span(now, "event");
-        let reason = match event {
-            Event::Arrive(id) => {
-                state.submit(*set.job(id));
-                ReplanReason::Submission
-            }
-            Event::Finish(id, attempt) => {
-                // Stale when the attempt it was scheduled for has been
-                // evicted by a node loss (the job is waiting out a retry
-                // backoff, running a later attempt, or lost).
-                if attempts[id.0 as usize] != attempt
-                    || !state.running().iter().any(|r| r.job.id == id)
-                {
-                    return;
-                }
-                state.complete(id, now);
-                ReplanReason::Completion
-            }
-            Event::NodeDown(node) => {
-                fstats.node_downs += 1;
-                tracer.record(now, TraceEvent::NodeDown { node });
-                if let Some(id) = state.node_down(node) {
-                    fstats.evictions += 1;
-                    let failures = attempts[id.0 as usize];
-                    if let Some(at) = resolve_failure(
-                        &mut state,
-                        &mut fstats,
-                        &tracer,
-                        &retry,
-                        now,
-                        id,
-                        failures,
-                        "node-loss",
-                    ) {
-                        eng.schedule_at(at, Event::Resubmit(id));
-                    }
-                }
-                // The machine shrank: re-validate every admitted window
-                // against the degraded capacity before anyone replans
-                // around a promise that can no longer be kept.
-                for action in state.repair_reservations(now) {
-                    match action {
-                        RepairAction::Downgraded { id, to_width, .. } => {
-                            report.stats.downgraded += 1;
-                            // Keep the realized record honest: the window
-                            // runs (and is honored) at its reduced width.
-                            admitted[id as usize].0.width = to_width;
-                            tracer.record(
-                                now,
-                                TraceEvent::ReservationRepair {
-                                    reservation: id,
-                                    action: "downgraded",
-                                    width: to_width,
-                                },
-                            );
-                        }
-                        RepairAction::Revoked { id } => {
-                            report.stats.revoked += 1;
-                            admitted[id as usize].1 = true;
-                            tracer.record(
-                                now,
-                                TraceEvent::ReservationRepair {
-                                    reservation: id,
-                                    action: "revoked",
-                                    width: 0,
-                                },
-                            );
-                        }
-                    }
-                }
-                ReplanReason::Fault
-            }
-            Event::NodeUp(node) => {
-                fstats.node_ups += 1;
-                tracer.record(now, TraceEvent::NodeUp { node });
-                state.node_up(node);
-                ReplanReason::Fault
-            }
-            Event::Kill(id, attempt) => {
-                // Stale when a node loss already evicted this attempt.
-                if attempts[id.0 as usize] != attempt
-                    || !state.running().iter().any(|r| r.job.id == id)
-                {
-                    return;
-                }
-                let kind = faults
-                    .fault_of(id.0)
-                    .expect("kill event without a planned fault");
-                match kind {
-                    FaultKind::Crash { .. } => fstats.crashes += 1,
-                    FaultKind::Overrun => fstats.overruns += 1,
-                }
-                if let Some(at) = resolve_failure(
-                    &mut state,
-                    &mut fstats,
-                    &tracer,
-                    &retry,
-                    now,
-                    id,
-                    attempt,
-                    kind.label(),
-                ) {
-                    eng.schedule_at(at, Event::Resubmit(id));
-                }
-                ReplanReason::Fault
-            }
-            Event::Resubmit(id) => {
-                // The job keeps its original submission time: waiting
-                // metrics measure from the first submission.
-                state.resubmit(*set.job(id));
-                ReplanReason::Submission
-            }
-            Event::ResRequest(idx) => {
-                let r = &requests[idx as usize];
-                // Satellite of the admission protocol: drop windows that
-                // already ended before building the base profile.
-                state.expire_reservations(now);
-                report.stats.requests += 1;
-                report.stats.requested_area += r.area();
-                match controller.evaluate(
-                    &state,
-                    now,
-                    scheduler.active_policy(),
-                    r.start,
-                    r.duration,
-                    r.width,
-                ) {
-                    Ok(()) => {
-                        tracer.record(
-                            now,
-                            TraceEvent::AdmissionVerdict {
-                                request: r.id,
-                                verdict: "admitted",
-                            },
-                        );
-                        let book_id = state.admit_reservation(r.start, r.duration, r.width);
-                        debug_assert_eq!(book_id as usize, admitted.len());
-                        let res = Reservation {
-                            id: book_id,
-                            start: r.start,
-                            duration: r.duration,
-                            width: r.width,
-                        };
-                        admitted.push((res, false));
-                        report.stats.admitted += 1;
-                        report.stats.admitted_area += r.area();
-                        eng.schedule_at(res.start, Event::ResStart(book_id));
-                        eng.schedule_at(res.end(), Event::ResEnd(book_id));
-                        if let Some(c) = r.cancel_at {
-                            if c > now && c < r.start {
-                                eng.schedule_at(c, Event::ResCancel(book_id));
-                            }
-                        }
-                        ReplanReason::Reservation
-                    }
-                    Err(why) => {
-                        tracer.record(
-                            now,
-                            TraceEvent::AdmissionVerdict {
-                                request: r.id,
-                                verdict: why.label(),
-                            },
-                        );
-                        match why {
-                            RejectReason::NoCapacity => report.stats.rejected_capacity += 1,
-                            RejectReason::BreaksGuarantee => report.stats.rejected_guarantee += 1,
-                            RejectReason::InvalidWidth | RejectReason::InPast => {
-                                report.stats.rejected_invalid += 1
-                            }
-                        }
-                        report.rejected.push((r.id, why));
-                        // The state is untouched: nothing to replan.
-                        return;
-                    }
-                }
-            }
-            Event::ResStart(book_id) => {
-                // The window's capacity was withheld from every plan since
-                // admission; nothing changes at the boundary itself.
-                debug_assert!(
-                    admitted[book_id as usize].1
-                        || state.reservations().all().iter().any(|w| w.id == book_id),
-                    "admitted window {book_id} vanished before its start"
-                );
-                return;
-            }
-            Event::ResEnd(book_id) => {
-                let (res, cancelled) = admitted[book_id as usize];
-                if !cancelled {
-                    report.stats.honored += 1;
-                    report.honored.push(res);
-                }
-                state.expire_reservations(now);
-                ReplanReason::Reservation
-            }
-            Event::ResCancel(book_id) => {
-                // Nothing left to withdraw when schedule repair already
-                // revoked the window after a capacity loss.
-                if admitted[book_id as usize].1 {
-                    return;
-                }
-                let existed = state.cancel_reservation(book_id);
-                debug_assert!(
-                    existed,
-                    "cancel of window {book_id} that is not in the book"
-                );
-                admitted[book_id as usize].1 = true;
-                report.stats.cancelled += 1;
-                ReplanReason::Reservation
-            }
-        };
-        let schedule = scheduler.replan(&state, now, reason);
-        let trace_backfill = tracer.wants(TraceClass::Dispatch);
-        let mut started = Vec::new();
-        for entry in schedule.due(now) {
-            let id = entry.job.id;
-            let run = state.start(id, now);
-            attempts[id.0 as usize] += 1;
-            let attempt = attempts[id.0 as usize];
-            // The fault model strikes first attempts only.
-            let planned = if attempt == 1 {
-                faults.fault_of(id.0)
-            } else {
-                None
-            };
-            match planned {
-                Some(FaultKind::Crash { fraction }) => {
-                    let actual = run.actual_end().saturating_since(run.start);
-                    let offset = actual.scale(fraction).max(SimDuration::from_millis(1));
-                    eng.schedule_at(run.start.saturating_add(offset), Event::Kill(id, attempt));
-                }
-                Some(FaultKind::Overrun) => {
-                    // The attempt would exceed its estimate; the planning
-                    // RMS walltime-kills it exactly at start + estimate.
-                    eng.schedule_at(run.estimated_end(), Event::Kill(id, attempt));
-                }
-                None => eng.schedule_at(run.actual_end(), Event::Finish(id, attempt)),
-            }
-            if state.down_nodes() > 0 {
-                // Chaos invariant, counted rather than asserted so the
-                // harness can verify it end to end: a start never lands
-                // on a down node.
-                fstats.down_node_allocations += state
-                    .nodes_of(id)
-                    .iter()
-                    .filter(|&&n| state.is_node_down(n))
-                    .count() as u64;
-            }
-            if trace_backfill {
-                started.push((id, entry.job.width, entry.job.submit));
-            }
-        }
-        // A started job "backfilled" iff earlier-submitted jobs are still
-        // waiting after every due start was issued — the implicit
-        // backfilling a planning-based RMS performs.
-        for (id, width, submit) in started {
-            let overtaken = state.waiting().iter().filter(|w| w.submit < submit).count() as u32;
-            if overtaken > 0 {
-                tracer.record(
-                    now,
-                    TraceEvent::BackfillMove {
-                        job: id.0,
-                        width,
-                        overtaken,
-                    },
-                );
-            }
-        }
-        peak_queue = peak_queue.max(state.waiting().len());
-        queue_tw.set(now, state.waiting().len() as f64);
-        busy_tw.set(now, (state.machine_size() - state.free_processors()) as f64);
-    });
-
-    assert!(
-        state.is_idle(),
-        "simulation drained with {} waiting / {} running jobs",
-        state.waiting().len(),
-        state.running().len()
-    );
-    assert_eq!(
-        state.completed().len() + state.lost().len(),
+    let mut core = ShardCore::new(
+        set.machine_size,
+        admission,
         set.len(),
-        "job conservation violated"
+        faults.retry,
+        t0,
+        tracer,
+        0,
     );
-    debug_assert_eq!(state.lost().len() as u64, fstats.lost);
-    assert!(
-        state.reservations().all().is_empty(),
-        "simulation drained with {} windows still booked",
-        state.reservations().all().len()
-    );
-    debug_assert_eq!(
-        report.stats.honored + report.stats.cancelled + report.stats.revoked,
-        report.stats.admitted,
-        "admitted windows must end, be cancelled, or be revoked by repair"
-    );
-    fstats.downtime_secs = faults
-        .outages
-        .iter()
-        .map(|o| o.downtime().as_secs_f64())
-        .sum();
 
-    let end = engine.now();
-    let result = RunResult {
-        metrics: SimMetrics::measure(set.machine_size, state.completed()),
-        scheduler: scheduler.name(),
-        job_set: set.name.clone(),
-        events: engine.processed(),
-    };
-    DetailedRun {
-        result,
-        observations: RunObservations {
-            peak_queue,
-            mean_queue: queue_tw.average_until(end),
-            mean_busy: busy_tw.average_until(end),
-        },
-        completed: state.into_completed(),
-        reservations: report,
-        faults: fstats,
-    }
+    engine.run(|eng, event| core.handle(eng, event, &mut *scheduler, set.jobs(), requests, faults));
+    core.finish(
+        &engine,
+        scheduler.name(),
+        set.name.clone(),
+        faults,
+        Some(set.len()),
+    )
 }
 
 #[cfg(test)]
@@ -671,7 +248,7 @@ mod tests {
     use dynp_core::{DeciderKind, DynPConfig, SelfTuningScheduler};
     use dynp_des::{SimDuration, SimTime};
     use dynp_rms::{Policy, StaticScheduler};
-    use dynp_workload::{Job, JobId};
+    use dynp_workload::{FaultKind, Job, JobId};
 
     fn j(id: u32, submit_s: u64, width: u32, est_s: u64, act_s: u64) -> Job {
         Job::new(

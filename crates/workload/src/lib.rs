@@ -20,6 +20,9 @@
 //!   sinusoidal daily arrival cycle, as an alternative input family;
 //! * [`traces`] — models calibrated to the published Table 2 statistics of
 //!   the four traces;
+//! * [`multi`] — multi-cluster workload streams: merges per-cluster job
+//!   sets into one global arrival order with an origin map, the input of
+//!   the federation routing layer;
 //! * [`reservation`] — advance-reservation request streams: a synthetic
 //!   Poisson generator calibrated to a target booked-area fraction, plus
 //!   SWF `;RESERVATION` directive support in [`swf`];
@@ -35,6 +38,7 @@ pub mod fault;
 pub mod job;
 pub mod lublin;
 pub mod model;
+pub mod multi;
 pub mod regime;
 pub mod reservation;
 pub mod stats;
@@ -45,6 +49,7 @@ pub mod transform;
 pub use fault::{FaultKind, FaultModel, FaultPlan, NodeOutage, RetryPolicy};
 pub use job::{Job, JobId, JobSet};
 pub use model::TraceModel;
+pub use multi::MultiClusterWorkload;
 pub use reservation::{ReservationModel, ReservationRequest};
 pub use stats::TraceStats;
 pub use traces::{ctc, kth, lanl, sdsc, standard_models};

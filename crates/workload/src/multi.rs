@@ -1,0 +1,177 @@
+//! Multi-cluster workload streams for the federation layer.
+//!
+//! A federation runs several clusters, each with its own submission
+//! stream. The routing layer needs one *global* arrival order (jobs are
+//! routed in submission order at epoch barriers) and one dense global id
+//! space (ids index shared per-job tables such as the attempt counters),
+//! so this module merges per-cluster [`JobSet`]s into a single
+//! [`MultiClusterWorkload`]: jobs sorted by `(submit, cluster, local
+//! id)`, re-numbered densely, with an origin map recording which cluster
+//! each job was submitted at.
+//!
+//! A one-cluster workload built with [`MultiClusterWorkload::single`]
+//! preserves the job order of the underlying set exactly — the federation
+//! executor relies on this for its bit-identity with the single-cluster
+//! driver.
+
+use crate::job::{Job, JobId, JobSet};
+use dynp_des::SimTime;
+
+/// The merged submission streams of a federation: all jobs of every
+/// cluster in one global arrival order, with dense global ids and an
+/// origin map.
+#[derive(Clone, Debug)]
+pub struct MultiClusterWorkload {
+    /// Human-readable origin, e.g. `"CTC×4"`.
+    pub name: String,
+    /// Jobs in nondecreasing submission order, ids dense `0..n`.
+    jobs: Vec<Job>,
+    /// `origin[id]` = index of the cluster the job was submitted at.
+    origin: Vec<u32>,
+    /// Machine size of each cluster, by cluster index.
+    machine_sizes: Vec<u32>,
+}
+
+impl MultiClusterWorkload {
+    /// Merges one [`JobSet`] per cluster into a global stream. Jobs are
+    /// ordered by `(submit, cluster, local id)` and re-numbered densely,
+    /// so ties at equal instants break by cluster index — deterministic
+    /// for any input.
+    ///
+    /// # Panics
+    /// Panics when `per_cluster` is empty.
+    pub fn merge(name: impl Into<String>, per_cluster: &[JobSet]) -> MultiClusterWorkload {
+        assert!(
+            !per_cluster.is_empty(),
+            "a federation needs at least one cluster"
+        );
+        let mut tagged: Vec<(u32, Job)> = Vec::new();
+        for (cluster, set) in per_cluster.iter().enumerate() {
+            for job in set.jobs() {
+                tagged.push((cluster as u32, *job));
+            }
+        }
+        // Per-set job ids are already dense and sorted within a set, so
+        // (submit, cluster, local id) is a total order.
+        tagged.sort_by_key(|(cluster, job)| (job.submit, *cluster, job.id));
+        let mut jobs = Vec::with_capacity(tagged.len());
+        let mut origin = Vec::with_capacity(tagged.len());
+        for (i, (cluster, mut job)) in tagged.into_iter().enumerate() {
+            job.id = JobId(i as u32);
+            jobs.push(job);
+            origin.push(cluster);
+        }
+        MultiClusterWorkload {
+            name: name.into(),
+            jobs,
+            origin,
+            machine_sizes: per_cluster.iter().map(|s| s.machine_size).collect(),
+        }
+    }
+
+    /// A one-cluster workload over an existing set; job ids and order are
+    /// preserved exactly.
+    pub fn single(set: &JobSet) -> MultiClusterWorkload {
+        MultiClusterWorkload {
+            name: set.name.clone(),
+            jobs: set.jobs().to_vec(),
+            origin: vec![0; set.len()],
+            machine_sizes: vec![set.machine_size],
+        }
+    }
+
+    /// All jobs in global arrival order (`jobs()[i].id == JobId(i)`).
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The cluster a job was submitted at.
+    pub fn origin_of(&self, id: JobId) -> u32 {
+        self.origin[id.index()]
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.machine_sizes.len()
+    }
+
+    /// Machine size of each cluster, by cluster index.
+    pub fn machine_sizes(&self) -> &[u32] {
+        &self.machine_sizes
+    }
+
+    /// Total number of jobs across all clusters.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no cluster has any job.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Submission time of the first job ([`SimTime::ZERO`] when empty).
+    pub fn first_submit(&self) -> SimTime {
+        self.jobs.first().map_or(SimTime::ZERO, |j| j.submit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_des::SimDuration;
+
+    fn j(id: u32, submit_s: u64, width: u32) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(submit_s),
+            width,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(50),
+        )
+    }
+
+    #[test]
+    fn merge_orders_by_submit_then_cluster() {
+        let a = JobSet::new("a", 8, vec![j(0, 10, 1), j(1, 30, 2)]);
+        let b = JobSet::new("b", 16, vec![j(0, 10, 3), j(1, 20, 4)]);
+        let w = MultiClusterWorkload::merge("t", &[a, b]);
+        assert_eq!(w.clusters(), 2);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.machine_sizes(), &[8, 16]);
+        // At t=10 the cluster-0 job precedes the cluster-1 job.
+        let widths: Vec<u32> = w.jobs().iter().map(|x| x.width).collect();
+        assert_eq!(widths, vec![1, 3, 4, 2]);
+        let origins: Vec<u32> = (0..4).map(|i| w.origin_of(JobId(i))).collect();
+        assert_eq!(origins, vec![0, 1, 1, 0]);
+        for (i, job) in w.jobs().iter().enumerate() {
+            assert_eq!(job.id, JobId(i as u32));
+        }
+    }
+
+    #[test]
+    fn single_preserves_the_set_exactly() {
+        let set = JobSet::new("s", 4, vec![j(0, 5, 1), j(1, 7, 2), j(2, 7, 3)]);
+        let w = MultiClusterWorkload::single(&set);
+        assert_eq!(w.jobs(), set.jobs());
+        assert_eq!(w.clusters(), 1);
+        assert!((0..3).all(|i| w.origin_of(JobId(i)) == 0));
+        assert_eq!(w.first_submit(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn empty_clusters_are_benign() {
+        let a = JobSet::new("a", 8, vec![]);
+        let b = JobSet::new("b", 8, vec![j(0, 1, 1)]);
+        let w = MultiClusterWorkload::merge("t", &[a, b]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.origin_of(JobId(0)), 1);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn merge_rejects_zero_clusters() {
+        let _ = MultiClusterWorkload::merge("t", &[]);
+    }
+}

@@ -51,7 +51,10 @@ pub mod prelude {
         RmsState, Scheduler, StaticScheduler,
     };
     pub use dynp_sim::{
-        simulate, simulate_with_reservations, Experiment, ReservationLoad, SchedulerSpec,
+        run_federation, simulate, simulate_with_reservations, ClusterSpec, Experiment,
+        FederationConfig, LinkModel, ReservationLoad, RoutePolicy, SchedulerSpec,
     };
-    pub use dynp_workload::{Job, JobId, JobSet, ReservationModel, ReservationRequest, TraceModel};
+    pub use dynp_workload::{
+        Job, JobId, JobSet, MultiClusterWorkload, ReservationModel, ReservationRequest, TraceModel,
+    };
 }
