@@ -33,11 +33,13 @@
 //! assert_eq!(seen[1], (SimTime::from_secs(5), "world"));
 //! ```
 
+pub mod clock;
 pub mod engine;
 pub mod queue;
 pub mod stats;
 pub mod time;
 
+pub use clock::{EventClock, Tick, WallClockSource};
 pub use engine::Engine;
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, SEEDED_SEQ_LIMIT};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};

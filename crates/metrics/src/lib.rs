@@ -31,6 +31,7 @@ pub mod combine;
 pub mod faults;
 pub mod federation;
 pub mod job_metrics;
+pub mod latency;
 pub mod objective;
 pub mod percentiles;
 pub mod reservations;
@@ -41,6 +42,7 @@ pub use combine::{combine_drop_extremes, CombinedMetrics};
 pub use faults::FaultStats;
 pub use federation::{ClusterReport, FederatedMetrics};
 pub use job_metrics::{bounded_slowdown, slowdown, JobOutcome};
+pub use latency::LatencyHistogram;
 pub use objective::Objective;
 pub use percentiles::{OutcomeDistributions, QuantileStats};
 pub use reservations::ReservationStats;

@@ -4,8 +4,61 @@
 use crate::event::{TraceClass, TraceEvent, TraceLevel, TraceRecord};
 use dynp_des::SimTime;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// The wall-clock source behind a tracer's `wall_ns` stamps.
+///
+/// The default source is monotonic time since the tracer's creation
+/// ([`Tracer::enabled`]); the service daemon injects its own epoch so
+/// daemon traces line up with its scheduling clock, and deterministic
+/// tests inject a [`ManualClock`] so stamps are exact values instead of
+/// elapsed real time. One code path serves all three.
+pub trait TraceClock: Send + Sync {
+    /// Nanoseconds since the clock's epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// The default clock: monotonic nanoseconds since construction.
+struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl TraceClock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A manually-advanced clock for deterministic trace tests: reads return
+/// exactly the last value stored, so `wall_ns` stamps can be asserted
+/// byte-for-byte.
+#[derive(Default)]
+pub struct ManualClock(AtomicU64);
+
+impl ManualClock {
+    /// A manual clock starting at `ns`.
+    pub fn new(ns: u64) -> Arc<ManualClock> {
+        Arc::new(ManualClock(AtomicU64::new(ns)))
+    }
+
+    /// Sets the clock to an absolute value.
+    pub fn set_ns(&self, ns: u64) {
+        self.0.store(ns, Ordering::Relaxed);
+    }
+
+    /// Moves the clock forward by `ns`.
+    pub fn advance_ns(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl TraceClock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Default ring-buffer capacity: enough for a quick-mode run at
 /// [`TraceLevel::All`] (a 2 500-job run emits ~40 k records) with a wide
@@ -21,7 +74,7 @@ struct Ring {
 
 struct Inner {
     level: TraceLevel,
-    epoch: Instant,
+    clock: Arc<dyn TraceClock>,
     ring: Mutex<Ring>,
 }
 
@@ -64,13 +117,28 @@ impl Tracer {
     ///
     /// `level == Off` yields the disabled tracer.
     pub fn with_capacity(level: TraceLevel, capacity: usize) -> Tracer {
+        Tracer::with_clock(
+            level,
+            capacity,
+            Arc::new(MonotonicClock {
+                epoch: Instant::now(),
+            }),
+        )
+    }
+
+    /// A tracer stamping records from the given [`TraceClock`] instead of
+    /// a private monotonic epoch. The daemon passes its scheduling-clock
+    /// epoch; deterministic tests pass a [`ManualClock`].
+    ///
+    /// `level == Off` yields the disabled tracer.
+    pub fn with_clock(level: TraceLevel, capacity: usize, clock: Arc<dyn TraceClock>) -> Tracer {
         if level == TraceLevel::Off || capacity == 0 {
             return Tracer::disabled();
         }
         Tracer {
             inner: Some(Arc::new(Inner {
                 level,
-                epoch: Instant::now(),
+                clock,
                 ring: Mutex::new(Ring {
                     buf: VecDeque::new(),
                     capacity,
@@ -110,7 +178,7 @@ impl Tracer {
         if !event.class().captured_at(inner.level) {
             return;
         }
-        let wall_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let wall_ns = inner.clock.now_ns();
         inner.push(sim, wall_ns, event);
     }
 
@@ -121,7 +189,7 @@ impl Tracer {
     /// inert and no clock is read.
     pub fn span(&self, sim: SimTime, name: &'static str) -> SpanGuard {
         let armed = match &self.inner {
-            Some(inner) if TraceClass::Span.captured_at(inner.level) => Some(Instant::now()),
+            Some(inner) if TraceClass::Span.captured_at(inner.level) => Some(inner.clock.now_ns()),
             _ => None,
         };
         SpanGuard {
@@ -136,9 +204,7 @@ impl Tracer {
     /// disabled. Used by callers that time a phase themselves (e.g. the
     /// per-policy plan loop) instead of going through a guard.
     pub fn now_ns(&self) -> u64 {
-        self.inner
-            .as_ref()
-            .map_or(0, |inner| inner.epoch.elapsed().as_nanos() as u64)
+        self.inner.as_ref().map_or(0, |inner| inner.clock.now_ns())
     }
 
     /// Records a span-like event with an explicit start stamp (from
@@ -190,19 +256,18 @@ pub struct SpanGuard {
     inner: Option<Arc<Inner>>,
     name: &'static str,
     sim: SimTime,
-    start: Option<Instant>,
+    start: Option<u64>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let (Some(inner), Some(start)) = (&self.inner, self.start) else {
+        let (Some(inner), Some(start_ns)) = (&self.inner, self.start) else {
             return;
         };
-        let dur_ns = start.elapsed().as_nanos() as u64;
-        let wall_start = start.duration_since(inner.epoch).as_nanos() as u64;
+        let dur_ns = inner.clock.now_ns().saturating_sub(start_ns);
         inner.push(
             self.sim,
-            wall_start,
+            start_ns,
             TraceEvent::Span {
                 name: self.name,
                 dur_ns,
@@ -332,6 +397,36 @@ mod tests {
             },
         );
         assert_eq!(tracer.snapshot().records.len(), 1);
+    }
+
+    #[test]
+    fn manual_clock_gives_exact_stamps() {
+        let clock = ManualClock::new(100);
+        let tracer = Tracer::with_clock(TraceLevel::All, 16, clock.clone());
+        tracer.record(
+            t(1),
+            TraceEvent::SimEvent {
+                kind: "arrive",
+                id: 0,
+            },
+        );
+        clock.advance_ns(50);
+        {
+            let _guard = tracer.span(t(2), "plan");
+            clock.advance_ns(25);
+        }
+        clock.set_ns(1000);
+        assert_eq!(tracer.now_ns(), 1000);
+        let snap = tracer.snapshot();
+        assert_eq!(snap.records[0].wall_ns, 100);
+        match snap.records[1].event {
+            TraceEvent::Span { name, dur_ns } => {
+                assert_eq!(name, "plan");
+                assert_eq!(dur_ns, 25);
+                assert_eq!(snap.records[1].wall_ns, 150);
+            }
+            ref other => panic!("expected span, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! The typed in-process service API.
+//!
+//! Clients talk to the daemon over an [`std::sync::mpsc`] channel of
+//! [`Command`]s; every command that expects an answer carries its own
+//! reply sender, so replies route to the right caller regardless of how
+//! many clients share the channel. The newline-delimited JSON protocol
+//! ([`crate::proto`]) is a thin codec over exactly these types.
+
+use dynp_des::{SimDuration, SimTime};
+use dynp_obs::Tracer;
+use dynp_sim::{DetailedRun, SchedulerSpec};
+use std::path::PathBuf;
+use std::sync::mpsc::Sender;
+
+/// One job submission: what the user asks for. The daemon assigns the
+/// job id and stamps the submission time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmitSpec {
+    /// Requested processors.
+    pub width: u32,
+    /// Requested (estimated) run time.
+    pub estimate: SimDuration,
+    /// Actual run time. A real RMS learns this when the job exits; the
+    /// service model carries it up front so the simulated execution
+    /// completes on its own — the digital-twin analogue of the SWF run
+    /// time field.
+    pub actual: SimDuration,
+    /// Submitting user (load-generator bookkeeping; not scheduled on).
+    pub user: u32,
+}
+
+/// Why a submission was turned away by backpressure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// The bounded waiting queue is at capacity.
+    QueueFull,
+    /// The daemon is draining for shutdown and accepts no new work.
+    ShuttingDown,
+}
+
+impl OverloadReason {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverloadReason::QueueFull => "queue_full",
+            OverloadReason::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A rejected submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Typed backpressure: the request was well-formed but the service
+    /// refuses it right now. Retry later (or elsewhere).
+    Overload(OverloadReason),
+    /// The request itself is unusable (zero width, wider than the
+    /// machine, …). Retrying unchanged will never succeed.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overload(r) => write!(f, "overloaded: {}", r.label()),
+            SubmitError::Invalid(why) => write!(f, "invalid submission: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Receipt for an accepted submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ticket {
+    /// The assigned job id (dense, in acceptance order — also the job's
+    /// id in the session log's replay).
+    pub job: u32,
+    /// Service-clock instant the submission was admitted at.
+    pub admitted_at: SimTime,
+}
+
+/// A point-in-time view of the service.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStatus {
+    /// Current service-clock time.
+    pub now: SimTime,
+    /// Jobs waiting in the queue.
+    pub waiting: usize,
+    /// Jobs running on the machine.
+    pub running: usize,
+    /// Jobs completed so far.
+    pub completed: usize,
+    /// Jobs lost to faults (always 0 without fault injection).
+    pub lost: usize,
+    /// Submissions accepted since start.
+    pub accepted: u64,
+    /// Submissions rejected since start (overload + invalid).
+    pub rejected: u64,
+    /// Free processors right now.
+    pub free_processors: u32,
+    /// Machine size.
+    pub machine_size: u32,
+    /// True once shutdown has begun.
+    pub draining: bool,
+}
+
+/// A reply to one command.
+#[derive(Clone, Debug)]
+pub enum Reply {
+    /// The submission was admitted.
+    Accepted(Ticket),
+    /// The submission was refused.
+    Rejected(SubmitError),
+    /// Outcome of a cancel: `found` is false when the job was not
+    /// waiting (already started, finished, or never existed).
+    Cancelled {
+        /// The job the cancel named.
+        job: u32,
+        /// Whether a waiting job was actually withdrawn.
+        found: bool,
+    },
+    /// Status snapshot.
+    Status(ServiceStatus),
+    /// Shutdown acknowledged; the daemon is draining.
+    Draining,
+}
+
+/// A client request, carrying the sender its reply goes to.
+#[derive(Debug)]
+pub enum Command {
+    /// Submit a job.
+    Submit(SubmitSpec, Sender<Reply>),
+    /// Cancel a waiting job by id.
+    Cancel(u32, Sender<Reply>),
+    /// Query the service state.
+    Status(Sender<Reply>),
+    /// Begin graceful shutdown: stop accepting, drain in-flight events
+    /// at full speed, flush logs, exit. The reply (if a sender is given)
+    /// is [`Reply::Draining`].
+    Shutdown(Option<Sender<Reply>>),
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Machine size in processors.
+    pub machine_size: u32,
+    /// Scheduler recipe — the same [`SchedulerSpec`] batch experiments
+    /// use, so live and replayed runs build identical schedulers.
+    pub scheduler: SchedulerSpec,
+    /// Bounded-queue backpressure: submissions arriving while this many
+    /// jobs are already waiting are rejected with
+    /// [`OverloadReason::QueueFull`].
+    pub max_queue: usize,
+    /// Service-clock scale: simulation milliseconds per wall
+    /// millisecond. 1 is real time; larger values run second-scale
+    /// workloads in millisecond wall time (tests, smoke runs).
+    pub speedup: u64,
+    /// Where to record the SWF session log (None = no log).
+    pub session_log: Option<PathBuf>,
+    /// Tracer threaded through the scheduler and driver, exactly as in
+    /// batch runs.
+    pub tracer: Tracer,
+}
+
+impl ServiceConfig {
+    /// A config with conventional defaults: queue bound 1024, real-time
+    /// clock, no session log, tracing off.
+    pub fn new(machine_size: u32, scheduler: SchedulerSpec) -> ServiceConfig {
+        ServiceConfig {
+            machine_size,
+            scheduler,
+            max_queue: 1024,
+            speedup: 1,
+            session_log: None,
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+/// What the daemon returns when it exits.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// The finished run, measured exactly like a batch simulation (the
+    /// drained session satisfies the same invariants: conservation,
+    /// empty queue, idle machine).
+    pub run: DetailedRun,
+    /// Submissions accepted.
+    pub accepted: u64,
+    /// Submissions rejected with [`OverloadReason::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Submissions rejected with [`OverloadReason::ShuttingDown`].
+    pub rejected_shutdown: u64,
+    /// Submissions rejected as invalid.
+    pub rejected_invalid: u64,
+    /// Waiting jobs withdrawn by cancel commands.
+    pub cancelled: u64,
+}

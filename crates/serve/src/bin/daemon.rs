@@ -1,0 +1,279 @@
+//! The `dynp-serve` daemon: the planning core as a long-running service.
+//!
+//! ```text
+//! cargo run --release -p dynp-serve --bin daemon -- \
+//!     --machine 128 --scheduler dynp --socket /tmp/dynp.sock \
+//!     --session-log /tmp/session.swf
+//! ```
+//!
+//! Transports (newline-delimited JSON, see `dynp_serve::proto`):
+//!
+//! * `--socket PATH` — listen on a Unix domain socket; any number of
+//!   concurrent connections, one reply per request line in order;
+//! * default — read requests from stdin, write replies to stdout
+//!   (EOF drains and exits, so `loadgen | daemon` style pipes work).
+//!
+//! Shutdown is always graceful: a `{"cmd":"shutdown"}` request, SIGINT,
+//! or stdin EOF stops admissions, drains the in-flight jobs in virtual
+//! time, flushes the session log, prints a summary JSON line to stdout
+//! and exits 0.
+
+use dynp_serve::{
+    parse_request, parse_scheduler, render_reply, spawn, Command, OverloadReason, Reply, Request,
+    ServiceConfig, ServiceHandle, SubmitError,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: daemon [--machine N] [--scheduler SPEC] [--max-queue N]
+              [--speedup N] [--session-log PATH] [--socket PATH]
+
+  --machine N        machine size in processors (default 128)
+  --scheduler SPEC   FCFS|SJF|LJF|easy[:P]|dynp[:simple|:advanced|:preferred:P[:T]]
+                     (default dynp)
+  --max-queue N      bounded-queue backpressure limit (default 1024)
+  --speedup N        simulated ms per wall ms (default 1 = real time)
+  --session-log PATH record accepted submissions as a replayable SWF log
+  --socket PATH      serve NDJSON on a Unix socket (default: stdin/stdout)";
+
+struct Args {
+    config: ServiceConfig,
+    socket: Option<PathBuf>,
+}
+
+fn bail(why: &str) -> ! {
+    eprintln!("{why}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> &'a str {
+    match it.next() {
+        Some(v) => v,
+        None => bail(&format!("{flag} needs a value")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| bail(&format!("{flag} needs a number, got {raw:?}")))
+}
+
+fn parse_args() -> Args {
+    let mut machine = 128u32;
+    let mut scheduler = "dynp".to_string();
+    let mut max_queue = 1024usize;
+    let mut speedup = 1u64;
+    let mut session_log: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--machine" => machine = parse_num(next_value(&mut it, flag), flag),
+            "--scheduler" => scheduler = next_value(&mut it, flag).to_string(),
+            "--max-queue" => max_queue = parse_num(next_value(&mut it, flag), flag),
+            "--speedup" => speedup = parse_num(next_value(&mut it, flag), flag),
+            "--session-log" => session_log = Some(PathBuf::from(next_value(&mut it, flag))),
+            "--socket" => socket = Some(PathBuf::from(next_value(&mut it, flag))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => bail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let spec = parse_scheduler(&scheduler).unwrap_or_else(|why| bail(&why));
+    let mut config = ServiceConfig::new(machine, spec);
+    config.max_queue = max_queue;
+    config.speedup = speedup;
+    config.session_log = session_log;
+    Args { config, socket }
+}
+
+/// Set by the SIGINT handler; polled by the watcher thread (a signal
+/// handler may only do async-signal-safe work, and an atomic store is).
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    // POSIX signal(2); the return value (previous handler) is unused.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+fn install_sigint_handler() {
+    const SIGINT_NO: i32 = 2;
+    unsafe {
+        signal(SIGINT_NO, on_sigint);
+    }
+}
+
+/// Sends one command and waits for its reply; a closed daemon channel
+/// becomes the typed shutting-down overload.
+fn roundtrip(
+    tx: &mpsc::Sender<Command>,
+    make: impl FnOnce(mpsc::Sender<Reply>) -> Command,
+) -> String {
+    let refused = || {
+        render_reply(&Reply::Rejected(SubmitError::Overload(
+            OverloadReason::ShuttingDown,
+        )))
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if tx.send(make(reply_tx)).is_err() {
+        return refused();
+    }
+    match reply_rx.recv() {
+        Ok(reply) => render_reply(&reply),
+        Err(_) => refused(),
+    }
+}
+
+/// Handles one request line and returns the reply line.
+fn handle_line(tx: &mpsc::Sender<Command>, line: &str, done: &AtomicBool) -> String {
+    match parse_request(line) {
+        Err(why) => render_reply(&Reply::Rejected(SubmitError::Invalid(why))),
+        Ok(Request::Submit(spec)) => roundtrip(tx, |r| Command::Submit(spec, r)),
+        Ok(Request::Cancel(job)) => roundtrip(tx, |r| Command::Cancel(job, r)),
+        Ok(Request::Status) => roundtrip(tx, Command::Status),
+        Ok(Request::Shutdown) => {
+            done.store(true, Ordering::SeqCst);
+            roundtrip(tx, |r| Command::Shutdown(Some(r)))
+        }
+    }
+}
+
+/// One socket connection: request lines in, reply lines out, in order.
+fn serve_connection(stream: UnixStream, handle: ServiceHandle, done: Arc<AtomicBool>) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let tx = handle.sender();
+    let mut writer = stream;
+    for line in BufReader::new(reader).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(&tx, &line, &done);
+        if writeln!(writer, "{reply}").is_err() {
+            break;
+        }
+    }
+}
+
+fn serve_socket(path: PathBuf, handle: ServiceHandle, done: Arc<AtomicBool>) {
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    listener.set_nonblocking(true).expect("set_nonblocking");
+    eprintln!("dynp-serve: listening on {}", path.display());
+    std::thread::spawn(move || {
+        while !done.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let handle = handle.clone();
+                    let done = done.clone();
+                    std::thread::spawn(move || serve_connection(stream, handle, done));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+}
+
+fn serve_stdin(handle: ServiceHandle, done: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        let tx = handle.sender();
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = handle_line(&tx, &line, &done);
+            let mut out = std::io::stdout().lock();
+            if writeln!(out, "{reply}").and_then(|()| out.flush()).is_err() {
+                break;
+            }
+            if done.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        // EOF: the client hung up; drain and exit like a shutdown.
+        handle.shutdown();
+        done.store(true, Ordering::SeqCst);
+    });
+}
+
+fn main() {
+    let args = parse_args();
+    let socket = args.socket.clone();
+    let (handle, join) = spawn(args.config).unwrap_or_else(|e| {
+        eprintln!("cannot start daemon: {e}");
+        std::process::exit(2);
+    });
+    install_sigint_handler();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // SIGINT watcher: turns the flag into a graceful drain.
+    {
+        let handle = handle.clone();
+        let done = done.clone();
+        std::thread::spawn(move || loop {
+            if SIGINT.load(Ordering::SeqCst) {
+                handle.shutdown();
+                done.store(true, Ordering::SeqCst);
+                return;
+            }
+            if done.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    }
+
+    match socket.clone() {
+        Some(path) => serve_socket(path, handle.clone(), done.clone()),
+        None => serve_stdin(handle.clone(), done.clone()),
+    }
+    drop(handle);
+
+    // Block until the daemon drains (shutdown command, SIGINT, or EOF).
+    let report = join.join().expect("daemon thread panicked");
+    done.store(true, Ordering::SeqCst);
+    if let Some(path) = socket {
+        let _ = std::fs::remove_file(path);
+    }
+    println!(
+        "{{\"accepted\":{},\"completed\":{},\"lost\":{},\"rejected_queue_full\":{},\
+         \"rejected_shutdown\":{},\"rejected_invalid\":{},\"cancelled\":{},\"events\":{},\
+         \"sldwa\":{:.6}}}",
+        report.accepted,
+        report.run.completed.len(),
+        report.run.faults.lost,
+        report.rejected_queue_full,
+        report.rejected_shutdown,
+        report.rejected_invalid,
+        report.cancelled,
+        report.run.result.events,
+        report.run.result.metrics.sldwa,
+    );
+    // Transport threads may still be blocked in reads; exiting the
+    // process is the clean way out once the drain has finished.
+    std::process::exit(0);
+}

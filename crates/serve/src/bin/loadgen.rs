@@ -1,0 +1,611 @@
+//! Open-loop load generator for the `dynp-serve` daemon.
+//!
+//! Modeled on berserker-style generators: arrivals are scheduled by the
+//! clock, **never** by the service's responses, so a slow daemon cannot
+//! throttle its own load (the coordinated-omission trap closed-loop
+//! generators fall into). The workload is a Zipfian population of users
+//! — a few heavy hitters, a long tail — each submitting jobs from a
+//! per-user profile (width, run-time scale, overestimation factor);
+//! per-user arrivals are Poisson because the global Poisson stream is
+//! thinned by the Zipf pick (superposition), and users churn: after each
+//! submission a user departs with probability `--departure` and is
+//! replaced by a fresh profile.
+//!
+//! Workers fan the target rate out (`--rate / --workers` each), submit
+//! without waiting for verdicts, and a per-worker collector measures
+//! admission latency (submit → accept/reject roundtrip) into a
+//! log-bucketed [`LatencyHistogram`]; the per-worker histograms are
+//! merged for the report.
+//!
+//! Two transports:
+//!
+//! * default — spawn the daemon **in process** (one per `--rate` step)
+//!   and drive it over the command channel; the daemon is drained after
+//!   each step so completion/loss counts are exact;
+//! * `--connect SOCK` — drive an external daemon over its Unix socket
+//!   with NDJSON (one connection per worker); counts come from a final
+//!   `status` query, and `--shutdown-after` asks the daemon to drain.
+//!
+//! The report — sustained throughput, p50/p99/p999 admission latency,
+//! rejection rates, and `speedup = achieved_eps / target_eps` (the
+//! open-loop health ratio the perf gate tracks) — is printed to stdout
+//! and written to `--out` (committed as `BENCH_service.json`).
+
+use dynp_des::SimDuration;
+use dynp_metrics::LatencyHistogram;
+use dynp_obs::parse::Json;
+use dynp_serve::{
+    parse_scheduler, spawn, Command, OverloadReason, Reply, ServiceConfig, SubmitError, SubmitSpec,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: loadgen [--rate R1[,R2,…]] [--duration SECS] [--workers N]
+               [--users N] [--zipf S] [--departure P] [--seed N]
+               [--machine N] [--scheduler SPEC] [--max-queue N]
+               [--speedup N] [--session-log PATH] [--out PATH]
+               [--connect SOCK] [--shutdown-after]
+
+  --rate R1[,R2,…]   target submissions/sec, one report row per rate
+                     (default 100,200)
+  --duration SECS    open-loop send window per rate (default 3)
+  --workers N        sender threads sharing the rate (default 4)
+  --users N          Zipfian user population (default 100)
+  --zipf S           Zipf exponent (default 1.1)
+  --departure P      per-submission user churn probability (default 0.02)
+  --seed N           workload seed (default 24301)
+  --machine N        in-process daemon: machine size (default 128)
+  --scheduler SPEC   in-process daemon: scheduler recipe (default dynp)
+  --max-queue N      in-process daemon: queue bound (default 512)
+  --speedup N        in-process daemon: sim ms per wall ms (default 2000)
+  --session-log PATH in-process daemon: record the first rate's session
+  --out PATH         write the JSON report here (e.g. BENCH_service.json)
+  --connect SOCK     drive an external daemon over its Unix socket
+  --shutdown-after   with --connect: ask the daemon to drain at the end";
+
+struct Args {
+    rates: Vec<f64>,
+    duration: f64,
+    workers: usize,
+    users: usize,
+    zipf: f64,
+    departure: f64,
+    seed: u64,
+    machine: u32,
+    scheduler: String,
+    max_queue: usize,
+    speedup: u64,
+    session_log: Option<PathBuf>,
+    out: Option<PathBuf>,
+    connect: Option<PathBuf>,
+    shutdown_after: bool,
+}
+
+fn bail(why: &str) -> ! {
+    eprintln!("{why}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> &'a str {
+    match it.next() {
+        Some(v) => v,
+        None => bail(&format!("{flag} needs a value")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| bail(&format!("{flag} needs a number, got {raw:?}")))
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rates: vec![100.0, 200.0],
+        duration: 3.0,
+        workers: 4,
+        users: 100,
+        zipf: 1.1,
+        departure: 0.02,
+        seed: 24301,
+        machine: 128,
+        scheduler: "dynp".to_string(),
+        max_queue: 512,
+        speedup: 2000,
+        session_log: None,
+        out: None,
+        connect: None,
+        shutdown_after: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--rate" => {
+                args.rates = next_value(&mut it, flag)
+                    .split(',')
+                    .map(|r| parse_num(r, flag))
+                    .collect();
+            }
+            "--duration" => args.duration = parse_num(next_value(&mut it, flag), flag),
+            "--workers" => args.workers = parse_num(next_value(&mut it, flag), flag),
+            "--users" => args.users = parse_num(next_value(&mut it, flag), flag),
+            "--zipf" => args.zipf = parse_num(next_value(&mut it, flag), flag),
+            "--departure" => args.departure = parse_num(next_value(&mut it, flag), flag),
+            "--seed" => args.seed = parse_num(next_value(&mut it, flag), flag),
+            "--machine" => args.machine = parse_num(next_value(&mut it, flag), flag),
+            "--scheduler" => args.scheduler = next_value(&mut it, flag).to_string(),
+            "--max-queue" => args.max_queue = parse_num(next_value(&mut it, flag), flag),
+            "--speedup" => args.speedup = parse_num(next_value(&mut it, flag), flag),
+            "--session-log" => args.session_log = Some(PathBuf::from(next_value(&mut it, flag))),
+            "--out" => args.out = Some(PathBuf::from(next_value(&mut it, flag))),
+            "--connect" => args.connect = Some(PathBuf::from(next_value(&mut it, flag))),
+            "--shutdown-after" => args.shutdown_after = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => bail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if args.rates.is_empty() || args.rates.iter().any(|r| *r <= 0.0) {
+        bail("--rate needs positive rates");
+    }
+    if args.workers == 0 || args.users == 0 {
+        bail("--workers and --users must be at least 1");
+    }
+    args
+}
+
+/// Normalized Zipf CDF over ranks `1..=users` with exponent `s`.
+fn zipf_cdf(users: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = (1..=users)
+        .map(|k| {
+            acc += 1.0 / (k as f64).powf(s);
+            acc
+        })
+        .collect();
+    for v in &mut cdf {
+        *v /= acc;
+    }
+    cdf
+}
+
+fn pick_user(cdf: &[f64], rng: &mut StdRng) -> u32 {
+    let u: f64 = rng.gen();
+    cdf.partition_point(|&c| c <= u).min(cdf.len() - 1) as u32
+}
+
+/// What a user's jobs look like. Deterministic in (seed, user,
+/// generation): a departing user's replacement rolls a fresh profile by
+/// bumping the generation.
+#[derive(Clone, Copy)]
+struct Profile {
+    width: u32,
+    mean_ms: f64,
+    overestimate: f64,
+}
+
+fn profile(seed: u64, user: u32, generation: u64, machine: u32) -> Profile {
+    let mix = seed ^ ((user as u64) << 24) ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(mix);
+    Profile {
+        // Powers of two from 1 to 16, capped at the machine.
+        width: (1u32 << rng.gen_range_u64(0, 5)).min(machine),
+        // Mean run time 30–300 simulated seconds.
+        mean_ms: 30_000.0 + rng.gen::<f64>() * 270_000.0,
+        // Users over-request by 1.2–3×, like real SWF traces.
+        overestimate: 1.2 + rng.gen::<f64>() * 1.8,
+    }
+}
+
+fn sample_spec(p: Profile, user: u32, rng: &mut StdRng) -> SubmitSpec {
+    let exp = Exp::new(1.0 / p.mean_ms).expect("positive rate");
+    let actual_ms = exp.sample(rng).clamp(1_000.0, 3_600_000.0) as u64;
+    let estimate_ms = (actual_ms as f64 * p.overestimate) as u64;
+    SubmitSpec {
+        width: p.width,
+        estimate: SimDuration::from_millis(estimate_ms),
+        actual: SimDuration::from_millis(actual_ms),
+        user,
+    }
+}
+
+/// Everything a sender thread needs to generate its share of the load.
+#[derive(Clone)]
+struct GenParams {
+    seed: u64,
+    rate_per_worker: f64,
+    duration: f64,
+    zipf: Arc<Vec<f64>>,
+    departure: f64,
+    machine: u32,
+}
+
+/// One submission the sender hands its collector: the send instant plus
+/// whatever the collector needs to wait for the verdict.
+struct InFlight<T> {
+    sent_at: Instant,
+    wait: T,
+}
+
+/// Collector-side tallies for one worker.
+#[derive(Default)]
+struct WorkerStats {
+    accepted: u64,
+    rejected_queue_full: u64,
+    rejected_shutdown: u64,
+    rejected_invalid: u64,
+    hist: LatencyHistogram,
+}
+
+impl WorkerStats {
+    fn absorb(&mut self, other: &WorkerStats) {
+        self.accepted += other.accepted;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.rejected_shutdown += other.rejected_shutdown;
+        self.rejected_invalid += other.rejected_invalid;
+        self.hist.merge(&other.hist);
+    }
+}
+
+/// The open-loop send schedule, shared by both transports: sleeps out
+/// exponential gaps and calls `submit` once per arrival until the window
+/// closes. Returns the number of submissions sent.
+fn send_loop(params: &GenParams, worker: usize, mut submit: impl FnMut(SubmitSpec) -> bool) -> u64 {
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(worker as u64 * 0x9E37));
+    let inter = Exp::new(params.rate_per_worker).expect("positive rate");
+    let mut generations: HashMap<u32, u64> = HashMap::new();
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs_f64(params.duration);
+    let mut next_at = 0.0f64;
+    let mut sent = 0u64;
+    loop {
+        next_at += inter.sample(&mut rng);
+        let target = start + Duration::from_secs_f64(next_at);
+        if target >= deadline {
+            return sent;
+        }
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let user = pick_user(&params.zipf, &mut rng);
+        let generation = generations.entry(user).or_insert(0);
+        let p = profile(params.seed, user, *generation, params.machine);
+        if !submit(sample_spec(p, user, &mut rng)) {
+            return sent;
+        }
+        sent += 1;
+        if rng.gen_bool(params.departure) {
+            *generation += 1;
+        }
+    }
+}
+
+/// One report row: the outcome of one rate step.
+struct Row {
+    target_eps: f64,
+    achieved_eps: f64,
+    sent: u64,
+    stats: WorkerStats,
+    completed: u64,
+    lost: u64,
+}
+
+impl Row {
+    fn render(&self) -> String {
+        let s = &self.stats;
+        let h = &s.hist;
+        format!(
+            "{{\"target_eps\": {}, \"achieved_eps\": {}, \"sent\": {}, \"accepted\": {}, \
+             \"rejected_queue_full\": {}, \"rejected_shutdown\": {}, \"rejected_invalid\": {}, \
+             \"completed\": {}, \"lost\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+             \"max_us\": {}, \"mean_us\": {}, \"speedup\": {}}}",
+            self.target_eps,
+            self.achieved_eps,
+            self.sent,
+            s.accepted,
+            s.rejected_queue_full,
+            s.rejected_shutdown,
+            s.rejected_invalid,
+            self.completed,
+            self.lost,
+            h.p50(),
+            h.p99(),
+            h.p999(),
+            h.max(),
+            h.mean(),
+            self.achieved_eps / self.target_eps,
+        )
+    }
+}
+
+/// Runs one rate step against an in-process daemon, draining it at the
+/// end so completion and loss counts are exact.
+fn run_inproc(args: &Args, rate: f64, session_log: Option<PathBuf>) -> Row {
+    let spec = parse_scheduler(&args.scheduler).unwrap_or_else(|why| bail(&why));
+    let mut config = ServiceConfig::new(args.machine, spec);
+    config.max_queue = args.max_queue;
+    config.speedup = args.speedup;
+    config.session_log = session_log;
+    let (handle, join) = spawn(config).unwrap_or_else(|e| {
+        eprintln!("cannot start daemon: {e}");
+        std::process::exit(2);
+    });
+
+    let params = GenParams {
+        seed: args.seed,
+        rate_per_worker: rate / args.workers as f64,
+        duration: args.duration,
+        zipf: Arc::new(zipf_cdf(args.users, args.zipf)),
+        departure: args.departure,
+        machine: args.machine,
+    };
+    let start = Instant::now();
+    let mut senders = Vec::new();
+    let mut collectors = Vec::new();
+    for worker in 0..args.workers {
+        let (pending_tx, pending_rx) = mpsc::channel::<InFlight<mpsc::Receiver<Reply>>>();
+        collectors.push(std::thread::spawn(move || {
+            let mut stats = WorkerStats::default();
+            while let Ok(inflight) = pending_rx.recv() {
+                let reply = inflight.wait.recv();
+                stats
+                    .hist
+                    .record(inflight.sent_at.elapsed().as_micros() as u64);
+                match reply {
+                    Ok(Reply::Accepted(_)) => stats.accepted += 1,
+                    Ok(Reply::Rejected(SubmitError::Overload(OverloadReason::QueueFull))) => {
+                        stats.rejected_queue_full += 1
+                    }
+                    Ok(Reply::Rejected(SubmitError::Invalid(_))) => stats.rejected_invalid += 1,
+                    // A dropped reply channel means the daemon exited
+                    // under us — count it with the shutdown refusals.
+                    Ok(_) | Err(_) => stats.rejected_shutdown += 1,
+                }
+            }
+            stats
+        }));
+        let params = params.clone();
+        let tx = handle.sender();
+        senders.push(std::thread::spawn(move || {
+            send_loop(&params, worker, |spec| {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let sent_at = Instant::now();
+                if tx.send(Command::Submit(spec, reply_tx)).is_err() {
+                    return false;
+                }
+                pending_tx
+                    .send(InFlight {
+                        sent_at,
+                        wait: reply_rx,
+                    })
+                    .is_ok()
+            })
+        }));
+    }
+    let sent: u64 = senders.into_iter().map(|h| h.join().unwrap()).sum();
+    let send_elapsed = start.elapsed().as_secs_f64();
+    let mut stats = WorkerStats::default();
+    for c in collectors {
+        stats.absorb(&c.join().unwrap());
+    }
+    handle.shutdown();
+    drop(handle);
+    let report = join.join().expect("daemon thread panicked");
+    Row {
+        target_eps: rate,
+        achieved_eps: sent as f64 / send_elapsed,
+        sent,
+        stats,
+        completed: report.run.completed.len() as u64,
+        lost: report.run.faults.lost,
+    }
+}
+
+fn render_submit(spec: &SubmitSpec) -> String {
+    format!(
+        "{{\"cmd\":\"submit\",\"width\":{},\"estimate_ms\":{},\"actual_ms\":{},\"user\":{}}}",
+        spec.width,
+        spec.estimate.as_millis(),
+        spec.actual.as_millis(),
+        spec.user
+    )
+}
+
+fn classify_reply(line: &str, stats: &mut WorkerStats) {
+    let Ok(json) = Json::parse(line) else {
+        stats.rejected_invalid += 1;
+        return;
+    };
+    if json.get("job").is_some() {
+        stats.accepted += 1;
+        return;
+    }
+    match json.get("reason").and_then(Json::as_str) {
+        Some("queue_full") => stats.rejected_queue_full += 1,
+        Some("shutting_down") => stats.rejected_shutdown += 1,
+        _ => stats.rejected_invalid += 1,
+    }
+}
+
+/// One request/one reply over a fresh connection (status, shutdown).
+fn socket_roundtrip(path: &std::path::Path, request: &str) -> Option<String> {
+    let mut stream = UnixStream::connect(path).ok()?;
+    writeln!(stream, "{request}").ok()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).ok()?;
+    Some(line)
+}
+
+/// Runs one rate step against an external daemon over its Unix socket,
+/// one connection per worker.
+fn run_socket(args: &Args, rate: f64, path: &std::path::Path) -> Row {
+    let params = GenParams {
+        seed: args.seed,
+        rate_per_worker: rate / args.workers as f64,
+        duration: args.duration,
+        zipf: Arc::new(zipf_cdf(args.users, args.zipf)),
+        departure: args.departure,
+        machine: args.machine,
+    };
+    let start = Instant::now();
+    let mut senders = Vec::new();
+    let mut readers = Vec::new();
+    for worker in 0..args.workers {
+        let stream = UnixStream::connect(path).unwrap_or_else(|e| {
+            eprintln!("cannot connect to {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let read_half = stream.try_clone().expect("clone socket");
+        let (pending_tx, pending_rx) = mpsc::channel::<InFlight<()>>();
+        readers.push(std::thread::spawn(move || {
+            let mut stats = WorkerStats::default();
+            for line in BufReader::new(read_half).lines() {
+                let Ok(line) = line else { break };
+                let Ok(inflight) = pending_rx.recv() else {
+                    break;
+                };
+                stats
+                    .hist
+                    .record(inflight.sent_at.elapsed().as_micros() as u64);
+                classify_reply(&line, &mut stats);
+            }
+            stats
+        }));
+        let params = params.clone();
+        let mut stream = stream;
+        senders.push(std::thread::spawn(move || {
+            let sent = send_loop(&params, worker, |spec| {
+                let sent_at = Instant::now();
+                if pending_tx.send(InFlight { sent_at, wait: () }).is_err() {
+                    return false;
+                }
+                writeln!(stream, "{}", render_submit(&spec)).is_ok()
+            });
+            // Half-close so the daemon answers everything then hangs up,
+            // which ends the reader at exactly the last reply.
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            sent
+        }));
+    }
+    let sent: u64 = senders.into_iter().map(|h| h.join().unwrap()).sum();
+    let send_elapsed = start.elapsed().as_secs_f64();
+    let mut stats = WorkerStats::default();
+    for r in readers {
+        stats.absorb(&r.join().unwrap());
+    }
+    // Completion counts from the daemon itself (jobs may still be
+    // running — the external daemon's lifetime is not ours to drain).
+    let (mut completed, mut lost) = (0, 0);
+    if let Some(line) = socket_roundtrip(path, "{\"cmd\":\"status\"}") {
+        if let Ok(json) = Json::parse(line.trim()) {
+            completed = json.get("completed").and_then(Json::as_u64).unwrap_or(0);
+            lost = json.get("lost").and_then(Json::as_u64).unwrap_or(0);
+        }
+    }
+    if args.shutdown_after {
+        let _ = socket_roundtrip(path, "{\"cmd\":\"shutdown\"}");
+    }
+    Row {
+        target_eps: rate,
+        achieved_eps: sent as f64 / send_elapsed,
+        sent,
+        stats,
+        completed,
+        lost,
+    }
+}
+
+fn render_report(args: &Args, scheduler_name: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"report\": \"service\",\n");
+    out.push_str(&format!("  \"scheduler\": \"{scheduler_name}\",\n"));
+    out.push_str(&format!("  \"machine\": {},\n", args.machine));
+    out.push_str(&format!("  \"workers\": {},\n", args.workers));
+    out.push_str(&format!("  \"users\": {},\n", args.users));
+    out.push_str(&format!("  \"zipf_s\": {},\n", args.zipf));
+    out.push_str(&format!("  \"duration_secs\": {},\n", args.duration));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(
+        "  \"unit\": \"admission latency in wall microseconds; \
+         speedup = achieved_eps / target_eps (open-loop health)\",\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!("    {}{comma}\n", row.render()));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let scheduler_name = parse_scheduler(&args.scheduler)
+        .unwrap_or_else(|why| bail(&why))
+        .name();
+    let mut rows = Vec::new();
+    match &args.connect {
+        Some(path) => {
+            for &rate in &args.rates {
+                rows.push(run_socket(&args, rate, path));
+            }
+        }
+        None => {
+            for (i, &rate) in args.rates.iter().enumerate() {
+                let log = if i == 0 {
+                    args.session_log.clone()
+                } else {
+                    None
+                };
+                rows.push(run_inproc(&args, rate, log));
+            }
+        }
+    }
+    for row in &rows {
+        let s = &row.stats;
+        eprintln!(
+            "rate {:.0}/s: sent {} ({:.1}/s achieved), accepted {}, overloaded {}, \
+             invalid {}, completed {}, lost {} — admission p50 {}µs p99 {}µs p999 {}µs",
+            row.target_eps,
+            row.sent,
+            row.achieved_eps,
+            s.accepted,
+            s.rejected_queue_full + s.rejected_shutdown,
+            s.rejected_invalid,
+            row.completed,
+            row.lost,
+            s.hist.p50(),
+            s.hist.p99(),
+            s.hist.p999(),
+        );
+    }
+    let report = render_report(&args, &scheduler_name, &rows);
+    print!("{report}");
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &report) {
+            eprintln!("cannot write {}: {e}", out.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {}", out.display());
+    }
+    let healthy = rows
+        .iter()
+        .all(|r| r.stats.accepted > 0 && r.lost == 0 && r.sent > 0);
+    if !healthy {
+        eprintln!("loadgen: unhealthy run (no accepted submissions or lost jobs)");
+        std::process::exit(1);
+    }
+}

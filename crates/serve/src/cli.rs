@@ -1,0 +1,69 @@
+//! Command-line helpers shared by the `daemon` and `loadgen` bins.
+
+use dynp_core::DeciderKind;
+use dynp_rms::Policy;
+use dynp_sim::SchedulerSpec;
+
+/// Parses a scheduler recipe from its command-line spelling — the same
+/// syntax the batch `sweep` bin accepts:
+///
+/// | spec                          | meaning                                |
+/// |-------------------------------|----------------------------------------|
+/// | `FCFS` / `SJF` / `LJF` / …    | static policy (planning)               |
+/// | `easy` / `easy:SJF`           | EASY backfilling (queue order)         |
+/// | `dynp` / `dynp:advanced`      | dynP with the advanced decider         |
+/// | `dynp:simple`                 | dynP with the simple decider           |
+/// | `dynp:preferred:SJF`          | dynP, SJF-preferred decider            |
+/// | `dynp:preferred:SJF:0.05`     | …with a 5 % threshold                  |
+pub fn parse_scheduler(spec: &str) -> Result<SchedulerSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        [p] if Policy::parse(p).is_some() => Ok(SchedulerSpec::Static(Policy::parse(p).unwrap())),
+        ["easy"] => Ok(SchedulerSpec::Easy(Policy::Fcfs)),
+        ["easy", p] => Policy::parse(p)
+            .map(SchedulerSpec::Easy)
+            .ok_or_else(|| format!("unknown policy {p:?}")),
+        ["dynp"] | ["dynp", "advanced"] => Ok(SchedulerSpec::dynp(DeciderKind::Advanced)),
+        ["dynp", "simple"] => Ok(SchedulerSpec::dynp(DeciderKind::Simple)),
+        ["dynp", "preferred", p] => Policy::parse(p)
+            .map(|policy| {
+                SchedulerSpec::dynp(DeciderKind::Preferred {
+                    policy,
+                    threshold: 0.0,
+                })
+            })
+            .ok_or_else(|| format!("unknown policy {p:?}")),
+        ["dynp", "preferred", p, th] => {
+            let policy = Policy::parse(p).ok_or_else(|| format!("unknown policy {p:?}"))?;
+            let threshold: f64 = th.parse().map_err(|_| format!("bad threshold {th:?}"))?;
+            Ok(SchedulerSpec::dynp(DeciderKind::Preferred {
+                policy,
+                threshold,
+            }))
+        }
+        _ => Err(format!("unrecognized scheduler spec {spec:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizes_the_lineup() {
+        assert_eq!(parse_scheduler("FCFS").unwrap().name(), "FCFS");
+        assert_eq!(parse_scheduler("easy").unwrap().name(), "EASY");
+        assert_eq!(parse_scheduler("easy:SJF").unwrap().name(), "EASY[SJF]");
+        assert_eq!(parse_scheduler("dynp").unwrap().name(), "dynP[advanced]");
+        assert_eq!(
+            parse_scheduler("dynp:simple").unwrap().name(),
+            "dynP[simple]"
+        );
+        assert_eq!(
+            parse_scheduler("dynp:preferred:SJF").unwrap().name(),
+            "dynP[SJF-preferred]"
+        );
+        assert!(parse_scheduler("round-robin").is_err());
+        assert!(parse_scheduler("dynp:preferred:XYZ").is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! The service daemon: the batch driver's [`ShardCore`] on a wall clock.
+//!
+//! [`spawn`] starts one daemon thread that owns the whole scheduling
+//! state — `RmsState`, the self-tuning scheduler, the session log — and
+//! multiplexes two event sources through a
+//! [`WallClockSource`]: its own timers (job completions, scheduled by
+//! the driver exactly as in simulation) and external [`Command`]s from
+//! any number of clients. Every event goes through the *same*
+//! [`ShardCore::handle`] the batch simulator runs, which is the whole
+//! digital-twin argument: nothing in the scheduling path knows whether
+//! the clock is real.
+//!
+//! Shutdown drains rather than aborts: the wall source stops sleeping
+//! and fast-forwards the remaining completions in virtual time, the
+//! session log and reply channels are flushed, and the core's
+//! end-of-run invariants (job conservation, idle machine) are asserted
+//! exactly as after a batch run.
+
+use crate::api::{
+    Command, OverloadReason, Reply, ServiceConfig, ServiceReport, ServiceStatus, SubmitError,
+    SubmitSpec, Ticket,
+};
+use crate::session::SessionLog;
+use dynp_des::{EventClock, Tick, WallClockSource};
+use dynp_rms::AdmissionConfig;
+use dynp_sim::shard::{Event, ShardCore};
+use dynp_workload::{FaultPlan, Job, JobId};
+use std::io;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A cheaply cloneable client handle to a running daemon.
+///
+/// The synchronous helpers create a private reply channel per call; for
+/// open-loop load generation use [`ServiceHandle::sender`] and pair each
+/// command with your own reply receiver so requests never wait on each
+/// other.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    tx: Sender<Command>,
+}
+
+impl ServiceHandle {
+    /// The raw command sender (for asynchronous clients).
+    pub fn sender(&self) -> Sender<Command> {
+        self.tx.clone()
+    }
+
+    /// Submits a job and waits for the verdict.
+    pub fn submit(&self, spec: SubmitSpec) -> Result<Ticket, SubmitError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if self.tx.send(Command::Submit(spec, reply_tx)).is_err() {
+            return Err(SubmitError::Overload(OverloadReason::ShuttingDown));
+        }
+        match reply_rx.recv() {
+            Ok(Reply::Accepted(t)) => Ok(t),
+            Ok(Reply::Rejected(e)) => Err(e),
+            _ => Err(SubmitError::Overload(OverloadReason::ShuttingDown)),
+        }
+    }
+
+    /// Cancels a waiting job; true if it was withdrawn.
+    pub fn cancel(&self, job: u32) -> bool {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if self.tx.send(Command::Cancel(job, reply_tx)).is_err() {
+            return false;
+        }
+        matches!(reply_rx.recv(), Ok(Reply::Cancelled { found: true, .. }))
+    }
+
+    /// Queries the service state (None once the daemon has exited).
+    pub fn status(&self) -> Option<ServiceStatus> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx.send(Command::Status(reply_tx)).ok()?;
+        match reply_rx.recv() {
+            Ok(Reply::Status(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Requests graceful shutdown and returns immediately; join the
+    /// handle returned by [`spawn`] to wait for the drained report.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(Command::Shutdown(None));
+    }
+}
+
+/// Starts the daemon thread. Returns the client handle and the join
+/// handle yielding the end-of-session [`ServiceReport`]; the daemon
+/// exits when a shutdown command arrives or every [`ServiceHandle`]
+/// clone (and raw sender) is dropped.
+pub fn spawn(config: ServiceConfig) -> io::Result<(ServiceHandle, JoinHandle<ServiceReport>)> {
+    let (tx, rx) = mpsc::channel();
+    let session = match &config.session_log {
+        Some(path) => Some(SessionLog::create(
+            path,
+            config.machine_size,
+            &config.scheduler.name(),
+            config.speedup,
+        )?),
+        None => None,
+    };
+    let join = std::thread::Builder::new()
+        .name("dynp-serve".into())
+        .spawn(move || run_daemon(config, rx, session))?;
+    Ok((ServiceHandle { tx }, join))
+}
+
+/// The daemon state that isn't the shard core: counters and the log.
+struct Service {
+    config: ServiceConfig,
+    session: Option<SessionLog>,
+    jobs: Vec<Job>,
+    accepted: u64,
+    rejected_queue_full: u64,
+    rejected_shutdown: u64,
+    rejected_invalid: u64,
+    cancelled: u64,
+    draining: bool,
+}
+
+impl Service {
+    fn validate(&self, spec: &SubmitSpec) -> Result<(), String> {
+        if spec.width == 0 {
+            return Err("width must be at least 1".into());
+        }
+        if spec.width > self.config.machine_size {
+            return Err(format!(
+                "width {} exceeds machine size {}",
+                spec.width, self.config.machine_size
+            ));
+        }
+        Ok(())
+    }
+
+    fn status(&self, core: &ShardCore, now: dynp_des::SimTime) -> ServiceStatus {
+        let state = core.state();
+        ServiceStatus {
+            now,
+            waiting: state.waiting().len(),
+            running: state.running().len(),
+            completed: state.completed().len(),
+            lost: state.lost().len(),
+            accepted: self.accepted,
+            rejected: self.rejected_queue_full + self.rejected_shutdown + self.rejected_invalid,
+            free_processors: state.free_processors(),
+            machine_size: state.machine_size(),
+            draining: self.draining,
+        }
+    }
+}
+
+fn run_daemon(
+    config: ServiceConfig,
+    rx: Receiver<Command>,
+    session: Option<SessionLog>,
+) -> ServiceReport {
+    let faults = FaultPlan::none();
+    let mut scheduler = config.scheduler.build();
+    scheduler.set_tracer(config.tracer.clone());
+    let mut src: WallClockSource<Event, Command> = WallClockSource::new(rx, config.speedup);
+    let mut core = ShardCore::new(
+        config.machine_size,
+        AdmissionConfig::default(),
+        0,
+        faults.retry,
+        dynp_des::SimTime::ZERO,
+        config.tracer.clone(),
+        0,
+    );
+    let mut svc = Service {
+        config,
+        session,
+        jobs: Vec::new(),
+        accepted: 0,
+        rejected_queue_full: 0,
+        rejected_shutdown: 0,
+        rejected_invalid: 0,
+        cancelled: 0,
+        draining: false,
+    };
+
+    while let Some(tick) = src.next_tick() {
+        match tick {
+            Tick::Timer(event) => {
+                core.handle(&mut src, event, &mut *scheduler, &svc.jobs, &[], &faults);
+            }
+            Tick::External(cmd) => {
+                handle_command(&mut svc, &mut core, &mut src, &mut *scheduler, &faults, cmd)
+            }
+        }
+    }
+    // Clients that raced the drain get a typed refusal instead of a
+    // dropped channel.
+    for cmd in src.drain_externals() {
+        refuse(&mut svc, &core, &src, cmd);
+    }
+    if let Some(log) = svc.session.as_mut() {
+        let _ = log.flush();
+    }
+    let expected = (svc.accepted - svc.cancelled) as usize;
+    let run = core.finish(
+        &src,
+        scheduler.name(),
+        "service".to_string(),
+        &faults,
+        Some(expected),
+    );
+    ServiceReport {
+        run,
+        accepted: svc.accepted,
+        rejected_queue_full: svc.rejected_queue_full,
+        rejected_shutdown: svc.rejected_shutdown,
+        rejected_invalid: svc.rejected_invalid,
+        cancelled: svc.cancelled,
+    }
+}
+
+fn handle_command(
+    svc: &mut Service,
+    core: &mut ShardCore,
+    src: &mut WallClockSource<Event, Command>,
+    scheduler: &mut dyn dynp_rms::Scheduler,
+    faults: &FaultPlan,
+    cmd: Command,
+) {
+    match cmd {
+        Command::Submit(spec, reply) => {
+            let verdict = admit(svc, core, src, scheduler, faults, spec);
+            let _ = reply.send(match verdict {
+                Ok(t) => Reply::Accepted(t),
+                Err(e) => Reply::Rejected(e),
+            });
+        }
+        Command::Cancel(job, reply) => {
+            let found = match core.cancel_waiting(JobId(job)) {
+                Some(_) => {
+                    svc.cancelled += 1;
+                    if let Some(log) = svc.session.as_mut() {
+                        let _ = log.record_cancel(job, src.now());
+                    }
+                    true
+                }
+                None => false,
+            };
+            let _ = reply.send(Reply::Cancelled { job, found });
+        }
+        Command::Status(reply) => {
+            let _ = reply.send(Reply::Status(svc.status(core, src.now())));
+        }
+        Command::Shutdown(reply) => {
+            svc.draining = true;
+            src.begin_drain();
+            if let Some(reply) = reply {
+                let _ = reply.send(Reply::Draining);
+            }
+        }
+    }
+}
+
+/// The admission path: validate, apply backpressure, stamp, log, and
+/// run the arrival through the shared driver.
+fn admit(
+    svc: &mut Service,
+    core: &mut ShardCore,
+    src: &mut WallClockSource<Event, Command>,
+    scheduler: &mut dyn dynp_rms::Scheduler,
+    faults: &FaultPlan,
+    spec: SubmitSpec,
+) -> Result<Ticket, SubmitError> {
+    if svc.draining {
+        svc.rejected_shutdown += 1;
+        return Err(SubmitError::Overload(OverloadReason::ShuttingDown));
+    }
+    if let Err(why) = svc.validate(&spec) {
+        svc.rejected_invalid += 1;
+        return Err(SubmitError::Invalid(why));
+    }
+    if core.state().waiting().len() >= svc.config.max_queue {
+        svc.rejected_queue_full += 1;
+        return Err(SubmitError::Overload(OverloadReason::QueueFull));
+    }
+    let now = src.now();
+    let id = JobId(svc.jobs.len() as u32);
+    let job = Job::new(id, now, spec.width, spec.estimate, spec.actual);
+    svc.jobs.push(job);
+    core.ensure_jobs(svc.jobs.len());
+    if let Some(log) = svc.session.as_mut() {
+        let _ = log.record(&job);
+    }
+    core.handle(src, Event::Arrive(id), scheduler, &svc.jobs, &[], faults);
+    svc.accepted += 1;
+    Ok(Ticket {
+        job: id.0,
+        admitted_at: now,
+    })
+}
+
+/// Answers a command that arrived after the drain finished.
+fn refuse(
+    svc: &mut Service,
+    core: &ShardCore,
+    src: &WallClockSource<Event, Command>,
+    cmd: Command,
+) {
+    match cmd {
+        Command::Submit(_, reply) => {
+            svc.rejected_shutdown += 1;
+            let _ = reply.send(Reply::Rejected(SubmitError::Overload(
+                OverloadReason::ShuttingDown,
+            )));
+        }
+        Command::Cancel(job, reply) => {
+            let _ = reply.send(Reply::Cancelled { job, found: false });
+        }
+        Command::Status(reply) => {
+            let _ = reply.send(Reply::Status(svc.status(core, src.now())));
+        }
+        Command::Shutdown(reply) => {
+            if let Some(reply) = reply {
+                let _ = reply.send(Reply::Draining);
+            }
+        }
+    }
+}

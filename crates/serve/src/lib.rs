@@ -1,0 +1,172 @@
+//! # dynp-serve — real-time service mode
+//!
+//! Everything built below this crate runs under the batch DES driver;
+//! this crate runs the *same* planning core as a long-running daemon
+//! serving live traffic, making the simulator a digital twin of the
+//! service (and vice versa):
+//!
+//! * [`daemon`] — the daemon thread: `RmsState` + self-tuning scheduler
+//!   behind a [`dynp_des::WallClockSource`], a typed submission/query/
+//!   cancel API with bounded-queue backpressure, graceful drain on
+//!   shutdown;
+//! * [`api`] — the command/reply types shared by the in-process channel
+//!   API and the wire protocol;
+//! * [`proto`] — the newline-delimited JSON codec (Unix socket or
+//!   stdin transport, see the `daemon` bin);
+//! * [`session`] — SWF session logs: every accepted submission is
+//!   recorded so a live run replays bit-identically through
+//!   [`dynp_sim::simulate_chaos`] (the record/replay guarantee; see
+//!   DESIGN.md §12 for why the stamp discipline makes this exact).
+//!
+//! The `loadgen` bin drives a daemon with an open-loop workload —
+//! Zipfian user population, Poisson arrivals, multi-worker fan-out — and
+//! reports sustained throughput and admission-latency percentiles
+//! (p50/p99/p999) into `BENCH_service.json`.
+
+pub mod api;
+pub mod cli;
+pub mod daemon;
+pub mod proto;
+pub mod session;
+
+pub use api::{
+    Command, OverloadReason, Reply, ServiceConfig, ServiceReport, ServiceStatus, SubmitError,
+    SubmitSpec, Ticket,
+};
+pub use cli::parse_scheduler;
+pub use daemon::{spawn, ServiceHandle};
+pub use proto::{parse_request, render_reply, Request};
+pub use session::{replay_session, session_machine_size, ReplayError, SessionLog};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_des::SimDuration;
+    use dynp_rms::Policy;
+    use dynp_sim::SchedulerSpec;
+
+    fn config() -> ServiceConfig {
+        let mut c = ServiceConfig::new(8, SchedulerSpec::Static(Policy::Fcfs));
+        c.speedup = 1000; // sim seconds in wall milliseconds
+        c
+    }
+
+    fn spec(width: u32, secs: u64) -> SubmitSpec {
+        SubmitSpec {
+            width,
+            estimate: SimDuration::from_secs(secs),
+            actual: SimDuration::from_secs(secs),
+            user: 0,
+        }
+    }
+
+    #[test]
+    fn submissions_run_to_completion() {
+        let (handle, join) = spawn(config()).unwrap();
+        let t0 = handle.submit(spec(4, 2)).unwrap();
+        let t1 = handle.submit(spec(4, 1)).unwrap();
+        assert_eq!(t0.job, 0);
+        assert_eq!(t1.job, 1);
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.run.completed.len(), 2);
+        assert_eq!(report.run.faults.lost, 0);
+    }
+
+    #[test]
+    fn invalid_submissions_are_typed() {
+        let (handle, join) = spawn(config()).unwrap();
+        match handle.submit(spec(0, 1)) {
+            Err(SubmitError::Invalid(why)) => assert!(why.contains("width")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        match handle.submit(spec(9, 1)) {
+            Err(SubmitError::Invalid(why)) => assert!(why.contains("machine")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert_eq!(report.rejected_invalid, 2);
+        assert_eq!(report.accepted, 0);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_queue_full() {
+        let mut c = config();
+        c.max_queue = 2;
+        let (handle, join) = spawn(c).unwrap();
+        // The machine holds one 8-wide job; the rest wait. Queue bound 2
+        // admits 3 in total (1 running + 2 waiting), then overloads.
+        let mut accepted = 0u32;
+        let mut overloaded = 0u32;
+        for _ in 0..6 {
+            match handle.submit(spec(8, 30)) {
+                Ok(_) => accepted += 1,
+                Err(SubmitError::Overload(OverloadReason::QueueFull)) => overloaded += 1,
+                other => panic!("unexpected verdict: {other:?}"),
+            }
+        }
+        assert_eq!(accepted, 3);
+        assert_eq!(overloaded, 3);
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert_eq!(report.rejected_queue_full, 3);
+        assert_eq!(report.run.completed.len(), 3);
+    }
+
+    #[test]
+    fn status_reports_live_state() {
+        let (handle, join) = spawn(config()).unwrap();
+        handle.submit(spec(8, 60)).unwrap();
+        handle.submit(spec(8, 60)).unwrap();
+        let status = handle.status().unwrap();
+        assert_eq!(status.machine_size, 8);
+        assert_eq!(status.running, 1);
+        assert_eq!(status.waiting, 1);
+        assert_eq!(status.accepted, 2);
+        assert!(!status.draining);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn cancel_withdraws_waiting_jobs_only() {
+        let (handle, join) = spawn(config()).unwrap();
+        let running = handle.submit(spec(8, 60)).unwrap();
+        let waiting = handle.submit(spec(8, 60)).unwrap();
+        assert!(!handle.cancel(running.job), "running job must not cancel");
+        assert!(handle.cancel(waiting.job));
+        assert!(!handle.cancel(99), "unknown job must not cancel");
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert_eq!(report.cancelled, 1);
+        assert_eq!(report.run.completed.len(), 1);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let (handle, join) = spawn(config()).unwrap();
+        handle.submit(spec(2, 5)).unwrap();
+        handle.shutdown();
+        // The daemon may still be draining or already gone; either way
+        // the verdict is the typed shutdown overload.
+        match handle.submit(spec(2, 5)) {
+            Err(SubmitError::Overload(OverloadReason::ShuttingDown)) => {}
+            Ok(_) => panic!("accepted a submission after shutdown"),
+            Err(other) => panic!("wrong error: {other:?}"),
+        }
+        let report = join.join().unwrap();
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.run.completed.len(), 1);
+    }
+
+    #[test]
+    fn dropping_every_handle_drains_the_daemon() {
+        let (handle, join) = spawn(config()).unwrap();
+        handle.submit(spec(4, 3)).unwrap();
+        drop(handle);
+        let report = join.join().unwrap();
+        assert_eq!(report.run.completed.len(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! SWF session logs: the record side of the record/replay guarantee.
+//!
+//! Every accepted submission is appended to the log as a standard SWF
+//! job line (fractional seconds carry the millisecond stamp), flushed
+//! line-by-line so a killed daemon leaves a complete, parseable prefix.
+//! [`replay_session`] feeds the log back through the batch driver
+//! ([`simulate_chaos`]) with the same scheduler recipe; because the
+//! wall-clock source never stamps an external submission at or before an
+//! already-dispatched timer (see `dynp_des::clock`), the replay presents
+//! the identical `(time, event)` sequence to the identical driver and
+//! reproduces the live schedules bit-for-bit.
+//!
+//! Cancellations are outside that envelope: a cancelled job influenced
+//! planning while it sat in the queue, but never ran — no SWF record can
+//! express that to the batch driver. Cancels are logged as `;CANCEL`
+//! audit lines and [`replay_session`] refuses logs that contain them
+//! rather than replaying them wrong.
+
+use dynp_des::SimTime;
+use dynp_obs::Tracer;
+use dynp_rms::AdmissionConfig;
+use dynp_sim::{simulate_chaos, DetailedRun, SchedulerSpec};
+use dynp_workload::swf::{read_swf, swf_job_line};
+use dynp_workload::{FaultPlan, Job};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Header tag carrying the machine size (standard SWF header field).
+const MACHINE_TAG: &str = "; MaxProcs:";
+/// Audit directive recording a cancel: `;CANCEL <job+1> <ms>`.
+const CANCEL_TAG: &str = ";CANCEL";
+
+/// An append-only SWF session log.
+pub struct SessionLog {
+    out: BufWriter<File>,
+    records: u64,
+}
+
+impl SessionLog {
+    /// Creates (truncating) the log at `path` and writes the header.
+    pub fn create(
+        path: &Path,
+        machine_size: u32,
+        scheduler: &str,
+        speedup: u64,
+    ) -> io::Result<SessionLog> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "; dynp-serve session log")?;
+        writeln!(out, "{MACHINE_TAG} {machine_size}")?;
+        writeln!(out, "; Scheduler: {scheduler}")?;
+        writeln!(out, "; Speedup: {speedup}")?;
+        out.flush()?;
+        Ok(SessionLog { out, records: 0 })
+    }
+
+    /// Appends one accepted submission and flushes, so the log is always
+    /// a complete prefix of the session even if the process dies.
+    pub fn record(&mut self, job: &Job) -> io::Result<()> {
+        writeln!(self.out, "{}", swf_job_line(job))?;
+        self.records += 1;
+        self.out.flush()
+    }
+
+    /// Appends a cancel audit line. The job's submission record stays in
+    /// the log (it really was accepted and really did occupy the queue);
+    /// this directive marks the session as not bit-replayable.
+    pub fn record_cancel(&mut self, job: u32, at: SimTime) -> io::Result<()> {
+        writeln!(self.out, "{CANCEL_TAG} {} {}", job + 1, at.as_millis())?;
+        self.out.flush()
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes buffered output to the OS.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Errors raised while replaying a session log.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The log has no `; MaxProcs:` header (not a session log).
+    NoMachineSize,
+    /// The log contains `;CANCEL` directives — the session is auditable
+    /// but not bit-replayable (see module docs).
+    HasCancellations,
+    /// The SWF body failed to parse.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "I/O error: {e}"),
+            ReplayError::NoMachineSize => {
+                write!(f, "session log has no '{MACHINE_TAG}' header")
+            }
+            ReplayError::HasCancellations => write!(
+                f,
+                "session contains {CANCEL_TAG} directives and is not bit-replayable"
+            ),
+            ReplayError::Malformed(why) => write!(f, "malformed session log: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<io::Error> for ReplayError {
+    fn from(e: io::Error) -> Self {
+        ReplayError::Io(e)
+    }
+}
+
+/// Replays a recorded session through the batch DES driver with the
+/// given scheduler recipe, reproducing the live run's schedules exactly
+/// (same starts, same completions, same SLDwA). The machine size comes
+/// from the log's header; the scheduler must match the recipe the
+/// daemon ran (also recorded in the header, for humans).
+pub fn replay_session(path: &Path, spec: &SchedulerSpec) -> Result<DetailedRun, ReplayError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut machine_size = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix(MACHINE_TAG) {
+            machine_size = rest.trim().parse::<u32>().ok();
+        }
+        if trimmed.starts_with(CANCEL_TAG) {
+            return Err(ReplayError::HasCancellations);
+        }
+    }
+    let machine_size = machine_size.ok_or(ReplayError::NoMachineSize)?;
+    let name = path
+        .file_stem()
+        .map_or_else(|| "session".to_string(), |s| s.to_string_lossy().into());
+    let set = read_swf(BufReader::new(text.as_bytes()), name, machine_size)
+        .map_err(|e| ReplayError::Malformed(e.to_string()))?;
+    let mut scheduler = spec.build();
+    Ok(simulate_chaos(
+        &set,
+        &mut *scheduler,
+        &[],
+        AdmissionConfig::default(),
+        &FaultPlan::none(),
+        Tracer::disabled(),
+    ))
+}
+
+/// Reads the machine size from a session log header (for tools that
+/// inspect logs without replaying them).
+pub fn session_machine_size(path: &Path) -> Result<u32, ReplayError> {
+    let file = BufReader::new(File::open(path)?);
+    for line in file.lines() {
+        let line = line?;
+        if let Some(rest) = line.trim().strip_prefix(MACHINE_TAG) {
+            if let Ok(v) = rest.trim().parse::<u32>() {
+                return Ok(v);
+            }
+        }
+    }
+    Err(ReplayError::NoMachineSize)
+}

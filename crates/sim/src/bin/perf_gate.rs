@@ -1,7 +1,7 @@
 //! Perf-trajectory gate: compares freshly measured `BENCH_planner.json` /
-//! `BENCH_end_to_end.json` / `BENCH_federation.json` reports against the
-//! committed baselines and fails if any speedup regressed by more than
-//! the tolerance band.
+//! `BENCH_end_to_end.json` / `BENCH_federation.json` / `BENCH_service.json`
+//! reports against the committed baselines and fails if any speedup
+//! regressed by more than the tolerance band.
 //!
 //! ```text
 //! cargo run --release -p dynp-sim --bin perf_gate -- BASELINE_DIR FRESH_DIR [--tolerance 0.10]
@@ -27,10 +27,11 @@
 
 use std::path::{Path, PathBuf};
 
-const REPORTS: [&str; 3] = [
+const REPORTS: [&str; 4] = [
     "BENCH_planner.json",
     "BENCH_end_to_end.json",
     "BENCH_federation.json",
+    "BENCH_service.json",
 ];
 
 /// Raw value of `"key": <value>` inside one row line, if present.
@@ -44,8 +45,10 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 
 /// Human-readable coordinates of a row, from whichever grid keys it
 /// carries: planner rows are (queue_depth, running_jobs), end-to-end
-/// rows are trace@factor plus any reservation/fault load tags, and
-/// federation rows are (clusters, shard_threads).
+/// rows are trace@factor plus any reservation/fault load tags,
+/// federation rows are (clusters, shard_threads), and service rows are
+/// the load generator's target rate (its "speedup" is achieved/target —
+/// the open-loop health ratio, ≈1.0 on any healthy host).
 fn row_label(line: &str) -> String {
     if let Some(d) = field(line, "queue_depth") {
         let r = field(line, "running_jobs").unwrap_or("?");
@@ -54,6 +57,9 @@ fn row_label(line: &str) -> String {
     if let Some(t) = field(line, "shard_threads") {
         let c = field(line, "clusters").unwrap_or("?");
         return format!("clusters={c} shard-threads={t}");
+    }
+    if let Some(eps) = field(line, "target_eps") {
+        return format!("target-eps={eps}");
     }
     if let Some(t) = field(line, "trace") {
         let mut s = format!(

@@ -33,7 +33,7 @@
 //! seeding produces.
 
 use crate::runner::{DetailedRun, ReservationReport, RunObservations, RunResult};
-use dynp_des::{Engine, SimDuration, SimTime, TimeWeighted};
+use dynp_des::{Engine, EventClock, SimDuration, SimTime, TimeWeighted};
 use dynp_metrics::{FaultStats, SimMetrics};
 use dynp_obs::{TraceClass, TraceEvent, Tracer};
 use dynp_rms::{
@@ -44,7 +44,7 @@ use dynp_workload::{FaultKind, FaultPlan, Job, JobId, ReservationRequest, RetryP
 
 /// Events of the RMS simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum Event {
+pub enum Event {
     /// A job reaches the system.
     Arrive(JobId),
     /// A running job's actual run time elapses. Tagged with the execution
@@ -154,8 +154,10 @@ fn resolve_failure(
 ///
 /// The engine is deliberately *not* a field: the handler receives it as a
 /// parameter so `engine.run(|eng, ev| core.handle(eng, ev, ...))` borrows
-/// the two halves disjointly.
-pub(crate) struct ShardCore {
+/// the two halves disjointly. The handler is generic over
+/// [`EventClock`], so the same core drives batch simulation (virtual
+/// clock), federation epochs, and the live service daemon (wall clock).
+pub struct ShardCore {
     pub(crate) state: RmsState,
     controller: AdmissionController,
     /// Execution attempts spent per job, indexed by *global* job id; a
@@ -182,7 +184,11 @@ pub(crate) struct ShardCore {
 }
 
 impl ShardCore {
-    pub(crate) fn new(
+    /// Builds the run state of one cluster: an empty machine of
+    /// `machine_size` processors, `n_jobs_global` pre-sized attempt
+    /// counters (growable later via [`ShardCore::ensure_jobs`]), and
+    /// observation clocks starting at `t0`.
+    pub fn new(
         machine_size: u32,
         admission: AdmissionConfig,
         n_jobs_global: usize,
@@ -216,6 +222,37 @@ impl ShardCore {
         self.attempts[id.0 as usize]
     }
 
+    /// Read access to the RMS state (service mode answers status queries
+    /// from it between events).
+    pub fn state(&self) -> &RmsState {
+        &self.state
+    }
+
+    /// Fault statistics accumulated so far.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fstats
+    }
+
+    /// Grows the per-job attempt table to cover `n` jobs. The batch
+    /// driver pre-sizes it from the job set; service mode assigns ids
+    /// incrementally and grows the table as submissions are accepted.
+    pub fn ensure_jobs(&mut self, n: usize) {
+        if self.attempts.len() < n {
+            self.attempts.resize(n, 0);
+        }
+    }
+
+    /// Withdraws a waiting job (service-mode cancel). Returns `None`
+    /// when the job is not in the waiting queue — already started,
+    /// finished, or never submitted — in which case nothing changes.
+    pub fn cancel_waiting(&mut self, id: JobId) -> Option<Job> {
+        if self.state.waiting().iter().any(|j| j.id == id) {
+            Some(self.state.withdraw(id))
+        } else {
+            None
+        }
+    }
+
     /// Withdraws a waiting job at an epoch barrier for migration to
     /// cluster `to`. The caller must schedule the [`Event::Depart`]
     /// marker on this shard's engine and the [`Event::MigrateIn`] on the
@@ -227,10 +264,11 @@ impl ShardCore {
 
     /// Handles one event: updates the cluster state, replans, and starts
     /// every due job. This is the whole driver loop body — single-cluster
-    /// and federated runs share it verbatim.
-    pub(crate) fn handle(
+    /// runs, federated runs, and the live service daemon share it
+    /// verbatim; only the clock behind `eng` differs.
+    pub fn handle<C: EventClock<Event>>(
         &mut self,
-        eng: &mut Engine<Event>,
+        eng: &mut C,
         event: Event,
         scheduler: &mut dyn Scheduler,
         jobs: &[Job],
@@ -568,9 +606,9 @@ impl ShardCore {
     /// # Panics
     /// Panics if jobs are still waiting/running, windows are still
     /// booked, or (with `expected_jobs`) conservation is violated.
-    pub(crate) fn finish(
+    pub fn finish<C: EventClock<Event>>(
         self,
-        engine: &Engine<Event>,
+        engine: &C,
         scheduler_name: String,
         job_set: String,
         faults: &FaultPlan,

@@ -34,6 +34,17 @@
 //! All times are integer seconds. [`read_swf_with_reservations`] parses
 //! these into a [`ReservationRequest`] stream interleaved with the jobs;
 //! the plain [`read_swf`] skips them like any other comment.
+//!
+//! ## Fractional seconds (session logs)
+//!
+//! Archive traces carry integer seconds, but the service daemon's
+//! session logs record live submissions whose instants land between
+//! second boundaries. Job time fields are therefore read as (possibly
+//! fractional) seconds and kept at millisecond resolution, and the
+//! writer emits a fractional field (3 decimals) exactly when the value
+//! is not a whole second — so files written from integer-second data are
+//! byte-identical to before, while session logs round-trip at full
+//! `SimTime` fidelity.
 
 use crate::job::{Job, JobId, JobSet};
 use crate::reservation::ReservationRequest;
@@ -47,6 +58,26 @@ const RESERVATION_TAG: &str = ";RESERVATION";
 /// Anything beyond is a corrupt field, not a real timestamp — accepting
 /// it would overflow the `SimTime` multiply.
 const MAX_SECS: u64 = u64::MAX / 1000;
+
+/// Formats `ms` as SWF seconds: a plain integer when whole (the archive
+/// format, byte-identical to the previous writer), otherwise with
+/// exactly 3 decimals so the millisecond value survives the round trip.
+fn fmt_secs(ms: u64) -> String {
+    if ms.is_multiple_of(1000) {
+        format!("{}", ms / 1000)
+    } else {
+        format!("{}.{:03}", ms / 1000, ms % 1000)
+    }
+}
+
+/// Converts a non-negative seconds field to millisecond ticks, rounding
+/// to the nearest millisecond. `None` when out of range.
+fn secs_to_ms(v: f64) -> Option<u64> {
+    if !(0.0..=MAX_SECS as f64).contains(&v) {
+        return None;
+    }
+    Some((v * 1000.0).round() as u64)
+}
 
 /// Errors raised while parsing an SWF stream.
 #[derive(Debug)]
@@ -195,52 +226,46 @@ fn read_swf_impl(
                 reason: format!("expected >= 9 fields, got {}", fields.len()),
             });
         }
-        let parse = |idx: usize| -> Result<i64, SwfError> {
-            fields[idx]
-                .parse::<f64>()
-                .map(|v| v as i64)
-                .map_err(|_| SwfError::Malformed {
-                    line: lineno + 1,
-                    reason: format!("field {} is not numeric: {:?}", idx + 1, fields[idx]),
-                })
+        let parse = |idx: usize| -> Result<f64, SwfError> {
+            fields[idx].parse::<f64>().map_err(|_| SwfError::Malformed {
+                line: lineno + 1,
+                reason: format!("field {} is not numeric: {:?}", idx + 1, fields[idx]),
+            })
         };
         let submit = parse(1)?;
         let run = parse(3)?;
-        let alloc = parse(4)?;
-        let req_procs = parse(7)?;
+        let alloc = parse(4)? as i64;
+        let req_procs = parse(7)? as i64;
         let req_time = parse(8)?;
 
         let width = if req_procs > 0 { req_procs } else { alloc };
-        if width <= 0 || run < 0 || submit < 0 {
+        if width <= 0 || run < 0.0 || submit < 0.0 {
             continue; // unusable record, skip like the archive tools do
         }
-        let actual = run.max(1) as u64;
-        let estimate = if req_time > 0 {
-            req_time as u64
-        } else {
-            actual
+        let out_of_range = |what: &str, value: f64| SwfError::Malformed {
+            line: lineno + 1,
+            reason: format!("{what} out of range: {value}"),
         };
-        for (what, value) in [
-            ("submit time", submit as u64),
-            ("run time", actual),
-            ("requested time", estimate),
-        ] {
-            if value > MAX_SECS {
-                return Err(SwfError::Malformed {
-                    line: lineno + 1,
-                    reason: format!("{what} out of range: {value}"),
-                });
-            }
-        }
+        // Times keep millisecond resolution: archive traces only ever
+        // carry whole seconds, session logs carry live instants.
+        let actual_ms = secs_to_ms(run)
+            .ok_or_else(|| out_of_range("run time", run))?
+            .max(1);
+        let estimate_ms = if req_time > 0.0 {
+            secs_to_ms(req_time).ok_or_else(|| out_of_range("requested time", req_time))?
+        } else {
+            actual_ms
+        };
+        let submit_ms = secs_to_ms(submit).ok_or_else(|| out_of_range("submit time", submit))?;
         // Clamp before narrowing: a field wider than the machine (or
         // even u32) is the documented clamp case, never a silent wrap.
         let width = (width as u64).min(machine_size as u64) as u32;
         jobs.push(Job::new(
             JobId(jobs.len() as u32),
-            SimTime::from_secs(submit as u64),
+            SimTime::from_millis(submit_ms),
             width,
-            SimDuration::from_secs(estimate),
-            SimDuration::from_secs(actual),
+            SimDuration::from_millis(estimate_ms),
+            SimDuration::from_millis(actual_ms),
         ));
     }
     if let Some(out) = reservations {
@@ -283,20 +308,29 @@ pub fn write_swf_with_reservations(
         }
     }
     for job in set.jobs() {
-        // job, submit, wait, run, alloc, cpu, mem, reqproc, reqtime,
-        // reqmem, status, uid, gid, exe, queue, partition, prec, think
-        writeln!(
-            writer,
-            "{} {} -1 {} {} -1 -1 {} {} -1 1 -1 -1 -1 -1 -1 -1 -1",
-            job.id.0 + 1,
-            job.submit.as_millis() / 1000,
-            job.actual.as_millis() / 1000,
-            job.width,
-            job.width,
-            job.estimate.as_millis() / 1000,
-        )?;
+        writeln!(writer, "{}", swf_job_line(job))?;
     }
     Ok(())
+}
+
+/// Renders one job as an SWF record line (no trailing newline): the
+/// 18-field layout `write_swf` emits, with fractional seconds exactly
+/// where the millisecond value demands them. Exposed so incremental
+/// writers — the service daemon's session log appends one line per
+/// accepted submission — produce files byte-identical to a
+/// [`write_swf`] of the same jobs.
+pub fn swf_job_line(job: &Job) -> String {
+    // job, submit, wait, run, alloc, cpu, mem, reqproc, reqtime,
+    // reqmem, status, uid, gid, exe, queue, partition, prec, think
+    format!(
+        "{} {} -1 {} {} -1 -1 {} {} -1 1 -1 -1 -1 -1 -1 -1 -1",
+        job.id.0 + 1,
+        fmt_secs(job.submit.as_millis()),
+        fmt_secs(job.actual.as_millis()),
+        job.width,
+        job.width,
+        fmt_secs(job.estimate.as_millis()),
+    )
 }
 
 #[cfg(test)]
@@ -423,6 +457,52 @@ mod tests {
             read_swf_with_reservations(BufReader::new(buf.as_slice()), "r", 128).unwrap();
         assert_eq!(set.len(), set2.len());
         assert_eq!(res, res2);
+    }
+
+    #[test]
+    fn fractional_seconds_round_trip_at_millisecond_fidelity() {
+        let jobs = vec![
+            Job::new(
+                JobId(0),
+                SimTime::from_millis(1_234),
+                4,
+                SimDuration::from_millis(90_500),
+                SimDuration::from_millis(60_001),
+            ),
+            Job::new(
+                JobId(1),
+                SimTime::from_millis(2_000),
+                8,
+                SimDuration::from_millis(3_600_000),
+                SimDuration::from_millis(1),
+            ),
+        ];
+        let set = JobSet::new("session", 64, jobs);
+        let mut buf = Vec::new();
+        write_swf(&set, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        // Fractional only where needed: whole seconds stay integers.
+        assert!(text.contains("1.234"), "fractional submit lost: {text}");
+        assert!(
+            text.contains(" 2 "),
+            "whole-second submit gained a fraction"
+        );
+        let again = read_swf(BufReader::new(buf.as_slice()), "session", 64).unwrap();
+        assert_eq!(set.len(), again.len());
+        for (a, b) in set.jobs().iter().zip(again.jobs()) {
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.estimate, b.estimate);
+            assert_eq!(a.actual, b.actual);
+        }
+    }
+
+    #[test]
+    fn fmt_secs_matches_integer_writer_on_whole_seconds() {
+        assert_eq!(fmt_secs(0), "0");
+        assert_eq!(fmt_secs(1000), "1");
+        assert_eq!(fmt_secs(1), "0.001");
+        assert_eq!(fmt_secs(1500), "1.500");
+        assert_eq!(fmt_secs(59_999), "59.999");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * [`rms`] — planning-based resource management substrate,
 //! * [`metrics`] — SLDwA, utilization and friends,
 //! * [`core`] — the self-tuning dynP scheduler and its deciders,
-//! * [`sim`] — simulation runner and experiment harness.
+//! * [`sim`] — simulation runner and experiment harness,
+//! * [`serve`] — real-time service mode (daemon, wire protocol,
+//!   replayable session logs).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@ pub use dynp_des as des;
 pub use dynp_metrics as metrics;
 pub use dynp_obs as obs;
 pub use dynp_rms as rms;
+pub use dynp_serve as serve;
 pub use dynp_sim as sim;
 pub use dynp_workload as workload;
 

@@ -1,0 +1,207 @@
+//! Service-mode record/replay: the digital-twin guarantee, end to end.
+//!
+//! A daemon run on the wall clock records every accepted submission to an
+//! SWF session log; replaying that log through the batch DES driver with
+//! the same scheduler recipe must reproduce the live run **bit for bit**
+//! — same starts, same completions, same SLDwA. The wall source's stamp
+//! discipline (externals never tie or pass a dispatched timer) is what
+//! makes the live `(time, event)` sequence equal to the replay's, so
+//! these tests pin the whole chain: daemon → session log → `read_swf` →
+//! `simulate_chaos`.
+
+use dynp_serve::{replay_session, spawn, ServiceConfig, SubmitSpec};
+use dynp_suite::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+fn temp_log(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dynp_service_replay_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}_{}.swf", std::process::id()))
+}
+
+fn service_config(machine: u32, scheduler: SchedulerSpec, log: &Path) -> ServiceConfig {
+    let mut config = ServiceConfig::new(machine, scheduler);
+    // Sim seconds in wall milliseconds: the live run takes tens of
+    // milliseconds while the recorded workload spans simulated minutes.
+    config.speedup = 1000;
+    config.session_log = Some(log.to_path_buf());
+    config
+}
+
+/// A deterministic burst of submissions with mixed widths and run times
+/// (the stamps are wall-clock and differ run to run; determinism of the
+/// *specs* is enough, the log records whatever stamps happened).
+fn submit_burst(handle: &dynp_serve::ServiceHandle, machine: u32, n: usize, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted = 0;
+    for _ in 0..n {
+        let width = (1 << rng.gen_range_u64(0, 4)).min(machine);
+        let actual = SimDuration::from_secs(rng.gen_range_u64(2, 90));
+        let estimate = actual.scale(1.5).max(actual);
+        let spec = SubmitSpec {
+            width,
+            estimate,
+            actual,
+            user: 0,
+        };
+        if handle.submit(spec).is_ok() {
+            accepted += 1;
+        }
+        // A couple of short pauses spread arrivals over several virtual
+        // instants so completions interleave with later submissions.
+        if rng.gen_bool(0.3) {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    accepted
+}
+
+/// The pinned bit-identity test: live daemon schedules == batch replay
+/// schedules, for both a static policy and the self-tuning scheduler.
+#[test]
+fn recorded_sessions_replay_bit_identically() {
+    for (tag, spec) in [
+        ("fcfs", SchedulerSpec::Static(Policy::Fcfs)),
+        ("dynp", SchedulerSpec::dynp(DeciderKind::Advanced)),
+    ] {
+        let log = temp_log(&format!("identity_{tag}"));
+        let machine = 16;
+        let (handle, join) = spawn(service_config(machine, spec.clone(), &log)).unwrap();
+        let accepted = submit_burst(&handle, machine, 40, 0xD15C0 ^ tag.len() as u64);
+        assert_eq!(accepted, 40, "all submissions fit the machine");
+        handle.shutdown();
+        let live = join.join().unwrap();
+        assert_eq!(live.run.completed.len(), 40);
+
+        let replay = replay_session(&log, &spec).unwrap();
+
+        // Bit-for-bit: identical per-job records in identical order, and
+        // therefore the identical headline metric.
+        assert_eq!(replay.completed.len(), live.run.completed.len());
+        for (r, l) in replay.completed.iter().zip(&live.run.completed) {
+            assert_eq!(r.job.id, l.job.id, "{tag}: job order diverged");
+            assert_eq!(r.job.submit, l.job.submit, "{tag}: submit stamp diverged");
+            assert_eq!(r.start, l.start, "{tag}: start diverged for {}", r.job.id);
+            assert_eq!(r.end, l.end, "{tag}: end diverged for {}", r.job.id);
+        }
+        assert_eq!(
+            replay.result.metrics.sldwa, live.run.result.metrics.sldwa,
+            "{tag}: SLDwA must be bit-identical"
+        );
+        std::fs::remove_file(&log).unwrap();
+    }
+}
+
+/// Graceful shutdown mid-run: jobs are still waiting and running when the
+/// drain begins; the daemon must finish them all, and the flushed log
+/// must replay to the same drained outcome.
+#[test]
+fn mid_run_shutdown_drains_and_leaves_replayable_log() {
+    let log = temp_log("midrun");
+    let spec = SchedulerSpec::Static(Policy::Sjf);
+    let machine = 8;
+    let (handle, join) = spawn(service_config(machine, spec.clone(), &log)).unwrap();
+    // Saturate the machine so most jobs are still queued at shutdown.
+    for i in 0..12 {
+        handle
+            .submit(SubmitSpec {
+                width: machine,
+                estimate: SimDuration::from_secs(30 + i),
+                actual: SimDuration::from_secs(20 + i),
+                user: 0,
+            })
+            .unwrap();
+    }
+    let status = handle.status().unwrap();
+    assert!(status.waiting > 0, "shutdown must hit a non-empty queue");
+    handle.shutdown();
+    let live = join.join().unwrap();
+    assert_eq!(live.accepted, 12);
+    assert_eq!(live.run.completed.len(), 12, "drain must finish every job");
+    assert_eq!(live.run.faults.lost, 0);
+
+    let replay = replay_session(&log, &spec).unwrap();
+    assert_eq!(replay.completed.len(), 12);
+    for (r, l) in replay.completed.iter().zip(&live.run.completed) {
+        assert_eq!((r.job.id, r.start, r.end), (l.job.id, l.start, l.end));
+    }
+    std::fs::remove_file(&log).unwrap();
+}
+
+/// The per-line flush means a killed daemon leaves a complete, parseable
+/// prefix. Simulate the kill by truncating the finished log at an
+/// arbitrary record boundary: every prefix must still replay cleanly.
+#[test]
+fn any_log_prefix_is_replayable() {
+    let log = temp_log("prefix");
+    let spec = SchedulerSpec::Static(Policy::Fcfs);
+    let (handle, join) = spawn(service_config(8, spec.clone(), &log)).unwrap();
+    for i in 0..6 {
+        handle
+            .submit(SubmitSpec {
+                width: 4,
+                estimate: SimDuration::from_secs(10 + i),
+                actual: SimDuration::from_secs(5 + i),
+                user: 0,
+            })
+            .unwrap();
+    }
+    handle.shutdown();
+    join.join().unwrap();
+
+    let text = std::fs::read_to_string(&log).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let header_lines = lines.iter().filter(|l| l.starts_with(';')).count();
+    for keep in 1..=6usize {
+        let prefix: String = lines[..header_lines + keep]
+            .iter()
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let prefix_path = temp_log(&format!("prefix_{keep}"));
+        std::fs::write(&prefix_path, prefix).unwrap();
+        let replay = replay_session(&prefix_path, &spec)
+            .unwrap_or_else(|e| panic!("prefix of {keep} records failed: {e}"));
+        assert_eq!(replay.completed.len(), keep);
+        std::fs::remove_file(&prefix_path).unwrap();
+    }
+    std::fs::remove_file(&log).unwrap();
+}
+
+/// Cancelled jobs influenced live planning but never ran — no SWF record
+/// can express that, so replay must refuse rather than be quietly wrong.
+#[test]
+fn sessions_with_cancels_refuse_replay() {
+    let log = temp_log("cancel");
+    let spec = SchedulerSpec::Static(Policy::Fcfs);
+    let machine = 8;
+    let (handle, join) = spawn(service_config(machine, spec.clone(), &log)).unwrap();
+    handle
+        .submit(SubmitSpec {
+            width: machine,
+            estimate: SimDuration::from_secs(60),
+            actual: SimDuration::from_secs(30),
+            user: 0,
+        })
+        .unwrap();
+    let waiting = handle
+        .submit(SubmitSpec {
+            width: machine,
+            estimate: SimDuration::from_secs(60),
+            actual: SimDuration::from_secs(30),
+            user: 0,
+        })
+        .unwrap();
+    assert!(handle.cancel(waiting.job));
+    handle.shutdown();
+    let live = join.join().unwrap();
+    assert_eq!(live.cancelled, 1);
+    assert_eq!(live.run.completed.len(), 1);
+
+    match replay_session(&log, &spec) {
+        Err(dynp_serve::ReplayError::HasCancellations) => {}
+        other => panic!("expected HasCancellations, got {other:?}"),
+    }
+    std::fs::remove_file(&log).unwrap();
+}
