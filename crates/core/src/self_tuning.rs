@@ -7,7 +7,7 @@ use dynp_metrics::Objective;
 use dynp_obs::{TraceClass, TraceEvent, Tracer};
 use dynp_rms::{
     PlanTiming, Planner, Policy, QueueChange, ReferencePlanner, ReplanReason, RmsState, Schedule,
-    Scheduler,
+    Scheduler, SchedulerSnapshot,
 };
 use dynp_workload::Job;
 use serde::{Deserialize, Serialize};
@@ -546,6 +546,60 @@ impl Scheduler for SelfTuningScheduler {
     fn set_tracer(&mut self, tracer: Tracer) {
         self.planner.set_tracer(tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Encodes the cross-event state: the active policy and the switch
+    /// statistics. The per-policy queue orders and `log_cursor` are NOT
+    /// captured — they are a pure function of the state's queue-change
+    /// log (every policy comparator is a *total* order with an
+    /// (submit, id) tail, so replaying the full log from cursor 0
+    /// reproduces them bit-identically), and `restore` resets them so
+    /// the next `sync_orders` rebuilds from scratch. Planner internals
+    /// are caches rebuilt every event.
+    fn snapshot(&self) -> Option<SchedulerSnapshot> {
+        let s = &self.stats;
+        let mut words = vec![
+            self.active.index() as u64,
+            s.decisions,
+            s.switches,
+            s.log.len() as u64,
+        ];
+        words.extend_from_slice(&s.chosen);
+        words.extend_from_slice(&s.switched_to);
+        for (t, p) in &s.log {
+            words.push(t.as_millis());
+            words.push(p.index() as u64);
+        }
+        Some(SchedulerSnapshot { tag: "dynp", words })
+    }
+
+    fn restore(&mut self, snap: &SchedulerSnapshot) {
+        assert_eq!(snap.tag, "dynp", "snapshot from a different scheduler");
+        let w = &snap.words;
+        self.active = Policy::ALL[w[0] as usize];
+        let n = Policy::COUNT;
+        let log_len = w[3] as usize;
+        let mut stats = SwitchStats {
+            decisions: w[1],
+            switches: w[2],
+            ..SwitchStats::default()
+        };
+        stats.chosen.copy_from_slice(&w[4..4 + n]);
+        stats.switched_to.copy_from_slice(&w[4 + n..4 + 2 * n]);
+        let mut at = 4 + 2 * n;
+        for _ in 0..log_len {
+            stats
+                .log
+                .push((SimTime::from_millis(w[at]), Policy::ALL[w[at + 1] as usize]));
+            at += 2;
+        }
+        self.stats = stats;
+        // Force a full queue-order rebuild from the (restored) state's
+        // complete queue-change log on the next replan.
+        for order in &mut self.orders {
+            order.clear();
+        }
+        self.log_cursor = 0;
     }
 }
 

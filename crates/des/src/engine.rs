@@ -32,6 +32,68 @@ impl<E> Default for Engine<E, BinaryHeapQueue<E>> {
     }
 }
 
+/// A value snapshot of an [`Engine`] over the default binary-heap queue.
+///
+/// Pending entries are stored in canonical `(time, seq)` order with their
+/// exact sequence numbers, and `next_seq` carries the dynamic tie-break
+/// counter — so a restored engine delivers every future event, including
+/// ties against events pushed *after* the restore, bit-identically to the
+/// snapshotted run. `Hash`/`Eq` make the snapshot usable directly as a
+/// model-checker state fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EngineSnapshot<E> {
+    /// Simulation clock at snapshot time.
+    pub now: SimTime,
+    /// Events processed so far (bookkeeping, not semantic state).
+    pub processed: u64,
+    /// Next dynamic sequence number the queue would assign.
+    pub next_seq: u64,
+    /// Pending entries sorted by `(time, seq)`.
+    pub entries: Vec<(SimTime, u64, E)>,
+}
+
+impl<E: Clone> Engine<E, BinaryHeapQueue<E>> {
+    /// Captures the engine's full state as a value.
+    pub fn snapshot(&self) -> EngineSnapshot<E> {
+        EngineSnapshot {
+            now: self.now,
+            processed: self.processed,
+            next_seq: self.queue.next_seq(),
+            entries: self.queue.entries(),
+        }
+    }
+
+    /// Restores the engine to a previously captured snapshot. The clock
+    /// may move backward — that is the point.
+    pub fn restore(&mut self, snap: &EngineSnapshot<E>) {
+        self.now = snap.now;
+        self.processed = snap.processed;
+        self.queue = BinaryHeapQueue::from_entries(snap.entries.iter().cloned(), snap.next_seq);
+    }
+
+    /// The events tied at the earliest pending instant, cloned in FIFO
+    /// (sequence-rank) order. Index `n` is what [`Engine::step_nth`]`(n)`
+    /// would deliver; index 0 is the plain [`Engine::step`] choice.
+    pub fn tied_events(&self) -> Vec<E> {
+        self.queue
+            .tied_head()
+            .into_iter()
+            .map(|(_, e)| e.clone())
+            .collect()
+    }
+
+    /// Pops the `n`-th (by FIFO rank) event tied at the earliest pending
+    /// instant, advancing the clock to its timestamp. The remaining tied
+    /// events keep their ranks. `step_nth(0)` ≡ [`Engine::step`].
+    pub fn step_nth(&mut self, n: usize) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop_nth_tied(n)?;
+        debug_assert!(t >= self.now, "event queue returned a past event");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+}
+
 impl<E, Q: EventQueue<E>> Engine<E, Q> {
     /// Creates an engine over a caller-supplied queue backend.
     pub fn with_queue(queue: Q) -> Self {
@@ -216,6 +278,66 @@ mod tests {
         let mut order = Vec::new();
         eng.run(|_, i| order.push(i));
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_seeded(SimTime::from_secs(4), 0, 100);
+        for i in 0..5u32 {
+            eng.schedule_at(SimTime::from_secs(4), i);
+        }
+        eng.schedule_at(SimTime::from_secs(1), 99);
+        let _ = eng.step(); // consume the event at 1s
+        let snap = eng.snapshot();
+
+        let drain = |e: &mut Engine<u32>| {
+            let mut out = Vec::new();
+            while let Some((t, ev)) = e.step() {
+                // A post-restore push must tie-break exactly as in the
+                // original run: next_seq survives the snapshot.
+                if ev == 99 {
+                    e.schedule_at(SimTime::from_secs(4), 500);
+                }
+                out.push((t.as_millis(), ev));
+            }
+            out
+        };
+        let first = drain(&mut eng);
+        assert_eq!(eng.pending(), 0);
+        eng.restore(&snap);
+        assert_eq!(eng.now(), snap.now);
+        assert_eq!(eng.snapshot(), snap);
+        let second = drain(&mut eng);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn step_nth_permutes_ties_but_preserves_the_set() {
+        let build = || {
+            let mut e: Engine<u32> = Engine::new();
+            for i in 0..4u32 {
+                e.schedule_at(SimTime::from_secs(2), i);
+            }
+            e.schedule_at(SimTime::from_secs(9), 42);
+            e
+        };
+        let mut eng = build();
+        assert_eq!(eng.tied_events(), vec![0, 1, 2, 3]);
+        // Deliver rank 2 first, then drain FIFO.
+        let (_, first) = eng.step_nth(2).unwrap();
+        assert_eq!(first, 2);
+        assert_eq!(eng.tied_events(), vec![0, 1, 3]);
+        let mut rest = Vec::new();
+        while let Some((_, ev)) = eng.step() {
+            rest.push(ev);
+        }
+        assert_eq!(rest, vec![0, 1, 3, 42]);
+        // Out-of-range index leaves the queue untouched.
+        let mut eng = build();
+        assert!(eng.step_nth(4).is_none());
+        assert_eq!(eng.pending(), 5);
+        assert_eq!(eng.step_nth(0).unwrap().1, 0);
     }
 
     #[test]

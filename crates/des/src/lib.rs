@@ -40,7 +40,7 @@ pub mod stats;
 pub mod time;
 
 pub use clock::{EventClock, Tick, WallClockSource};
-pub use engine::Engine;
+pub use engine::{Engine, EngineSnapshot};
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, SEEDED_SEQ_LIMIT};
-pub use stats::{Histogram, OnlineStats, TimeWeighted};
+pub use stats::{Histogram, OnlineStats, TimeWeighted, TimeWeightedCount};
 pub use time::{SimDuration, SimTime};

@@ -115,6 +115,93 @@ impl<E> Default for BinaryHeapQueue<E> {
     }
 }
 
+impl<E> BinaryHeapQueue<E> {
+    /// The sequence number the next [`EventQueue::push`] would receive.
+    /// Part of the queue's observable state: it decides FIFO ranks of
+    /// *future* pushes, so snapshots must carry it.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// All pending entries as `(time, seq, event)`, sorted by
+    /// `(time, seq)` — a canonical, order-independent view of the queue
+    /// suitable for hashing and snapshotting.
+    pub fn entries(&self) -> Vec<(SimTime, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut out: Vec<(SimTime, u64, E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.time, e.seq, e.event.clone()))
+            .collect();
+        out.sort_by_key(|(t, s, _)| (*t, *s));
+        out
+    }
+
+    /// Rebuilds a queue from a canonical entry list plus the dynamic
+    /// sequence counter — the inverse of [`BinaryHeapQueue::entries`].
+    /// Entries keep their exact sequence numbers, so tie-breaking after
+    /// a restore is bit-identical to the snapshotted run.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (SimTime, u64, E)>,
+        next_seq: u64,
+    ) -> Self {
+        let heap = entries
+            .into_iter()
+            .map(|(time, seq, event)| HeapEntry { time, seq, event })
+            .collect();
+        BinaryHeapQueue { heap, next_seq }
+    }
+
+    /// The entries tied at the earliest pending instant, as
+    /// `(seq, &event)` in FIFO (sequence) order. Index `n` of this list
+    /// is the event [`BinaryHeapQueue::pop_nth_tied`]`(n)` would deliver.
+    pub fn tied_head(&self) -> Vec<(u64, &E)> {
+        let Some(t0) = self.peek_time() else {
+            return Vec::new();
+        };
+        let mut tied: Vec<(u64, &E)> = self
+            .heap
+            .iter()
+            .filter(|e| e.time == t0)
+            .map(|e| (e.seq, &e.event))
+            .collect();
+        tied.sort_by_key(|(s, _)| *s);
+        tied
+    }
+
+    /// Removes and returns the `n`-th (by FIFO rank) of the events tied
+    /// at the earliest pending instant; the other tied events keep their
+    /// original sequence numbers. `pop_nth_tied(0)` is exactly
+    /// [`EventQueue::pop`]. Returns `None` when empty or when `n` is out
+    /// of range — the queue is left untouched in that case.
+    ///
+    /// This is the model checker's branching primitive: exploring every
+    /// `n` at a tied instant enumerates every delivery interleaving the
+    /// FIFO rule forbids the plain simulator from seeing.
+    pub fn pop_nth_tied(&mut self, n: usize) -> Option<(SimTime, E)> {
+        let t0 = self.peek_time()?;
+        let mut tied: Vec<HeapEntry<E>> = Vec::new();
+        while self.heap.peek().is_some_and(|e| e.time == t0) {
+            tied.push(self.heap.pop().expect("peek said non-empty"));
+        }
+        if n >= tied.len() {
+            // Out of range: put everything back unchanged.
+            for e in tied {
+                self.heap.push(e);
+            }
+            return None;
+        }
+        // Heap pops drain ties in seq order, so index n is the n-th rank.
+        let chosen = tied.swap_remove(n);
+        for e in tied {
+            self.heap.push(e);
+        }
+        Some((chosen.time, chosen.event))
+    }
+}
+
 impl<E> EventQueue<E> for BinaryHeapQueue<E> {
     fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;

@@ -177,6 +177,70 @@ impl TimeWeighted {
     }
 }
 
+/// Exact time-weighted accumulator for an integer-valued step signal.
+///
+/// The snapshotable twin of [`TimeWeighted`]: the integral is kept as an
+/// exact `value × milliseconds` count in a `u128`, so the accumulator is
+/// `Hash + Eq` and two runs that saw the same updates are bit-identical —
+/// no floating-point summation-order drift. Floats only appear in the
+/// final [`TimeWeightedCount::average_until`] division. Used for driver
+/// signals that live on the snapshot path (queue length, busy processors).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWeightedCount {
+    last_time: SimTime,
+    last_value: u64,
+    /// Exact integral: Σ value·dt in value-milliseconds.
+    integral_vms: u128,
+    start: SimTime,
+}
+
+impl TimeWeightedCount {
+    /// Creates an accumulator whose signal is `initial` at time `start`.
+    pub fn new(start: SimTime, initial: u64) -> Self {
+        TimeWeightedCount {
+            last_time: start,
+            last_value: initial,
+            integral_vms: 0,
+            start,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, value: u64) {
+        debug_assert!(now >= self.last_time, "time went backwards");
+        let dt_ms = now.saturating_since(self.last_time).as_millis();
+        self.integral_vms += self.last_value as u128 * dt_ms as u128;
+        self.last_time = now;
+        self.last_value = value;
+    }
+
+    /// The signal value after the last update.
+    pub fn current(&self) -> u64 {
+        self.last_value
+    }
+
+    /// Exact integral of the signal from `start` to `now`, in
+    /// value-milliseconds.
+    pub fn integral_vms_until(&self, now: SimTime) -> u128 {
+        let dt_ms = now.saturating_since(self.last_time).as_millis();
+        self.integral_vms + self.last_value as u128 * dt_ms as u128
+    }
+
+    /// Time average of the signal over `[start, now]`; 0 over an empty
+    /// interval. The single lossy step: one `u128 → f64` division.
+    pub fn average_until(&self, now: SimTime) -> f64 {
+        let span_ms = now.saturating_since(self.start).as_millis();
+        if span_ms == 0 {
+            0.0
+        } else {
+            self.integral_vms_until(now) as f64 / span_ms as f64
+        }
+    }
+}
+
 /// Histogram over caller-supplied bucket boundaries with quantile queries.
 ///
 /// An observation `x` lands in bucket `i` when
@@ -322,6 +386,32 @@ mod tests {
         assert_eq!(tw.current(), 0.0);
         // (1*5 + 3*5 + 0*10)/20 = 20/20 = 1
         assert!((tw.average_until(SimTime::from_secs(20)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_count_matches_float_twin() {
+        // Signal: 0 on [0,10), 4 on [10,20), 2 on [20,40).
+        let mut tw = TimeWeightedCount::new(SimTime::ZERO, 0);
+        tw.set(SimTime::from_secs(10), 4);
+        tw.set(SimTime::from_secs(20), 2);
+        assert_eq!(tw.current(), 2);
+        assert_eq!(
+            tw.integral_vms_until(SimTime::from_secs(40)),
+            (4 * 10_000 + 2 * 20_000) as u128
+        );
+        assert!((tw.average_until(SimTime::from_secs(40)) - 2.0).abs() < 1e-12);
+        assert_eq!(tw.average_until(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_count_is_hashable_state() {
+        let mut a = TimeWeightedCount::new(SimTime::from_secs(1), 3);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        a.set(SimTime::from_secs(2), 5);
+        assert_ne!(a, b);
+        b.set(SimTime::from_secs(2), 5);
+        assert_eq!(a, b);
     }
 
     #[test]

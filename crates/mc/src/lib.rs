@@ -1,0 +1,65 @@
+//! dynp-mc — exhaustive model checker for the chaos + reservation
+//! protocols, built on snapshotable driver state.
+//!
+//! Simulation runs in this workspace are deterministic, but determinism
+//! only certifies *one* event order per input. The protocols' actual
+//! promises — no stale completion is ever honored, reservations survive
+//! node loss via downgrade/revoke repair, jobs are never lost or
+//! duplicated — quantify over every order of same-instant events: a
+//! node failure tied with a job finish, a cancellation tied with a
+//! window start. This crate checks those orders *exhaustively* for
+//! small closed configurations:
+//!
+//! * [`scenario`] — derives tiny deterministic worlds (machine, jobs,
+//!   outages, reservations) whose instants deliberately collide.
+//! * [`explore`] — walks every reachable interleaving by snapshotting
+//!   the full driver state ([`dynp_sim::SimSnapshot`]), branching at
+//!   ties, and pruning revisits by 128-bit state fingerprint. DFS or
+//!   BFS; BFS finds shortest counterexamples.
+//! * [`deps`] — the dependency resolver: proves most tied events
+//!   commute (stale attempt tags, dead windows, reservation starts) so
+//!   the branching factor stays near 1 except at genuine races.
+//! * [`invariants`] — the pluggable safety battery checked at every
+//!   state, plus the driver's own terminal asserts at drained leaves.
+//! * [`shrink`] — greedy delta-debugging: deletes scenario elements one
+//!   at a time while the violation persists, yielding a 1-minimal
+//!   counterexample with a deterministic replay schedule.
+//!
+//! The `model_check` binary wraps all of this for CI: it explores a
+//! configuration matrix, exits non-zero on violation, and dumps the
+//! shrunk scenario plus a `dynp-obs` trace of the violating replay.
+
+pub mod deps;
+pub mod explore;
+pub mod invariants;
+pub mod scenario;
+pub mod shrink;
+
+pub use explore::{explore, replay, Exploration, ExploreConfig, ExploreStats, Strategy, Violation};
+pub use invariants::{standard, Invariant};
+pub use scenario::{Scenario, ScenarioConfig};
+pub use shrink::{shrink, ShrinkResult};
+
+use dynp_core::DeciderKind;
+use dynp_rms::{Policy, Scheduler};
+use dynp_sim::SchedulerSpec;
+
+/// A factory producing a fresh scheduler per exploration.
+pub type SchedulerFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+
+/// Scheduler recipes the checker knows by name (`--scheduler`).
+///
+/// Returns a factory producing a fresh scheduler per exploration:
+/// `"fcfs"` (the static baseline, minimal cross-event state) and
+/// `"dynp"` (the paper's self-tuning scheduler with the advanced
+/// decider, maximal cross-event state — policy history, decider
+/// bookkeeping, queue log).
+pub fn scheduler_factory(name: &str) -> Option<SchedulerFactory> {
+    let spec = match name.to_ascii_lowercase().as_str() {
+        "fcfs" => SchedulerSpec::Static(Policy::Fcfs),
+        "sjf" => SchedulerSpec::Static(Policy::Sjf),
+        "dynp" => SchedulerSpec::dynp(DeciderKind::Advanced),
+        _ => return None,
+    };
+    Some(Box::new(move || spec.build()))
+}

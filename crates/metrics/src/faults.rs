@@ -9,7 +9,11 @@
 use serde::{Deserialize, Serialize};
 
 /// Counters accumulated over one fault-injected run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Every field is an exact integer so the struct is `Hash + Eq` — it
+/// lives on the driver's snapshot path, where bit-identical fingerprints
+/// across snapshot → restore are a hard requirement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FaultStats {
     /// Node-failure events processed.
     pub node_downs: u64,
@@ -28,8 +32,8 @@ pub struct FaultStats {
     /// Job starts that landed on a down node — always zero; counted (not
     /// asserted) so the chaos harness can verify the invariant end to end.
     pub down_node_allocations: u64,
-    /// Total node-seconds of downtime across all outages.
-    pub downtime_secs: f64,
+    /// Total node-milliseconds of downtime across all outages (exact).
+    pub downtime_ms: u64,
 }
 
 impl FaultStats {
@@ -43,6 +47,12 @@ impl FaultStats {
         self.evictions + self.crashes + self.overruns
     }
 
+    /// Total node-seconds of downtime across all outages (derived view
+    /// of the exact [`FaultStats::downtime_ms`] counter).
+    pub fn downtime_secs(&self) -> f64 {
+        self.downtime_ms as f64 / 1_000.0
+    }
+
     /// Mean fraction of the machine unavailable over `span_secs`
     /// (node-seconds of downtime over total node-seconds offered).
     pub fn unavailability(&self, machine_size: u32, span_secs: f64) -> f64 {
@@ -50,7 +60,7 @@ impl FaultStats {
         if offered <= 0.0 {
             0.0
         } else {
-            self.downtime_secs / offered
+            self.downtime_secs() / offered
         }
     }
 
@@ -65,7 +75,7 @@ impl FaultStats {
         self.retries += other.retries;
         self.lost += other.lost;
         self.down_node_allocations += other.down_node_allocations;
-        self.downtime_secs += other.downtime_secs;
+        self.downtime_ms += other.downtime_ms;
     }
 }
 
@@ -91,7 +101,7 @@ mod tests {
             overruns: 1,
             retries: 5,
             lost: 1,
-            downtime_secs: 500.0,
+            downtime_ms: 500_000,
             ..Default::default()
         };
         assert!(!s.is_empty());
@@ -105,7 +115,7 @@ mod tests {
         let mut a = FaultStats {
             node_downs: 1,
             evictions: 2,
-            downtime_secs: 10.0,
+            downtime_ms: 10_000,
             ..Default::default()
         };
         let b = FaultStats {
@@ -114,7 +124,7 @@ mod tests {
             crashes: 1,
             retries: 2,
             lost: 1,
-            downtime_secs: 5.5,
+            downtime_ms: 5_500,
             ..Default::default()
         };
         a.merge(&b);
@@ -124,6 +134,7 @@ mod tests {
         assert_eq!(a.crashes, 1);
         assert_eq!(a.retries, 2);
         assert_eq!(a.lost, 1);
-        assert!((a.downtime_secs - 15.5).abs() < 1e-12);
+        assert_eq!(a.downtime_ms, 15_500);
+        assert!((a.downtime_secs() - 15.5).abs() < 1e-12);
     }
 }

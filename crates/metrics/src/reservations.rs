@@ -9,7 +9,11 @@
 use serde::{Deserialize, Serialize};
 
 /// Counters accumulated over one simulated reservation stream.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Every field is an exact integer so the struct is `Hash + Eq` — it
+/// lives on the driver's snapshot path. Areas are counted in exact
+/// processor-milliseconds; the float processor-second views are derived.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ReservationStats {
     /// Requests offered to the admission controller.
     pub requests: u64,
@@ -34,10 +38,10 @@ pub struct ReservationStats {
     /// Admitted windows cancelled *by the system* because schedule repair
     /// found no width at which they still fit the degraded machine.
     pub revoked: u64,
-    /// Processor-seconds requested across all requests.
-    pub requested_area: f64,
-    /// Processor-seconds across admitted windows.
-    pub admitted_area: f64,
+    /// Processor-milliseconds requested across all requests (exact).
+    pub requested_area_pms: u64,
+    /// Processor-milliseconds across admitted windows (exact).
+    pub admitted_area_pms: u64,
 }
 
 impl ReservationStats {
@@ -51,12 +55,24 @@ impl ReservationStats {
         }
     }
 
+    /// Processor-seconds requested across all requests (derived view of
+    /// the exact [`ReservationStats::requested_area_pms`] counter).
+    pub fn requested_area(&self) -> f64 {
+        self.requested_area_pms as f64 / 1_000.0
+    }
+
+    /// Processor-seconds across admitted windows (derived view of the
+    /// exact [`ReservationStats::admitted_area_pms`] counter).
+    pub fn admitted_area(&self) -> f64 {
+        self.admitted_area_pms as f64 / 1_000.0
+    }
+
     /// Admitted / requested processor-seconds; 1 for an empty stream.
     pub fn area_acceptance_rate(&self) -> f64 {
-        if self.requested_area <= 0.0 {
+        if self.requested_area_pms == 0 {
             1.0
         } else {
-            self.admitted_area / self.requested_area
+            self.admitted_area_pms as f64 / self.requested_area_pms as f64
         }
     }
 
@@ -67,7 +83,7 @@ impl ReservationStats {
         if capacity <= 0.0 {
             0.0
         } else {
-            self.admitted_area / capacity
+            self.admitted_area() / capacity
         }
     }
 
@@ -88,8 +104,8 @@ impl ReservationStats {
         self.honored += other.honored;
         self.downgraded += other.downgraded;
         self.revoked += other.revoked;
-        self.requested_area += other.requested_area;
-        self.admitted_area += other.admitted_area;
+        self.requested_area_pms += other.requested_area_pms;
+        self.admitted_area_pms += other.admitted_area_pms;
     }
 }
 
@@ -112,8 +128,8 @@ mod tests {
             admitted: 7,
             rejected_capacity: 2,
             rejected_guarantee: 1,
-            requested_area: 1000.0,
-            admitted_area: 650.0,
+            requested_area_pms: 1_000_000,
+            admitted_area_pms: 650_000,
             ..Default::default()
         };
         assert!((s.acceptance_rate() - 0.7).abs() < 1e-12);

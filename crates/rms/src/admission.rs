@@ -31,7 +31,7 @@ use dynp_workload::Job;
 use serde::{Deserialize, Serialize};
 
 /// Why a reservation request was turned down.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RejectReason {
     /// Zero width, or wider than the machine.
     InvalidWidth,

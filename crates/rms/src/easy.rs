@@ -250,6 +250,20 @@ impl Scheduler for EasyBackfillScheduler {
             format!("EASY[{}]", self.policy.name())
         }
     }
+
+    fn snapshot(&self) -> Option<crate::scheduler::SchedulerSnapshot> {
+        // The profile/span buffers are rebuilt per replan; only the
+        // backfill counter survives across events.
+        Some(crate::scheduler::SchedulerSnapshot {
+            tag: "easy",
+            words: vec![self.backfilled],
+        })
+    }
+
+    fn restore(&mut self, snap: &crate::scheduler::SchedulerSnapshot) {
+        assert_eq!(snap.tag, "easy", "snapshot from a different scheduler");
+        self.backfilled = snap.words[0];
+    }
 }
 
 #[cfg(test)]

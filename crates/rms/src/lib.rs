@@ -49,5 +49,5 @@ pub use policy::Policy;
 pub use profile::Profile;
 pub use reservation::{RepairAction, Reservation, ReservationBook};
 pub use schedule::{PlannedJob, Schedule};
-pub use scheduler::{ReplanReason, Scheduler, StaticScheduler};
+pub use scheduler::{ReplanReason, Scheduler, SchedulerSnapshot, StaticScheduler};
 pub use state::{CompletedJob, LostJob, QueueChange, RmsState, RunningJob};

@@ -16,7 +16,7 @@ use dynp_des::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// A fixed block of processors over a fixed interval.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Reservation {
     /// Identifier (unique within a book).
     pub id: u32,
@@ -43,7 +43,7 @@ impl Reservation {
 /// What schedule repair did to one admitted window after a capacity loss
 /// (see `RmsState::repair_reservations`). Carried into the reservation
 /// statistics and the trace so guarantee erosion is attributable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RepairAction {
     /// The window no longer fit at its promised width and was shrunk to
     /// the widest width that still fits (best effort).
@@ -63,7 +63,7 @@ pub enum RepairAction {
 }
 
 /// A collection of advance reservations with id-based bookkeeping.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ReservationBook {
     reservations: Vec<Reservation>,
     next_id: u32,

@@ -29,6 +29,22 @@ pub enum ReplanReason {
     Fault,
 }
 
+/// An opaque value capture of a scheduler's cross-event state.
+///
+/// Planners and scratch buffers are rebuilt from the [`RmsState`] on the
+/// next replan, so a snapshot only needs the state that *survives*
+/// events: the active policy, switch statistics, counters. Each
+/// implementation encodes those into `words` however it likes; `tag`
+/// guards against restoring into the wrong implementation. `Hash + Eq`
+/// let the snapshot participate directly in model-checker fingerprints.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SchedulerSnapshot {
+    /// Implementation marker — restore panics on a mismatch.
+    pub tag: &'static str,
+    /// Implementation-defined encoding of the mutable state.
+    pub words: Vec<u64>,
+}
+
 /// A scheduler: turns the current RMS state into a full schedule.
 ///
 /// Called by the driver after every event; the driver then starts every
@@ -51,6 +67,24 @@ pub trait Scheduler: Send {
     /// this; the default ignores the tracer, so plain schedulers need no
     /// changes and tracing can never alter scheduling behavior.
     fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Captures the scheduler's cross-event state as a value, or `None`
+    /// when the implementation does not support snapshotting (the model
+    /// checker refuses such schedulers up front).
+    fn snapshot(&self) -> Option<SchedulerSnapshot> {
+        None
+    }
+
+    /// Restores state captured by [`Scheduler::snapshot`] on the same
+    /// implementation. Implementations must guarantee that a restored
+    /// scheduler replans bit-identically to the snapshotted one.
+    ///
+    /// # Panics
+    /// The default panics: restoring into a scheduler that never
+    /// produced a snapshot is a caller bug.
+    fn restore(&mut self, _snap: &SchedulerSnapshot) {
+        panic!("{} does not support snapshot/restore", self.name());
+    }
 }
 
 /// The paper's baseline: a single fixed policy (with the implicit
@@ -97,6 +131,20 @@ impl Scheduler for StaticScheduler {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.planner.set_tracer(tracer);
+    }
+
+    fn snapshot(&self) -> Option<SchedulerSnapshot> {
+        // Everything a static scheduler computes is a pure function of
+        // the RmsState handed to `replan`; the policy is immutable config
+        // and the planner/queue buffers are rebuilt every call.
+        Some(SchedulerSnapshot {
+            tag: "static",
+            words: Vec::new(),
+        })
+    }
+
+    fn restore(&mut self, snap: &SchedulerSnapshot) {
+        assert_eq!(snap.tag, "static", "snapshot from a different scheduler");
     }
 }
 

@@ -23,7 +23,7 @@ use dynp_des::{SimDuration, SimTime};
 use dynp_workload::{Job, JobId};
 
 /// A job currently executing.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RunningJob {
     /// The job.
     pub job: Job,
@@ -47,7 +47,7 @@ impl RunningJob {
 
 /// A finished job with its realized times — the record metrics are
 /// computed from.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CompletedJob {
     /// The job.
     pub job: Job,
@@ -72,7 +72,7 @@ impl CompletedJob {
 /// A job that exhausted its retry budget — the typed terminal state of
 /// the fault model. Lost jobs leave the system without completing; job
 /// conservation becomes `completed + lost == submitted`.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LostJob {
     /// The job.
     pub job: Job,
@@ -85,7 +85,7 @@ pub struct LostJob {
 /// One change to the waiting queue, in occurrence order. The append-only
 /// log of these lets incremental schedulers replay exact queue deltas
 /// instead of re-scanning (or re-sorting) the whole queue every event.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum QueueChange {
     /// The job entered the waiting queue (submission).
     Entered(Job),
@@ -94,7 +94,11 @@ pub enum QueueChange {
 }
 
 /// The resource-management state: job pools plus processor accounting.
-#[derive(Clone, Debug)]
+///
+/// The whole struct is a *value*: `Clone + Hash + Eq`, with no interior
+/// handles — snapshotting a driver is a plain clone, and the model
+/// checker hashes it directly into state fingerprints.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RmsState {
     machine_size: u32,
     /// Unoccupied *up* nodes — down nodes are never free.
@@ -158,6 +162,11 @@ impl RmsState {
     /// Whether a node is currently down.
     pub fn is_node_down(&self, node: u32) -> bool {
         self.down[node as usize]
+    }
+
+    /// The running job occupying a node, if any.
+    pub fn node_occupant(&self, node: u32) -> Option<JobId> {
+        self.nodes[node as usize]
     }
 
     /// The nodes currently assigned to a running job, in index order.
@@ -470,6 +479,26 @@ impl RmsState {
     /// in book order — empty whenever everything still fits, and never
     /// called on a fault-free run.
     pub fn repair_reservations(&mut self, now: SimTime) -> Vec<RepairAction> {
+        let actions = self.plan_reservation_repair(now);
+        for a in &actions {
+            match *a {
+                RepairAction::Downgraded { id, to_width, .. } => {
+                    self.reservations.downgrade(id, to_width);
+                }
+                RepairAction::Revoked { id } => {
+                    self.reservations.cancel(id);
+                }
+            }
+        }
+        actions
+    }
+
+    /// The read-only half of [`RmsState::repair_reservations`]: computes
+    /// the repair actions the current book would need, without applying
+    /// them. An empty plan means every booked window still fits the
+    /// (possibly degraded) machine at its promised width — the guarantee-
+    /// preservation invariant the model checker asserts at every state.
+    pub fn plan_reservation_repair(&self, now: SimTime) -> Vec<RepairAction> {
         let capacity = self.plan_capacity();
         let pad_end = now.saturating_add(RUNNING_PAD);
         let mut profile = Profile::new(capacity, now);
@@ -478,8 +507,7 @@ impl RmsState {
             profile.allocate(now, end.saturating_since(now), run.job.width);
         }
         let mut actions = Vec::new();
-        let windows: Vec<Reservation> = self.reservations.all().to_vec();
-        for r in windows {
+        for r in self.reservations.all() {
             if !r.active_at(now) {
                 continue;
             }
@@ -502,7 +530,6 @@ impl RmsState {
                 Some(w) => {
                     profile.allocate(clip, duration, w);
                     if w != r.width {
-                        self.reservations.downgrade(r.id, w);
                         actions.push(RepairAction::Downgraded {
                             id: r.id,
                             from_width: r.width,
@@ -511,7 +538,6 @@ impl RmsState {
                     }
                 }
                 None => {
-                    self.reservations.cancel(r.id);
                     actions.push(RepairAction::Revoked { id: r.id });
                 }
             }

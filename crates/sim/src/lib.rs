@@ -32,6 +32,7 @@ pub use federation::{
 };
 pub use runner::{
     simulate, simulate_chaos, simulate_detailed, simulate_traced, simulate_with_reservations,
-    DetailedRun, ReservationReport, RunObservations, RunResult,
+    ChaosDriver, DetailedRun, ReservationReport, RunObservations, RunResult, SimSnapshot,
 };
+pub use shard::{CoreSnapshot, Event, ShardCore};
 pub use spec::SchedulerSpec;

@@ -28,13 +28,17 @@
 //! [`FaultPlan::none`] the run is bit-identical to [`simulate_traced`] —
 //! all three entry points are the same driver loop.
 
-use crate::shard::{Event, ShardCore};
-use dynp_des::Engine;
+use crate::shard::{CoreSnapshot, Event, ShardCore};
+use dynp_des::{Engine, EngineSnapshot, SimTime};
 use dynp_metrics::{FaultStats, ReservationStats, SimMetrics};
 use dynp_obs::Tracer;
-use dynp_rms::{AdmissionConfig, CompletedJob, RejectReason, Reservation, Scheduler};
+use dynp_rms::{
+    AdmissionConfig, CompletedJob, RejectReason, Reservation, Scheduler, SchedulerSnapshot,
+};
 use dynp_workload::{FaultPlan, JobSet, ReservationRequest};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 
 /// The outcome of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -63,7 +67,11 @@ pub struct RunObservations {
 }
 
 /// What happened to the reservation stream during a run.
-#[derive(Clone, Debug, Default)]
+///
+/// `Hash + Eq` because the report is part of the driver state the model
+/// checker snapshots and fingerprints (every counter in it is exact
+/// integer arithmetic).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct ReservationReport {
     /// Admission and life-cycle counters.
     pub stats: ReservationStats,
@@ -197,49 +205,258 @@ pub fn simulate_chaos(
     faults: &FaultPlan,
     tracer: Tracer,
 ) -> DetailedRun {
-    scheduler.set_tracer(tracer.clone());
-    let mut engine: Engine<Event> = Engine::new();
-    for job in set.jobs() {
-        engine.schedule_at(job.submit, Event::Arrive(job.id));
-    }
-    // Scheduled after the arrivals so that at equal instants a job enters
-    // the queue before a window is judged against it.
-    for (i, r) in requests.iter().enumerate() {
-        engine.schedule_at(r.submit, Event::ResRequest(i as u32));
-    }
-    // Outages are sorted by down_at, and a node's repair precedes its next
-    // failure, so same-instant NodeUp/NodeDown pairs on one node dispatch
-    // in FIFO (up-then-down) order and never double-fail a node.
-    for o in &faults.outages {
-        engine.schedule_at(o.down_at, Event::NodeDown(o.node));
-        engine.schedule_at(o.up_at, Event::NodeUp(o.node));
-    }
-    // Observation clocks start at the first event of any stream — a
-    // reservation request or a node failure may precede the first job
-    // submission.
-    let t0 = requests
-        .iter()
-        .map(|r| r.submit)
-        .chain(faults.outages.iter().map(|o| o.down_at))
-        .fold(set.first_submit(), |a, b| a.min(b));
-    let mut core = ShardCore::new(
-        set.machine_size,
-        admission,
-        set.len(),
-        faults.retry,
-        t0,
-        tracer,
-        0,
-    );
+    ChaosDriver::new(set, scheduler, requests, admission, faults, tracer).run_to_end()
+}
 
-    engine.run(|eng, event| core.handle(eng, event, &mut *scheduler, set.jobs(), requests, faults));
-    core.finish(
-        &engine,
-        scheduler.name(),
-        set.name.clone(),
-        faults,
-        Some(set.len()),
-    )
+/// A value snapshot of an entire single-cluster simulation: driver state,
+/// pending event queue, and the scheduler's cross-event state.
+///
+/// Restoring one into a [`ChaosDriver`] built from the same inputs
+/// reproduces the run bit-identically from that point — the foundation of
+/// the model checker's branch-and-backtrack exploration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SimSnapshot {
+    /// The [`ShardCore`] run state.
+    pub core: CoreSnapshot,
+    /// Clock and pending events.
+    pub engine: EngineSnapshot<Event>,
+    /// Scheduler cross-event state.
+    pub scheduler: SchedulerSnapshot,
+}
+
+impl SimSnapshot {
+    /// A 128-bit fingerprint of the whole simulation state: the snapshot
+    /// hashed twice with distinct prefixes. Used as the model checker's
+    /// visited-set key, where 64 bits would make accidental collisions
+    /// (a silently pruned branch) plausible at ~10⁵+ states.
+    pub fn fingerprint(&self) -> u128 {
+        let mut hi = DefaultHasher::new();
+        0x9e37_79b9_7f4a_7c15u64.hash(&mut hi);
+        self.hash(&mut hi);
+        let mut lo = DefaultHasher::new();
+        0xc2b2_ae3d_27d4_eb4fu64.hash(&mut lo);
+        self.hash(&mut lo);
+        ((hi.finish() as u128) << 64) | lo.finish() as u128
+    }
+}
+
+/// The single-cluster chaos driver as a steppable object.
+///
+/// [`simulate_chaos`] is `ChaosDriver::new(..).run_to_end()` — one event
+/// loop, bit-identical to the historical closure-based driver. What the
+/// object form adds is *control*: step one event at a time, pick which of
+/// several same-instant tied events dispatches next
+/// ([`ChaosDriver::step_nth_tied`]), and capture/restore/fingerprint the
+/// complete simulation state between steps. The model checker uses these
+/// to explore every reachable interleaving of a small scenario without
+/// ever rerunning from `t = 0`.
+pub struct ChaosDriver<'a> {
+    engine: Engine<Event>,
+    core: ShardCore,
+    scheduler: &'a mut dyn Scheduler,
+    set: &'a JobSet,
+    requests: &'a [ReservationRequest],
+    faults: &'a FaultPlan,
+    admission: AdmissionConfig,
+    t0: SimTime,
+}
+
+impl<'a> ChaosDriver<'a> {
+    /// Builds the driver and seeds every exogenous stream, exactly as the
+    /// historical `simulate_chaos` body did: arrivals first, then
+    /// reservation requests, then outages — the seeding order is the FIFO
+    /// tie-break order at equal instants.
+    pub fn new(
+        set: &'a JobSet,
+        scheduler: &'a mut dyn Scheduler,
+        requests: &'a [ReservationRequest],
+        admission: AdmissionConfig,
+        faults: &'a FaultPlan,
+        tracer: Tracer,
+    ) -> ChaosDriver<'a> {
+        scheduler.set_tracer(tracer.clone());
+        let mut engine: Engine<Event> = Engine::new();
+        for job in set.jobs() {
+            engine.schedule_at(job.submit, Event::Arrive(job.id));
+        }
+        // Scheduled after the arrivals so that at equal instants a job
+        // enters the queue before a window is judged against it.
+        for (i, r) in requests.iter().enumerate() {
+            engine.schedule_at(r.submit, Event::ResRequest(i as u32));
+        }
+        // Outages are sorted by down_at, and a node's repair precedes its
+        // next failure, so same-instant NodeUp/NodeDown pairs on one node
+        // dispatch in FIFO (up-then-down) order and never double-fail a
+        // node.
+        for o in &faults.outages {
+            engine.schedule_at(o.down_at, Event::NodeDown(o.node));
+            engine.schedule_at(o.up_at, Event::NodeUp(o.node));
+        }
+        // Observation clocks start at the first event of any stream — a
+        // reservation request or a node failure may precede the first job
+        // submission.
+        let t0 = requests
+            .iter()
+            .map(|r| r.submit)
+            .chain(faults.outages.iter().map(|o| o.down_at))
+            .fold(set.first_submit(), |a, b| a.min(b));
+        let core = ShardCore::new(
+            set.machine_size,
+            admission,
+            set.len(),
+            faults.retry,
+            t0,
+            tracer,
+            0,
+        );
+        ChaosDriver {
+            engine,
+            core,
+            scheduler,
+            set,
+            requests,
+            faults,
+            admission,
+            t0,
+        }
+    }
+
+    /// Runs the remaining events to completion and measures the run.
+    ///
+    /// # Panics
+    /// Panics on the driver-bug terminal checks (job conservation,
+    /// undrained queue, still-booked windows) — see [`simulate_chaos`].
+    pub fn run_to_end(self) -> DetailedRun {
+        let ChaosDriver {
+            mut engine,
+            mut core,
+            scheduler,
+            set,
+            requests,
+            faults,
+            ..
+        } = self;
+        engine.run(|eng, event| {
+            core.handle(eng, event, &mut *scheduler, set.jobs(), requests, faults)
+        });
+        core.finish(
+            &engine,
+            scheduler.name(),
+            set.name.clone(),
+            faults,
+            Some(set.len()),
+        )
+    }
+
+    /// Dispatches the next pending event (FIFO among same-instant ties).
+    /// Returns the dispatched event, or `None` when the run has drained.
+    pub fn step(&mut self) -> Option<(SimTime, Event)> {
+        self.step_nth_tied(0)
+    }
+
+    /// Dispatches the `n`-th (by FIFO rank) of the events tied at the
+    /// earliest pending instant — the model checker's branching move.
+    /// Returns `None` (state untouched) when `n` is out of range.
+    pub fn step_nth_tied(&mut self, n: usize) -> Option<(SimTime, Event)> {
+        let (t, event) = self.engine.step_nth(n)?;
+        self.core.handle(
+            &mut self.engine,
+            event,
+            &mut *self.scheduler,
+            self.set.jobs(),
+            self.requests,
+            self.faults,
+        );
+        Some((t, event))
+    }
+
+    /// The events tied at the earliest pending instant, in FIFO order;
+    /// empty when the run has drained. Index `n` is what
+    /// [`ChaosDriver::step_nth_tied`]`(n)` would dispatch.
+    pub fn tied_events(&self) -> Vec<Event> {
+        self.engine.tied_events()
+    }
+
+    /// True when no events are pending — the run has drained.
+    pub fn is_done(&self) -> bool {
+        self.engine.peek_time().is_none()
+    }
+
+    /// The simulation clock (time of the last dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Read access to the driver core (RMS state, fault statistics,
+    /// reservation report) for invariant checks between steps.
+    pub fn core(&self) -> &ShardCore {
+        &self.core
+    }
+
+    /// Pending `(time, seq, event)` entries in canonical dispatch order —
+    /// the model checker scans these for attempt-tag integrity.
+    pub fn pending_events(&self) -> Vec<(SimTime, u64, Event)> {
+        self.engine.snapshot().entries
+    }
+
+    /// Captures the complete simulation state as a value.
+    ///
+    /// # Panics
+    /// Panics if the scheduler does not support snapshotting.
+    pub fn snapshot(&self) -> SimSnapshot {
+        let scheduler = self.scheduler.snapshot().unwrap_or_else(|| {
+            panic!(
+                "scheduler {} does not support snapshot/restore",
+                self.scheduler.name()
+            )
+        });
+        SimSnapshot {
+            core: self.core.snapshot(),
+            engine: self.engine.snapshot(),
+            scheduler,
+        }
+    }
+
+    /// Restores state captured by [`ChaosDriver::snapshot`] on a driver
+    /// built from the same inputs. The clock may move backward.
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        self.core.restore(&snap.core);
+        self.engine.restore(&snap.engine);
+        self.scheduler.restore(&snap.scheduler);
+    }
+
+    /// Fingerprint of the current state (see [`SimSnapshot::fingerprint`]).
+    pub fn fingerprint(&self) -> u128 {
+        self.snapshot().fingerprint()
+    }
+
+    /// Runs the terminal drain checks and measures the run *without*
+    /// consuming the driver: the core is rebuilt from a snapshot on a
+    /// throwaway copy, so exploration can restore and continue afterwards.
+    /// The model checker calls this at every drained leaf to exercise the
+    /// same conservation/book asserts a plain run would.
+    ///
+    /// # Panics
+    /// Panics exactly where [`ChaosDriver::run_to_end`] would.
+    pub fn finish_detached(&self) -> DetailedRun {
+        let mut core = ShardCore::new(
+            self.set.machine_size,
+            self.admission,
+            self.set.len(),
+            self.faults.retry,
+            self.t0,
+            Tracer::disabled(),
+            0,
+        );
+        core.restore(&self.core.snapshot());
+        core.finish(
+            &self.engine,
+            self.scheduler.name(),
+            self.set.name.clone(),
+            self.faults,
+            Some(self.set.len()),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -523,7 +740,8 @@ mod tests {
         assert_eq!(st.requests, reqs.len() as u64);
         assert_eq!(st.admitted, st.honored + st.cancelled);
         assert_eq!(st.rejected() + st.admitted, st.requests);
-        assert!(st.admitted_area <= st.requested_area);
+        assert!(st.admitted_area_pms <= st.requested_area_pms);
+        assert!(st.admitted_area() <= st.requested_area());
     }
 
     #[test]
@@ -590,7 +808,8 @@ mod tests {
         assert_eq!(d.faults.down_node_allocations, 0);
         // Wait is measured from the ORIGINAL submission: start 350.
         assert!((d.result.metrics.avg_wait_secs - 350.0).abs() < 1e-9);
-        assert!((d.faults.downtime_secs - 10.0).abs() < 1e-12);
+        assert_eq!(d.faults.downtime_ms, 10_000);
+        assert!((d.faults.downtime_secs() - 10.0).abs() < 1e-12);
     }
 
     #[test]

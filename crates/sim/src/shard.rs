@@ -33,7 +33,7 @@
 //! seeding produces.
 
 use crate::runner::{DetailedRun, ReservationReport, RunObservations, RunResult};
-use dynp_des::{Engine, EventClock, SimDuration, SimTime, TimeWeighted};
+use dynp_des::{Engine, EventClock, SimDuration, SimTime, TimeWeightedCount};
 use dynp_metrics::{FaultStats, SimMetrics};
 use dynp_obs::{TraceClass, TraceEvent, Tracer};
 use dynp_rms::{
@@ -43,7 +43,10 @@ use dynp_rms::{
 use dynp_workload::{FaultKind, FaultPlan, Job, JobId, ReservationRequest, RetryPolicy};
 
 /// Events of the RMS simulation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Hash` because events sit inside queue snapshots that the model
+/// checker fingerprints for visited-state deduplication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Event {
     /// A job reaches the system.
     Arrive(JobId),
@@ -166,8 +169,8 @@ pub struct ShardCore {
     attempts: Vec<u32>,
     pub(crate) fstats: FaultStats,
     retry: RetryPolicy,
-    queue_tw: TimeWeighted,
-    busy_tw: TimeWeighted,
+    queue_tw: TimeWeightedCount,
+    busy_tw: TimeWeightedCount,
     peak_queue: usize,
     report: ReservationReport,
     /// Admitted windows by book id (ids are dense: the book assigns them
@@ -181,6 +184,27 @@ pub struct ShardCore {
     pub(crate) migrated_out: u64,
     /// Jobs that entered this cluster's queue via migration.
     pub(crate) migrated_in: u64,
+}
+
+/// A value capture of a [`ShardCore`]'s entire mutable run state.
+///
+/// Everything that changes across events is here; what is *not* here is
+/// immutable run configuration (`retry`, `cluster`, the admission config
+/// inside the controller) and the tracer (observation only — pinned to
+/// never alter behavior). `Hash + Eq` let whole-simulation snapshots act
+/// as model-checker fingerprints.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CoreSnapshot {
+    state: RmsState,
+    attempts: Vec<u32>,
+    fstats: FaultStats,
+    queue_tw: TimeWeightedCount,
+    busy_tw: TimeWeightedCount,
+    peak_queue: usize,
+    report: ReservationReport,
+    admitted: Vec<(Reservation, bool)>,
+    migrated_out: u64,
+    migrated_in: u64,
 }
 
 impl ShardCore {
@@ -205,8 +229,8 @@ impl ShardCore {
             attempts: vec![0; n_jobs_global],
             fstats: FaultStats::default(),
             retry,
-            queue_tw: TimeWeighted::new(t0, 0.0),
-            busy_tw: TimeWeighted::new(t0, 0.0),
+            queue_tw: TimeWeightedCount::new(t0, 0),
+            busy_tw: TimeWeightedCount::new(t0, 0),
             peak_queue: 0,
             report: ReservationReport::default(),
             admitted: Vec::new(),
@@ -218,7 +242,7 @@ impl ShardCore {
     }
 
     /// Execution attempts spent so far by `id` (global job id).
-    pub(crate) fn attempts_of(&self, id: JobId) -> u32 {
+    pub fn attempts_of(&self, id: JobId) -> u32 {
         self.attempts[id.0 as usize]
     }
 
@@ -231,6 +255,50 @@ impl ShardCore {
     /// Fault statistics accumulated so far.
     pub fn fault_stats(&self) -> &FaultStats {
         &self.fstats
+    }
+
+    /// The reservation report accumulated so far (model-checker
+    /// invariants cross-check it against the book).
+    pub fn reservation_report(&self) -> &ReservationReport {
+        &self.report
+    }
+
+    /// Admitted windows by book id, each flagged `true` once cancelled or
+    /// revoked.
+    pub fn admitted_windows(&self) -> &[(Reservation, bool)] {
+        &self.admitted
+    }
+
+    /// Captures the core's entire mutable run state as a value.
+    pub fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            state: self.state.clone(),
+            attempts: self.attempts.clone(),
+            fstats: self.fstats,
+            queue_tw: self.queue_tw.clone(),
+            busy_tw: self.busy_tw.clone(),
+            peak_queue: self.peak_queue,
+            report: self.report.clone(),
+            admitted: self.admitted.clone(),
+            migrated_out: self.migrated_out,
+            migrated_in: self.migrated_in,
+        }
+    }
+
+    /// Restores state captured by [`ShardCore::snapshot`]. The core must
+    /// have been built with the same configuration (machine, admission,
+    /// retry policy) — only the mutable state is replaced.
+    pub fn restore(&mut self, snap: &CoreSnapshot) {
+        self.state = snap.state.clone();
+        self.attempts = snap.attempts.clone();
+        self.fstats = snap.fstats;
+        self.queue_tw = snap.queue_tw.clone();
+        self.busy_tw = snap.busy_tw.clone();
+        self.peak_queue = snap.peak_queue;
+        self.report = snap.report.clone();
+        self.admitted = snap.admitted.clone();
+        self.migrated_out = snap.migrated_out;
+        self.migrated_in = snap.migrated_in;
     }
 
     /// Grows the per-job attempt table to cover `n` jobs. The batch
@@ -291,9 +359,22 @@ impl ShardCore {
                 // Stale when the attempt it was scheduled for has been
                 // evicted by a node loss (the job is waiting out a retry
                 // backoff, running a later attempt, or lost).
-                if self.attempts[id.0 as usize] != attempt
-                    || !self.state.running().iter().any(|r| r.job.id == id)
-                {
+                //
+                // The `mc-mutant-stale-finish` feature is a *seeded bug*
+                // for the model checker's sanity test: it drops the
+                // attempt-tag half of the check, so a Finish left over
+                // from an evicted attempt completes the job's *current*
+                // attempt at the wrong instant. Never enabled in normal
+                // builds.
+                #[cfg(not(feature = "mc-mutant-stale-finish"))]
+                let stale = self.attempts[id.0 as usize] != attempt
+                    || !self.state.running().iter().any(|r| r.job.id == id);
+                #[cfg(feature = "mc-mutant-stale-finish")]
+                let stale = {
+                    let _ = attempt;
+                    !self.state.running().iter().any(|r| r.job.id == id)
+                };
+                if stale {
                     return;
                 }
                 self.state.complete(id, now);
@@ -399,7 +480,7 @@ impl ShardCore {
                 // already ended before building the base profile.
                 self.state.expire_reservations(now);
                 self.report.stats.requests += 1;
-                self.report.stats.requested_area += r.area();
+                self.report.stats.requested_area_pms += r.area_pms();
                 match self.controller.evaluate(
                     &self.state,
                     now,
@@ -426,7 +507,7 @@ impl ShardCore {
                         };
                         self.admitted.push((res, false));
                         self.report.stats.admitted += 1;
-                        self.report.stats.admitted_area += r.area();
+                        self.report.stats.admitted_area_pms += r.area_pms();
                         eng.schedule_at(res.start, Event::ResStart(book_id));
                         eng.schedule_at(res.end(), Event::ResEnd(book_id));
                         if let Some(c) = r.cancel_at {
@@ -589,10 +670,10 @@ impl ShardCore {
             }
         }
         self.peak_queue = self.peak_queue.max(self.state.waiting().len());
-        self.queue_tw.set(now, self.state.waiting().len() as f64);
+        self.queue_tw.set(now, self.state.waiting().len() as u64);
         self.busy_tw.set(
             now,
-            (self.state.machine_size() - self.state.free_processors()) as f64,
+            (self.state.machine_size() - self.state.free_processors()) as u64,
         );
     }
 
@@ -649,10 +730,10 @@ impl ShardCore {
             "admitted windows must end, be cancelled, or be revoked by repair"
         );
         let _ = admitted;
-        fstats.downtime_secs = faults
+        fstats.downtime_ms = faults
             .outages
             .iter()
-            .map(|o| o.downtime().as_secs_f64())
+            .map(|o| o.downtime().as_millis())
             .sum();
 
         let end = engine.now();

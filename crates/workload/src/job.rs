@@ -30,7 +30,7 @@ impl std::fmt::Display for JobId {
 /// are mandatory in planning systems); the simulation releases resources
 /// after the *actual* run time. Jobs are killed at their estimate, so
 /// `actual <= estimate` is an invariant (enforced by [`Job::new`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Job {
     /// Dense identifier within the owning job set.
     pub id: JobId,

@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One advance-reservation request as it reaches the RMS.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ReservationRequest {
     /// Dense request identifier (position in the stream).
     pub id: u32,
@@ -52,6 +52,12 @@ impl ReservationRequest {
     /// Requested processor-seconds.
     pub fn area(&self) -> f64 {
         self.duration.as_secs_f64() * self.width as f64
+    }
+
+    /// Requested processor-milliseconds, exact — the unit the driver's
+    /// snapshotable area counters accumulate in.
+    pub fn area_pms(&self) -> u64 {
+        self.duration.as_millis() * self.width as u64
     }
 }
 
