@@ -28,7 +28,7 @@
 //! already-dispatched timer, and sorting the recorded stamps (the replay)
 //! yields exactly the live dispatch order.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineSnapshot};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::time::{SimDuration, SimTime};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
@@ -104,6 +104,9 @@ pub struct WallClockSource<E, X> {
     timers: BinaryHeapQueue<E>,
     rx: Receiver<X>,
     epoch: Instant,
+    /// Simulation instant the epoch corresponds to — zero for a fresh
+    /// source, the recovered clock for a resumed one.
+    base: SimTime,
     speedup: u64,
     now: SimTime,
     /// Earliest stamp the next external item may carry; bumped past every
@@ -122,6 +125,7 @@ impl<E, X> WallClockSource<E, X> {
             timers: BinaryHeapQueue::new(),
             rx,
             epoch: Instant::now(),
+            base: SimTime::ZERO,
             speedup: speedup.max(1),
             now: SimTime::ZERO,
             min_external: SimTime::ZERO,
@@ -130,15 +134,68 @@ impl<E, X> WallClockSource<E, X> {
         }
     }
 
+    /// Resumes a live source from recovered state: the pending timers,
+    /// clock, dynamic tie-break counter (`snap.next_seq` — it decides
+    /// future equal-instant ordering, so it must survive a restart) and
+    /// the external stamp floor. The wall clock is re-anchored so that
+    /// "now" on the wall equals `snap.now` in simulation time; timers in
+    /// the recovered future fire at their original instants.
+    pub fn resume(
+        rx: Receiver<X>,
+        speedup: u64,
+        snap: &EngineSnapshot<E>,
+        min_external: SimTime,
+    ) -> Self
+    where
+        E: Clone,
+    {
+        WallClockSource {
+            timers: BinaryHeapQueue::from_entries(snap.entries.iter().cloned(), snap.next_seq),
+            rx,
+            epoch: Instant::now(),
+            base: snap.now,
+            speedup: speedup.max(1),
+            now: snap.now,
+            min_external: min_external.max(snap.now),
+            processed: snap.processed,
+            draining: false,
+        }
+    }
+
+    /// Captures the timer queue and clock as an [`EngineSnapshot`] — the
+    /// checkpointable half of the source (the channel and wall anchor are
+    /// reconstructed by [`WallClockSource::resume`]).
+    pub fn engine_snapshot(&self) -> EngineSnapshot<E>
+    where
+        E: Clone,
+    {
+        EngineSnapshot {
+            now: self.now,
+            processed: self.processed,
+            next_seq: self.timers.next_seq(),
+            entries: self.timers.entries(),
+        }
+    }
+
+    /// The earliest stamp the next external item may carry (see the stamp
+    /// discipline above). Checkpoints persist it so a resumed source
+    /// stamps externals exactly as the uninterrupted one would.
+    pub fn min_external(&self) -> SimTime {
+        self.min_external
+    }
+
     /// The wall clock mapped into simulation time.
     fn wall_now(&self) -> SimTime {
-        SimTime::from_millis(self.epoch.elapsed().as_millis() as u64 * self.speedup)
+        self.base.saturating_add(SimDuration::from_millis(
+            self.epoch.elapsed().as_millis() as u64 * self.speedup,
+        ))
     }
 
     /// Wall-clock wait until simulation instant `t`, `None` when `t` is
     /// already due.
     fn wait_for(&self, t: SimTime) -> Option<Duration> {
-        let target = Duration::from_millis(t.as_millis() / self.speedup);
+        let target =
+            Duration::from_millis(t.saturating_since(self.base).as_millis() / self.speedup);
         target
             .checked_sub(self.epoch.elapsed())
             .filter(|d| !d.is_zero())
@@ -231,6 +288,121 @@ impl<E, X> WallClockSource<E, X> {
 }
 
 impl<E, X> EventClock<E> for WallClockSource<E, X> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time:?} < now {:?}",
+            self.now
+        );
+        self.timers.push(time, event);
+    }
+
+    fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn pending(&self) -> usize {
+        self.timers.len()
+    }
+}
+
+/// A virtual replay of a wall-clock session: pending timers plus a
+/// journal of externally recorded `(stamp, item)` dispatches.
+///
+/// Recovery replays a journal suffix through the same driver loop the
+/// live daemon ran, and must reproduce the live dispatch order exactly.
+/// The live order is: a pending timer at `t` fires before any external
+/// stamped after `t`, and an external stamped *at* `t` (the cap — see
+/// [`WallClockSource`]) fired before that timer. So the replay loop is:
+/// dispatch every pending timer strictly before the next journal stamp
+/// ([`ReplaySource::pop_timer_before`]), then the external itself
+/// ([`ReplaySource::note_external`]). Timers equal to the stamp stay
+/// pending until after the external, which is precisely the live order.
+///
+/// After the journal runs dry the source either drains (pop with
+/// `limit = None`) or converts back into a live
+/// [`WallClockSource::resume`] via [`ReplaySource::into_snapshot`].
+pub struct ReplaySource<E> {
+    timers: BinaryHeapQueue<E>,
+    now: SimTime,
+    min_external: SimTime,
+    processed: u64,
+}
+
+impl<E: Clone> ReplaySource<E> {
+    /// A replay source over recovered timers and clock. `min_external`
+    /// restores the stamp floor the checkpointed live source carried.
+    pub fn from_snapshot(snap: &EngineSnapshot<E>, min_external: SimTime) -> Self {
+        ReplaySource {
+            timers: BinaryHeapQueue::from_entries(snap.entries.iter().cloned(), snap.next_seq),
+            now: snap.now,
+            min_external,
+            processed: snap.processed,
+        }
+    }
+
+    /// An empty replay source starting at time zero — the from-genesis
+    /// replay of a complete journal.
+    pub fn fresh() -> Self {
+        ReplaySource {
+            timers: BinaryHeapQueue::new(),
+            now: SimTime::ZERO,
+            min_external: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Pops the earliest pending timer if its instant lies strictly
+    /// before `limit` (or unconditionally when `limit` is `None` — the
+    /// drain phase after the journal's last record), advancing the clock
+    /// and the external stamp floor exactly as the live source did.
+    pub fn pop_timer_before(&mut self, limit: Option<SimTime>) -> Option<E> {
+        let t = self.timers.peek_time()?;
+        if let Some(limit) = limit {
+            if t >= limit {
+                return None;
+            }
+        }
+        let (t, e) = self.timers.pop().expect("peek said non-empty");
+        self.now = self.now.max(t);
+        self.min_external = self
+            .min_external
+            .max(t.saturating_add(SimDuration::from_millis(1)));
+        self.processed += 1;
+        Some(e)
+    }
+
+    /// Advances the clock to a journaled external's recorded stamp and
+    /// counts the dispatch. The caller then applies the external's effect
+    /// (submit, cancel) against this source.
+    pub fn note_external(&mut self, stamp: SimTime) {
+        debug_assert!(stamp >= self.now, "journal stamps must be monotone");
+        self.now = self.now.max(stamp);
+        self.processed += 1;
+    }
+
+    /// Converts the replayed state back into the checkpointable form —
+    /// the input to [`WallClockSource::resume`] when the daemon goes live
+    /// again after recovery. Returns the engine half and the external
+    /// stamp floor.
+    pub fn into_snapshot(self) -> (EngineSnapshot<E>, SimTime) {
+        (
+            EngineSnapshot {
+                now: self.now,
+                processed: self.processed,
+                next_seq: self.timers.next_seq(),
+                entries: self.timers.entries(),
+            },
+            self.min_external,
+        )
+    }
+}
+
+impl<E: Clone> EventClock<E> for ReplaySource<E> {
     fn now(&self) -> SimTime {
         self.now
     }
@@ -419,5 +591,76 @@ mod tests {
         let _ = src.next_tick();
         let past = SimTime::ZERO;
         src.schedule_at(past, 1);
+    }
+
+    #[test]
+    fn replay_source_orders_timers_against_journal_stamps() {
+        // Timers at 5 and 10; journal externals stamped 7 and 10. Live
+        // order was: timer(5), ext(7), ext(10) — capped at the pending
+        // timer, so dispatched before it — then timer(10).
+        let mut src: ReplaySource<u32> = ReplaySource::fresh();
+        src.schedule_at(SimTime::from_millis(5), 5);
+        src.schedule_at(SimTime::from_millis(10), 10);
+        let mut order: Vec<String> = Vec::new();
+        for stamp_ms in [7u64, 10] {
+            let stamp = SimTime::from_millis(stamp_ms);
+            while let Some(t) = src.pop_timer_before(Some(stamp)) {
+                order.push(format!("timer{t}@{}", src.now().as_millis()));
+            }
+            src.note_external(stamp);
+            order.push(format!("ext@{}", src.now().as_millis()));
+        }
+        while let Some(t) = src.pop_timer_before(None) {
+            order.push(format!("timer{t}@{}", src.now().as_millis()));
+        }
+        assert_eq!(order, vec!["timer5@5", "ext@7", "ext@10", "timer10@10"]);
+        assert_eq!(src.processed(), 4);
+        // The stamp floor advanced past the last dispatched timer.
+        let (snap, min_external) = src.into_snapshot();
+        assert_eq!(min_external, SimTime::from_millis(11));
+        assert_eq!(snap.processed, 4);
+        assert!(snap.entries.is_empty());
+    }
+
+    #[test]
+    fn resumed_wall_source_continues_the_recovered_clock() {
+        // Build a snapshot mid-run: one timer pending at sim 2.5 s,
+        // clock at 2 s, and resume it at speedup 10 (50 ms of wall time
+        // to the timer). The timer must fire at its original instant and
+        // externals must stamp at/after the recovered floor.
+        let snap = EngineSnapshot {
+            now: SimTime::from_secs(2),
+            processed: 3,
+            next_seq: crate::queue::SEEDED_SEQ_LIMIT + 9,
+            entries: vec![(
+                SimTime::from_millis(2500),
+                crate::queue::SEEDED_SEQ_LIMIT + 4,
+                55u32,
+            )],
+        };
+        let (tx, rx) = mpsc::channel::<&'static str>();
+        let mut src: WallClockSource<u32, &'static str> =
+            WallClockSource::resume(rx, 10, &snap, SimTime::from_millis(2001));
+        assert_eq!(src.now(), SimTime::from_secs(2));
+        assert_eq!(src.processed(), 3);
+        assert_eq!(src.pending(), 1);
+        tx.send("post-recovery").unwrap();
+        match src.next_tick().unwrap() {
+            Tick::External(x) => {
+                assert_eq!(x, "post-recovery");
+                // Stamped at/after the recovered floor, never past the
+                // pending timer.
+                assert!(src.now() >= SimTime::from_millis(2001));
+                assert!(src.now() <= SimTime::from_millis(2500));
+            }
+            Tick::Timer(_) => panic!("timer fired before the queued external"),
+        }
+        assert!(matches!(src.next_tick(), Some(Tick::Timer(55))));
+        assert_eq!(src.now(), SimTime::from_millis(2500));
+        // The resumed snapshot round-trips.
+        let snap2 = src.engine_snapshot();
+        assert_eq!(snap2.next_seq, crate::queue::SEEDED_SEQ_LIMIT + 9);
+        assert!(snap2.entries.is_empty());
+        assert_eq!(src.min_external(), SimTime::from_millis(2501));
     }
 }

@@ -1,0 +1,366 @@
+//! Hand-rolled binary codec primitives: fixed-width little-endian
+//! writers/readers plus a CRC-32 checksum.
+//!
+//! The crash-safe service mode (journal segments, checkpoints, snapshot
+//! files) needs an explicit, versioned on-disk format. The vendored serde
+//! derives are no-ops by design, so every durable format in the workspace
+//! is written by hand against these two types. The rules:
+//!
+//! * every integer is little-endian and fixed-width — no varints, so a
+//!   record's length is a pure function of its type and the reader can
+//!   detect truncation exactly;
+//! * strings and byte blobs are length-prefixed (`u32`);
+//! * a [`ByteReader`] never panics on malformed input — every decode
+//!   error is the typed [`CodecError`], because journal readers must
+//!   survive torn tails and bit flips gracefully.
+//!
+//! [`crc32`] is the IEEE 802.3 polynomial (the zlib/PNG one), computed
+//! over raw bytes with a lazily built 256-entry table. It is a
+//! corruption *detector*, not a cryptographic MAC — the threat model is
+//! torn writes and bit rot, not an adversary.
+
+use std::fmt;
+
+/// A decode failure: the input is shorter than the format requires, or a
+/// field holds a value the format forbids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The reader ran out of bytes mid-field: `needed` more bytes were
+    /// required at `offset`.
+    Truncated {
+        /// Byte offset the failed read started at.
+        offset: usize,
+        /// Bytes the field still required.
+        needed: usize,
+    },
+    /// A field held a value outside its domain (unknown enum tag,
+    /// non-UTF-8 string, length overflowing the input).
+    Invalid {
+        /// What was being decoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { offset, needed } => {
+                write!(
+                    f,
+                    "truncated input: {needed} more bytes needed at offset {offset}"
+                )
+            }
+            CodecError::Invalid { what } => write!(f, "invalid {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends fixed-width little-endian values to a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The buffer written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u128`.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes a `usize` as a `u64` (the formats are 64-bit regardless of
+    /// host width).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a `u32`-length-prefixed byte blob.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Writes raw bytes with no length prefix (magics, pre-framed
+    /// payloads).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Reads fixed-width little-endian values off a byte slice, returning
+/// typed errors instead of panicking on malformed input.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                offset: self.pos,
+                needed: n - self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool`; any byte other than 0 or 1 is invalid.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid { what: "bool" }),
+        }
+    }
+
+    /// Reads a `u64` into a `usize`.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid { what: "usize" })
+    }
+
+    /// Reads a `u32`-length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| CodecError::Invalid {
+            what: "utf-8 string",
+        })
+    }
+
+    /// Reads exactly `n` raw bytes (magics, pre-framed payloads).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) of `data` —
+/// the zlib/PNG checksum. Table-driven, built once per process.
+pub fn crc32(data: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(0xAB);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 7);
+        w.u128(u128::MAX / 3);
+        w.f64(-0.125);
+        w.bool(true);
+        w.bool(false);
+        w.usize(123_456);
+        w.str("dynP — self-tuning");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.usize().unwrap(), 123_456);
+        assert_eq!(r.str().unwrap(), "dynP — self-tuning");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        match r.u64() {
+            Err(CodecError::Truncated {
+                offset: 0,
+                needed: 3,
+            }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // A length prefix pointing past the end is truncation too.
+        let mut w = ByteWriter::new();
+        w.u32(1000);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.bytes(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn invalid_values_are_typed() {
+        let mut r = ByteReader::new(&[7]);
+        assert_eq!(r.bool(), Err(CodecError::Invalid { what: "bool" }));
+        let mut w = ByteWriter::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            r.str(),
+            Err(CodecError::Invalid {
+                what: "utf-8 string"
+            })
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vectors for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"journal record payload".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -34,12 +34,14 @@
 //! ```
 
 pub mod clock;
+pub mod codec;
 pub mod engine;
 pub mod queue;
 pub mod stats;
 pub mod time;
 
-pub use clock::{EventClock, Tick, WallClockSource};
+pub use clock::{EventClock, ReplaySource, Tick, WallClockSource};
+pub use codec::{crc32, ByteReader, ByteWriter, CodecError};
 pub use engine::{Engine, EngineSnapshot};
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, SEEDED_SEQ_LIMIT};
 pub use stats::{Histogram, OnlineStats, TimeWeighted, TimeWeightedCount};

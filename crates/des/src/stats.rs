@@ -239,6 +239,28 @@ impl TimeWeightedCount {
             self.integral_vms_until(now) as f64 / span_ms as f64
         }
     }
+
+    /// Appends the accumulator's exact state to a checkpoint buffer. The
+    /// fields are private by design (the integral must only grow through
+    /// [`TimeWeightedCount::set`]), so the durable codec lives here.
+    pub fn encode_into(&self, w: &mut crate::codec::ByteWriter) {
+        w.u64(self.last_time.as_millis());
+        w.u64(self.last_value);
+        w.u128(self.integral_vms);
+        w.u64(self.start.as_millis());
+    }
+
+    /// Decodes state written by [`TimeWeightedCount::encode_into`].
+    pub fn decode_from(
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> Result<Self, crate::codec::CodecError> {
+        Ok(TimeWeightedCount {
+            last_time: SimTime::from_millis(r.u64()?),
+            last_value: r.u64()?,
+            integral_vms: r.u128()?,
+            start: SimTime::from_millis(r.u64()?),
+        })
+    }
 }
 
 /// Histogram over caller-supplied bucket boundaries with quantile queries.

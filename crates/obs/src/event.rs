@@ -225,6 +225,36 @@ pub enum TraceEvent {
         /// Destination cluster.
         to: u32,
     },
+    /// The service daemon wrote a checkpoint of the full simulation state.
+    CheckpointWritten {
+        /// Journal sequence number the checkpoint covers (every journaled
+        /// command with `seq <= journal_seq` is baked into it).
+        journal_seq: u64,
+        /// Serialized checkpoint size on disk.
+        bytes: u64,
+    },
+    /// Recovery loaded a checkpoint and will replay the journal suffix.
+    CheckpointLoaded {
+        /// Journal sequence number the checkpoint covered.
+        journal_seq: u64,
+        /// Journaled commands replayed on top of it.
+        replayed: u64,
+    },
+    /// The journal writer sealed a segment and opened the next one.
+    JournalRotated {
+        /// Index of the newly opened segment.
+        segment: u32,
+        /// Size of the sealed segment.
+        bytes: u64,
+    },
+    /// Overload control rejected a submission because its user exceeded
+    /// the admission quota or the fair queue share.
+    QuotaRejected {
+        /// User id of the rejected submission.
+        user: u32,
+        /// Waiting-queue depth at rejection time.
+        queue_depth: u32,
+    },
 }
 
 impl TraceEvent {
@@ -240,7 +270,11 @@ impl TraceEvent {
             | TraceEvent::ReservationRepair { .. }
             | TraceEvent::JobRouted { .. }
             | TraceEvent::MigrateDepart { .. }
-            | TraceEvent::MigrateArrive { .. } => TraceClass::Decision,
+            | TraceEvent::MigrateArrive { .. }
+            | TraceEvent::CheckpointWritten { .. }
+            | TraceEvent::CheckpointLoaded { .. }
+            | TraceEvent::JournalRotated { .. }
+            | TraceEvent::QuotaRejected { .. } => TraceClass::Decision,
             TraceEvent::PlanBuilt { .. } | TraceEvent::Span { .. } => TraceClass::Span,
             TraceEvent::SimEvent { .. }
             | TraceEvent::BackfillMove { .. }
@@ -268,6 +302,10 @@ impl TraceEvent {
             TraceEvent::JobRouted { .. } => "route",
             TraceEvent::MigrateDepart { .. } => "migrate_depart",
             TraceEvent::MigrateArrive { .. } => "migrate_arrive",
+            TraceEvent::CheckpointWritten { .. } => "checkpoint",
+            TraceEvent::CheckpointLoaded { .. } => "ckpt_load",
+            TraceEvent::JournalRotated { .. } => "rotate",
+            TraceEvent::QuotaRejected { .. } => "quota",
         }
     }
 }

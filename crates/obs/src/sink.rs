@@ -169,6 +169,24 @@ pub fn render_jsonl_line(rec: &TraceRecord) -> String {
         | TraceEvent::MigrateArrive { job, from, to } => {
             let _ = write!(out, ",\"job\":{job},\"from\":{from},\"to\":{to}");
         }
+        TraceEvent::CheckpointWritten { journal_seq, bytes } => {
+            let _ = write!(out, ",\"journal_seq\":{journal_seq},\"bytes\":{bytes}");
+        }
+        TraceEvent::CheckpointLoaded {
+            journal_seq,
+            replayed,
+        } => {
+            let _ = write!(
+                out,
+                ",\"journal_seq\":{journal_seq},\"replayed\":{replayed}"
+            );
+        }
+        TraceEvent::JournalRotated { segment, bytes } => {
+            let _ = write!(out, ",\"segment\":{segment},\"bytes\":{bytes}");
+        }
+        TraceEvent::QuotaRejected { user, queue_depth } => {
+            let _ = write!(out, ",\"user\":{user},\"queue_depth\":{queue_depth}");
+        }
     }
     out.push('}');
     out
@@ -397,6 +415,45 @@ pub fn render_chrome_trace(snapshot: &TraceSnapshot) -> String {
                     "{{\"name\":\"migrate_arrive:j{job}\",\"cat\":\"federation\",\"ph\":\"i\",\
                      \"s\":\"t\",\"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
                      \"from\":{from},\"to\":{to}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::CheckpointWritten { journal_seq, bytes } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"checkpoint\",\"cat\":\"durability\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"journal_seq\":{journal_seq},\"bytes\":{bytes}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::CheckpointLoaded {
+                journal_seq,
+                replayed,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"ckpt_load\",\"cat\":\"durability\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"journal_seq\":{journal_seq},\"replayed\":{replayed}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::JournalRotated { segment, bytes } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"rotate:s{segment}\",\"cat\":\"durability\",\"ph\":\"i\",\
+                     \"s\":\"t\",\"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"bytes\":{bytes}}}}}",
+                    rec.sim.as_millis()
+                );
+            }
+            TraceEvent::QuotaRejected { user, queue_depth } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"quota:u{user}\",\"cat\":\"durability\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"sim_ms\":{},\
+                     \"queue_depth\":{queue_depth}}}}}",
                     rec.sim.as_millis()
                 );
             }

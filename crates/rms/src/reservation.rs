@@ -147,6 +147,41 @@ impl ReservationBook {
             })
             .sum()
     }
+
+    /// Appends the book's exact state — windows *and* the id counter — to
+    /// a checkpoint buffer. The counter is not derivable from the live
+    /// windows (cancelled ids are never reused), so it must be persisted
+    /// for a restored book to keep assigning the ids the uninterrupted
+    /// run would have.
+    pub fn encode_into(&self, w: &mut dynp_des::ByteWriter) {
+        w.u32(self.next_id);
+        w.u32(self.reservations.len() as u32);
+        for r in &self.reservations {
+            w.u32(r.id);
+            w.u64(r.start.as_millis());
+            w.u64(r.duration.as_millis());
+            w.u32(r.width);
+        }
+    }
+
+    /// Decodes a book written by [`ReservationBook::encode_into`].
+    pub fn decode_from(r: &mut dynp_des::ByteReader<'_>) -> Result<Self, dynp_des::CodecError> {
+        let next_id = r.u32()?;
+        let n = r.u32()? as usize;
+        let mut reservations = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            reservations.push(Reservation {
+                id: r.u32()?,
+                start: SimTime::from_millis(r.u64()?),
+                duration: SimDuration::from_millis(r.u64()?),
+                width: r.u32()?,
+            });
+        }
+        Ok(ReservationBook {
+            reservations,
+            next_id,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,40 @@ pub struct SchedulerSnapshot {
     pub words: Vec<u64>,
 }
 
+impl SchedulerSnapshot {
+    /// Tags every scheduler implementation in the workspace uses. The
+    /// decoder interns against this list so a decoded snapshot carries
+    /// the same `&'static str` a live one would — an unknown tag in a
+    /// checkpoint is a typed error, not a dangling reference.
+    const KNOWN_TAGS: &'static [&'static str] = &["static", "dynp"];
+
+    /// Appends the snapshot to a checkpoint buffer.
+    pub fn encode_into(&self, w: &mut dynp_des::ByteWriter) {
+        w.str(self.tag);
+        w.u32(self.words.len() as u32);
+        for &word in &self.words {
+            w.u64(word);
+        }
+    }
+
+    /// Decodes a snapshot written by [`SchedulerSnapshot::encode_into`],
+    /// interning the tag against the known implementations.
+    pub fn decode_from(r: &mut dynp_des::ByteReader<'_>) -> Result<Self, dynp_des::CodecError> {
+        let raw = r.str()?;
+        let tag = Self::KNOWN_TAGS.iter().copied().find(|t| *t == raw).ok_or(
+            dynp_des::CodecError::Invalid {
+                what: "scheduler snapshot tag",
+            },
+        )?;
+        let n = r.u32()? as usize;
+        let mut words = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            words.push(r.u64()?);
+        }
+        Ok(SchedulerSnapshot { tag, words })
+    }
+}
+
 /// A scheduler: turns the current RMS state into a full schedule.
 ///
 /// Called by the driver after every event; the driver then starts every
@@ -190,6 +224,33 @@ mod tests {
         let s = sched.replan(&state, SimTime::ZERO, ReplanReason::Reservation);
         // The full-width job cannot finish before the window: it waits it out.
         assert_eq!(s.entries[0].start, SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn snapshot_codec_interns_tags_and_rejects_unknown_ones() {
+        let snap = SchedulerSnapshot {
+            tag: "dynp",
+            words: vec![1, 2, u64::MAX],
+        };
+        let mut w = dynp_des::ByteWriter::new();
+        snap.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = dynp_des::ByteReader::new(&bytes);
+        let restored = SchedulerSnapshot::decode_from(&mut r).unwrap();
+        assert_eq!(restored, snap);
+        assert!(r.is_exhausted());
+
+        let mut w = dynp_des::ByteWriter::new();
+        w.str("mystery-scheduler");
+        w.u32(0);
+        let bytes = w.into_bytes();
+        let mut r = dynp_des::ByteReader::new(&bytes);
+        assert_eq!(
+            SchedulerSnapshot::decode_from(&mut r),
+            Err(dynp_des::CodecError::Invalid {
+                what: "scheduler snapshot tag"
+            })
+        );
     }
 
     #[test]

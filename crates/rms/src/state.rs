@@ -549,6 +549,142 @@ impl RmsState {
     pub fn into_completed(self) -> Vec<CompletedJob> {
         self.completed
     }
+
+    /// Appends the complete machine state — every pool, the queue log,
+    /// the reservation book, and the per-node occupancy/availability maps
+    /// — to a checkpoint buffer. Restoring with
+    /// [`RmsState::decode_from`] yields a state that compares equal
+    /// (`PartialEq`) and hashes identically to the original.
+    pub fn encode_into(&self, w: &mut dynp_des::ByteWriter) {
+        w.u32(self.machine_size);
+        w.u32(self.free);
+        w.u32(self.waiting.len() as u32);
+        for j in &self.waiting {
+            j.encode_into(w);
+        }
+        w.u32(self.running.len() as u32);
+        for r in &self.running {
+            r.job.encode_into(w);
+            w.u64(r.start.as_millis());
+        }
+        w.u32(self.completed.len() as u32);
+        for c in &self.completed {
+            c.job.encode_into(w);
+            w.u64(c.start.as_millis());
+            w.u64(c.end.as_millis());
+        }
+        w.u32(self.lost.len() as u32);
+        for l in &self.lost {
+            l.job.encode_into(w);
+            w.u64(l.at.as_millis());
+            w.u32(l.attempts);
+        }
+        w.usize(self.submitted);
+        w.u32(self.queue_log.len() as u32);
+        for q in &self.queue_log {
+            match q {
+                QueueChange::Entered(j) => {
+                    w.u8(0);
+                    j.encode_into(w);
+                }
+                QueueChange::Left(j) => {
+                    w.u8(1);
+                    j.encode_into(w);
+                }
+            }
+        }
+        self.reservations.encode_into(w);
+        w.u32(self.nodes.len() as u32);
+        for slot in &self.nodes {
+            match slot {
+                None => w.u32(u32::MAX),
+                Some(id) => w.u32(id.0),
+            }
+        }
+        for &d in &self.down {
+            w.bool(d);
+        }
+        w.u32(self.down_count);
+    }
+
+    /// Decodes a state written by [`RmsState::encode_into`].
+    pub fn decode_from(r: &mut dynp_des::ByteReader<'_>) -> Result<Self, dynp_des::CodecError> {
+        let machine_size = r.u32()?;
+        let free = r.u32()?;
+        let n = r.u32()? as usize;
+        let mut waiting = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            waiting.push(Job::decode_from(r)?);
+        }
+        let n = r.u32()? as usize;
+        let mut running = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            running.push(RunningJob {
+                job: Job::decode_from(r)?,
+                start: SimTime::from_millis(r.u64()?),
+            });
+        }
+        let n = r.u32()? as usize;
+        let mut completed = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            completed.push(CompletedJob {
+                job: Job::decode_from(r)?,
+                start: SimTime::from_millis(r.u64()?),
+                end: SimTime::from_millis(r.u64()?),
+            });
+        }
+        let n = r.u32()? as usize;
+        let mut lost = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            lost.push(LostJob {
+                job: Job::decode_from(r)?,
+                at: SimTime::from_millis(r.u64()?),
+                attempts: r.u32()?,
+            });
+        }
+        let submitted = r.usize()?;
+        let n = r.u32()? as usize;
+        let mut queue_log = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            queue_log.push(match r.u8()? {
+                0 => QueueChange::Entered(Job::decode_from(r)?),
+                1 => QueueChange::Left(Job::decode_from(r)?),
+                _ => {
+                    return Err(dynp_des::CodecError::Invalid {
+                        what: "queue-change tag",
+                    })
+                }
+            });
+        }
+        let reservations = ReservationBook::decode_from(r)?;
+        let n = r.u32()? as usize;
+        let mut nodes = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            nodes.push(match r.u32()? {
+                u32::MAX => None,
+                id => Some(JobId(id)),
+            });
+        }
+        let mut down = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            down.push(r.bool()?);
+        }
+        let down_count = r.u32()?;
+        Ok(RmsState {
+            machine_size,
+            free,
+            waiting,
+            running,
+            completed,
+            lost,
+            submitted,
+            queue_log,
+            reservations,
+            nodes,
+            down,
+            down_count,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -779,6 +915,43 @@ mod tests {
         );
         assert_eq!(s.reservation_slice().len(), 1);
         assert_eq!(s.reservation_slice()[0].width, 1);
+    }
+
+    #[test]
+    fn codec_round_trip_is_exact() {
+        // Exercise every pool: waiting, running, completed, lost, a
+        // reservation (plus one cancelled to advance the id counter), and
+        // a down node.
+        let mut s = RmsState::new(8);
+        s.submit(j(0, 0, 2, 100, 60));
+        s.submit(j(1, 5, 3, 50, 50));
+        s.submit(j(2, 6, 1, 10, 10));
+        s.start(JobId(0), SimTime::from_secs(0));
+        s.start(JobId(2), SimTime::from_secs(6));
+        s.complete(JobId(2), SimTime::from_secs(16));
+        s.submit(j(3, 20, 1, 10, 10));
+        s.start(JobId(3), SimTime::from_secs(20));
+        let run = s.fail(JobId(3), SimTime::from_secs(25));
+        s.mark_lost(run.job, SimTime::from_secs(25), 3);
+        let cancelled = s.admit_reservation(SimTime::from_secs(500), SimDuration::from_secs(10), 2);
+        s.cancel_reservation(cancelled);
+        s.admit_reservation(SimTime::from_secs(600), SimDuration::from_secs(20), 4);
+        s.node_down(7);
+
+        let mut w = dynp_des::ByteWriter::new();
+        s.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = dynp_des::ByteReader::new(&bytes);
+        let restored = RmsState::decode_from(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored, s);
+        // The id counter survived: the next reservation id continues the
+        // uninterrupted sequence.
+        let mut restored = restored;
+        assert_eq!(
+            restored.admit_reservation(SimTime::from_secs(700), SimDuration::from_secs(5), 1),
+            2
+        );
     }
 
     #[test]

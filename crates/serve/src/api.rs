@@ -6,6 +6,7 @@
 //! many clients share the channel. The newline-delimited JSON protocol
 //! ([`crate::proto`]) is a thin codec over exactly these types.
 
+use crate::journal::{FsyncPolicy, DEFAULT_ROTATE_BYTES};
 use dynp_des::{SimDuration, SimTime};
 use dynp_obs::Tracer;
 use dynp_sim::{DetailedRun, SchedulerSpec};
@@ -36,6 +37,10 @@ pub enum OverloadReason {
     QueueFull,
     /// The daemon is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// The submitting user is over their admission quota (token bucket)
+    /// or over their fair share while the queue is congested. Other
+    /// users' submissions are still being accepted.
+    UserQuota,
 }
 
 impl OverloadReason {
@@ -44,6 +49,7 @@ impl OverloadReason {
         match self {
             OverloadReason::QueueFull => "queue_full",
             OverloadReason::ShuttingDown => "shutting_down",
+            OverloadReason::UserQuota => "user_quota",
         }
     }
 }
@@ -141,6 +147,36 @@ pub enum Command {
     Shutdown(Option<Sender<Reply>>),
 }
 
+/// Per-user admission quota: a token bucket refilled in service time.
+///
+/// Every accepted submission costs 1000 millitokens; a user's bucket
+/// refills at `rate_mtok_per_sec` millitokens per simulation second up
+/// to `burst_mtok`. A rate of 0 disables quota enforcement entirely
+/// (the default — quotas are opt-in overload control).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuotaConfig {
+    /// Refill rate in millitokens per simulation second (1000 = one
+    /// submission per second sustained). 0 disables quotas.
+    pub rate_mtok_per_sec: u64,
+    /// Bucket capacity in millitokens (the burst allowance).
+    pub burst_mtok: u64,
+}
+
+impl QuotaConfig {
+    /// Quotas off (the default).
+    pub fn disabled() -> QuotaConfig {
+        QuotaConfig {
+            rate_mtok_per_sec: 0,
+            burst_mtok: 0,
+        }
+    }
+
+    /// True when quota enforcement is active.
+    pub fn enabled(&self) -> bool {
+        self.rate_mtok_per_sec > 0
+    }
+}
+
 /// Daemon configuration.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -157,8 +193,21 @@ pub struct ServiceConfig {
     /// millisecond. 1 is real time; larger values run second-scale
     /// workloads in millisecond wall time (tests, smoke runs).
     pub speedup: u64,
-    /// Where to record the SWF session log (None = no log).
-    pub session_log: Option<PathBuf>,
+    /// Journal directory for the durable WAL + checkpoints (None = no
+    /// durability; the daemon is then not crash-safe).
+    pub journal: Option<PathBuf>,
+    /// When journal writes reach disk (see
+    /// [`crate::journal::FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Checkpoint cadence: write a checkpoint every N journaled records
+    /// (0 = only at segment rotations).
+    pub checkpoint_every: u64,
+    /// Journal segment rotation threshold in bytes.
+    pub rotate_bytes: u64,
+    /// Delete rotated segments once a checkpoint fully covers them.
+    pub compact: bool,
+    /// Per-user admission quotas (see [`QuotaConfig`]).
+    pub quota: QuotaConfig,
     /// Tracer threaded through the scheduler and driver, exactly as in
     /// batch runs.
     pub tracer: Tracer,
@@ -166,14 +215,20 @@ pub struct ServiceConfig {
 
 impl ServiceConfig {
     /// A config with conventional defaults: queue bound 1024, real-time
-    /// clock, no session log, tracing off.
+    /// clock, no journal, fsync-always, 1 MiB segments, checkpoint at
+    /// rotation only, no compaction, quotas off, tracing off.
     pub fn new(machine_size: u32, scheduler: SchedulerSpec) -> ServiceConfig {
         ServiceConfig {
             machine_size,
             scheduler,
             max_queue: 1024,
             speedup: 1,
-            session_log: None,
+            journal: None,
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 0,
+            rotate_bytes: DEFAULT_ROTATE_BYTES,
+            compact: false,
+            quota: QuotaConfig::disabled(),
             tracer: Tracer::disabled(),
         }
     }
@@ -194,6 +249,13 @@ pub struct ServiceReport {
     pub rejected_shutdown: u64,
     /// Submissions rejected as invalid.
     pub rejected_invalid: u64,
+    /// Submissions rejected with [`OverloadReason::UserQuota`].
+    pub rejected_user_quota: u64,
     /// Waiting jobs withdrawn by cancel commands.
     pub cancelled: u64,
+    /// Fingerprint of the service state at drain time — hashes the core
+    /// and scheduler snapshots plus the remaining timer entries (not the
+    /// wall clock or dispatch counters, which status queries perturb).
+    /// `None` when the scheduler does not support snapshotting.
+    pub fingerprint: Option<u128>,
 }

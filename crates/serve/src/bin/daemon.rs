@@ -1,9 +1,10 @@
-//! The `dynp-serve` daemon: the planning core as a long-running service.
+//! The `dynp-serve` daemon: the planning core as a long-running,
+//! crash-safe service.
 //!
 //! ```text
 //! cargo run --release -p dynp-serve --bin daemon -- \
 //!     --machine 128 --scheduler dynp --socket /tmp/dynp.sock \
-//!     --session-log /tmp/session.swf
+//!     --journal /var/lib/dynp/journal
 //! ```
 //!
 //! Transports (newline-delimited JSON, see `dynp_serve::proto`):
@@ -13,14 +14,24 @@
 //! * default — read requests from stdin, write replies to stdout
 //!   (EOF drains and exits, so `loadgen | daemon` style pipes work).
 //!
+//! With `--journal DIR` every accepted command is durably journaled
+//! before the client sees the acknowledgement; after a crash,
+//! `--journal DIR --recover` rebuilds the exact pre-crash state from
+//! the newest checkpoint plus the journal suffix and resumes serving
+//! (the machine size, speedup, and scheduler come from the journal
+//! header — flags may be omitted). `--recover --drain` instead drains
+//! the recovered jobs and exits with the summary, which is how the CI
+//! crash-recovery job verifies no acknowledged work was lost.
+//!
 //! Shutdown is always graceful: a `{"cmd":"shutdown"}` request, SIGINT,
-//! or stdin EOF stops admissions, drains the in-flight jobs in virtual
-//! time, flushes the session log, prints a summary JSON line to stdout
-//! and exits 0.
+//! SIGTERM, or stdin EOF stops admissions, drains the in-flight jobs in
+//! virtual time, fsyncs the journal, prints a summary JSON line to
+//! stdout and exits 0.
 
 use dynp_serve::{
-    parse_request, parse_scheduler, render_reply, spawn, Command, OverloadReason, Reply, Request,
-    ServiceConfig, ServiceHandle, SubmitError,
+    parse_request, parse_scheduler, read_journal, recover, render_reply, spawn, Command,
+    FsyncPolicy, OverloadReason, QuotaConfig, Reply, Request, ServiceConfig, ServiceHandle,
+    ServiceReport, SubmitError,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -31,19 +42,35 @@ use std::time::Duration;
 
 const USAGE: &str = "\
 usage: daemon [--machine N] [--scheduler SPEC] [--max-queue N]
-              [--speedup N] [--session-log PATH] [--socket PATH]
+              [--speedup N] [--journal DIR] [--recover] [--drain]
+              [--fsync POLICY] [--checkpoint-every N] [--compact]
+              [--quota RATE:BURST] [--socket PATH]
 
-  --machine N        machine size in processors (default 128)
-  --scheduler SPEC   FCFS|SJF|LJF|easy[:P]|dynp[:simple|:advanced|:preferred:P[:T]]
-                     (default dynp)
-  --max-queue N      bounded-queue backpressure limit (default 1024)
-  --speedup N        simulated ms per wall ms (default 1 = real time)
-  --session-log PATH record accepted submissions as a replayable SWF log
-  --socket PATH      serve NDJSON on a Unix socket (default: stdin/stdout)";
+  --machine N          machine size in processors (default 128)
+  --scheduler SPEC     FCFS|SJF|LJF|easy[:P]|dynp[:simple|:advanced|:preferred:P[:T]]
+                       (default dynp)
+  --max-queue N        bounded-queue backpressure limit (default 1024)
+  --speedup N          simulated ms per wall ms (default 1 = real time)
+  --journal DIR        durable write-ahead log + checkpoints in DIR
+  --recover            rebuild state from the journal in DIR and resume
+                       (machine/scheduler/speedup default to the journal
+                       header's values)
+  --drain              begin shutdown immediately after start: drain the
+                       (recovered) jobs, print the summary, exit
+  --fsync POLICY       when journal writes reach disk: always (default),
+                       rotate, never
+  --checkpoint-every N checkpoint every N journaled records
+                       (default 0 = only at segment rotations)
+  --compact            delete rotated segments once a checkpoint covers them
+  --quota RATE:BURST   per-user token bucket: RATE millitokens/sim-second,
+                       BURST millitokens capacity (1000 mtok = 1 submission)
+  --socket PATH        serve NDJSON on a Unix socket (default: stdin/stdout)";
 
 struct Args {
     config: ServiceConfig,
     socket: Option<PathBuf>,
+    recover: bool,
+    drain: bool,
 }
 
 fn bail(why: &str) -> ! {
@@ -63,23 +90,49 @@ fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
         .unwrap_or_else(|_| bail(&format!("{flag} needs a number, got {raw:?}")))
 }
 
+fn parse_quota(raw: &str) -> QuotaConfig {
+    let Some((rate, burst)) = raw.split_once(':') else {
+        bail(&format!("--quota needs RATE:BURST, got {raw:?}"));
+    };
+    QuotaConfig {
+        rate_mtok_per_sec: parse_num(rate, "--quota RATE"),
+        burst_mtok: parse_num(burst, "--quota BURST"),
+    }
+}
+
 fn parse_args() -> Args {
-    let mut machine = 128u32;
-    let mut scheduler = "dynp".to_string();
+    let mut machine: Option<u32> = None;
+    let mut scheduler: Option<String> = None;
     let mut max_queue = 1024usize;
-    let mut speedup = 1u64;
-    let mut session_log: Option<PathBuf> = None;
+    let mut speedup: Option<u64> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut recover = false;
+    let mut drain = false;
+    let mut fsync = FsyncPolicy::Always;
+    let mut checkpoint_every = 0u64;
+    let mut compact = false;
+    let mut quota = QuotaConfig::disabled();
     let mut socket: Option<PathBuf> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--machine" => machine = parse_num(next_value(&mut it, flag), flag),
-            "--scheduler" => scheduler = next_value(&mut it, flag).to_string(),
+            "--machine" => machine = Some(parse_num(next_value(&mut it, flag), flag)),
+            "--scheduler" => scheduler = Some(next_value(&mut it, flag).to_string()),
             "--max-queue" => max_queue = parse_num(next_value(&mut it, flag), flag),
-            "--speedup" => speedup = parse_num(next_value(&mut it, flag), flag),
-            "--session-log" => session_log = Some(PathBuf::from(next_value(&mut it, flag))),
+            "--speedup" => speedup = Some(parse_num(next_value(&mut it, flag), flag)),
+            "--journal" => journal = Some(PathBuf::from(next_value(&mut it, flag))),
+            "--recover" => recover = true,
+            "--drain" => drain = true,
+            "--fsync" => {
+                let raw = next_value(&mut it, flag);
+                fsync = FsyncPolicy::parse(raw)
+                    .unwrap_or_else(|| bail(&format!("unknown fsync policy {raw:?}")));
+            }
+            "--checkpoint-every" => checkpoint_every = parse_num(next_value(&mut it, flag), flag),
+            "--compact" => compact = true,
+            "--quota" => quota = parse_quota(next_value(&mut it, flag)),
             "--socket" => socket = Some(PathBuf::from(next_value(&mut it, flag))),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -88,20 +141,48 @@ fn parse_args() -> Args {
             other => bail(&format!("unknown flag {other:?}")),
         }
     }
-    let spec = parse_scheduler(&scheduler).unwrap_or_else(|why| bail(&why));
-    let mut config = ServiceConfig::new(machine, spec);
+
+    // Recovery reads the service shape from the journal header, so the
+    // restart command line needs nothing but the directory; explicit
+    // flags still win (and recover() rejects them if they disagree).
+    if recover {
+        let Some(dir) = &journal else {
+            bail("--recover needs --journal DIR");
+        };
+        let header = read_journal(dir).unwrap_or_else(|e| {
+            eprintln!("cannot recover from {}: {e}", dir.display());
+            std::process::exit(2);
+        });
+        machine = machine.or(Some(header.machine_size));
+        speedup = speedup.or(Some(header.speedup));
+        scheduler = scheduler.or(Some(header.scheduler));
+    }
+
+    let spec =
+        parse_scheduler(scheduler.as_deref().unwrap_or("dynp")).unwrap_or_else(|why| bail(&why));
+    let mut config = ServiceConfig::new(machine.unwrap_or(128), spec);
     config.max_queue = max_queue;
-    config.speedup = speedup;
-    config.session_log = session_log;
-    Args { config, socket }
+    config.speedup = speedup.unwrap_or(1);
+    config.journal = journal;
+    config.fsync = fsync;
+    config.checkpoint_every = checkpoint_every;
+    config.compact = compact;
+    config.quota = quota;
+    Args {
+        config,
+        socket,
+        recover,
+        drain,
+    }
 }
 
-/// Set by the SIGINT handler; polled by the watcher thread (a signal
-/// handler may only do async-signal-safe work, and an atomic store is).
-static SIGINT: AtomicBool = AtomicBool::new(false);
+/// Set by the SIGINT/SIGTERM handlers; polled by the watcher thread (a
+/// signal handler may only do async-signal-safe work, and an atomic
+/// store is).
+static SHUTDOWN_SIGNAL: AtomicBool = AtomicBool::new(false);
 
-extern "C" fn on_sigint(_signum: i32) {
-    SIGINT.store(true, Ordering::SeqCst);
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    SHUTDOWN_SIGNAL.store(true, Ordering::SeqCst);
 }
 
 extern "C" {
@@ -109,10 +190,12 @@ extern "C" {
     fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
 }
 
-fn install_sigint_handler() {
+fn install_signal_handlers() {
     const SIGINT_NO: i32 = 2;
+    const SIGTERM_NO: i32 = 15;
     unsafe {
-        signal(SIGINT_NO, on_sigint);
+        signal(SIGINT_NO, on_shutdown_signal);
+        signal(SIGTERM_NO, on_shutdown_signal);
     }
 }
 
@@ -220,22 +303,66 @@ fn serve_stdin(handle: ServiceHandle, done: Arc<AtomicBool>) {
     });
 }
 
+/// The end-of-session summary line. The `replay` bin prints the same
+/// shape from the journal alone, so the two can be diffed field by
+/// field (the CI crash-recovery job does exactly that).
+fn render_summary(report: &ServiceReport) -> String {
+    let fingerprint = match report.fingerprint {
+        Some(fp) => format!("\"{fp:032x}\""),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"accepted\":{},\"completed\":{},\"lost\":{},\"rejected_queue_full\":{},\
+         \"rejected_shutdown\":{},\"rejected_invalid\":{},\"rejected_user_quota\":{},\
+         \"cancelled\":{},\"events\":{},\"sldwa\":{:.6},\"fingerprint\":{}}}",
+        report.accepted,
+        report.run.completed.len(),
+        report.run.faults.lost,
+        report.rejected_queue_full,
+        report.rejected_shutdown,
+        report.rejected_invalid,
+        report.rejected_user_quota,
+        report.cancelled,
+        report.run.result.events,
+        report.run.result.metrics.sldwa,
+        fingerprint,
+    )
+}
+
 fn main() {
     let args = parse_args();
     let socket = args.socket.clone();
-    let (handle, join) = spawn(args.config).unwrap_or_else(|e| {
-        eprintln!("cannot start daemon: {e}");
-        std::process::exit(2);
-    });
-    install_sigint_handler();
+    let (handle, join) = if args.recover {
+        recover(args.config).unwrap_or_else(|e| {
+            eprintln!("cannot recover daemon: {e}");
+            std::process::exit(2);
+        })
+    } else {
+        spawn(args.config).unwrap_or_else(|e| {
+            eprintln!("cannot start daemon: {e}");
+            std::process::exit(2);
+        })
+    };
+    install_signal_handlers();
     let done = Arc::new(AtomicBool::new(false));
 
-    // SIGINT watcher: turns the flag into a graceful drain.
+    if args.drain {
+        // Drain mode: no transport — finish the (recovered) session and
+        // report. Used by the CI crash-recovery job and by operators
+        // closing out a journal.
+        handle.shutdown();
+        drop(handle);
+        let report = join.join().expect("daemon thread panicked");
+        println!("{}", render_summary(&report));
+        std::process::exit(0);
+    }
+
+    // Signal watcher: turns SIGINT/SIGTERM into a graceful drain.
     {
         let handle = handle.clone();
         let done = done.clone();
         std::thread::spawn(move || loop {
-            if SIGINT.load(Ordering::SeqCst) {
+            if SHUTDOWN_SIGNAL.load(Ordering::SeqCst) {
                 handle.shutdown();
                 done.store(true, Ordering::SeqCst);
                 return;
@@ -253,26 +380,13 @@ fn main() {
     }
     drop(handle);
 
-    // Block until the daemon drains (shutdown command, SIGINT, or EOF).
+    // Block until the daemon drains (shutdown command, signal, or EOF).
     let report = join.join().expect("daemon thread panicked");
     done.store(true, Ordering::SeqCst);
     if let Some(path) = socket {
         let _ = std::fs::remove_file(path);
     }
-    println!(
-        "{{\"accepted\":{},\"completed\":{},\"lost\":{},\"rejected_queue_full\":{},\
-         \"rejected_shutdown\":{},\"rejected_invalid\":{},\"cancelled\":{},\"events\":{},\
-         \"sldwa\":{:.6}}}",
-        report.accepted,
-        report.run.completed.len(),
-        report.run.faults.lost,
-        report.rejected_queue_full,
-        report.rejected_shutdown,
-        report.rejected_invalid,
-        report.cancelled,
-        report.run.result.events,
-        report.run.result.metrics.sldwa,
-    );
+    println!("{}", render_summary(&report));
     // Transport threads may still be blocked in reads; exiting the
     // process is the clean way out once the drain has finished.
     std::process::exit(0);

@@ -15,27 +15,38 @@
 //! without waiting for verdicts, and a per-worker collector measures
 //! admission latency (submit → accept/reject roundtrip) into a
 //! log-bucketed [`LatencyHistogram`]; the per-worker histograms are
-//! merged for the report.
+//! merged for the report. Latency and rejections are additionally
+//! broken down by user group — the Zipf head (user 0) versus the tail —
+//! which is how the fairness claim of quota-based overload control is
+//! measured: with `--quota` set, the head hits `user_quota`
+//! backpressure first and tail p99 stays near the uncontended baseline.
 //!
 //! Two transports:
 //!
 //! * default — spawn the daemon **in process** (one per `--rate` step)
 //!   and drive it over the command channel; the daemon is drained after
-//!   each step so completion/loss counts are exact;
+//!   each step so completion/loss counts are exact; `--journal DIR`
+//!   journals the first rate's session durably;
 //! * `--connect SOCK` — drive an external daemon over its Unix socket
-//!   with NDJSON (one connection per worker); counts come from a final
-//!   `status` query, and `--shutdown-after` asks the daemon to drain.
+//!   with NDJSON (one connection per worker); connections retry with
+//!   bounded exponential backoff (a restarting daemon is reachable
+//!   within a few hundred ms), replies carry a per-request timeout
+//!   (`--timeout-ms`, reported separately from rejections), counts come
+//!   from a final `status` query, and `--shutdown-after` asks the
+//!   daemon to drain.
 //!
-//! The report — sustained throughput, p50/p99/p999 admission latency,
-//! rejection rates, and `speedup = achieved_eps / target_eps` (the
-//! open-loop health ratio the perf gate tracks) — is printed to stdout
-//! and written to `--out` (committed as `BENCH_service.json`).
+//! The report — sustained throughput, p50/p99/p999 admission latency
+//! (overall and per user group), rejection rates by reason, and
+//! `speedup = achieved_eps / target_eps` (the open-loop health ratio
+//! the perf gate tracks) — is printed to stdout and written to `--out`
+//! (committed as `BENCH_service.json`).
 
 use dynp_des::SimDuration;
 use dynp_metrics::LatencyHistogram;
 use dynp_obs::parse::Json;
 use dynp_serve::{
-    parse_scheduler, spawn, Command, OverloadReason, Reply, ServiceConfig, SubmitError, SubmitSpec,
+    parse_scheduler, spawn, Command, FsyncPolicy, OverloadReason, QuotaConfig, Reply,
+    ServiceConfig, SubmitError, SubmitSpec,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,25 +63,33 @@ const USAGE: &str = "\
 usage: loadgen [--rate R1[,R2,…]] [--duration SECS] [--workers N]
                [--users N] [--zipf S] [--departure P] [--seed N]
                [--machine N] [--scheduler SPEC] [--max-queue N]
-               [--speedup N] [--session-log PATH] [--out PATH]
-               [--connect SOCK] [--shutdown-after]
+               [--speedup N] [--journal DIR] [--fsync POLICY]
+               [--quota RATE:BURST] [--out PATH]
+               [--connect SOCK] [--timeout-ms N] [--shutdown-after]
 
-  --rate R1[,R2,…]   target submissions/sec, one report row per rate
-                     (default 100,200)
-  --duration SECS    open-loop send window per rate (default 3)
-  --workers N        sender threads sharing the rate (default 4)
-  --users N          Zipfian user population (default 100)
-  --zipf S           Zipf exponent (default 1.1)
-  --departure P      per-submission user churn probability (default 0.02)
-  --seed N           workload seed (default 24301)
-  --machine N        in-process daemon: machine size (default 128)
-  --scheduler SPEC   in-process daemon: scheduler recipe (default dynp)
-  --max-queue N      in-process daemon: queue bound (default 512)
-  --speedup N        in-process daemon: sim ms per wall ms (default 2000)
-  --session-log PATH in-process daemon: record the first rate's session
-  --out PATH         write the JSON report here (e.g. BENCH_service.json)
-  --connect SOCK     drive an external daemon over its Unix socket
-  --shutdown-after   with --connect: ask the daemon to drain at the end";
+  --rate R1[,R2,…]    target submissions/sec, one report row per rate
+                      (default 100,200)
+  --duration SECS     open-loop send window per rate (default 3)
+  --workers N         sender threads sharing the rate (default 4)
+  --users N           Zipfian user population (default 100)
+  --zipf S            Zipf exponent (default 1.1)
+  --departure P       per-submission user churn probability (default 0.02)
+  --seed N            workload seed (default 24301)
+  --machine N         in-process daemon: machine size (default 128)
+  --scheduler SPEC    in-process daemon: scheduler recipe (default dynp)
+  --max-queue N       in-process daemon: queue bound (default 512)
+  --speedup N         in-process daemon: sim ms per wall ms (default 2000)
+  --journal DIR       in-process daemon: journal the first rate's session
+  --fsync POLICY      in-process daemon: journal fsync policy
+                      (always|rotate|never, default always)
+  --quota RATE:BURST  in-process daemon: per-user token bucket
+                      (millitokens/sim-second : millitokens capacity)
+  --out PATH          write the JSON report here (e.g. BENCH_service.json)
+  --connect SOCK      drive an external daemon over its Unix socket
+                      (retries with exponential backoff while it starts)
+  --timeout-ms N      with --connect: per-reply timeout in wall ms
+                      (default 5000; timeouts are reported separately)
+  --shutdown-after    with --connect: ask the daemon to drain at the end";
 
 struct Args {
     rates: Vec<f64>,
@@ -84,9 +103,12 @@ struct Args {
     scheduler: String,
     max_queue: usize,
     speedup: u64,
-    session_log: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    quota: QuotaConfig,
     out: Option<PathBuf>,
     connect: Option<PathBuf>,
+    timeout_ms: u64,
     shutdown_after: bool,
 }
 
@@ -107,6 +129,16 @@ fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
         .unwrap_or_else(|_| bail(&format!("{flag} needs a number, got {raw:?}")))
 }
 
+fn parse_quota(raw: &str) -> QuotaConfig {
+    let Some((rate, burst)) = raw.split_once(':') else {
+        bail(&format!("--quota needs RATE:BURST, got {raw:?}"));
+    };
+    QuotaConfig {
+        rate_mtok_per_sec: parse_num(rate, "--quota RATE"),
+        burst_mtok: parse_num(burst, "--quota BURST"),
+    }
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         rates: vec![100.0, 200.0],
@@ -120,9 +152,12 @@ fn parse_args() -> Args {
         scheduler: "dynp".to_string(),
         max_queue: 512,
         speedup: 2000,
-        session_log: None,
+        journal: None,
+        fsync: FsyncPolicy::Always,
+        quota: QuotaConfig::disabled(),
         out: None,
         connect: None,
+        timeout_ms: 5000,
         shutdown_after: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -145,9 +180,16 @@ fn parse_args() -> Args {
             "--scheduler" => args.scheduler = next_value(&mut it, flag).to_string(),
             "--max-queue" => args.max_queue = parse_num(next_value(&mut it, flag), flag),
             "--speedup" => args.speedup = parse_num(next_value(&mut it, flag), flag),
-            "--session-log" => args.session_log = Some(PathBuf::from(next_value(&mut it, flag))),
+            "--journal" => args.journal = Some(PathBuf::from(next_value(&mut it, flag))),
+            "--fsync" => {
+                let raw = next_value(&mut it, flag);
+                args.fsync = FsyncPolicy::parse(raw)
+                    .unwrap_or_else(|| bail(&format!("unknown fsync policy {raw:?}")));
+            }
+            "--quota" => args.quota = parse_quota(next_value(&mut it, flag)),
             "--out" => args.out = Some(PathBuf::from(next_value(&mut it, flag))),
             "--connect" => args.connect = Some(PathBuf::from(next_value(&mut it, flag))),
+            "--timeout-ms" => args.timeout_ms = parse_num(next_value(&mut it, flag), flag),
             "--shutdown-after" => args.shutdown_after = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -231,11 +273,31 @@ struct GenParams {
     machine: u32,
 }
 
-/// One submission the sender hands its collector: the send instant plus
-/// whatever the collector needs to wait for the verdict.
+/// One submission the sender hands its collector: the send instant, the
+/// submitting user (for the head/tail breakdown), plus whatever the
+/// collector needs to wait for the verdict.
 struct InFlight<T> {
     sent_at: Instant,
+    user: u32,
     wait: T,
+}
+
+/// Per-user-group tallies: the Zipf head (user 0) is tracked separately
+/// from the tail, because fairness-aware overload control is *about*
+/// the difference between the two.
+#[derive(Default)]
+struct GroupStats {
+    accepted: u64,
+    rejected: u64,
+    hist: LatencyHistogram,
+}
+
+impl GroupStats {
+    fn absorb(&mut self, other: &GroupStats) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.hist.merge(&other.hist);
+    }
 }
 
 /// Collector-side tallies for one worker.
@@ -245,7 +307,12 @@ struct WorkerStats {
     rejected_queue_full: u64,
     rejected_shutdown: u64,
     rejected_invalid: u64,
+    rejected_user_quota: u64,
+    /// Replies that missed the per-request timeout (socket mode only).
+    timeouts: u64,
     hist: LatencyHistogram,
+    head: GroupStats,
+    tail: GroupStats,
 }
 
 impl WorkerStats {
@@ -254,7 +321,33 @@ impl WorkerStats {
         self.rejected_queue_full += other.rejected_queue_full;
         self.rejected_shutdown += other.rejected_shutdown;
         self.rejected_invalid += other.rejected_invalid;
+        self.rejected_user_quota += other.rejected_user_quota;
+        self.timeouts += other.timeouts;
         self.hist.merge(&other.hist);
+        self.head.absorb(&other.head);
+        self.tail.absorb(&other.tail);
+    }
+
+    fn group(&mut self, user: u32) -> &mut GroupStats {
+        if user == 0 {
+            &mut self.head
+        } else {
+            &mut self.tail
+        }
+    }
+
+    /// Records one verdict: latency into the overall and group
+    /// histograms, the outcome into the matching counters.
+    fn tally(&mut self, user: u32, latency_us: u64, accepted: bool) {
+        self.hist.record(latency_us);
+        let group = self.group(user);
+        group.hist.record(latency_us);
+        if accepted {
+            group.accepted += 1;
+            self.accepted += 1;
+        } else {
+            group.rejected += 1;
+        }
     }
 }
 
@@ -309,8 +402,12 @@ impl Row {
         format!(
             "{{\"target_eps\": {}, \"achieved_eps\": {}, \"sent\": {}, \"accepted\": {}, \
              \"rejected_queue_full\": {}, \"rejected_shutdown\": {}, \"rejected_invalid\": {}, \
+             \"rejected_user_quota\": {}, \"timeouts\": {}, \
              \"completed\": {}, \"lost\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
-             \"max_us\": {}, \"mean_us\": {}, \"speedup\": {}}}",
+             \"max_us\": {}, \"mean_us\": {}, \
+             \"head_accepted\": {}, \"head_rejected\": {}, \"head_p99_us\": {}, \
+             \"tail_accepted\": {}, \"tail_rejected\": {}, \"tail_p99_us\": {}, \
+             \"speedup\": {}}}",
             self.target_eps,
             self.achieved_eps,
             self.sent,
@@ -318,6 +415,8 @@ impl Row {
             s.rejected_queue_full,
             s.rejected_shutdown,
             s.rejected_invalid,
+            s.rejected_user_quota,
+            s.timeouts,
             self.completed,
             self.lost,
             h.p50(),
@@ -325,6 +424,12 @@ impl Row {
             h.p999(),
             h.max(),
             h.mean(),
+            s.head.accepted,
+            s.head.rejected,
+            s.head.hist.p99(),
+            s.tail.accepted,
+            s.tail.rejected,
+            s.tail.hist.p99(),
             self.achieved_eps / self.target_eps,
         )
     }
@@ -332,12 +437,14 @@ impl Row {
 
 /// Runs one rate step against an in-process daemon, draining it at the
 /// end so completion and loss counts are exact.
-fn run_inproc(args: &Args, rate: f64, session_log: Option<PathBuf>) -> Row {
+fn run_inproc(args: &Args, rate: f64, journal: Option<PathBuf>) -> Row {
     let spec = parse_scheduler(&args.scheduler).unwrap_or_else(|why| bail(&why));
     let mut config = ServiceConfig::new(args.machine, spec);
     config.max_queue = args.max_queue;
     config.speedup = args.speedup;
-    config.session_log = session_log;
+    config.journal = journal;
+    config.fsync = args.fsync;
+    config.quota = args.quota;
     let (handle, join) = spawn(config).unwrap_or_else(|e| {
         eprintln!("cannot start daemon: {e}");
         std::process::exit(2);
@@ -360,13 +467,16 @@ fn run_inproc(args: &Args, rate: f64, session_log: Option<PathBuf>) -> Row {
             let mut stats = WorkerStats::default();
             while let Ok(inflight) = pending_rx.recv() {
                 let reply = inflight.wait.recv();
-                stats
-                    .hist
-                    .record(inflight.sent_at.elapsed().as_micros() as u64);
+                let latency_us = inflight.sent_at.elapsed().as_micros() as u64;
+                let accepted = matches!(reply, Ok(Reply::Accepted(_)));
+                stats.tally(inflight.user, latency_us, accepted);
                 match reply {
-                    Ok(Reply::Accepted(_)) => stats.accepted += 1,
+                    Ok(Reply::Accepted(_)) => {}
                     Ok(Reply::Rejected(SubmitError::Overload(OverloadReason::QueueFull))) => {
                         stats.rejected_queue_full += 1
+                    }
+                    Ok(Reply::Rejected(SubmitError::Overload(OverloadReason::UserQuota))) => {
+                        stats.rejected_user_quota += 1
                     }
                     Ok(Reply::Rejected(SubmitError::Invalid(_))) => stats.rejected_invalid += 1,
                     // A dropped reply channel means the daemon exited
@@ -382,12 +492,14 @@ fn run_inproc(args: &Args, rate: f64, session_log: Option<PathBuf>) -> Row {
             send_loop(&params, worker, |spec| {
                 let (reply_tx, reply_rx) = mpsc::channel();
                 let sent_at = Instant::now();
+                let user = spec.user;
                 if tx.send(Command::Submit(spec, reply_tx)).is_err() {
                     return false;
                 }
                 pending_tx
                     .send(InFlight {
                         sent_at,
+                        user,
                         wait: reply_rx,
                     })
                     .is_ok()
@@ -423,25 +535,55 @@ fn render_submit(spec: &SubmitSpec) -> String {
     )
 }
 
-fn classify_reply(line: &str, stats: &mut WorkerStats) {
+fn classify_reply(line: &str, user: u32, latency_us: u64, stats: &mut WorkerStats) {
     let Ok(json) = Json::parse(line) else {
+        stats.tally(user, latency_us, false);
         stats.rejected_invalid += 1;
         return;
     };
     if json.get("job").is_some() {
-        stats.accepted += 1;
+        stats.tally(user, latency_us, true);
         return;
     }
+    stats.tally(user, latency_us, false);
     match json.get("reason").and_then(Json::as_str) {
         Some("queue_full") => stats.rejected_queue_full += 1,
+        Some("user_quota") => stats.rejected_user_quota += 1,
         Some("shutting_down") => stats.rejected_shutdown += 1,
         _ => stats.rejected_invalid += 1,
     }
 }
 
+/// Connects to the daemon's socket, retrying with bounded exponential
+/// backoff (50 ms doubling to 1.6 s, 8 attempts ≈ 6 s total) — a daemon
+/// that is still starting, or restarting with `--recover`, becomes
+/// reachable without the load generator giving up.
+fn connect_with_retry(path: &std::path::Path) -> std::io::Result<UnixStream> {
+    let mut backoff = Duration::from_millis(50);
+    let mut last_err = None;
+    for attempt in 0..8 {
+        match UnixStream::connect(path) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if attempt > 0 {
+                    eprintln!(
+                        "loadgen: connect to {} failed ({e}), retrying in {}ms",
+                        path.display(),
+                        backoff.as_millis()
+                    );
+                }
+                last_err = Some(e);
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
 /// One request/one reply over a fresh connection (status, shutdown).
 fn socket_roundtrip(path: &std::path::Path, request: &str) -> Option<String> {
-    let mut stream = UnixStream::connect(path).ok()?;
+    let mut stream = connect_with_retry(path).ok()?;
     writeln!(stream, "{request}").ok()?;
     let mut line = String::new();
     BufReader::new(stream).read_line(&mut line).ok()?;
@@ -459,27 +601,47 @@ fn run_socket(args: &Args, rate: f64, path: &std::path::Path) -> Row {
         departure: args.departure,
         machine: args.machine,
     };
+    let timeout = Duration::from_millis(args.timeout_ms.max(1));
     let start = Instant::now();
     let mut senders = Vec::new();
     let mut readers = Vec::new();
     for worker in 0..args.workers {
-        let stream = UnixStream::connect(path).unwrap_or_else(|e| {
+        let stream = connect_with_retry(path).unwrap_or_else(|e| {
             eprintln!("cannot connect to {}: {e}", path.display());
             std::process::exit(2);
         });
         let read_half = stream.try_clone().expect("clone socket");
+        read_half
+            .set_read_timeout(Some(timeout))
+            .expect("set_read_timeout");
         let (pending_tx, pending_rx) = mpsc::channel::<InFlight<()>>();
         readers.push(std::thread::spawn(move || {
             let mut stats = WorkerStats::default();
-            for line in BufReader::new(read_half).lines() {
-                let Ok(line) = line else { break };
-                let Ok(inflight) = pending_rx.recv() else {
-                    break;
-                };
-                stats
-                    .hist
-                    .record(inflight.sent_at.elapsed().as_micros() as u64);
-                classify_reply(&line, &mut stats);
+            let mut reader = BufReader::new(read_half);
+            // One pending entry per reply, in order. A read that trips
+            // the timeout abandons its entry (counted separately); the
+            // late reply, if it ever lands, then matches the *next*
+            // entry — counts stay right, one latency sample is skewed.
+            // The line buffer survives timeouts because read_line
+            // appends: a partially received reply is completed by a
+            // later read, never dropped mid-frame.
+            let mut line = String::new();
+            while let Ok(inflight) = pending_rx.recv() {
+                match reader.read_line(&mut line) {
+                    Ok(0) => break, // daemon hung up
+                    Ok(_) => {
+                        let latency_us = inflight.sent_at.elapsed().as_micros() as u64;
+                        classify_reply(line.trim(), inflight.user, latency_us, &mut stats);
+                        line.clear();
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        stats.timeouts += 1;
+                    }
+                    Err(_) => break,
+                }
             }
             stats
         }));
@@ -488,7 +650,12 @@ fn run_socket(args: &Args, rate: f64, path: &std::path::Path) -> Row {
         senders.push(std::thread::spawn(move || {
             let sent = send_loop(&params, worker, |spec| {
                 let sent_at = Instant::now();
-                if pending_tx.send(InFlight { sent_at, wait: () }).is_err() {
+                let inflight = InFlight {
+                    sent_at,
+                    user: spec.user,
+                    wait: (),
+                };
+                if pending_tx.send(inflight).is_err() {
                     return false;
                 }
                 writeln!(stream, "{}", render_submit(&spec)).is_ok()
@@ -538,6 +705,10 @@ fn render_report(args: &Args, scheduler_name: &str, rows: &[Row]) -> String {
     out.push_str(&format!("  \"zipf_s\": {},\n", args.zipf));
     out.push_str(&format!("  \"duration_secs\": {},\n", args.duration));
     out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!(
+        "  \"quota\": {{\"rate_mtok_per_sec\": {}, \"burst_mtok\": {}}},\n",
+        args.quota.rate_mtok_per_sec, args.quota.burst_mtok
+    ));
     out.push_str(
         "  \"unit\": \"admission latency in wall microseconds; \
          speedup = achieved_eps / target_eps (open-loop health)\",\n",
@@ -565,12 +736,10 @@ fn main() {
         }
         None => {
             for (i, &rate) in args.rates.iter().enumerate() {
-                let log = if i == 0 {
-                    args.session_log.clone()
-                } else {
-                    None
-                };
-                rows.push(run_inproc(&args, rate, log));
+                // Only the first rate journals: JournalWriter::create
+                // refuses a directory that already holds a session.
+                let journal = if i == 0 { args.journal.clone() } else { None };
+                rows.push(run_inproc(&args, rate, journal));
             }
         }
     }
@@ -578,18 +747,23 @@ fn main() {
         let s = &row.stats;
         eprintln!(
             "rate {:.0}/s: sent {} ({:.1}/s achieved), accepted {}, overloaded {}, \
-             invalid {}, completed {}, lost {} — admission p50 {}µs p99 {}µs p999 {}µs",
+             quota {}, invalid {}, timeouts {}, completed {}, lost {} — admission \
+             p50 {}µs p99 {}µs p999 {}µs (head p99 {}µs, tail p99 {}µs)",
             row.target_eps,
             row.sent,
             row.achieved_eps,
             s.accepted,
             s.rejected_queue_full + s.rejected_shutdown,
+            s.rejected_user_quota,
             s.rejected_invalid,
+            s.timeouts,
             row.completed,
             row.lost,
             s.hist.p50(),
             s.hist.p99(),
             s.hist.p999(),
+            s.head.hist.p99(),
+            s.tail.hist.p99(),
         );
     }
     let report = render_report(&args, &scheduler_name, &rows);

@@ -1,0 +1,92 @@
+//! The `replay` bin: re-derives a daemon summary from a journal alone.
+//!
+//! ```text
+//! cargo run --release -p dynp-serve --bin replay -- --journal DIR
+//! ```
+//!
+//! Reads the journal directory a daemon wrote, rebuilds the scheduler
+//! from the header's recipe (override with `--scheduler` if needed),
+//! replays every journaled command through the batch DES driver, and
+//! prints the same summary JSON line the daemon prints at drain. A
+//! daemon session and its journal replay are bit-identical by
+//! construction — same accepted/completed counts, same SLDwA, same
+//! fingerprint — which is exactly what the CI crash-recovery job
+//! asserts by diffing the two lines.
+
+use dynp_serve::{parse_scheduler, read_journal, replay_records};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: replay --journal DIR [--scheduler SPEC]
+
+  --journal DIR    journal directory written by the daemon
+  --scheduler SPEC override the scheduler recipe recorded in the journal
+                   header (FCFS|SJF|LJF|easy[:P]|dynp[...])";
+
+fn bail(why: &str) -> ! {
+    eprintln!("{why}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut journal: Option<PathBuf> = None;
+    let mut scheduler: Option<String> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--journal" => match it.next() {
+                Some(v) => journal = Some(PathBuf::from(v)),
+                None => bail("--journal needs a value"),
+            },
+            "--scheduler" => match it.next() {
+                Some(v) => scheduler = Some(v.clone()),
+                None => bail("--scheduler needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => bail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(dir) = journal else {
+        bail("--journal DIR is required");
+    };
+    let journal = read_journal(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot read journal {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    if journal.torn {
+        eprintln!(
+            "replay: note: journal has a torn tail (crash mid-append); \
+             replaying the {} complete records",
+            journal.records.len()
+        );
+    }
+    let spec = parse_scheduler(scheduler.as_deref().unwrap_or(&journal.scheduler))
+        .unwrap_or_else(|why| bail(&why));
+    let replay =
+        replay_records(journal.machine_size, &journal.records, &spec).unwrap_or_else(|e| {
+            eprintln!("replay failed: {e}");
+            std::process::exit(1);
+        });
+    let fingerprint = match replay.fingerprint {
+        Some(fp) => format!("\"{fp:032x}\""),
+        None => "null".to_string(),
+    };
+    // The same shape the daemon prints at drain; rejection counters are
+    // zero because rejected submissions are (deliberately) not journaled.
+    println!(
+        "{{\"accepted\":{},\"completed\":{},\"lost\":{},\"rejected_queue_full\":0,\
+         \"rejected_shutdown\":0,\"rejected_invalid\":0,\"rejected_user_quota\":0,\
+         \"cancelled\":{},\"events\":{},\"sldwa\":{:.6},\"fingerprint\":{}}}",
+        replay.accepted,
+        replay.run.completed.len(),
+        replay.run.faults.lost,
+        replay.cancelled,
+        replay.run.result.events,
+        replay.run.result.metrics.sldwa,
+        fingerprint,
+    );
+}

@@ -45,6 +45,30 @@ pub fn parse_scheduler(spec: &str) -> Result<SchedulerSpec, String> {
     }
 }
 
+/// Renders a spec back into the command-line spelling [`parse_scheduler`]
+/// accepts — the round-trippable textual form the journal headers store,
+/// so `--recover` can rebuild the scheduler from the journal alone.
+/// (dynP objectives and decision triggers have no CLI spelling; the
+/// service only builds paper-default dynP specs, which do.)
+pub fn render_scheduler(spec: &SchedulerSpec) -> String {
+    match spec {
+        SchedulerSpec::Static(p) => p.name().to_string(),
+        SchedulerSpec::Easy(Policy::Fcfs) => "easy".to_string(),
+        SchedulerSpec::Easy(p) => format!("easy:{}", p.name()),
+        SchedulerSpec::DynP { decider, .. } => match decider {
+            DeciderKind::Advanced => "dynp".to_string(),
+            DeciderKind::Simple => "dynp:simple".to_string(),
+            DeciderKind::Preferred { policy, threshold } => {
+                if *threshold == 0.0 {
+                    format!("dynp:preferred:{}", policy.name())
+                } else {
+                    format!("dynp:preferred:{}:{}", policy.name(), threshold)
+                }
+            }
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +89,27 @@ mod tests {
         );
         assert!(parse_scheduler("round-robin").is_err());
         assert!(parse_scheduler("dynp:preferred:XYZ").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        for spelling in [
+            "FCFS",
+            "SJF",
+            "LJF",
+            "easy",
+            "easy:SJF",
+            "dynp",
+            "dynp:simple",
+            "dynp:preferred:SJF",
+            "dynp:preferred:LJF:0.05",
+        ] {
+            let spec = parse_scheduler(spelling).unwrap();
+            assert_eq!(
+                parse_scheduler(&render_scheduler(&spec)).unwrap(),
+                spec,
+                "spelling {spelling:?} did not round-trip"
+            );
+        }
     }
 }

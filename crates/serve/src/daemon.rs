@@ -1,30 +1,62 @@
-//! The service daemon: the batch driver's [`ShardCore`] on a wall clock.
+//! The service daemon: the batch driver's [`ShardCore`] on a wall clock,
+//! made crash-safe.
 //!
 //! [`spawn`] starts one daemon thread that owns the whole scheduling
-//! state — `RmsState`, the self-tuning scheduler, the session log — and
-//! multiplexes two event sources through a
-//! [`WallClockSource`]: its own timers (job completions, scheduled by
-//! the driver exactly as in simulation) and external [`Command`]s from
-//! any number of clients. Every event goes through the *same*
-//! [`ShardCore::handle`] the batch simulator runs, which is the whole
-//! digital-twin argument: nothing in the scheduling path knows whether
-//! the clock is real.
+//! state — `RmsState`, the self-tuning scheduler, the durable journal —
+//! and multiplexes two event sources through a [`WallClockSource`]: its
+//! own timers (job completions, scheduled by the driver exactly as in
+//! simulation) and external [`Command`]s from any number of clients.
+//! Every event goes through the *same* [`ShardCore::handle`] the batch
+//! simulator runs, which is the whole digital-twin argument: nothing in
+//! the scheduling path knows whether the clock is real.
+//!
+//! ## Durability and recovery
+//!
+//! With a journal configured, every accepted submission is appended to
+//! the WAL (and, under the default fsync policy, on disk) *before* the
+//! client sees `accepted`; accepted cancels are journaled the same way.
+//! Checkpoints of the complete service state are written at segment
+//! rotations and on a configurable record cadence. [`recover`] rebuilds
+//! the daemon after a crash: load the newest valid checkpoint, replay
+//! the journal suffix through the same driver loop on a
+//! [`ReplaySource`] (timers strictly before each record's stamp, then
+//! the record — the exact live dispatch order), and go live again on a
+//! resumed wall clock. The result is bit-identical to a daemon that was
+//! never killed, which `tests/service_replay.rs` pins with a
+//! crash-at-any-point property test.
+//!
+//! ## Overload control
+//!
+//! Beyond the bounded queue, per-user token buckets
+//! ([`QuotaConfig`]) and weighted-fair shedding keep one heavy user
+//! (the Zipf head) from starving the tail: when the queue is congested
+//! (≥ ¾ full), a submission from a user already holding more than their
+//! fair share of waiting slots is rejected with
+//! [`OverloadReason::UserQuota`] even if the bucket has tokens.
 //!
 //! Shutdown drains rather than aborts: the wall source stops sleeping
 //! and fast-forwards the remaining completions in virtual time, the
-//! session log and reply channels are flushed, and the core's
+//! journal is fsynced, reply channels are flushed, and the core's
 //! end-of-run invariants (job conservation, idle machine) are asserted
 //! exactly as after a batch run.
 
 use crate::api::{
-    Command, OverloadReason, Reply, ServiceConfig, ServiceReport, ServiceStatus, SubmitError,
-    SubmitSpec, Ticket,
+    Command, OverloadReason, QuotaConfig, Reply, ServiceConfig, ServiceReport, ServiceStatus,
+    SubmitError, SubmitSpec, Ticket,
 };
-use crate::session::SessionLog;
-use dynp_des::{EventClock, Tick, WallClockSource};
-use dynp_rms::AdmissionConfig;
+use crate::cli::render_scheduler;
+use crate::journal::{
+    load_latest_checkpoint, read_journal, repair_torn_tail, write_checkpoint, JournalError,
+    JournalRecord, JournalWriter, ServiceCheckpoint, ServiceCounters,
+};
+use crate::session::{jobs_of_records, service_fingerprint, ReplayError};
+use dynp_des::{EngineSnapshot, EventClock, ReplaySource, SimTime, Tick, WallClockSource};
+use dynp_obs::TraceEvent;
+use dynp_rms::{AdmissionConfig, Scheduler};
 use dynp_sim::shard::{Event, ShardCore};
 use dynp_workload::{FaultPlan, Job, JobId};
+use std::collections::HashMap;
+use std::fmt;
 use std::io;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -85,38 +117,238 @@ impl ServiceHandle {
     }
 }
 
-/// Starts the daemon thread. Returns the client handle and the join
+/// Why [`recover`] could not rebuild a daemon from a journal directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The config has no journal directory.
+    NoJournal,
+    /// The journal failed to read or validate.
+    Journal(JournalError),
+    /// The journaled records are internally inconsistent.
+    Replay(ReplayError),
+    /// The journal header disagrees with the config (machine size,
+    /// speedup) — recovering into a different service shape would not
+    /// be a recovery.
+    Mismatch(&'static str),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::NoJournal => write!(f, "no journal directory configured"),
+            RecoverError::Journal(e) => write!(f, "{e}"),
+            RecoverError::Replay(e) => write!(f, "{e}"),
+            RecoverError::Mismatch(what) => {
+                write!(f, "journal header disagrees with config: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<JournalError> for RecoverError {
+    fn from(e: JournalError) -> Self {
+        RecoverError::Journal(e)
+    }
+}
+
+impl From<ReplayError> for RecoverError {
+    fn from(e: ReplayError) -> Self {
+        RecoverError::Replay(e)
+    }
+}
+
+/// Starts a fresh daemon thread. Returns the client handle and the join
 /// handle yielding the end-of-session [`ServiceReport`]; the daemon
 /// exits when a shutdown command arrives or every [`ServiceHandle`]
 /// clone (and raw sender) is dropped.
 pub fn spawn(config: ServiceConfig) -> io::Result<(ServiceHandle, JoinHandle<ServiceReport>)> {
-    let (tx, rx) = mpsc::channel();
-    let session = match &config.session_log {
-        Some(path) => Some(SessionLog::create(
-            path,
-            config.machine_size,
-            &config.scheduler.name(),
-            config.speedup,
-        )?),
+    let journal = match &config.journal {
+        Some(dir) => Some(
+            JournalWriter::create(
+                dir,
+                config.machine_size,
+                config.speedup,
+                &render_scheduler(&config.scheduler),
+                config.fsync,
+                config.rotate_bytes,
+            )
+            .map_err(|e| io::Error::other(e.to_string()))?,
+        ),
         None => None,
     };
+    let (tx, rx) = mpsc::channel();
     let join = std::thread::Builder::new()
         .name("dynp-serve".into())
-        .spawn(move || run_daemon(config, rx, session))?;
+        .spawn(move || run_daemon(config, rx, journal, None))?;
     Ok((ServiceHandle { tx }, join))
 }
 
-/// The daemon state that isn't the shard core: counters and the log.
+/// Recovers a daemon from its journal directory after a crash: loads
+/// the newest valid checkpoint (falling back past corrupt ones, and to
+/// a from-genesis replay when none survives), replays the journal
+/// suffix through the driver loop, and goes live on a resumed wall
+/// clock. Acknowledged work is never lost; the recovered state is
+/// bit-identical to an uninterrupted run's.
+pub fn recover(
+    config: ServiceConfig,
+) -> Result<(ServiceHandle, JoinHandle<ServiceReport>), RecoverError> {
+    let dir = config.journal.clone().ok_or(RecoverError::NoJournal)?;
+    let journal = read_journal(&dir)?;
+    // Truncate the crash's torn tail now, so the directory stays
+    // readable once `resume` appends segments behind it (a tear is only
+    // tolerated on the *last* segment).
+    repair_torn_tail(&dir, &journal)?;
+    if journal.machine_size != config.machine_size {
+        return Err(RecoverError::Mismatch("machine size"));
+    }
+    if journal.speedup != config.speedup {
+        return Err(RecoverError::Mismatch("speedup"));
+    }
+    if journal.scheduler != render_scheduler(&config.scheduler) {
+        return Err(RecoverError::Mismatch("scheduler"));
+    }
+    let (checkpoint, _skipped) = load_latest_checkpoint(&dir)?;
+    // A checkpoint is only usable if it matches this journal and this
+    // scheduler; anything else falls back to genesis replay, which is
+    // always correct (just slower).
+    let checkpoint = checkpoint.filter(|c| {
+        c.machine_size == config.machine_size
+            && c.journal_seq <= journal.next_seq
+            && c.jobs.len() == c.users.len()
+            && config
+                .scheduler
+                .build()
+                .snapshot()
+                .is_some_and(|s| s.tag == c.scheduler.tag)
+    });
+    // Validate record consistency up front so the caller gets a typed
+    // error instead of a daemon-thread panic.
+    jobs_of_records(&journal.records)?;
+    let writer = JournalWriter::resume(&dir, &journal, config.fsync, config.rotate_bytes)?;
+    let seed = RecoveredState {
+        records: journal.records,
+        checkpoint,
+    };
+    let (tx, rx) = mpsc::channel();
+    let join = std::thread::Builder::new()
+        .name("dynp-serve".into())
+        .spawn(move || run_daemon(config, rx, Some(writer), Some(seed)))
+        .map_err(|e| {
+            RecoverError::Journal(JournalError::Io {
+                path: dir,
+                error: e.to_string(),
+            })
+        })?;
+    Ok((ServiceHandle { tx }, join))
+}
+
+/// What [`recover`] hands the daemon thread: the journal's merged
+/// record sequence and (maybe) a checkpoint to fast-forward from.
+struct RecoveredState {
+    records: Vec<JournalRecord>,
+    checkpoint: Option<ServiceCheckpoint>,
+}
+
+/// Per-user admission token buckets.
+///
+/// Levels are kept in an exact internal unit (1 millitoken = 1000
+/// units) so refill arithmetic never truncates: accrual over an
+/// interval is `rate_mtok_per_sec × Δms` units regardless of how many
+/// refill calls the interval is split into. That associativity is what
+/// makes bucket state recoverable — rejected submissions touch buckets
+/// but are not journaled, and with exact arithmetic the replayed
+/// buckets still land on the live values.
+struct QuotaBuckets {
+    cfg: QuotaConfig,
+    /// user → (level in units, last refill stamp).
+    buckets: HashMap<u32, (u64, SimTime)>,
+}
+
+/// Internal units per millitoken.
+const UNITS_PER_MTOK: u64 = 1000;
+/// Cost of one accepted submission: 1000 millitokens.
+const SUBMIT_COST_UNITS: u64 = 1000 * UNITS_PER_MTOK;
+
+impl QuotaBuckets {
+    fn new(cfg: QuotaConfig) -> QuotaBuckets {
+        QuotaBuckets {
+            cfg,
+            buckets: HashMap::new(),
+        }
+    }
+
+    fn burst_units(&self) -> u64 {
+        self.cfg.burst_mtok.saturating_mul(UNITS_PER_MTOK)
+    }
+
+    /// Brings `user`'s bucket current at `now` and returns its level.
+    fn refill(&mut self, user: u32, now: SimTime) -> u64 {
+        let burst = self.burst_units();
+        let entry = self.buckets.entry(user).or_insert((burst, now));
+        let delta_ms = now.saturating_since(entry.1).as_millis();
+        let accrued = self.cfg.rate_mtok_per_sec.saturating_mul(delta_ms);
+        entry.0 = entry.0.saturating_add(accrued).min(burst);
+        entry.1 = now;
+        entry.0
+    }
+
+    /// The live admission check: refill, then charge if affordable.
+    fn try_charge(&mut self, user: u32, now: SimTime) -> bool {
+        if !self.cfg.enabled() {
+            return true;
+        }
+        if self.refill(user, now) < SUBMIT_COST_UNITS {
+            return false;
+        }
+        let entry = self.buckets.get_mut(&user).expect("refilled above");
+        entry.0 -= SUBMIT_COST_UNITS;
+        true
+    }
+
+    /// The replay path: the record is journaled, so the live daemon
+    /// accepted it — charge unconditionally to land on the same level.
+    fn charge_replayed(&mut self, user: u32, now: SimTime) {
+        if !self.cfg.enabled() {
+            return;
+        }
+        self.refill(user, now);
+        let entry = self.buckets.get_mut(&user).expect("refilled above");
+        entry.0 = entry.0.saturating_sub(SUBMIT_COST_UNITS);
+    }
+
+    fn snapshot(&self) -> Vec<(u32, u64, SimTime)> {
+        let mut out: Vec<(u32, u64, SimTime)> = self
+            .buckets
+            .iter()
+            .map(|(&u, &(level, last))| (u, level, last))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn restore(&mut self, snap: &[(u32, u64, SimTime)]) {
+        self.buckets = snap
+            .iter()
+            .map(|&(u, level, last)| (u, (level, last)))
+            .collect();
+    }
+}
+
+/// The daemon state that isn't the shard core: counters, the job/user
+/// tables, quotas, and the journal.
 struct Service {
     config: ServiceConfig,
-    session: Option<SessionLog>,
+    journal: Option<JournalWriter>,
     jobs: Vec<Job>,
-    accepted: u64,
-    rejected_queue_full: u64,
-    rejected_shutdown: u64,
-    rejected_invalid: u64,
-    cancelled: u64,
+    /// Submitting user of each job, parallel to `jobs`.
+    users: Vec<u32>,
+    quotas: QuotaBuckets,
+    counters: ServiceCounters,
     draining: bool,
+    /// Records journaled since the last checkpoint (cadence counter).
+    since_checkpoint: u64,
 }
 
 impl Service {
@@ -133,19 +365,129 @@ impl Service {
         Ok(())
     }
 
-    fn status(&self, core: &ShardCore, now: dynp_des::SimTime) -> ServiceStatus {
+    /// Weighted-fair shedding: under congestion (queue ≥ ¾ full), a
+    /// user holding more than their fair share `max_queue / active
+    /// users` of waiting slots is shed. Only active when quotas are.
+    fn over_fair_share(&self, core: &ShardCore, user: u32) -> bool {
+        if !self.quotas.cfg.enabled() {
+            return false;
+        }
+        let waiting = core.state().waiting();
+        if waiting.len() * 4 < self.config.max_queue * 3 {
+            return false;
+        }
+        let mut active: Vec<u32> = waiting
+            .iter()
+            .map(|j| self.users[j.id.0 as usize])
+            .collect();
+        let occupancy = active.iter().filter(|&&u| u == user).count();
+        active.sort_unstable();
+        active.dedup();
+        let fair = self.config.max_queue / active.len().max(1);
+        occupancy > fair.max(1)
+    }
+
+    fn status(&self, core: &ShardCore, now: SimTime) -> ServiceStatus {
         let state = core.state();
+        let c = &self.counters;
         ServiceStatus {
             now,
             waiting: state.waiting().len(),
             running: state.running().len(),
             completed: state.completed().len(),
             lost: state.lost().len(),
-            accepted: self.accepted,
-            rejected: self.rejected_queue_full + self.rejected_shutdown + self.rejected_invalid,
+            accepted: c.accepted,
+            rejected: c.rejected_queue_full
+                + c.rejected_shutdown
+                + c.rejected_invalid
+                + c.rejected_user_quota,
             free_processors: state.free_processors(),
             machine_size: state.machine_size(),
             draining: self.draining,
+        }
+    }
+
+    /// Writes a checkpoint of the complete service state (a no-op for
+    /// snapshotless schedulers — recovery then replays from genesis).
+    fn checkpoint(
+        &mut self,
+        core: &ShardCore,
+        scheduler: &dyn Scheduler,
+        engine: EngineSnapshot<Event>,
+        min_external: SimTime,
+    ) {
+        let (dir, writer) = match (&self.config.journal, &self.journal) {
+            (Some(dir), Some(writer)) => (dir.clone(), writer),
+            _ => return,
+        };
+        let scheduler_snap = match scheduler.snapshot() {
+            Some(s) => s,
+            None => return,
+        };
+        let ckpt = ServiceCheckpoint {
+            journal_seq: writer.next_seq(),
+            machine_size: self.config.machine_size,
+            engine,
+            min_external,
+            core: core.snapshot(),
+            scheduler: scheduler_snap,
+            jobs: self.jobs.clone(),
+            users: self.users.clone(),
+            counters: self.counters,
+            buckets: self.quotas.snapshot(),
+        };
+        match write_checkpoint(&dir, &ckpt) {
+            Ok(bytes) => {
+                self.since_checkpoint = 0;
+                self.config.tracer.record(
+                    ckpt.engine.now,
+                    TraceEvent::CheckpointWritten {
+                        journal_seq: ckpt.journal_seq,
+                        bytes,
+                    },
+                );
+                if self.config.compact {
+                    if let Some(writer) = self.journal.as_mut() {
+                        // Everything below journal_seq is in the
+                        // checkpoint; rotated segments it covers are
+                        // redundant.
+                        let _ = writer.compact(ckpt.journal_seq.saturating_sub(1));
+                    }
+                }
+            }
+            Err(e) => {
+                // A failed checkpoint degrades recovery time, not
+                // correctness — the journal still has everything.
+                eprintln!("dynp-serve: checkpoint failed: {e}");
+            }
+        }
+    }
+
+    /// Handles post-append bookkeeping: cadence counting and
+    /// rotation/cadence-driven checkpoints.
+    fn after_append(
+        &mut self,
+        rotated: bool,
+        core: &ShardCore,
+        scheduler: &dyn Scheduler,
+        src: &WallClockSource<Event, Command>,
+    ) {
+        self.since_checkpoint += 1;
+        let cadence_due = self.config.checkpoint_every > 0
+            && self.since_checkpoint >= self.config.checkpoint_every;
+        if rotated {
+            if let Some(writer) = &self.journal {
+                self.config.tracer.record(
+                    src.now(),
+                    TraceEvent::JournalRotated {
+                        segment: writer.segment(),
+                        bytes: 0,
+                    },
+                );
+            }
+        }
+        if rotated || cadence_due {
+            self.checkpoint(core, scheduler, src.engine_snapshot(), src.min_external());
         }
     }
 }
@@ -153,31 +495,50 @@ impl Service {
 fn run_daemon(
     config: ServiceConfig,
     rx: Receiver<Command>,
-    session: Option<SessionLog>,
+    journal: Option<JournalWriter>,
+    recovered: Option<RecoveredState>,
 ) -> ServiceReport {
     let faults = FaultPlan::none();
     let mut scheduler = config.scheduler.build();
     scheduler.set_tracer(config.tracer.clone());
-    let mut src: WallClockSource<Event, Command> = WallClockSource::new(rx, config.speedup);
     let mut core = ShardCore::new(
         config.machine_size,
         AdmissionConfig::default(),
         0,
         faults.retry,
-        dynp_des::SimTime::ZERO,
+        SimTime::ZERO,
         config.tracer.clone(),
         0,
     );
+    let quota = config.quota;
     let mut svc = Service {
         config,
-        session,
+        journal,
         jobs: Vec::new(),
-        accepted: 0,
-        rejected_queue_full: 0,
-        rejected_shutdown: 0,
-        rejected_invalid: 0,
-        cancelled: 0,
+        users: Vec::new(),
+        quotas: QuotaBuckets::new(quota),
+        counters: ServiceCounters::default(),
         draining: false,
+        since_checkpoint: 0,
+    };
+
+    // Recovery: fast-forward from the checkpoint (if any), then replay
+    // the journal suffix through the same handler the live loop runs.
+    let mut src = match recovered {
+        None => WallClockSource::new(rx, svc.config.speedup),
+        Some(seed) => {
+            let (replay_src, replayed) =
+                replay_recovered(&mut svc, &mut core, scheduler.as_mut(), &faults, seed);
+            let (engine_snap, min_external) = replay_src.into_snapshot();
+            svc.config.tracer.record(
+                engine_snap.now,
+                TraceEvent::CheckpointLoaded {
+                    journal_seq: svc.journal.as_ref().map_or(0, JournalWriter::next_seq),
+                    replayed,
+                },
+            );
+            WallClockSource::resume(rx, svc.config.speedup, &engine_snap, min_external)
+        }
     };
 
     while let Some(tick) = src.next_tick() {
@@ -195,10 +556,12 @@ fn run_daemon(
     for cmd in src.drain_externals() {
         refuse(&mut svc, &core, &src, cmd);
     }
-    if let Some(log) = svc.session.as_mut() {
-        let _ = log.flush();
+    // The journal hits disk before the summary, whatever the policy.
+    if let Some(writer) = svc.journal.as_mut() {
+        let _ = writer.sync();
     }
-    let expected = (svc.accepted - svc.cancelled) as usize;
+    let fingerprint = service_fingerprint(&core, scheduler.as_ref(), Vec::new());
+    let expected = (svc.counters.accepted - svc.counters.cancelled) as usize;
     let run = core.finish(
         &src,
         scheduler.name(),
@@ -206,21 +569,99 @@ fn run_daemon(
         &faults,
         Some(expected),
     );
+    let c = svc.counters;
     ServiceReport {
         run,
-        accepted: svc.accepted,
-        rejected_queue_full: svc.rejected_queue_full,
-        rejected_shutdown: svc.rejected_shutdown,
-        rejected_invalid: svc.rejected_invalid,
-        cancelled: svc.cancelled,
+        accepted: c.accepted,
+        rejected_queue_full: c.rejected_queue_full,
+        rejected_shutdown: c.rejected_shutdown,
+        rejected_invalid: c.rejected_invalid,
+        rejected_user_quota: c.rejected_user_quota,
+        cancelled: c.cancelled,
+        fingerprint,
     }
+}
+
+/// Applies a recovered journal to the daemon state: restore the
+/// checkpoint, then replay the record suffix in the live dispatch
+/// order — every pending timer strictly before the next record's
+/// stamp, then the record itself. Returns the replay source (to resume
+/// the wall clock from) and the number of records replayed.
+fn replay_recovered(
+    svc: &mut Service,
+    core: &mut ShardCore,
+    scheduler: &mut dyn Scheduler,
+    faults: &FaultPlan,
+    seed: RecoveredState,
+) -> (ReplaySource<Event>, u64) {
+    let mut first_seq = 0;
+    let mut replay_src = match &seed.checkpoint {
+        Some(ckpt) => {
+            core.restore(&ckpt.core);
+            scheduler.restore(&ckpt.scheduler);
+            svc.jobs = ckpt.jobs.clone();
+            svc.users = ckpt.users.clone();
+            svc.counters = ckpt.counters;
+            svc.quotas.restore(&ckpt.buckets);
+            core.ensure_jobs(svc.jobs.len());
+            first_seq = ckpt.journal_seq;
+            ReplaySource::from_snapshot(&ckpt.engine, ckpt.min_external)
+        }
+        None => ReplaySource::fresh(),
+    };
+    let mut replayed = 0u64;
+    for rec in seed.records.iter().filter(|r| r.seq() >= first_seq) {
+        let stamp = rec.stamp();
+        while let Some(ev) = replay_src.pop_timer_before(Some(stamp)) {
+            core.handle(&mut replay_src, ev, scheduler, &svc.jobs, &[], faults);
+        }
+        replay_src.note_external(stamp);
+        match *rec {
+            JournalRecord::Submit {
+                job,
+                user,
+                width,
+                estimate,
+                actual,
+                ..
+            } => {
+                debug_assert_eq!(job as usize, svc.jobs.len(), "journal ids are dense");
+                svc.jobs.push(Job {
+                    id: JobId(job),
+                    submit: stamp,
+                    width,
+                    estimate,
+                    actual,
+                });
+                svc.users.push(user);
+                core.ensure_jobs(svc.jobs.len());
+                svc.quotas.charge_replayed(user, stamp);
+                core.handle(
+                    &mut replay_src,
+                    Event::Arrive(JobId(job)),
+                    scheduler,
+                    &svc.jobs,
+                    &[],
+                    faults,
+                );
+                svc.counters.accepted += 1;
+            }
+            JournalRecord::Cancel { job, .. } => {
+                if core.cancel_waiting(JobId(job)).is_some() {
+                    svc.counters.cancelled += 1;
+                }
+            }
+        }
+        replayed += 1;
+    }
+    (replay_src, replayed)
 }
 
 fn handle_command(
     svc: &mut Service,
     core: &mut ShardCore,
     src: &mut WallClockSource<Event, Command>,
-    scheduler: &mut dyn dynp_rms::Scheduler,
+    scheduler: &mut dyn Scheduler,
     faults: &FaultPlan,
     cmd: Command,
 ) {
@@ -235,9 +676,13 @@ fn handle_command(
         Command::Cancel(job, reply) => {
             let found = match core.cancel_waiting(JobId(job)) {
                 Some(_) => {
-                    svc.cancelled += 1;
-                    if let Some(log) = svc.session.as_mut() {
-                        let _ = log.record_cancel(job, src.now());
+                    svc.counters.cancelled += 1;
+                    let stamp = src.now();
+                    if let Some(writer) = svc.journal.as_mut() {
+                        let appended = writer
+                            .append_cancel(stamp, job)
+                            .unwrap_or_else(|e| panic!("journal append failed: {e}"));
+                        svc.after_append(appended.rotated, core, scheduler, src);
                     }
                     true
                 }
@@ -258,38 +703,60 @@ fn handle_command(
     }
 }
 
-/// The admission path: validate, apply backpressure, stamp, log, and
-/// run the arrival through the shared driver.
+/// The admission path: validate, apply backpressure and quotas, stamp,
+/// journal durably, and run the arrival through the shared driver. The
+/// journal append precedes every state mutation, so a crash at any
+/// point either loses an unacknowledged request (the client never saw
+/// `accepted`) or replays an acknowledged one — never the reverse.
 fn admit(
     svc: &mut Service,
     core: &mut ShardCore,
     src: &mut WallClockSource<Event, Command>,
-    scheduler: &mut dyn dynp_rms::Scheduler,
+    scheduler: &mut dyn Scheduler,
     faults: &FaultPlan,
     spec: SubmitSpec,
 ) -> Result<Ticket, SubmitError> {
     if svc.draining {
-        svc.rejected_shutdown += 1;
+        svc.counters.rejected_shutdown += 1;
         return Err(SubmitError::Overload(OverloadReason::ShuttingDown));
     }
     if let Err(why) = svc.validate(&spec) {
-        svc.rejected_invalid += 1;
+        svc.counters.rejected_invalid += 1;
         return Err(SubmitError::Invalid(why));
     }
     if core.state().waiting().len() >= svc.config.max_queue {
-        svc.rejected_queue_full += 1;
+        svc.counters.rejected_queue_full += 1;
         return Err(SubmitError::Overload(OverloadReason::QueueFull));
     }
     let now = src.now();
+    if svc.over_fair_share(core, spec.user) || !svc.quotas.try_charge(spec.user, now) {
+        svc.counters.rejected_user_quota += 1;
+        svc.config.tracer.record(
+            now,
+            TraceEvent::QuotaRejected {
+                user: spec.user,
+                queue_depth: core.state().waiting().len() as u32,
+            },
+        );
+        return Err(SubmitError::Overload(OverloadReason::UserQuota));
+    }
     let id = JobId(svc.jobs.len() as u32);
     let job = Job::new(id, now, spec.width, spec.estimate, spec.actual);
-    svc.jobs.push(job);
-    core.ensure_jobs(svc.jobs.len());
-    if let Some(log) = svc.session.as_mut() {
-        let _ = log.record(&job);
+    let mut rotated = false;
+    if let Some(writer) = svc.journal.as_mut() {
+        let appended = writer
+            .append_submit(now, id.0, spec.user, job.width, job.estimate, job.actual)
+            .unwrap_or_else(|e| panic!("journal append failed: {e}"));
+        rotated = appended.rotated;
     }
+    svc.jobs.push(job);
+    svc.users.push(spec.user);
+    core.ensure_jobs(svc.jobs.len());
     core.handle(src, Event::Arrive(id), scheduler, &svc.jobs, &[], faults);
-    svc.accepted += 1;
+    svc.counters.accepted += 1;
+    if svc.journal.is_some() {
+        svc.after_append(rotated, core, scheduler, src);
+    }
     Ok(Ticket {
         job: id.0,
         admitted_at: now,
@@ -305,7 +772,7 @@ fn refuse(
 ) {
     match cmd {
         Command::Submit(_, reply) => {
-            svc.rejected_shutdown += 1;
+            svc.counters.rejected_shutdown += 1;
             let _ = reply.send(Reply::Rejected(SubmitError::Overload(
                 OverloadReason::ShuttingDown,
             )));

@@ -1,0 +1,1320 @@
+//! The durable session journal: a typed, checksummed write-ahead log of
+//! every command the daemon *accepted*, plus periodic checkpoints of the
+//! full service state.
+//!
+//! ## Journal segments
+//!
+//! A journal directory holds numbered segment files `journal-NNNNNN.wal`.
+//! Each segment starts with a header
+//!
+//! ```text
+//! "DYNPJRNL" | version u32 | machine u32 | speedup u64 | scheduler str
+//!            | segment u32 | base seq u64
+//! ```
+//!
+//! followed by records framed as
+//!
+//! ```text
+//! type u8 | payload len u32 | payload | crc32(payload)
+//! ```
+//!
+//! where type 1 is an accepted submission (seq, stamp, job id, user,
+//! width, estimate, actual) and type 2 a cancellation (seq, stamp, job
+//! id). Record sequence numbers are global across segments; each
+//! segment's header carries the seq of its first record so a reader can
+//! verify continuity and a compactor can tell which rotated segments a
+//! checkpoint fully covers.
+//!
+//! Durability is governed by [`FsyncPolicy`]; with the default
+//! `Always`, a record is on disk before the client sees `accepted`, so
+//! a `SIGKILL` at *any* point loses no acknowledged work. Writers
+//! rotate to a fresh segment once the current one exceeds
+//! `rotate_bytes`; [`JournalWriter::compact`] deletes rotated segments
+//! whose records a checkpoint has made redundant.
+//!
+//! ## Torn tails vs. corruption
+//!
+//! A crash mid-`write` leaves a *torn tail*: the last segment ends in
+//! the middle of a record frame. That is an expected artifact of the
+//! crash model, detected by frame truncation and tolerated — the reader
+//! stops at the last complete record and reports `torn = true`. A
+//! record whose frame is *complete* but whose checksum does not match
+//! is a different animal (bit rot, truncated-then-appended files) and
+//! is always a typed [`JournalError::BadChecksum`]. Torn frames in a
+//! *non*-last segment mean the directory itself is damaged
+//! ([`JournalError::TornSegment`]).
+//!
+//! ## Checkpoints
+//!
+//! `checkpoint-NNNNNNNNNN.ckpt` files (named by journal seq) capture the
+//! complete service state — core, pending timers, scheduler, job table,
+//! per-user quota buckets, counters — framed as
+//!
+//! ```text
+//! "DYNPCKPT" | version u32 | journal seq u64 | payload len u32
+//!            | payload | crc32(payload)
+//! ```
+//!
+//! Checkpoints are written to a temp file and atomically renamed, and a
+//! corrupt checkpoint is *skipped*, falling back to the previous valid
+//! one (and ultimately to a from-genesis journal replay), so checkpoint
+//! corruption can slow recovery down but never wreck it.
+
+use dynp_des::{crc32, ByteReader, ByteWriter, CodecError, EngineSnapshot, SimDuration, SimTime};
+use dynp_rms::SchedulerSnapshot;
+use dynp_sim::codec::{decode_core, decode_engine, encode_core, encode_engine};
+use dynp_sim::{CoreSnapshot, Event};
+use dynp_workload::Job;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a journal segment.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"DYNPJRNL";
+/// Current journal format version.
+pub const JOURNAL_VERSION: u32 = 1;
+/// Magic prefix of a checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"DYNPCKPT";
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Default rotation threshold: start a new segment once the current one
+/// exceeds 1 MiB.
+pub const DEFAULT_ROTATE_BYTES: u64 = 1 << 20;
+
+const REC_SUBMIT: u8 = 1;
+const REC_CANCEL: u8 = 2;
+
+/// When the journal writer calls `fsync`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// After every record — an acknowledged command is on disk (the
+    /// default; the crash-safety guarantee assumes it).
+    Always,
+    /// Only when a segment is finished (rotation) or the journal is
+    /// closed. A crash can lose the unsynced tail of the live segment.
+    OnRotate,
+    /// Never explicitly — leave it to the OS. Fastest, weakest.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the command-line spelling.
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "rotate" | "on-rotate" => Some(FsyncPolicy::OnRotate),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::OnRotate => "rotate",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// One journaled command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// An accepted submission, stamped with its dispatch instant.
+    Submit {
+        /// Global journal sequence number.
+        seq: u64,
+        /// The wall source's dispatch stamp (simulation time).
+        stamp: SimTime,
+        /// Assigned job id.
+        job: u32,
+        /// Submitting user (quota accounting and replay fairness stats).
+        user: u32,
+        /// Processors requested.
+        width: u32,
+        /// User runtime estimate.
+        estimate: SimDuration,
+        /// Actual runtime.
+        actual: SimDuration,
+    },
+    /// An accepted cancellation.
+    Cancel {
+        /// Global journal sequence number.
+        seq: u64,
+        /// The wall source's dispatch stamp (simulation time).
+        stamp: SimTime,
+        /// Job withdrawn (best effort: a no-op if already running).
+        job: u32,
+    },
+}
+
+impl JournalRecord {
+    /// The record's global sequence number.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            JournalRecord::Submit { seq, .. } | JournalRecord::Cancel { seq, .. } => seq,
+        }
+    }
+
+    /// The record's dispatch stamp.
+    pub fn stamp(&self) -> SimTime {
+        match *self {
+            JournalRecord::Submit { stamp, .. } | JournalRecord::Cancel { stamp, .. } => stamp,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match *self {
+            JournalRecord::Submit {
+                seq,
+                stamp,
+                job,
+                user,
+                width,
+                estimate,
+                actual,
+            } => {
+                w.u64(seq);
+                w.u64(stamp.as_millis());
+                w.u32(job);
+                w.u32(user);
+                w.u32(width);
+                w.u64(estimate.as_millis());
+                w.u64(actual.as_millis());
+            }
+            JournalRecord::Cancel { seq, stamp, job } => {
+                w.u64(seq);
+                w.u64(stamp.as_millis());
+                w.u32(job);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            JournalRecord::Submit { .. } => REC_SUBMIT,
+            JournalRecord::Cancel { .. } => REC_CANCEL,
+        }
+    }
+
+    fn decode_payload(kind: u8, payload: &[u8]) -> Result<JournalRecord, CodecError> {
+        let mut r = ByteReader::new(payload);
+        let rec = match kind {
+            REC_SUBMIT => JournalRecord::Submit {
+                seq: r.u64()?,
+                stamp: SimTime::from_millis(r.u64()?),
+                job: r.u32()?,
+                user: r.u32()?,
+                width: r.u32()?,
+                estimate: SimDuration::from_millis(r.u64()?),
+                actual: SimDuration::from_millis(r.u64()?),
+            },
+            REC_CANCEL => JournalRecord::Cancel {
+                seq: r.u64()?,
+                stamp: SimTime::from_millis(r.u64()?),
+                job: r.u32()?,
+            },
+            _ => {
+                return Err(CodecError::Invalid {
+                    what: "record type",
+                })
+            }
+        };
+        if !r.is_exhausted() {
+            return Err(CodecError::Invalid {
+                what: "record trailing bytes",
+            });
+        }
+        Ok(rec)
+    }
+}
+
+/// Typed journal failures — every way a journal directory can be wrong,
+/// distinguished so recovery can react (tolerate, skip, refuse) instead
+/// of guessing from a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// Filesystem-level failure.
+    Io {
+        /// File or directory involved.
+        path: PathBuf,
+        /// The OS error rendered.
+        error: String,
+    },
+    /// The file does not start with the journal/checkpoint magic.
+    BadMagic {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// A format version this build does not understand.
+    UnknownVersion {
+        /// Offending file.
+        path: PathBuf,
+        /// Version found.
+        version: u32,
+    },
+    /// A complete record frame whose checksum does not match (bit rot —
+    /// never tolerated, unlike a torn tail).
+    BadChecksum {
+        /// Offending file.
+        path: PathBuf,
+        /// Byte offset of the record frame.
+        offset: usize,
+    },
+    /// A record that fails to decode after passing its checksum
+    /// (unknown record type, trailing payload bytes).
+    BadRecord {
+        /// Offending file.
+        path: PathBuf,
+        /// Byte offset of the record frame.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// Two segment files claim the same index.
+    DuplicateSegment {
+        /// The duplicated segment index.
+        segment: u32,
+    },
+    /// A gap in the segment numbering — a middle segment is missing.
+    MissingSegment {
+        /// The absent segment index.
+        segment: u32,
+    },
+    /// A torn (truncated mid-frame) segment that is *not* the last one;
+    /// torn tails are only a crash artifact on the live segment.
+    TornSegment {
+        /// Offending file.
+        path: PathBuf,
+        /// Byte offset where the tear begins.
+        offset: usize,
+    },
+    /// Segment headers disagree (machine size, speedup, scheduler, or
+    /// sequence continuity) — the directory mixes incompatible runs.
+    HeaderMismatch {
+        /// Offending file.
+        path: PathBuf,
+        /// Which header field disagreed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            JournalError::BadMagic { path } => write!(f, "{}: bad magic", path.display()),
+            JournalError::UnknownVersion { path, version } => {
+                write!(f, "{}: unknown version {version}", path.display())
+            }
+            JournalError::BadChecksum { path, offset } => {
+                write!(f, "{}: bad checksum at offset {offset}", path.display())
+            }
+            JournalError::BadRecord { path, offset, what } => {
+                write!(
+                    f,
+                    "{}: bad record at offset {offset}: {what}",
+                    path.display()
+                )
+            }
+            JournalError::DuplicateSegment { segment } => {
+                write!(f, "duplicate journal segment {segment}")
+            }
+            JournalError::MissingSegment { segment } => {
+                write!(f, "missing journal segment {segment}")
+            }
+            JournalError::TornSegment { path, offset } => {
+                write!(
+                    f,
+                    "{}: torn at offset {offset} (not the last segment)",
+                    path.display()
+                )
+            }
+            JournalError::HeaderMismatch { path, what } => {
+                write!(f, "{}: header mismatch: {what}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn iofail(path: &Path, e: std::io::Error) -> JournalError {
+    JournalError::Io {
+        path: path.to_path_buf(),
+        error: e.to_string(),
+    }
+}
+
+/// Path of journal segment `segment` in `dir`.
+pub fn segment_path(dir: &Path, segment: u32) -> PathBuf {
+    dir.join(format!("journal-{segment:06}.wal"))
+}
+
+/// Path of the checkpoint taken at journal seq `seq` in `dir`.
+pub fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{seq:010}.ckpt"))
+}
+
+fn list_numbered(
+    dir: &Path,
+    prefix: &str,
+    suffix: &str,
+) -> Result<Vec<(u64, PathBuf)>, JournalError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| iofail(dir, e))? {
+        let entry = entry.map_err(|e| iofail(dir, e))?;
+        let name = entry.file_name();
+        let name = match name.to_str() {
+            Some(n) => n,
+            None => continue,
+        };
+        if let Some(mid) = name
+            .strip_prefix(prefix)
+            .and_then(|r| r.strip_suffix(suffix))
+        {
+            if let Ok(n) = mid.parse::<u64>() {
+                out.push((n, entry.path()));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The result of appending one record: its assigned sequence number and
+/// whether the append tripped a segment rotation (the daemon checkpoints
+/// at rotation points).
+#[derive(Clone, Copy, Debug)]
+pub struct Appended {
+    /// Sequence number the record was journaled under.
+    pub seq: u64,
+    /// True when the append finished a segment and opened a new one.
+    pub rotated: bool,
+    /// Index of the segment the *next* record will land in.
+    pub segment: u32,
+}
+
+/// Appends records to a journal directory with rotation, an fsync
+/// policy, and checkpoint-driven compaction.
+pub struct JournalWriter {
+    dir: PathBuf,
+    file: File,
+    machine_size: u32,
+    speedup: u64,
+    scheduler: String,
+    segment: u32,
+    segment_bytes: u64,
+    next_seq: u64,
+    rotate_bytes: u64,
+    fsync: FsyncPolicy,
+    /// `(index, base_seq)` of every on-disk segment, oldest first,
+    /// including the live one — the compactor's map.
+    segments: Vec<(u32, u64)>,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal in `dir` (created if absent). Refuses a
+    /// directory that already contains journal segments — resuming an
+    /// existing journal is [`JournalWriter::resume`]'s job.
+    pub fn create(
+        dir: &Path,
+        machine_size: u32,
+        speedup: u64,
+        scheduler: &str,
+        fsync: FsyncPolicy,
+        rotate_bytes: u64,
+    ) -> Result<JournalWriter, JournalError> {
+        fs::create_dir_all(dir).map_err(|e| iofail(dir, e))?;
+        let existing = list_numbered(dir, "journal-", ".wal")?;
+        if let Some((n, path)) = existing.first() {
+            return Err(JournalError::Io {
+                path: path.clone(),
+                error: format!("journal directory already contains segment {n}; use --recover"),
+            });
+        }
+        Self::open(
+            dir,
+            machine_size,
+            speedup,
+            scheduler,
+            fsync,
+            rotate_bytes,
+            0,
+            0,
+            Vec::new(),
+        )
+    }
+
+    /// Opens a new segment *after* the ones a read-back `journal`
+    /// reports — the recovery path: header facts and sequence position
+    /// come from the journal itself (run [`repair_torn_tail`] first so
+    /// no torn file blocks the new segment's index), and post-recovery
+    /// records land in a clean segment with the right base seq.
+    pub fn resume(
+        dir: &Path,
+        journal: &JournalDir,
+        fsync: FsyncPolicy,
+        rotate_bytes: u64,
+    ) -> Result<JournalWriter, JournalError> {
+        Self::open(
+            dir,
+            journal.machine_size,
+            journal.speedup,
+            &journal.scheduler,
+            fsync,
+            rotate_bytes,
+            journal.last_segment + 1,
+            journal.next_seq,
+            journal.segments.clone(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn open(
+        dir: &Path,
+        machine_size: u32,
+        speedup: u64,
+        scheduler: &str,
+        fsync: FsyncPolicy,
+        rotate_bytes: u64,
+        segment: u32,
+        base_seq: u64,
+        mut segments: Vec<(u32, u64)>,
+    ) -> Result<JournalWriter, JournalError> {
+        let path = segment_path(dir, segment);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| iofail(&path, e))?;
+        let mut w = ByteWriter::new();
+        w.raw(JOURNAL_MAGIC);
+        w.u32(JOURNAL_VERSION);
+        w.u32(machine_size);
+        w.u64(speedup);
+        w.str(scheduler);
+        w.u32(segment);
+        w.u64(base_seq);
+        let header = w.into_bytes();
+        file.write_all(&header).map_err(|e| iofail(&path, e))?;
+        if fsync == FsyncPolicy::Always {
+            file.sync_data().map_err(|e| iofail(&path, e))?;
+        }
+        segments.push((segment, base_seq));
+        Ok(JournalWriter {
+            dir: dir.to_path_buf(),
+            file,
+            machine_size,
+            speedup,
+            scheduler: scheduler.to_string(),
+            segment,
+            segment_bytes: header.len() as u64,
+            next_seq: base_seq,
+            rotate_bytes: rotate_bytes.max(1),
+            fsync,
+            segments,
+        })
+    }
+
+    /// The sequence number the next appended record will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The live segment's index.
+    pub fn segment(&self) -> u32 {
+        self.segment
+    }
+
+    /// Journals an accepted submission; see [`JournalWriter::append`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn append_submit(
+        &mut self,
+        stamp: SimTime,
+        job: u32,
+        user: u32,
+        width: u32,
+        estimate: SimDuration,
+        actual: SimDuration,
+    ) -> Result<Appended, JournalError> {
+        let seq = self.next_seq;
+        self.append(&JournalRecord::Submit {
+            seq,
+            stamp,
+            job,
+            user,
+            width,
+            estimate,
+            actual,
+        })
+    }
+
+    /// Journals an accepted cancellation; see [`JournalWriter::append`].
+    pub fn append_cancel(&mut self, stamp: SimTime, job: u32) -> Result<Appended, JournalError> {
+        let seq = self.next_seq;
+        self.append(&JournalRecord::Cancel { seq, stamp, job })
+    }
+
+    /// Appends one record (whose seq must be [`JournalWriter::next_seq`]),
+    /// honours the fsync policy, and rotates the segment if it crossed
+    /// the size threshold. Under `FsyncPolicy::Always` the record is
+    /// durable when this returns — the admission path acknowledges the
+    /// client only after.
+    pub fn append(&mut self, rec: &JournalRecord) -> Result<Appended, JournalError> {
+        assert_eq!(rec.seq(), self.next_seq, "journal seqs are dense");
+        let payload = rec.encode_payload();
+        let mut w = ByteWriter::new();
+        w.u8(rec.kind());
+        w.bytes(&payload);
+        w.u32(crc32(&payload));
+        let frame = w.into_bytes();
+        let path = segment_path(&self.dir, self.segment);
+        self.file.write_all(&frame).map_err(|e| iofail(&path, e))?;
+        if self.fsync == FsyncPolicy::Always {
+            self.file.sync_data().map_err(|e| iofail(&path, e))?;
+        }
+        self.segment_bytes += frame.len() as u64;
+        self.next_seq += 1;
+        let seq = rec.seq();
+        let mut rotated = false;
+        if self.segment_bytes >= self.rotate_bytes {
+            self.rotate()?;
+            rotated = true;
+        }
+        Ok(Appended {
+            seq,
+            rotated,
+            segment: self.segment,
+        })
+    }
+
+    fn rotate(&mut self) -> Result<(), JournalError> {
+        let path = segment_path(&self.dir, self.segment);
+        // Seal the finished segment: everything in it is synced before
+        // the new segment exists, whatever the per-record policy.
+        if self.fsync != FsyncPolicy::Never {
+            self.file.sync_data().map_err(|e| iofail(&path, e))?;
+        }
+        let next = Self::open(
+            &self.dir,
+            self.machine_size,
+            self.speedup,
+            &self.scheduler,
+            self.fsync,
+            self.rotate_bytes,
+            self.segment + 1,
+            self.next_seq,
+            std::mem::take(&mut self.segments),
+        )?;
+        *self = next;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the live segment regardless of policy — the
+    /// drain path calls this before printing the summary line.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        let path = segment_path(&self.dir, self.segment);
+        self.file.flush().map_err(|e| iofail(&path, e))?;
+        self.file.sync_data().map_err(|e| iofail(&path, e))
+    }
+
+    /// Deletes rotated segments every record of which is ≤ `covered_seq`
+    /// (the journal seq a durable checkpoint covers). The live segment
+    /// is never deleted. Returns the deleted segment indices.
+    pub fn compact(&mut self, covered_seq: u64) -> Result<Vec<u32>, JournalError> {
+        let mut deleted = Vec::new();
+        // A segment's records span [base_seq, next segment's base_seq);
+        // it is redundant iff that whole range is checkpointed.
+        while self.segments.len() > 1 {
+            let (idx, _) = self.segments[0];
+            let (_, next_base) = self.segments[1];
+            if next_base == 0 || next_base - 1 > covered_seq {
+                break;
+            }
+            let path = segment_path(&self.dir, idx);
+            fs::remove_file(&path).map_err(|e| iofail(&path, e))?;
+            self.segments.remove(0);
+            deleted.push(idx);
+        }
+        Ok(deleted)
+    }
+}
+
+/// A fully read journal directory: the merged record sequence plus the
+/// header facts every segment agreed on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalDir {
+    /// Machine size the daemon ran with.
+    pub machine_size: u32,
+    /// Wall-clock speedup the daemon ran with.
+    pub speedup: u64,
+    /// Scheduler spec spelling (parse with `parse_scheduler`).
+    pub scheduler: String,
+    /// All records, in seq order.
+    pub records: Vec<JournalRecord>,
+    /// Index of the last segment on disk.
+    pub last_segment: u32,
+    /// One past the last record's seq — the resume base.
+    pub next_seq: u64,
+    /// `(index, base_seq)` of every segment, oldest first.
+    pub segments: Vec<(u32, u64)>,
+    /// True when the last segment ended mid-frame (crash artifact; the
+    /// torn tail was discarded).
+    pub torn: bool,
+    /// Where the tear sits: `(segment index, byte offset of the first
+    /// incomplete frame)`. Offset 0 means the segment's *header* was
+    /// torn (crash during rotation) and the whole file holds nothing.
+    /// [`repair_torn_tail`] uses this to make the directory clean again.
+    pub torn_at: Option<(u32, u64)>,
+}
+
+struct SegmentHeader {
+    machine_size: u32,
+    speedup: u64,
+    scheduler: String,
+    segment: u32,
+    base_seq: u64,
+}
+
+fn read_segment_header(path: &Path, r: &mut ByteReader<'_>) -> Result<SegmentHeader, JournalError> {
+    let truncated = |_: CodecError| JournalError::TornSegment {
+        path: path.to_path_buf(),
+        offset: 0,
+    };
+    let magic = r.raw(JOURNAL_MAGIC.len()).map_err(truncated)?;
+    if magic != JOURNAL_MAGIC {
+        return Err(JournalError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let version = r.u32().map_err(truncated)?;
+    if version != JOURNAL_VERSION {
+        return Err(JournalError::UnknownVersion {
+            path: path.to_path_buf(),
+            version,
+        });
+    }
+    Ok(SegmentHeader {
+        machine_size: r.u32().map_err(truncated)?,
+        speedup: r.u64().map_err(truncated)?,
+        scheduler: r.str().map_err(truncated)?.to_string(),
+        segment: r.u32().map_err(truncated)?,
+        base_seq: r.u64().map_err(truncated)?,
+    })
+}
+
+/// Reads and validates a whole journal directory. Torn tails on the
+/// last segment are tolerated (`torn` flag); every other irregularity
+/// is a typed [`JournalError`].
+pub fn read_journal(dir: &Path) -> Result<JournalDir, JournalError> {
+    let files = list_numbered(dir, "journal-", ".wal")?;
+    if files.is_empty() {
+        return Err(JournalError::Io {
+            path: dir.to_path_buf(),
+            error: "no journal segments".to_string(),
+        });
+    }
+    let mut out: Option<JournalDir> = None;
+    let last_i = files.len() - 1;
+    for (i, (n, path)) in files.iter().enumerate() {
+        if *n > u32::MAX as u64 {
+            return Err(JournalError::BadMagic { path: path.clone() });
+        }
+        let is_last = i == last_i;
+        let bytes = fs::read(path).map_err(|e| iofail(path, e))?;
+        let mut r = ByteReader::new(&bytes);
+        let header = match read_segment_header(path, &mut r) {
+            Ok(h) => h,
+            // A crash during rotation can leave a partial *header* on
+            // the freshly opened segment; with no records at stake that
+            // is a torn tail too.
+            Err(JournalError::TornSegment { .. }) if is_last && i > 0 => {
+                let dir_state = out.as_mut().expect("i > 0");
+                dir_state.torn = true;
+                dir_state.torn_at = Some((*n as u32, 0));
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        if header.segment as u64 != *n {
+            return Err(JournalError::HeaderMismatch {
+                path: path.clone(),
+                what: "segment index",
+            });
+        }
+        let dir_state = match &mut out {
+            None => {
+                out = Some(JournalDir {
+                    machine_size: header.machine_size,
+                    speedup: header.speedup,
+                    scheduler: header.scheduler.clone(),
+                    records: Vec::new(),
+                    last_segment: header.segment,
+                    next_seq: header.base_seq,
+                    segments: Vec::new(),
+                    torn: false,
+                    torn_at: None,
+                });
+                out.as_mut().unwrap()
+            }
+            Some(state) => {
+                if header.segment == state.last_segment {
+                    return Err(JournalError::DuplicateSegment {
+                        segment: header.segment,
+                    });
+                }
+                if header.segment != state.last_segment + 1 {
+                    return Err(JournalError::MissingSegment {
+                        segment: state.last_segment + 1,
+                    });
+                }
+                if header.machine_size != state.machine_size {
+                    return Err(JournalError::HeaderMismatch {
+                        path: path.clone(),
+                        what: "machine size",
+                    });
+                }
+                if header.speedup != state.speedup {
+                    return Err(JournalError::HeaderMismatch {
+                        path: path.clone(),
+                        what: "speedup",
+                    });
+                }
+                if header.scheduler != state.scheduler {
+                    return Err(JournalError::HeaderMismatch {
+                        path: path.clone(),
+                        what: "scheduler",
+                    });
+                }
+                if header.base_seq != state.next_seq {
+                    return Err(JournalError::HeaderMismatch {
+                        path: path.clone(),
+                        what: "sequence continuity",
+                    });
+                }
+                state.last_segment = header.segment;
+                state
+            }
+        };
+        dir_state.segments.push((header.segment, header.base_seq));
+        // Records until clean EOF, a tolerated tear, or a typed error.
+        loop {
+            if r.is_exhausted() {
+                break;
+            }
+            let offset = r.position();
+            let frame: Result<(u8, &[u8], u32), CodecError> = (|| {
+                let kind = r.u8()?;
+                let payload = r.bytes()?;
+                let sum = r.u32()?;
+                Ok((kind, payload, sum))
+            })();
+            let (kind, payload, sum) = match frame {
+                Ok(f) => f,
+                Err(CodecError::Truncated { .. }) if is_last => {
+                    dir_state.torn = true;
+                    dir_state.torn_at = Some((header.segment, offset as u64));
+                    break;
+                }
+                Err(_) => {
+                    return Err(JournalError::TornSegment {
+                        path: path.clone(),
+                        offset,
+                    })
+                }
+            };
+            if crc32(payload) != sum {
+                return Err(JournalError::BadChecksum {
+                    path: path.clone(),
+                    offset,
+                });
+            }
+            let rec = JournalRecord::decode_payload(kind, payload).map_err(|e| {
+                JournalError::BadRecord {
+                    path: path.clone(),
+                    offset,
+                    what: match e {
+                        CodecError::Invalid { what } => what,
+                        CodecError::Truncated { .. } => "short payload",
+                    },
+                }
+            })?;
+            if rec.seq() != dir_state.next_seq {
+                return Err(JournalError::BadRecord {
+                    path: path.clone(),
+                    offset,
+                    what: "sequence gap",
+                });
+            }
+            dir_state.next_seq += 1;
+            dir_state.records.push(rec);
+        }
+        if dir_state.torn {
+            break;
+        }
+    }
+    Ok(out.expect("at least one segment"))
+}
+
+/// Repairs the torn tail a crash left behind, so the directory reads
+/// cleanly forever after — in particular after [`JournalWriter::resume`]
+/// adds segments *behind* the tear (a torn segment is only tolerated
+/// while it is the last one).
+///
+/// The tear never holds acknowledged data: a record frame is torn only
+/// if the crash hit mid-append (the client never saw an accept), and a
+/// torn *header* means the crash hit mid-rotation before any record was
+/// written to the new segment. So repair is pure truncation:
+///
+/// - tear at offset 0 (torn header): the file holds nothing — remove it;
+/// - tear past the header: truncate the file at the tear, leaving a
+///   clean, complete segment.
+///
+/// No-op when `journal.torn_at` is `None`.
+pub fn repair_torn_tail(dir: &Path, journal: &JournalDir) -> Result<(), JournalError> {
+    let Some((segment, offset)) = journal.torn_at else {
+        return Ok(());
+    };
+    let path = segment_path(dir, segment);
+    if offset == 0 {
+        std::fs::remove_file(&path).map_err(|e| iofail(&path, e))?;
+    } else {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| iofail(&path, e))?;
+        file.set_len(offset).map_err(|e| iofail(&path, e))?;
+        file.sync_data().map_err(|e| iofail(&path, e))?;
+    }
+    Ok(())
+}
+
+/// Service-level counters persisted across restarts (they are not
+/// derivable from the replayed suffix alone).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Accepted submissions.
+    pub accepted: u64,
+    /// Rejections: bounded queue overflow.
+    pub rejected_queue_full: u64,
+    /// Rejections: submitted while draining.
+    pub rejected_shutdown: u64,
+    /// Rejections: malformed submissions.
+    pub rejected_invalid: u64,
+    /// Rejections: per-user quota / fair-share shedding.
+    pub rejected_user_quota: u64,
+    /// Accepted cancellations that withdrew a waiting job.
+    pub cancelled: u64,
+}
+
+/// Everything the daemon needs to resume exactly where a checkpoint was
+/// taken: planner state, pending timers, job table, quota buckets,
+/// counters, plus the journal seq the state is current through.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceCheckpoint {
+    /// Number of journal records applied to this state (records with
+    /// seq < `journal_seq` are in the checkpoint; replay starts here).
+    pub journal_seq: u64,
+    /// Machine size (cross-checked against the journal header).
+    pub machine_size: u32,
+    /// The wall source's checkpointable half: clock, pending timers,
+    /// tie-break counter.
+    pub engine: EngineSnapshot<Event>,
+    /// The wall source's external stamp floor.
+    pub min_external: SimTime,
+    /// The planning core's state.
+    pub core: CoreSnapshot,
+    /// Scheduler internals (present only for snapshot-capable
+    /// schedulers; absence forces from-genesis replay instead).
+    pub scheduler: SchedulerSnapshot,
+    /// The service job table (ids are indices).
+    pub jobs: Vec<Job>,
+    /// Submitting user of each job, parallel to `jobs`.
+    pub users: Vec<u32>,
+    /// Service counters at the checkpoint instant.
+    pub counters: ServiceCounters,
+    /// Per-user quota buckets: `(user, millitokens, last refill stamp)`.
+    pub buckets: Vec<(u32, u64, SimTime)>,
+}
+
+/// Serializes a checkpoint into its framed on-disk form.
+pub fn encode_checkpoint(ckpt: &ServiceCheckpoint) -> Vec<u8> {
+    let mut p = ByteWriter::new();
+    p.u32(ckpt.machine_size);
+    encode_engine(&ckpt.engine, &mut p);
+    p.u64(ckpt.min_external.as_millis());
+    encode_core(&ckpt.core, &mut p);
+    ckpt.scheduler.encode_into(&mut p);
+    p.u32(ckpt.jobs.len() as u32);
+    for job in &ckpt.jobs {
+        job.encode_into(&mut p);
+    }
+    p.u32(ckpt.users.len() as u32);
+    for &user in &ckpt.users {
+        p.u32(user);
+    }
+    let c = &ckpt.counters;
+    for v in [
+        c.accepted,
+        c.rejected_queue_full,
+        c.rejected_shutdown,
+        c.rejected_invalid,
+        c.rejected_user_quota,
+        c.cancelled,
+    ] {
+        p.u64(v);
+    }
+    p.u32(ckpt.buckets.len() as u32);
+    for (user, mtok, last) in &ckpt.buckets {
+        p.u32(*user);
+        p.u64(*mtok);
+        p.u64(last.as_millis());
+    }
+    let payload = p.into_bytes();
+
+    let mut w = ByteWriter::new();
+    w.raw(CHECKPOINT_MAGIC);
+    w.u32(CHECKPOINT_VERSION);
+    w.u64(ckpt.journal_seq);
+    w.bytes(&payload);
+    w.u32(crc32(&payload));
+    w.into_bytes()
+}
+
+/// Decodes a checkpoint, verifying magic, version, and checksum before
+/// touching the payload.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<ServiceCheckpoint, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    if r.raw(CHECKPOINT_MAGIC.len())? != CHECKPOINT_MAGIC {
+        return Err(CodecError::Invalid {
+            what: "checkpoint magic",
+        });
+    }
+    if r.u32()? != CHECKPOINT_VERSION {
+        return Err(CodecError::Invalid {
+            what: "checkpoint version",
+        });
+    }
+    let journal_seq = r.u64()?;
+    let payload = r.bytes()?;
+    let sum = r.u32()?;
+    if crc32(payload) != sum {
+        return Err(CodecError::Invalid {
+            what: "checkpoint checksum",
+        });
+    }
+    let mut p = ByteReader::new(payload);
+    let machine_size = p.u32()?;
+    let engine = decode_engine(&mut p)?;
+    let min_external = SimTime::from_millis(p.u64()?);
+    let core = decode_core(&mut p)?;
+    let scheduler = SchedulerSnapshot::decode_from(&mut p)?;
+    let n = p.u32()? as usize;
+    let mut jobs = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        jobs.push(Job::decode_from(&mut p)?);
+    }
+    let n = p.u32()? as usize;
+    let mut users = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        users.push(p.u32()?);
+    }
+    let counters = ServiceCounters {
+        accepted: p.u64()?,
+        rejected_queue_full: p.u64()?,
+        rejected_shutdown: p.u64()?,
+        rejected_invalid: p.u64()?,
+        rejected_user_quota: p.u64()?,
+        cancelled: p.u64()?,
+    };
+    let n = p.u32()? as usize;
+    let mut buckets = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        buckets.push((p.u32()?, p.u64()?, SimTime::from_millis(p.u64()?)));
+    }
+    if !p.is_exhausted() {
+        return Err(CodecError::Invalid {
+            what: "checkpoint trailing bytes",
+        });
+    }
+    Ok(ServiceCheckpoint {
+        journal_seq,
+        machine_size,
+        engine,
+        min_external,
+        core,
+        scheduler,
+        jobs,
+        users,
+        counters,
+        buckets,
+    })
+}
+
+/// Writes a checkpoint durably: temp file, fsync, atomic rename.
+/// Returns the byte size written.
+pub fn write_checkpoint(dir: &Path, ckpt: &ServiceCheckpoint) -> Result<u64, JournalError> {
+    let bytes = encode_checkpoint(ckpt);
+    let final_path = checkpoint_path(dir, ckpt.journal_seq);
+    let tmp_path = final_path.with_extension("ckpt.tmp");
+    {
+        let mut f = File::create(&tmp_path).map_err(|e| iofail(&tmp_path, e))?;
+        f.write_all(&bytes).map_err(|e| iofail(&tmp_path, e))?;
+        f.sync_data().map_err(|e| iofail(&tmp_path, e))?;
+    }
+    fs::rename(&tmp_path, &final_path).map_err(|e| iofail(&final_path, e))?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads the newest checkpoint that decodes cleanly, skipping corrupt
+/// ones (their paths are returned for logging). `Ok((None, _))` means
+/// recovery must replay the journal from genesis.
+pub fn load_latest_checkpoint(
+    dir: &Path,
+) -> Result<(Option<ServiceCheckpoint>, Vec<PathBuf>), JournalError> {
+    let mut files = list_numbered(dir, "checkpoint-", ".ckpt")?;
+    files.reverse(); // newest (highest covered seq) first
+    let mut skipped = Vec::new();
+    for (_, path) in files {
+        let bytes = fs::read(&path).map_err(|e| iofail(&path, e))?;
+        match decode_checkpoint(&bytes) {
+            Ok(ckpt) => return Ok((Some(ckpt), skipped)),
+            Err(_) => skipped.push(path),
+        }
+    }
+    Ok((None, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dynp-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn submit(seq: u64, ms: u64) -> JournalRecord {
+        JournalRecord::Submit {
+            seq,
+            stamp: SimTime::from_millis(ms),
+            job: seq as u32,
+            user: (seq % 3) as u32,
+            width: 4,
+            estimate: SimDuration::from_secs(60),
+            actual: SimDuration::from_secs(45),
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_across_rotation() {
+        let dir = tmpdir("roundtrip");
+        let mut w = JournalWriter::create(&dir, 32, 1000, "dynp", FsyncPolicy::Never, 200).unwrap();
+        let mut rotations = 0;
+        for i in 0..20u64 {
+            let appended = if i % 5 == 4 {
+                w.append_cancel(SimTime::from_millis(i * 10), i as u32 - 1)
+                    .unwrap()
+            } else {
+                w.append(&submit(i, i * 10)).unwrap()
+            };
+            assert_eq!(appended.seq, i);
+            if appended.rotated {
+                rotations += 1;
+            }
+        }
+        w.sync().unwrap();
+        assert!(rotations >= 2, "tiny rotate_bytes must rotate: {rotations}");
+
+        let journal = read_journal(&dir).unwrap();
+        assert_eq!(journal.machine_size, 32);
+        assert_eq!(journal.speedup, 1000);
+        assert_eq!(journal.scheduler, "dynp");
+        assert_eq!(journal.records.len(), 20);
+        assert_eq!(journal.next_seq, 20);
+        assert!(!journal.torn);
+        assert_eq!(journal.segments.len() as u32, journal.last_segment + 1);
+        for (i, rec) in journal.records.iter().enumerate() {
+            assert_eq!(rec.seq(), i as u64);
+            assert_eq!(rec.stamp(), SimTime::from_millis(i as u64 * 10));
+        }
+        assert!(matches!(
+            journal.records[4],
+            JournalRecord::Cancel { job: 3, .. }
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_on_last_segment_is_tolerated() {
+        let dir = tmpdir("torn");
+        let mut w =
+            JournalWriter::create(&dir, 8, 1, "FCFS", FsyncPolicy::Never, u64::MAX).unwrap();
+        for i in 0..5u64 {
+            w.append(&submit(i, i)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let path = segment_path(&dir, 0);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let journal = read_journal(&dir).unwrap();
+        assert!(journal.torn);
+        assert_eq!(journal.records.len(), 4, "the torn record is dropped");
+        assert_eq!(journal.next_seq, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_opens_a_fresh_segment_with_continuous_seqs() {
+        let dir = tmpdir("resume");
+        let mut w =
+            JournalWriter::create(&dir, 8, 1, "FCFS", FsyncPolicy::Never, u64::MAX).unwrap();
+        for i in 0..3u64 {
+            w.append(&submit(i, i)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+
+        let journal = read_journal(&dir).unwrap();
+        let mut w = JournalWriter::resume(&dir, &journal, FsyncPolicy::Never, u64::MAX).unwrap();
+        assert_eq!(w.segment(), 1);
+        assert_eq!(w.next_seq(), 3);
+        w.append(&submit(3, 30)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let journal = read_journal(&dir).unwrap();
+        assert_eq!(journal.records.len(), 4);
+        assert_eq!(journal.last_segment, 1);
+        assert!(!journal.torn);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_deletes_only_fully_covered_rotated_segments() {
+        let dir = tmpdir("compact");
+        let mut w = JournalWriter::create(&dir, 8, 1, "FCFS", FsyncPolicy::Never, 150).unwrap();
+        for i in 0..12u64 {
+            w.append(&submit(i, i)).unwrap();
+        }
+        w.sync().unwrap();
+        let segs_before = w.segments.clone();
+        assert!(segs_before.len() >= 3);
+        // Checkpoint through the end of the first rotated segment only.
+        let covered = segs_before[1].1 - 1;
+        let deleted = w.compact(covered).unwrap();
+        assert_eq!(deleted, vec![0]);
+        assert!(!segment_path(&dir, 0).exists());
+        // Nothing newer may be touched; the journal suffix still reads
+        // (read_journal on a compacted dir is the recovery path's job —
+        // here just assert the files survived).
+        assert!(segment_path(&dir, 1).exists());
+        // Covering everything still preserves the live segment.
+        let deleted = w.compact(u64::MAX).unwrap();
+        assert!(!deleted.contains(&w.segment()));
+        assert!(segment_path(&dir, w.segment()).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        // Bad checksum on a complete frame: never tolerated.
+        let dir = tmpdir("badsum");
+        let mut w =
+            JournalWriter::create(&dir, 8, 1, "FCFS", FsyncPolicy::Never, u64::MAX).unwrap();
+        for i in 0..3u64 {
+            w.append(&submit(i, i)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let path = segment_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x01; // inside the last record's payload
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_journal(&dir),
+            Err(JournalError::BadChecksum { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+
+        // Unknown version.
+        let dir = tmpdir("badver");
+        let mut w =
+            JournalWriter::create(&dir, 8, 1, "FCFS", FsyncPolicy::Never, u64::MAX).unwrap();
+        w.append(&submit(0, 0)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let path = segment_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] = 0xEE;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_journal(&dir),
+            Err(JournalError::UnknownVersion { version: 0xEE, .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_files_fall_back_to_the_previous_valid_one() {
+        let dir = tmpdir("ckptfall");
+        let ckpt = |seq: u64| ServiceCheckpoint {
+            journal_seq: seq,
+            machine_size: 16,
+            engine: EngineSnapshot {
+                now: SimTime::from_millis(seq * 100),
+                processed: seq,
+                next_seq: 0,
+                entries: Vec::new(),
+            },
+            min_external: SimTime::from_millis(seq * 100),
+            core: dynp_sim::ShardCore::new(
+                16,
+                dynp_rms::AdmissionConfig::default(),
+                0,
+                dynp_workload::RetryPolicy::default(),
+                SimTime::ZERO,
+                dynp_obs::Tracer::disabled(),
+                0,
+            )
+            .snapshot(),
+            scheduler: SchedulerSnapshot {
+                tag: "static",
+                words: Vec::new(),
+            },
+            jobs: Vec::new(),
+            users: Vec::new(),
+            counters: ServiceCounters::default(),
+            buckets: vec![(0, 500, SimTime::from_millis(seq))],
+        };
+        write_checkpoint(&dir, &ckpt(10)).unwrap();
+        write_checkpoint(&dir, &ckpt(20)).unwrap();
+
+        let (latest, skipped) = load_latest_checkpoint(&dir).unwrap();
+        assert_eq!(latest.unwrap().journal_seq, 20);
+        assert!(skipped.is_empty());
+
+        // Corrupt the newest: loader falls back to seq 10 and reports
+        // the skip.
+        let newest = checkpoint_path(&dir, 20);
+        let mut bytes = fs::read(&newest).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0x80;
+        fs::write(&newest, &bytes).unwrap();
+        let (latest, skipped) = load_latest_checkpoint(&dir).unwrap();
+        assert_eq!(latest.unwrap().journal_seq, 10);
+        assert_eq!(skipped, vec![newest]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -13,30 +13,49 @@
 //!   API and the wire protocol;
 //! * [`proto`] — the newline-delimited JSON codec (Unix socket or
 //!   stdin transport, see the `daemon` bin);
-//! * [`session`] — SWF session logs: every accepted submission is
-//!   recorded so a live run replays bit-identically through
-//!   [`dynp_sim::simulate_chaos`] (the record/replay guarantee; see
-//!   DESIGN.md §12 for why the stamp discipline makes this exact).
+//! * [`journal`] — the durable write-ahead log of accepted commands and
+//!   the checkpoint store: typed, checksummed, rotated, compactable
+//!   (see DESIGN.md §14);
+//! * [`session`] — journal replay: a recorded session replays
+//!   bit-identically through the batch DES driver, cancellations
+//!   included (the record/replay guarantee; see DESIGN.md §12 for why
+//!   the stamp discipline makes this exact).
+//!
+//! Crash safety is the combination: every accepted command is journaled
+//! (fsynced, by default) before the client sees the acknowledgement;
+//! [`daemon::recover`] rebuilds a killed daemon from the newest valid
+//! checkpoint plus the journal suffix, bit-identical to a daemon that
+//! was never killed.
 //!
 //! The `loadgen` bin drives a daemon with an open-loop workload —
 //! Zipfian user population, Poisson arrivals, multi-worker fan-out — and
 //! reports sustained throughput and admission-latency percentiles
-//! (p50/p99/p999) into `BENCH_service.json`.
+//! (p50/p99/p999), overall and per user, into `BENCH_service.json`.
+//! The `replay` bin re-derives a daemon summary from a journal alone
+//! (the CI crash-recovery job diffs the two).
 
 pub mod api;
 pub mod cli;
 pub mod daemon;
+pub mod journal;
 pub mod proto;
 pub mod session;
 
 pub use api::{
-    Command, OverloadReason, Reply, ServiceConfig, ServiceReport, ServiceStatus, SubmitError,
-    SubmitSpec, Ticket,
+    Command, OverloadReason, QuotaConfig, Reply, ServiceConfig, ServiceReport, ServiceStatus,
+    SubmitError, SubmitSpec, Ticket,
 };
-pub use cli::parse_scheduler;
-pub use daemon::{spawn, ServiceHandle};
+pub use cli::{parse_scheduler, render_scheduler};
+pub use daemon::{recover, spawn, RecoverError, ServiceHandle};
+pub use journal::{
+    read_journal, repair_torn_tail, FsyncPolicy, JournalDir, JournalError, JournalRecord,
+    JournalWriter,
+};
 pub use proto::{parse_request, render_reply, Request};
-pub use session::{replay_session, session_machine_size, ReplayError, SessionLog};
+pub use session::{
+    jobs_of_records, replay_records, replay_session, service_fingerprint, session_machine_size,
+    session_scheduler, ReplayError, SessionReplay,
+};
 
 #[cfg(test)]
 mod tests {

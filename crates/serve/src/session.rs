@@ -1,169 +1,233 @@
-//! SWF session logs: the record side of the record/replay guarantee.
+//! Journal replay: the replay side of the record/replay guarantee.
 //!
-//! Every accepted submission is appended to the log as a standard SWF
-//! job line (fractional seconds carry the millisecond stamp), flushed
-//! line-by-line so a killed daemon leaves a complete, parseable prefix.
-//! [`replay_session`] feeds the log back through the batch driver
-//! ([`simulate_chaos`]) with the same scheduler recipe; because the
-//! wall-clock source never stamps an external submission at or before an
-//! already-dispatched timer (see `dynp_des::clock`), the replay presents
-//! the identical `(time, event)` sequence to the identical driver and
-//! reproduces the live schedules bit-for-bit.
+//! The daemon journals every accepted command — submission *and*
+//! cancellation — into the typed, checksummed WAL described in
+//! [`crate::journal`]. [`replay_session`] feeds a journal directory back
+//! through the batch DES driver with the same scheduler recipe; because
+//! the wall-clock source never stamps an external at or before an
+//! already-dispatched timer (see `dynp_des::clock`), seeding the
+//! journaled externals at their recorded stamps — with tie-break ranks
+//! in journal order, below every dynamic event — presents the identical
+//! `(time, event)` sequence to the identical driver and reproduces the
+//! live schedules bit-for-bit.
 //!
-//! Cancellations are outside that envelope: a cancelled job influenced
-//! planning while it sat in the queue, but never ran — no SWF record can
-//! express that to the batch driver. Cancels are logged as `;CANCEL`
-//! audit lines and [`replay_session`] refuses logs that contain them
-//! rather than replaying them wrong.
+//! Cancellations are inside that envelope now: a journaled cancel seeds
+//! an [`Event::CancelCmd`] that withdraws the waiting job exactly as
+//! the live daemon's cancel path did, at the same instant, so sessions
+//! with cancels replay just as exactly as ones without. (The SWF-era
+//! refusal of cancel-bearing logs is gone with the SWF log itself.)
 
-use dynp_des::SimTime;
+use crate::journal::{read_journal, JournalError, JournalRecord};
+use dynp_des::{Engine, EngineSnapshot, SimTime};
 use dynp_obs::Tracer;
-use dynp_rms::AdmissionConfig;
-use dynp_sim::{simulate_chaos, DetailedRun, SchedulerSpec};
-use dynp_workload::swf::{read_swf, swf_job_line};
-use dynp_workload::{FaultPlan, Job};
-use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use dynp_rms::{AdmissionConfig, Scheduler};
+use dynp_sim::{DetailedRun, Event, SchedulerSpec, ShardCore, SimSnapshot};
+use dynp_workload::{FaultPlan, Job, JobId};
+use std::fmt;
 use std::path::Path;
 
-/// Header tag carrying the machine size (standard SWF header field).
-const MACHINE_TAG: &str = "; MaxProcs:";
-/// Audit directive recording a cancel: `;CANCEL <job+1> <ms>`.
-const CANCEL_TAG: &str = ";CANCEL";
-
-/// An append-only SWF session log.
-pub struct SessionLog {
-    out: BufWriter<File>,
-    records: u64,
-}
-
-impl SessionLog {
-    /// Creates (truncating) the log at `path` and writes the header.
-    pub fn create(
-        path: &Path,
-        machine_size: u32,
-        scheduler: &str,
-        speedup: u64,
-    ) -> io::Result<SessionLog> {
-        let mut out = BufWriter::new(File::create(path)?);
-        writeln!(out, "; dynp-serve session log")?;
-        writeln!(out, "{MACHINE_TAG} {machine_size}")?;
-        writeln!(out, "; Scheduler: {scheduler}")?;
-        writeln!(out, "; Speedup: {speedup}")?;
-        out.flush()?;
-        Ok(SessionLog { out, records: 0 })
-    }
-
-    /// Appends one accepted submission and flushes, so the log is always
-    /// a complete prefix of the session even if the process dies.
-    pub fn record(&mut self, job: &Job) -> io::Result<()> {
-        writeln!(self.out, "{}", swf_job_line(job))?;
-        self.records += 1;
-        self.out.flush()
-    }
-
-    /// Appends a cancel audit line. The job's submission record stays in
-    /// the log (it really was accepted and really did occupy the queue);
-    /// this directive marks the session as not bit-replayable.
-    pub fn record_cancel(&mut self, job: u32, at: SimTime) -> io::Result<()> {
-        writeln!(self.out, "{CANCEL_TAG} {} {}", job + 1, at.as_millis())?;
-        self.out.flush()
-    }
-
-    /// Records written so far.
-    pub fn records(&self) -> u64 {
-        self.records
-    }
-
-    /// Flushes buffered output to the OS.
-    pub fn flush(&mut self) -> io::Result<()> {
-        self.out.flush()
-    }
-}
-
-/// Errors raised while replaying a session log.
-#[derive(Debug)]
+/// Errors raised while replaying a journaled session.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ReplayError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// The log has no `; MaxProcs:` header (not a session log).
-    NoMachineSize,
-    /// The log contains `;CANCEL` directives — the session is auditable
-    /// but not bit-replayable (see module docs).
-    HasCancellations,
-    /// The SWF body failed to parse.
-    Malformed(String),
+    /// The journal directory failed to read or validate.
+    Journal(JournalError),
+    /// Submission records do not assign dense job ids (0, 1, 2, …) —
+    /// the journal was not written by this daemon's admission path.
+    JobIdMismatch {
+        /// The id the next submission record had to carry.
+        expected: u32,
+        /// The id it actually carried.
+        found: u32,
+    },
+    /// A cancel record names a job no submission record introduced.
+    UnknownJob {
+        /// The offending job id.
+        job: u32,
+    },
 }
 
-impl std::fmt::Display for ReplayError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ReplayError::Io(e) => write!(f, "I/O error: {e}"),
-            ReplayError::NoMachineSize => {
-                write!(f, "session log has no '{MACHINE_TAG}' header")
+            ReplayError::Journal(e) => write!(f, "journal error: {e}"),
+            ReplayError::JobIdMismatch { expected, found } => {
+                write!(f, "non-dense job ids: expected {expected}, found {found}")
             }
-            ReplayError::HasCancellations => write!(
-                f,
-                "session contains {CANCEL_TAG} directives and is not bit-replayable"
-            ),
-            ReplayError::Malformed(why) => write!(f, "malformed session log: {why}"),
+            ReplayError::UnknownJob { job } => write!(f, "cancel of unknown job {job}"),
         }
     }
 }
 
 impl std::error::Error for ReplayError {}
 
-impl From<io::Error> for ReplayError {
-    fn from(e: io::Error) -> Self {
-        ReplayError::Io(e)
+impl From<JournalError> for ReplayError {
+    fn from(e: JournalError) -> Self {
+        ReplayError::Journal(e)
     }
+}
+
+/// Reconstructs the service job table from a record sequence. Also used
+/// by recovery to rebuild per-user state. Returns `(jobs, users)`,
+/// parallel vectors indexed by job id.
+pub fn jobs_of_records(records: &[JournalRecord]) -> Result<(Vec<Job>, Vec<u32>), ReplayError> {
+    let mut jobs = Vec::new();
+    let mut users = Vec::new();
+    for rec in records {
+        match *rec {
+            JournalRecord::Submit {
+                stamp,
+                job,
+                user,
+                width,
+                estimate,
+                actual,
+                ..
+            } => {
+                if job as usize != jobs.len() {
+                    return Err(ReplayError::JobIdMismatch {
+                        expected: jobs.len() as u32,
+                        found: job,
+                    });
+                }
+                // Verbatim reconstruction — the journal records the job
+                // exactly as admitted, so no re-validation or clamping.
+                jobs.push(Job {
+                    id: JobId(job),
+                    submit: stamp,
+                    width,
+                    estimate,
+                    actual,
+                });
+                users.push(user);
+            }
+            JournalRecord::Cancel { job, .. } => {
+                if job as usize >= jobs.len() {
+                    return Err(ReplayError::UnknownJob { job });
+                }
+            }
+        }
+    }
+    Ok((jobs, users))
+}
+
+/// Fingerprint of the *service-visible* state: core, scheduler, and
+/// remaining timer entries (sorted) — but not the clock or dispatch
+/// counters, which unjournaled status queries perturb in a live run.
+/// Recovery identity is pinned against this value: a recovered daemon
+/// and a never-killed daemon drain to the same fingerprint, and so does
+/// the batch replay of their journal. `None` when the scheduler does
+/// not support snapshotting.
+pub fn service_fingerprint(
+    core: &ShardCore,
+    scheduler: &dyn Scheduler,
+    mut entries: Vec<(SimTime, u64, Event)>,
+) -> Option<u128> {
+    let scheduler_snap = scheduler.snapshot()?;
+    entries.sort_by_key(|&(t, seq, _)| (t, seq));
+    let snap = SimSnapshot {
+        core: core.snapshot(),
+        engine: EngineSnapshot {
+            now: SimTime::ZERO,
+            processed: 0,
+            next_seq: 0,
+            entries,
+        },
+        scheduler: scheduler_snap,
+    };
+    Some(snap.fingerprint())
+}
+
+/// The result of a batch session replay: the finished run plus the
+/// service-identity facts the daemon's summary line carries, so a
+/// replay can be diffed against a live (or recovered) session.
+#[derive(Clone, Debug)]
+pub struct SessionReplay {
+    /// The finished run, measured exactly like a batch simulation.
+    pub run: DetailedRun,
+    /// Drain-time service fingerprint (see [`service_fingerprint`]).
+    pub fingerprint: Option<u128>,
+    /// Journaled submissions.
+    pub accepted: u64,
+    /// Journaled cancellations.
+    pub cancelled: u64,
+}
+
+/// Replays a record sequence through the batch driver: every journaled
+/// external is seeded at its recorded stamp with a tie-break rank in
+/// journal order (below all dynamic events, exactly the live dispatch
+/// order), then the engine runs dry.
+pub fn replay_records(
+    machine_size: u32,
+    records: &[JournalRecord],
+    spec: &SchedulerSpec,
+) -> Result<SessionReplay, ReplayError> {
+    let (jobs, _users) = jobs_of_records(records)?;
+    let faults = FaultPlan::none();
+    let mut scheduler = spec.build();
+    let mut core = ShardCore::new(
+        machine_size,
+        AdmissionConfig::default(),
+        jobs.len(),
+        faults.retry,
+        SimTime::ZERO,
+        Tracer::disabled(),
+        0,
+    );
+    let mut eng: Engine<Event> = Engine::new();
+    let mut cancels = 0usize;
+    for (rank, rec) in records.iter().enumerate() {
+        match *rec {
+            JournalRecord::Submit { stamp, job, .. } => {
+                eng.schedule_seeded(stamp, rank as u64, Event::Arrive(JobId(job)));
+            }
+            JournalRecord::Cancel { stamp, job, .. } => {
+                eng.schedule_seeded(stamp, rank as u64, Event::CancelCmd(JobId(job)));
+                cancels += 1;
+            }
+        }
+    }
+    while let Some((_, ev)) = eng.step() {
+        core.handle(&mut eng, ev, scheduler.as_mut(), &jobs, &[], &faults);
+    }
+    let fingerprint = service_fingerprint(&core, scheduler.as_ref(), Vec::new());
+    // The daemon journals a cancel only when it actually withdrew a
+    // waiting job, so every journaled cancel removes exactly one job
+    // from the completion count.
+    let expected = jobs.len() - cancels;
+    let run = core.finish(
+        &eng,
+        scheduler.name().to_string(),
+        "session".to_string(),
+        &faults,
+        Some(expected),
+    );
+    Ok(SessionReplay {
+        run,
+        fingerprint,
+        accepted: jobs.len() as u64,
+        cancelled: cancels as u64,
+    })
 }
 
 /// Replays a recorded session through the batch DES driver with the
 /// given scheduler recipe, reproducing the live run's schedules exactly
-/// (same starts, same completions, same SLDwA). The machine size comes
-/// from the log's header; the scheduler must match the recipe the
-/// daemon ran (also recorded in the header, for humans).
-pub fn replay_session(path: &Path, spec: &SchedulerSpec) -> Result<DetailedRun, ReplayError> {
-    let text = std::fs::read_to_string(path)?;
-    let mut machine_size = None;
-    for line in text.lines() {
-        let trimmed = line.trim();
-        if let Some(rest) = trimmed.strip_prefix(MACHINE_TAG) {
-            machine_size = rest.trim().parse::<u32>().ok();
-        }
-        if trimmed.starts_with(CANCEL_TAG) {
-            return Err(ReplayError::HasCancellations);
-        }
-    }
-    let machine_size = machine_size.ok_or(ReplayError::NoMachineSize)?;
-    let name = path
-        .file_stem()
-        .map_or_else(|| "session".to_string(), |s| s.to_string_lossy().into());
-    let set = read_swf(BufReader::new(text.as_bytes()), name, machine_size)
-        .map_err(|e| ReplayError::Malformed(e.to_string()))?;
-    let mut scheduler = spec.build();
-    Ok(simulate_chaos(
-        &set,
-        &mut *scheduler,
-        &[],
-        AdmissionConfig::default(),
-        &FaultPlan::none(),
-        Tracer::disabled(),
-    ))
+/// (same starts, same completions, same SLDwA). `dir` is a journal
+/// directory; the machine size comes from the segment headers. The
+/// scheduler must match the recipe the daemon ran (also recorded in the
+/// headers — [`session_scheduler`] reads it back).
+pub fn replay_session(dir: &Path, spec: &SchedulerSpec) -> Result<SessionReplay, ReplayError> {
+    let journal = read_journal(dir)?;
+    replay_records(journal.machine_size, &journal.records, spec)
 }
 
-/// Reads the machine size from a session log header (for tools that
-/// inspect logs without replaying them).
-pub fn session_machine_size(path: &Path) -> Result<u32, ReplayError> {
-    let file = BufReader::new(File::open(path)?);
-    for line in file.lines() {
-        let line = line?;
-        if let Some(rest) = line.trim().strip_prefix(MACHINE_TAG) {
-            if let Ok(v) = rest.trim().parse::<u32>() {
-                return Ok(v);
-            }
-        }
-    }
-    Err(ReplayError::NoMachineSize)
+/// Reads the machine size from a session journal's headers (for tools
+/// that inspect journals without replaying them).
+pub fn session_machine_size(dir: &Path) -> Result<u32, ReplayError> {
+    Ok(read_journal(dir)?.machine_size)
+}
+
+/// Reads the scheduler spec spelling the daemon recorded in the journal
+/// headers (parse with [`crate::parse_scheduler`]).
+pub fn session_scheduler(dir: &Path) -> Result<String, ReplayError> {
+    Ok(read_journal(dir)?.scheduler)
 }

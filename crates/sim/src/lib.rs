@@ -17,6 +17,7 @@
 //! studies `ablation_preferred`, `ablation_threshold`, `ablation_step`.
 
 pub mod cli;
+pub mod codec;
 pub mod experiment;
 pub mod federation;
 pub mod paper_ref;
@@ -26,6 +27,7 @@ pub mod shard;
 pub mod spec;
 pub mod svg;
 
+pub use codec::{decode_snapshot, encode_snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use experiment::{Cell, CellResult, Experiment, ExperimentResult, FaultLoad, ReservationLoad};
 pub use federation::{
     run_federation, ClusterSpec, FederationConfig, FederationResult, LinkModel, RoutePolicy,

@@ -80,6 +80,11 @@ pub enum Event {
     /// A migrated job arrives from the given origin cluster and enters
     /// this cluster's queue.
     MigrateIn(JobId, u32),
+    /// A service-mode cancel command withdraws the job from the waiting
+    /// queue (no effect if it already started, finished, or never
+    /// arrived). Used by journal replay to reproduce the live daemon's
+    /// cancel path, which withdraws without replanning.
+    CancelCmd(JobId),
 }
 
 impl Event {
@@ -98,6 +103,7 @@ impl Event {
             Event::Resubmit(id) => ("resubmit", id.0 as u64),
             Event::Depart(id, _) => ("migrate_out", id.0 as u64),
             Event::MigrateIn(id, _) => ("migrate_in", id.0 as u64),
+            Event::CancelCmd(id) => ("cancel", id.0 as u64),
         }
     }
 }
@@ -195,16 +201,16 @@ pub struct ShardCore {
 /// as model-checker fingerprints.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CoreSnapshot {
-    state: RmsState,
-    attempts: Vec<u32>,
-    fstats: FaultStats,
-    queue_tw: TimeWeightedCount,
-    busy_tw: TimeWeightedCount,
-    peak_queue: usize,
-    report: ReservationReport,
-    admitted: Vec<(Reservation, bool)>,
-    migrated_out: u64,
-    migrated_in: u64,
+    pub(crate) state: RmsState,
+    pub(crate) attempts: Vec<u32>,
+    pub(crate) fstats: FaultStats,
+    pub(crate) queue_tw: TimeWeightedCount,
+    pub(crate) busy_tw: TimeWeightedCount,
+    pub(crate) peak_queue: usize,
+    pub(crate) report: ReservationReport,
+    pub(crate) admitted: Vec<(Reservation, bool)>,
+    pub(crate) migrated_out: u64,
+    pub(crate) migrated_in: u64,
 }
 
 impl ShardCore {
@@ -604,6 +610,15 @@ impl ShardCore {
                 );
                 self.state.submit(jobs[id.0 as usize]);
                 ReplanReason::Submission
+            }
+            Event::CancelCmd(id) => {
+                // Mirrors the live daemon's cancel path bit-for-bit:
+                // withdraw from the waiting queue (no-op if the job
+                // already started or finished) without replanning — the
+                // freed slot is picked up at the next scheduling event,
+                // exactly as in the live run.
+                self.cancel_waiting(id);
+                return;
             }
         };
         let schedule = scheduler.replan(&self.state, now, reason);

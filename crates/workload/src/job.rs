@@ -81,6 +81,28 @@ impl Job {
     pub fn overestimation(&self) -> f64 {
         self.estimate.as_secs_f64() / self.actual.as_secs_f64()
     }
+
+    /// Appends the job's exact field values to a checkpoint buffer.
+    pub fn encode_into(&self, w: &mut dynp_des::ByteWriter) {
+        w.u32(self.id.0);
+        w.u64(self.submit.as_millis());
+        w.u32(self.width);
+        w.u64(self.estimate.as_millis());
+        w.u64(self.actual.as_millis());
+    }
+
+    /// Decodes a job written by [`Job::encode_into`]. Fields are restored
+    /// verbatim (no re-clamping): the encoded job already satisfied the
+    /// invariants, and restoring must be bit-identical.
+    pub fn decode_from(r: &mut dynp_des::ByteReader<'_>) -> Result<Self, dynp_des::CodecError> {
+        Ok(Job {
+            id: JobId(r.u32()?),
+            submit: SimTime::from_millis(r.u64()?),
+            width: r.u32()?,
+            estimate: SimDuration::from_millis(r.u64()?),
+            actual: SimDuration::from_millis(r.u64()?),
+        })
+    }
 }
 
 /// A job set: one simulation input, jobs sorted by submission time.
