@@ -29,9 +29,9 @@
 //! stdout and exits 0.
 
 use dynp_serve::{
-    parse_request, parse_scheduler, read_journal, recover, render_reply, spawn, Command,
-    FsyncPolicy, OverloadReason, QuotaConfig, Reply, Request, ServiceConfig, ServiceHandle,
-    ServiceReport, SubmitError,
+    parse_request, parse_scheduler, read_journal_header, recover, render_reply, spawn, Command,
+    FsyncPolicy, JournalError, OverloadReason, QuotaConfig, Reply, Request, ServiceConfig,
+    ServiceHandle, ServiceReport, SubmitError,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -145,17 +145,26 @@ fn parse_args() -> Args {
     // Recovery reads the service shape from the journal header, so the
     // restart command line needs nothing but the directory; explicit
     // flags still win (and recover() rejects them if they disagree).
+    // Only the first segment's header is read here — recover() does the
+    // full journal read exactly once.
     if recover {
         let Some(dir) = &journal else {
             bail("--recover needs --journal DIR");
         };
-        let header = read_journal(dir).unwrap_or_else(|e| {
-            eprintln!("cannot recover from {}: {e}", dir.display());
-            std::process::exit(2);
-        });
-        machine = machine.or(Some(header.machine_size));
-        speedup = speedup.or(Some(header.speedup));
-        scheduler = scheduler.or(Some(header.scheduler));
+        match read_journal_header(dir) {
+            Ok(header) => {
+                machine = machine.or(Some(header.machine_size));
+                speedup = speedup.or(Some(header.speedup));
+                scheduler = scheduler.or(Some(header.scheduler));
+            }
+            // Nothing was ever journaled; recover() removes the torn
+            // file and starts fresh on the flag defaults.
+            Err(JournalError::TornGenesis { .. }) => {}
+            Err(e) => {
+                eprintln!("cannot recover from {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
     }
 
     let spec =

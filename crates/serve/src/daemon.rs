@@ -49,7 +49,7 @@ use crate::journal::{
     load_latest_checkpoint, read_journal, repair_torn_tail, write_checkpoint, JournalError,
     JournalRecord, JournalWriter, ServiceCheckpoint, ServiceCounters,
 };
-use crate::session::{jobs_of_records, service_fingerprint, ReplayError};
+use crate::session::{jobs_of_records, service_fingerprint, validate_replay_suffix, ReplayError};
 use dynp_des::{EngineSnapshot, EventClock, ReplaySource, SimTime, Tick, WallClockSource};
 use dynp_obs::TraceEvent;
 use dynp_rms::{AdmissionConfig, Scheduler};
@@ -130,6 +130,11 @@ pub enum RecoverError {
     /// speedup) — recovering into a different service shape would not
     /// be a recovery.
     Mismatch(&'static str),
+    /// Compaction deleted the journal's genesis segments but no
+    /// surviving checkpoint covers the compacted-away prefix (the
+    /// newest ones were corrupt or missing) — neither the checkpoint
+    /// fast-path nor a from-genesis replay can rebuild the state.
+    CompactionGap,
 }
 
 impl fmt::Display for RecoverError {
@@ -141,6 +146,10 @@ impl fmt::Display for RecoverError {
             RecoverError::Mismatch(what) => {
                 write!(f, "journal header disagrees with config: {what}")
             }
+            RecoverError::CompactionGap => write!(
+                f,
+                "compacted journal prefix is not covered by any surviving checkpoint"
+            ),
         }
     }
 }
@@ -190,12 +199,36 @@ pub fn spawn(config: ServiceConfig) -> io::Result<(ServiceHandle, JoinHandle<Ser
 /// a from-genesis replay when none survives), replays the journal
 /// suffix through the driver loop, and goes live on a resumed wall
 /// clock. Acknowledged work is never lost; the recovered state is
-/// bit-identical to an uninterrupted run's.
+/// bit-identical to an uninterrupted run's. On a *compacted* journal
+/// genesis replay is impossible, so a surviving checkpoint covering the
+/// compacted prefix is required ([`RecoverError::CompactionGap`]
+/// otherwise); a lone torn genesis header means nothing was ever
+/// acknowledged, and recovery starts the service fresh.
 pub fn recover(
     config: ServiceConfig,
 ) -> Result<(ServiceHandle, JoinHandle<ServiceReport>), RecoverError> {
     let dir = config.journal.clone().ok_or(RecoverError::NoJournal)?;
-    let journal = read_journal(&dir)?;
+    let journal = match read_journal(&dir) {
+        Ok(journal) => journal,
+        // The crash hit before the very first header was durable, so
+        // nothing was ever acknowledged: remove the torn file and start
+        // the service fresh on the configured shape.
+        Err(JournalError::TornGenesis { path }) => {
+            std::fs::remove_file(&path).map_err(|e| {
+                RecoverError::Journal(JournalError::Io {
+                    path,
+                    error: e.to_string(),
+                })
+            })?;
+            return spawn(config).map_err(|e| {
+                RecoverError::Journal(JournalError::Io {
+                    path: dir,
+                    error: e.to_string(),
+                })
+            });
+        }
+        Err(e) => return Err(e.into()),
+    };
     // Truncate the crash's torn tail now, so the directory stays
     // readable once `resume` appends segments behind it (a tear is only
     // tolerated on the *last* segment).
@@ -209,13 +242,18 @@ pub fn recover(
     if journal.scheduler != render_scheduler(&config.scheduler) {
         return Err(RecoverError::Mismatch("scheduler"));
     }
+    // Seq of the first surviving record: 0 unless compaction deleted
+    // the genesis segments.
+    let first_base_seq = journal.segments.first().map_or(0, |&(_, base)| base);
     let (checkpoint, _skipped) = load_latest_checkpoint(&dir)?;
     // A checkpoint is only usable if it matches this journal and this
-    // scheduler; anything else falls back to genesis replay, which is
-    // always correct (just slower).
+    // scheduler — *and* covers everything compaction deleted; anything
+    // else falls back to genesis replay, which is always correct (just
+    // slower) but only possible while the journal still starts at seq 0.
     let checkpoint = checkpoint.filter(|c| {
         c.machine_size == config.machine_size
             && c.journal_seq <= journal.next_seq
+            && c.journal_seq >= first_base_seq
             && c.jobs.len() == c.users.len()
             && config
                 .scheduler
@@ -224,8 +262,17 @@ pub fn recover(
                 .is_some_and(|s| s.tag == c.scheduler.tag)
     });
     // Validate record consistency up front so the caller gets a typed
-    // error instead of a daemon-thread panic.
-    jobs_of_records(&journal.records)?;
+    // error instead of a daemon-thread panic: with a checkpoint, only
+    // the suffix being replayed must continue its job table densely;
+    // genesis replay needs the full from-0 sequence, which a compacted
+    // journal no longer has.
+    match &checkpoint {
+        Some(c) => validate_replay_suffix(&journal.records, c.journal_seq, c.jobs.len() as u32)?,
+        None if first_base_seq > 0 => return Err(RecoverError::CompactionGap),
+        None => {
+            jobs_of_records(&journal.records)?;
+        }
+    }
     let writer = JournalWriter::resume(&dir, &journal, config.fsync, config.rotate_bytes)?;
     let seed = RecoveredState {
         records: journal.records,

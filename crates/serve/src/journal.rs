@@ -294,6 +294,14 @@ pub enum JournalError {
         /// Byte offset where the tear begins.
         offset: usize,
     },
+    /// The directory's only segment is segment 0 with a torn *header*:
+    /// the crash hit before the very first header was durable, so
+    /// nothing was ever acknowledged. Recovery removes the file and
+    /// starts the service fresh.
+    TornGenesis {
+        /// The torn genesis segment.
+        path: PathBuf,
+    },
     /// Segment headers disagree (machine size, speedup, scheduler, or
     /// sequence continuity) — the directory mixes incompatible runs.
     HeaderMismatch {
@@ -332,6 +340,13 @@ impl fmt::Display for JournalError {
                 write!(
                     f,
                     "{}: torn at offset {offset} (not the last segment)",
+                    path.display()
+                )
+            }
+            JournalError::TornGenesis { path } => {
+                write!(
+                    f,
+                    "{}: torn genesis header (the journal is empty)",
                     path.display()
                 )
             }
@@ -709,6 +724,52 @@ fn read_segment_header(path: &Path, r: &mut ByteReader<'_>) -> Result<SegmentHea
     })
 }
 
+/// The run-shape facts a journal's segment headers carry (every segment
+/// agrees on them; [`read_journal`] verifies that).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Machine size the daemon ran with.
+    pub machine_size: u32,
+    /// Wall-clock speedup the daemon ran with.
+    pub speedup: u64,
+    /// Scheduler spec spelling (parse with `parse_scheduler`).
+    pub scheduler: String,
+}
+
+/// Reads the run-shape facts from the first segment's header alone —
+/// no records are read or decoded. The cheap way to default daemon
+/// flags before [`read_journal`] does the full recovery read. A lone
+/// segment 0 with a torn header is [`JournalError::TornGenesis`],
+/// exactly as in [`read_journal`].
+pub fn read_journal_header(dir: &Path) -> Result<JournalHeader, JournalError> {
+    use std::io::Read;
+    let files = list_numbered(dir, "journal-", ".wal")?;
+    let Some((n, path)) = files.first() else {
+        return Err(JournalError::Io {
+            path: dir.to_path_buf(),
+            error: "no journal segments".to_string(),
+        });
+    };
+    // Headers are tiny (magic + five fields + a short scheduler string);
+    // a bounded prefix read avoids pulling record bytes off disk.
+    let mut buf = Vec::new();
+    File::open(path)
+        .and_then(|f| f.take(4096).read_to_end(&mut buf))
+        .map_err(|e| iofail(path, e))?;
+    let mut r = ByteReader::new(&buf);
+    match read_segment_header(path, &mut r) {
+        Ok(h) => Ok(JournalHeader {
+            machine_size: h.machine_size,
+            speedup: h.speedup,
+            scheduler: h.scheduler,
+        }),
+        Err(JournalError::TornSegment { .. }) if *n == 0 && files.len() == 1 => {
+            Err(JournalError::TornGenesis { path: path.clone() })
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Reads and validates a whole journal directory. Torn tails on the
 /// last segment are tolerated (`torn` flag); every other irregularity
 /// is a typed [`JournalError`].
@@ -739,6 +800,14 @@ pub fn read_journal(dir: &Path) -> Result<JournalDir, JournalError> {
                 dir_state.torn = true;
                 dir_state.torn_at = Some((*n as u32, 0));
                 break;
+            }
+            // A crash between creating the very first segment and its
+            // header reaching disk leaves a lone segment 0 with a torn
+            // header — an *empty* journal (nothing was ever
+            // acknowledged), typed so recovery can remove the file and
+            // start fresh instead of refusing the directory.
+            Err(JournalError::TornSegment { .. }) if i == 0 && is_last && *n == 0 => {
+                return Err(JournalError::TornGenesis { path: path.clone() });
             }
             Err(e) => return Err(e),
         };
@@ -1072,12 +1141,32 @@ pub fn write_checkpoint(dir: &Path, ckpt: &ServiceCheckpoint) -> Result<u64, Jou
     Ok(bytes.len() as u64)
 }
 
+/// Removes checkpoint temp files a crash left mid-write. They are never
+/// valid state (a checkpoint only counts once atomically renamed), so
+/// the sweep is pure garbage collection; recovery runs it so crashes
+/// don't accumulate `.ckpt.tmp` litter.
+pub fn sweep_checkpoint_temps(dir: &Path) -> Result<(), JournalError> {
+    for entry in fs::read_dir(dir).map_err(|e| iofail(dir, e))? {
+        let path = entry.map_err(|e| iofail(dir, e))?.path();
+        let is_tmp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("checkpoint-") && n.ends_with(".ckpt.tmp"));
+        if is_tmp {
+            fs::remove_file(&path).map_err(|e| iofail(&path, e))?;
+        }
+    }
+    Ok(())
+}
+
 /// Loads the newest checkpoint that decodes cleanly, skipping corrupt
 /// ones (their paths are returned for logging). `Ok((None, _))` means
-/// recovery must replay the journal from genesis.
+/// recovery must replay the journal from genesis. Leftover `.ckpt.tmp`
+/// files from a crash mid-checkpoint are swept along the way.
 pub fn load_latest_checkpoint(
     dir: &Path,
 ) -> Result<(Option<ServiceCheckpoint>, Vec<PathBuf>), JournalError> {
+    sweep_checkpoint_temps(dir)?;
     let mut files = list_numbered(dir, "checkpoint-", ".ckpt")?;
     files.reverse(); // newest (highest covered seq) first
     let mut skipped = Vec::new();
@@ -1263,6 +1352,67 @@ mod tests {
             read_journal(&dir),
             Err(JournalError::UnknownVersion { version: 0xEE, .. })
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_genesis_header_is_typed() {
+        let dir = tmpdir("torngen");
+        // Truncated mid-header on a lone segment 0: the empty-journal
+        // shape, not a damaged directory.
+        fs::write(segment_path(&dir, 0), b"DYNPJRNL\x01").unwrap();
+        assert!(matches!(
+            read_journal(&dir),
+            Err(JournalError::TornGenesis { .. })
+        ));
+        assert!(matches!(
+            read_journal_header(&dir),
+            Err(JournalError::TornGenesis { .. })
+        ));
+        // With a later segment present the same tear is directory
+        // damage, never tolerated.
+        let mut w = ByteWriter::new();
+        w.raw(JOURNAL_MAGIC);
+        w.u32(JOURNAL_VERSION);
+        w.u32(8);
+        w.u64(1);
+        w.str("FCFS");
+        w.u32(1);
+        w.u64(0);
+        fs::write(segment_path(&dir, 1), w.into_bytes()).unwrap();
+        assert!(matches!(
+            read_journal(&dir),
+            Err(JournalError::TornSegment { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_only_read_matches_the_full_read() {
+        let dir = tmpdir("hdr");
+        let mut w = JournalWriter::create(&dir, 48, 250, "easy:4", FsyncPolicy::Never, 200).unwrap();
+        for i in 0..10u64 {
+            w.append(&submit(i, i)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let header = read_journal_header(&dir).unwrap();
+        let full = read_journal(&dir).unwrap();
+        assert_eq!(header.machine_size, full.machine_size);
+        assert_eq!(header.speedup, full.speedup);
+        assert_eq!(header.scheduler, full.scheduler);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_temp_files_are_swept_on_load() {
+        let dir = tmpdir("ckpttmp");
+        let stale = dir.join("checkpoint-0000000005.ckpt.tmp");
+        fs::write(&stale, b"half-written wreck").unwrap();
+        let (latest, skipped) = load_latest_checkpoint(&dir).unwrap();
+        assert!(latest.is_none());
+        assert!(skipped.is_empty(), "tmp files are not checkpoints");
+        assert!(!stale.exists(), "the crash leftover is swept");
         fs::remove_dir_all(&dir).unwrap();
     }
 

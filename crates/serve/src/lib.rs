@@ -48,13 +48,14 @@ pub use api::{
 pub use cli::{parse_scheduler, render_scheduler};
 pub use daemon::{recover, spawn, RecoverError, ServiceHandle};
 pub use journal::{
-    read_journal, repair_torn_tail, FsyncPolicy, JournalDir, JournalError, JournalRecord,
+    load_latest_checkpoint, read_journal, read_journal_header, repair_torn_tail,
+    sweep_checkpoint_temps, FsyncPolicy, JournalDir, JournalError, JournalHeader, JournalRecord,
     JournalWriter,
 };
 pub use proto::{parse_request, render_reply, Request};
 pub use session::{
     jobs_of_records, replay_records, replay_session, service_fingerprint, session_machine_size,
-    session_scheduler, ReplayError, SessionReplay,
+    session_scheduler, validate_replay_suffix, ReplayError, SessionReplay,
 };
 
 #[cfg(test)]

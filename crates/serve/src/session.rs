@@ -110,6 +110,39 @@ pub fn jobs_of_records(records: &[JournalRecord]) -> Result<(Vec<Job>, Vec<u32>)
     Ok((jobs, users))
 }
 
+/// Validates the record suffix a recovery replays *on top of a
+/// checkpoint*: submissions with `seq >= first_seq` must assign dense
+/// job ids continuing at `next_job` (the checkpoint's job count), and
+/// cancels must name a job some earlier submission introduced — either
+/// in the suffix or inside the checkpoint. Records below `first_seq`
+/// are already inside the checkpoint and may start at any job id (a
+/// compacted journal's surviving prefix does).
+pub fn validate_replay_suffix(
+    records: &[JournalRecord],
+    first_seq: u64,
+    mut next_job: u32,
+) -> Result<(), ReplayError> {
+    for rec in records.iter().filter(|r| r.seq() >= first_seq) {
+        match *rec {
+            JournalRecord::Submit { job, .. } => {
+                if job != next_job {
+                    return Err(ReplayError::JobIdMismatch {
+                        expected: next_job,
+                        found: job,
+                    });
+                }
+                next_job += 1;
+            }
+            JournalRecord::Cancel { job, .. } => {
+                if job >= next_job {
+                    return Err(ReplayError::UnknownJob { job });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Fingerprint of the *service-visible* state: core, scheduler, and
 /// remaining timer entries (sorted) — but not the clock or dispatch
 /// counters, which unjournaled status queries perturb in a live run.

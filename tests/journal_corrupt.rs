@@ -281,6 +281,23 @@ fn missing_middle_segment_is_refused() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A lone segment 0 whose header never finished is the empty-journal
+/// crash shape: typed as TornGenesis (recovery removes the file and
+/// starts fresh), distinct from the damaged-directory TornSegment.
+#[test]
+fn torn_genesis_header_is_typed_as_empty() {
+    let dir = temp_dir("torn_genesis");
+    std::fs::write(dir.join("journal-000000.wal"), &b"DYNPJRNL\x01\x00\x00"[..]).unwrap();
+
+    match read_journal(&dir) {
+        Err(JournalError::TornGenesis { path }) => {
+            assert_eq!(path, dir.join("journal-000000.wal"));
+        }
+        other => panic!("want TornGenesis, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Segments whose headers disagree on the run's parameters mix
 /// incompatible histories; the disagreeing field is named.
 #[test]

@@ -18,8 +18,8 @@
 //! session equal the batch replay of the same records.
 
 use dynp_serve::{
-    read_journal, recover, replay_records, replay_session, spawn, FsyncPolicy, QuotaConfig,
-    ServiceConfig, ServiceHandle, ServiceReport, SubmitSpec,
+    read_journal, recover, replay_records, replay_session, spawn, FsyncPolicy, JournalError,
+    QuotaConfig, RecoverError, ServiceConfig, ServiceHandle, ServiceReport, SubmitSpec,
 };
 use dynp_suite::prelude::*;
 use proptest::prelude::*;
@@ -226,10 +226,16 @@ fn recovery_config(machine: u32, spec: SchedulerSpec, dir: &Path) -> ServiceConf
 }
 
 fn record_baseline(tag: &str) -> Baseline {
+    record_baseline_with(tag, false)
+}
+
+fn record_baseline_with(tag: &str, compact: bool) -> Baseline {
     let dir = temp_dir(tag);
     let machine = 16;
     let spec = SchedulerSpec::dynp(DeciderKind::Advanced);
-    let (handle, join) = spawn(recovery_config(machine, spec.clone(), &dir)).unwrap();
+    let mut config = recovery_config(machine, spec.clone(), &dir);
+    config.compact = compact;
+    let (handle, join) = spawn(config).unwrap();
     let mut rng = StdRng::seed_from_u64(0xC4A5);
     let mut tickets = Vec::new();
     for _ in 0..30 {
@@ -381,6 +387,141 @@ fn recovery_survives_a_corrupt_newest_checkpoint() {
     std::fs::remove_dir_all(&scratch).unwrap();
 }
 
+/// Records a compacted baseline and asserts compaction actually deleted
+/// the genesis segments (otherwise the compacted-recovery tests would
+/// silently test the ordinary path).
+fn record_compacted_baseline(tag: &str) -> Baseline {
+    let baseline = record_baseline_with(tag, true);
+    let segs = segment_files(&baseline.dir);
+    assert!(
+        !segs[0].ends_with("journal-000000.wal"),
+        "compaction must have deleted the genesis segment, found {:?}",
+        segs[0]
+    );
+    baseline
+}
+
+/// Recovery from a compacted journal — where the genesis segments are
+/// gone and the first surviving submit has a job id > 0 — must take the
+/// checkpoint fast-path and still match the never-killed run exactly.
+#[test]
+fn recovery_from_a_compacted_journal_matches_the_never_killed_run() {
+    let baseline = record_compacted_baseline("recover_compact");
+    let scratch = temp_dir("recover_compact_img");
+    let segs = segment_files(&baseline.dir);
+    let last = segs.len() - 1;
+    let full_len = std::fs::metadata(&segs[last]).unwrap().len();
+    crash_image(&baseline, &scratch, last, full_len);
+
+    let recovered = recover_and_drain(&baseline, &scratch);
+    assert_eq!(recovered.accepted, baseline.live.accepted);
+    assert_eq!(recovered.cancelled, baseline.live.cancelled);
+    assert_eq!(
+        recovered.run.completed.len(),
+        baseline.live.run.completed.len()
+    );
+    assert_eq!(
+        recovered.run.result.metrics.sldwa,
+        baseline.live.run.result.metrics.sldwa
+    );
+    assert_eq!(recovered.fingerprint, baseline.live.fingerprint);
+    assert!(recovered.fingerprint.is_some());
+
+    std::fs::remove_dir_all(&baseline.dir).unwrap();
+    std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+/// A crash on a compacted journal: the last segment is torn mid-record.
+/// Recovery must still succeed from the checkpoint plus the surviving
+/// suffix, lose nothing acknowledged-and-surviving, and be
+/// deterministic — two recoveries of the same crash image drain to the
+/// same fingerprint and SLDwA.
+#[test]
+fn crash_recovery_on_a_compacted_journal_is_exact_and_deterministic() {
+    let baseline = record_compacted_baseline("recover_compact_crash");
+    let segs = segment_files(&baseline.dir);
+    let last = segs.len() - 1;
+    let full_len = std::fs::metadata(&segs[last]).unwrap().len();
+    let keep = full_len.saturating_sub(3); // tear the final frame
+    let scratch_a = temp_dir("recover_compact_crash_a");
+    let scratch_b = temp_dir("recover_compact_crash_b");
+    crash_image(&baseline, &scratch_a, last, keep);
+    crash_image(&baseline, &scratch_b, last, keep);
+
+    let a = recover_and_drain(&baseline, &scratch_a);
+    let b = recover_and_drain(&baseline, &scratch_b);
+    assert_eq!(a.run.faults.lost, 0);
+    assert_eq!(a.run.completed.len() as u64, a.accepted - a.cancelled);
+    assert!(a.accepted <= baseline.live.accepted);
+    assert!(a.fingerprint.is_some());
+    assert_eq!(a.accepted, b.accepted);
+    assert_eq!(a.cancelled, b.cancelled);
+    assert_eq!(a.run.result.metrics.sldwa, b.run.result.metrics.sldwa);
+    assert_eq!(a.fingerprint, b.fingerprint);
+
+    std::fs::remove_dir_all(&baseline.dir).unwrap();
+    std::fs::remove_dir_all(&scratch_a).unwrap();
+    std::fs::remove_dir_all(&scratch_b).unwrap();
+}
+
+/// A compacted journal whose checkpoints were all lost cannot be
+/// recovered — genesis replay is impossible without the deleted
+/// segments. That must be the typed compaction-gap refusal, not a
+/// silent genesis replay over the hole.
+#[test]
+fn compacted_journal_without_covering_checkpoint_is_a_typed_gap() {
+    let baseline = record_compacted_baseline("recover_compact_gap");
+    let scratch = temp_dir("recover_compact_gap_img");
+    let segs = segment_files(&baseline.dir);
+    let last = segs.len() - 1;
+    let full_len = std::fs::metadata(&segs[last]).unwrap().len();
+    crash_image(&baseline, &scratch, last, full_len);
+    for entry in std::fs::read_dir(&scratch).unwrap() {
+        let p = entry.unwrap().path();
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("checkpoint-") {
+            std::fs::remove_file(&p).unwrap();
+        }
+    }
+
+    let config = recovery_config(baseline.machine, baseline.spec.clone(), &scratch);
+    match recover(config) {
+        Err(RecoverError::CompactionGap) => {}
+        Ok(_) => panic!("recovery over a compaction gap must be refused"),
+        Err(other) => panic!("wrong error: {other}"),
+    }
+
+    std::fs::remove_dir_all(&baseline.dir).unwrap();
+    std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+/// A crash before the very first journal header was durable leaves a
+/// lone torn segment 0 — an empty journal. `--recover` must not refuse
+/// the directory: nothing was acknowledged, so it removes the wreck and
+/// starts the service fresh.
+#[test]
+fn recovery_from_a_torn_genesis_header_starts_fresh() {
+    let dir = temp_dir("recover_torn_genesis");
+    // Magic plus two bytes of the version field: torn mid-header.
+    std::fs::write(dir.join("journal-000000.wal"), b"DYNPJRNL\x01\x00").unwrap();
+    assert!(matches!(
+        read_journal(&dir),
+        Err(JournalError::TornGenesis { .. })
+    ));
+
+    let machine = 16;
+    let spec = SchedulerSpec::dynp(DeciderKind::Advanced);
+    let (handle, join) = recover(recovery_config(machine, spec, &dir)).unwrap();
+    let accepted = submit_burst(&handle, machine, 8, 0x7041);
+    assert_eq!(accepted, 8, "the fresh service accepts work");
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.accepted, 8);
+    assert_eq!(report.run.completed.len(), 8);
+    assert_eq!(report.run.faults.lost, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -399,20 +540,21 @@ proptest! {
         let segs = segment_files(&baseline.dir);
         let seg_idx = ((seg_frac * segs.len() as f64) as usize).min(segs.len() - 1);
         let seg_len = std::fs::metadata(&segs[seg_idx]).unwrap().len();
-        // Segment 0's header must survive (a crash before the first
-        // header completes leaves nothing to recover); later segments
-        // may be torn anywhere, header included. Header layout: magic 8
-        // + version 4 + machine 4 + speedup 8 + scheduler (4 + len)
-        // + segment 4 + base_seq 8.
-        let header_len = 40 + dynp_serve::render_scheduler(&baseline.spec).len() as u64;
-        let min_keep = if seg_idx == 0 { header_len } else { 0 };
-        let keep = min_keep + ((byte_frac * (seg_len - min_keep) as f64) as u64).min(seg_len - min_keep);
+        // Any byte offset in any segment — record boundaries, torn
+        // mid-record tails, mid-header, even inside the very first
+        // header (an empty journal: recovery starts fresh).
+        let keep = ((byte_frac * seg_len as f64) as u64).min(seg_len);
         crash_image(&baseline, &scratch, seg_idx, keep);
 
-        // What survived the crash, per the reader.
-        let journal = read_journal(&scratch).unwrap();
-        let submits = journal.records.iter().filter(|r| matches!(r, dynp_serve::JournalRecord::Submit { .. })).count() as u64;
-        let cancels = journal.records.len() as u64 - submits;
+        // What survived the crash, per the reader. A torn genesis
+        // header means nothing did.
+        let (machine_size, records) = match read_journal(&scratch) {
+            Ok(journal) => (journal.machine_size, journal.records),
+            Err(JournalError::TornGenesis { .. }) => (baseline.machine, Vec::new()),
+            Err(e) => panic!("crash image must stay readable: {e}"),
+        };
+        let submits = records.iter().filter(|r| matches!(r, dynp_serve::JournalRecord::Submit { .. })).count() as u64;
+        let cancels = records.len() as u64 - submits;
 
         let recovered = recover_and_drain(&baseline, &scratch);
         prop_assert_eq!(recovered.accepted, submits, "every surviving submit is recovered");
@@ -420,7 +562,7 @@ proptest! {
         prop_assert_eq!(recovered.run.completed.len() as u64, submits - cancels);
         prop_assert_eq!(recovered.run.faults.lost, 0);
 
-        let replay = replay_records(journal.machine_size, &journal.records, &baseline.spec).unwrap();
+        let replay = replay_records(machine_size, &records, &baseline.spec).unwrap();
         prop_assert_eq!(recovered.run.completed.len(), replay.run.completed.len());
         for (r, l) in replay.run.completed.iter().zip(&recovered.run.completed) {
             prop_assert_eq!(r.job.id, l.job.id);
